@@ -1,0 +1,46 @@
+//! Criterion bench: the LOCAL-model engine running Luby's MIS and the
+//! random color trial, across network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pslocal_graph::generators::random::gnp;
+use pslocal_local::algorithms::{LubyMis, RandomColorTrial};
+use pslocal_local::{Engine, Network};
+use rand::SeedableRng;
+
+fn networks() -> Vec<(usize, Network)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    [64usize, 256, 1024]
+        .iter()
+        .map(|&n| {
+            let g = gnp(&mut rng, n, (8.0 / n as f64).min(0.5));
+            (n, Network::with_identity_ids(g))
+        })
+        .collect()
+}
+
+fn bench_luby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_luby_mis");
+    for (n, net) in networks() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| Engine::new(net).seed(1).run(&LubyMis).expect("terminates"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_color_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_random_color_trial");
+    for (n, net) in networks() {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| Engine::new(net).seed(2).run(&RandomColorTrial).expect("terminates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_luby, bench_color_trial
+}
+criterion_main!(benches);

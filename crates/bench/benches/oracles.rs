@@ -1,0 +1,43 @@
+//! Criterion bench: each MaxIS oracle on a fixed conflict graph (the
+//! workload the reduction feeds them) and on a sparse random graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pslocal_core::ConflictGraph;
+use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal_graph::generators::random::gnp;
+use pslocal_graph::Graph;
+use pslocal_maxis::{standard_oracles, MaxIsOracle};
+use rand::SeedableRng;
+
+fn conflict_instance() -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(48, 20, 3));
+    ConflictGraph::build(&inst.hypergraph, 3).graph().clone()
+}
+
+fn bench_on(c: &mut Criterion, label: &str, graph: &Graph) {
+    let mut group = c.benchmark_group(format!("oracles_{label}"));
+    for oracle in standard_oracles(6) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(oracle.name()),
+            &oracle,
+            |b, oracle: &Box<dyn MaxIsOracle>| b.iter(|| oracle.independent_set(graph)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    bench_on(c, "conflict_graph", &conflict_instance());
+    // Kept small: the exact branch-and-bound is in the lineup, and its
+    // cost on sparse instances grows steeply with n.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    bench_on(c, "gnp_sparse", &gnp(&mut rng, 90, 0.06));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_oracles
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: the full Theorem 1.1 reduction (all phases,
+//! conflict graphs included) per oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pslocal_core::{reduce_cf_to_maxis, ReductionConfig};
+use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal_maxis::{ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle};
+use rand::SeedableRng;
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_end_to_end");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let k = 3usize;
+    let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(64, 32, k));
+    let oracles: Vec<(&str, Box<dyn MaxIsOracle>)> = vec![
+        ("exact", Box::new(ExactOracle)),
+        ("greedy", Box::new(GreedyOracle)),
+        ("luby", Box::new(LubyOracle::new(9))),
+    ];
+    for (name, oracle) in &oracles {
+        group.bench_with_input(BenchmarkId::from_parameter(name), oracle, |b, oracle| {
+            b.iter(|| {
+                reduce_cf_to_maxis(&inst.hypergraph, oracle.as_ref(), ReductionConfig::new(k))
+                    .expect("reduction completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_scaling_greedy");
+    group.sample_size(10);
+    for &(n, m) in &[(32usize, 16usize), (64, 32), (128, 64)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, 4));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &inst.hypergraph,
+            |b, h| {
+                b.iter(|| {
+                    reduce_cf_to_maxis(h, &GreedyOracle, ReductionConfig::new(4))
+                        .expect("reduction completes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reduction, bench_reduction_scaling
+}
+criterion_main!(benches);

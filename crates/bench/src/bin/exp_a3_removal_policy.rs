@@ -1,0 +1,90 @@
+//! A3 — Ablation: removing **all happy edges** vs only the `|I_i|`
+//! witnessed ones.
+//!
+//! The paper removes "all happy edges" after each phase; the analysis
+//! only *needs* the `|I_i|` edges holding a triple of the independent
+//! set. This ablation runs both policies and reports phases and
+//! colors: the witnessed-only policy is still correct (it satisfies
+//! the same decay bound) but does strictly more work whenever a phase
+//! incidentally makes extra edges happy — quantifying the paper's
+//! (free) optimization.
+
+use pslocal_bench::table::{cell, Table};
+use pslocal_bench::{rng_for, seed_from_args};
+use pslocal_cfcolor::{checker, Multicoloring};
+use pslocal_core::{
+    apply_palette, lemma_2_1b, reduce_cf_to_maxis, ConflictGraph, ReductionConfig,
+};
+use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal_graph::{Hypergraph, HyperedgeId, Palette};
+use pslocal_maxis::{MaxIsOracle, PrecisionOracle};
+
+/// Reduction variant that removes only the edges carrying a triple of
+/// the phase's independent set (the minimum the proof guarantees).
+fn witnessed_only_run(
+    h: &Hypergraph,
+    k: usize,
+    oracle: &dyn MaxIsOracle,
+    max_phases: usize,
+) -> Option<(usize, usize)> {
+    let mut coloring = Multicoloring::new(h.node_count());
+    let mut residual: Vec<HyperedgeId> = h.edge_ids().collect();
+    let mut phases = 0;
+    while !residual.is_empty() && phases < max_phases {
+        let (h_i, id_map) = h.restrict_edges(&residual);
+        let cg = ConflictGraph::build(&h_i, k);
+        let set = oracle.independent_set(cg.graph());
+        let decoded = lemma_2_1b(&cg, &set);
+        coloring.merge(&apply_palette(&decoded.coloring, Palette::phase(k, phases)));
+        // ABLATION: drop only the witnessed edges (mapped back to the
+        // original ids), not every happy edge.
+        let witnessed: Vec<HyperedgeId> =
+            set.iter().map(|node| id_map[cg.triple_of(node).edge.index()]).collect();
+        residual.retain(|e| !witnessed.contains(e));
+        phases += 1;
+    }
+    if residual.is_empty() {
+        assert!(checker::is_conflict_free(h, &coloring), "witnessed-only output must be CF");
+        Some((phases, coloring.total_color_count()))
+    } else {
+        None
+    }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let mut table = Table::new(
+        "A3",
+        "removal policy: all happy edges (paper) vs witnessed-only (minimum) — λ = 4 oracle",
+        &["n", "m", "k", "paper phases", "paper colors", "witnessed phases", "witnessed colors"],
+    );
+    let mut rng = rng_for(seed, "a3");
+    let oracle = PrecisionOracle::new(4.0);
+    for &(n, m, k) in &[
+        (32usize, 24usize, 3usize),
+        (48, 32, 3),
+        (64, 48, 4),
+        (96, 64, 4),
+        (96, 96, 6),
+    ] {
+        let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
+        let paper = reduce_cf_to_maxis(&inst.hypergraph, &oracle, ReductionConfig::new(k))
+            .expect("paper policy completes");
+        let (w_phases, w_colors) =
+            witnessed_only_run(&inst.hypergraph, k, &oracle, 4 * paper.rho)
+                .expect("witnessed-only policy also completes (same decay bound)");
+        assert!(w_phases >= paper.phases_used, "paper policy can only be faster");
+        table.row(&[
+            cell(n),
+            cell(m),
+            cell(k),
+            cell(paper.phases_used),
+            cell(paper.total_colors),
+            cell(w_phases),
+            cell(w_colors),
+        ]);
+    }
+    table.emit();
+    println!("  both policies satisfy the (1 − 1/λ) decay; removing all happy edges (the");
+    println!("  paper's choice) needs never more — and often fewer — phases and colors");
+}

@@ -1,0 +1,69 @@
+//! F3 — Luby's MIS uses O(log n) LOCAL rounds.
+//!
+//! The paper's framing depends on this contrast: MIS is easy for
+//! *randomized* LOCAL ([Lub86], O(log n) rounds w.h.p.) yet open for
+//! deterministic LOCAL. This series doubles n on two families and
+//! reports measured rounds (median of 5 seeds) against log₂ n.
+
+use pslocal_bench::table::{cell, cell_f, Table};
+use pslocal_bench::{rng_for, seed_from_args};
+use pslocal_graph::generators::random::{gnp, random_regular};
+use pslocal_graph::Graph;
+use pslocal_local::{algorithms::LubyMis, Engine, Network};
+
+fn rounds_for(g: &Graph, seeds: &[u64]) -> (usize, usize) {
+    let mut rounds: Vec<usize> = seeds
+        .iter()
+        .map(|&s| {
+            let net = Network::with_scrambled_ids(g.clone(), s);
+            let exec = Engine::new(&net).seed(s).run(&LubyMis).expect("Luby terminates");
+            let mis = LubyMis::members(&exec.states);
+            assert!(g.is_maximal_independent_set(&mis));
+            exec.trace.rounds
+        })
+        .collect();
+    rounds.sort_unstable();
+    (rounds[rounds.len() / 2], rounds[rounds.len() - 1])
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let seeds: Vec<u64> = (0..5).map(|i| seed ^ (i * 0x9E37) as u64).collect();
+    let mut table = Table::new(
+        "F3",
+        "Luby MIS LOCAL rounds vs n (median/max of 5 seeds): O(log n) growth",
+        &["family", "n", "median rounds", "max rounds", "log2(n)", "rounds/log2(n)"],
+    );
+    let mut rng = rng_for(seed, "f3");
+    for exp in 5..12 {
+        let n = 1usize << exp;
+        let p = (8.0 / n as f64).min(0.5);
+        let g = gnp(&mut rng, n, p);
+        let (median, max) = rounds_for(&g, &seeds);
+        let log = (n as f64).log2();
+        table.row(&[
+            cell("gnp"),
+            cell(n),
+            cell(median),
+            cell(max),
+            cell_f(log),
+            cell_f(median as f64 / log),
+        ]);
+    }
+    for exp in 5..11 {
+        let n = 1usize << exp;
+        let g = random_regular(&mut rng, n, 4);
+        let (median, max) = rounds_for(&g, &seeds);
+        let log = (n as f64).log2();
+        table.row(&[
+            cell("4-regular"),
+            cell(n),
+            cell(median),
+            cell(max),
+            cell_f(log),
+            cell_f(median as f64 / log),
+        ]);
+    }
+    table.emit();
+    println!("  expected: rounds/log2(n) stays bounded by a small constant as n doubles");
+}

@@ -1,0 +1,47 @@
+//! T8 — End-to-end cost scaling of the reduction, plus the LOCAL
+//! simulation overheads of `G_k` inside `H`.
+//!
+//! Doubles the instance size and reports wall time, per-phase conflict
+//! graph sizes, and the simulation report (dilation ≤ 1 everywhere —
+//! the paper's "can be efficiently simulated" claim — and the
+//! congestion `max deg_H(v)·k`).
+
+use pslocal_bench::table::{cell, cell_f, Table};
+use pslocal_bench::{rng_for, seed_from_args};
+use pslocal_core::{reduce_cf_to_maxis, simulate_in_hypergraph, ConflictGraph, ReductionConfig};
+use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal_maxis::GreedyOracle;
+use std::time::Instant;
+
+fn main() {
+    let seed = seed_from_args();
+    let mut table = Table::new(
+        "T8",
+        "reduction cost scaling + LOCAL simulation of G_k in H (greedy oracle, k = 4)",
+        &["n", "m", "G_k nodes", "G_k edges", "phases", "build+reduce ms", "dilation", "congestion"],
+    );
+    let mut rng = rng_for(seed, "t8");
+    let k = 4usize;
+    for &(n, m) in &[(32usize, 16usize), (64, 32), (128, 64), (256, 128), (512, 256)] {
+        let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
+        let cg = ConflictGraph::build(&inst.hypergraph, k);
+        let sim = simulate_in_hypergraph(&cg);
+        assert!(sim.dilation <= 1, "paper's simulation claim violated");
+        let start = Instant::now();
+        let out = reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, ReductionConfig::new(k))
+            .expect("greedy completes");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        table.row(&[
+            cell(n),
+            cell(m),
+            cell(cg.graph().node_count()),
+            cell(cg.edge_count()),
+            cell(out.phases_used),
+            cell_f(elapsed),
+            cell(sim.dilation),
+            cell(sim.max_congestion),
+        ]);
+    }
+    table.emit();
+    println!("  expected: dilation ≤ 1 everywhere; time grows polynomially with G_k edges");
+}

@@ -1,0 +1,138 @@
+//! Column-aligned table printing plus CSV export for the experiment
+//! binaries — every table/figure harness reports through this module so
+//! EXPERIMENTS.md rows regenerate with one command.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple experiment table: a header row and string-rendered cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `"T4"`.
+    pub id: String,
+    /// One-line caption (what claim the rows validate).
+    pub caption: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given id, caption, and column headers.
+    pub fn new(
+        id: impl Into<String>,
+        caption: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            caption: caption.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "[{}] {}", self.id, self.caption);
+        let head: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", head.join("  "));
+        let _ = writeln!(out, "  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Prints to stdout and writes a CSV copy under
+    /// `target/experiments/<id>.csv`; returns the CSV path if writing
+    /// succeeded.
+    pub fn emit(&self) -> Option<PathBuf> {
+        print!("{}", self.render());
+        let dir = PathBuf::from("target/experiments");
+        fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("{}.csv", self.id.to_lowercase()));
+        let mut file = fs::File::create(&path).ok()?;
+        writeln!(file, "{}", self.columns.join(",")).ok()?;
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(",")).ok()?;
+        }
+        println!("  → {}", path.display());
+        Some(path)
+    }
+}
+
+/// Renders a cell for mixed numeric content.
+pub fn cell(value: impl std::fmt::Display) -> String {
+    value.to_string()
+}
+
+/// Renders a float with two decimals.
+pub fn cell_f(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T0", "demo", &["n", "value"]);
+        t.row(&[cell(5), cell_f(1.5)]);
+        t.row(&[cell(1000), cell_f(23.126)]);
+        let s = t.render();
+        assert!(s.contains("[T0] demo"));
+        assert!(s.contains("   5"));
+        assert!(s.contains("1000"));
+        assert!(s.contains("23.13")); // rounded to 2 decimals
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("T0", "demo", &["a", "b"]);
+        t.row(&[cell(1)]);
+    }
+}

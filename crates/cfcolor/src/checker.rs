@@ -1,0 +1,194 @@
+//! Happy-edge computation and conflict-freeness verification.
+//!
+//! The paper's vocabulary: an edge is **happy** in a coloring if it
+//! contains a vertex with a color unique within the edge ("there is no
+//! u ≠ v with u ∈ e and f(u) = f(v)"). The hardness proof works phase
+//! by phase, removing happy edges; these checkers are used after every
+//! phase and as the final verification of Theorem 1.1's output.
+
+use crate::multicoloring::Multicoloring;
+use pslocal_graph::{Color, Hypergraph, HyperedgeId};
+use std::collections::HashMap;
+
+/// Whether hyperedge `e` is happy under `coloring`: some member vertex
+/// holds a color that no other member holds (in any of its colors).
+///
+/// # Panics
+///
+/// Panics if the multicoloring's vertex count differs from the
+/// hypergraph's, or `e` is out of range.
+pub fn is_edge_happy(h: &Hypergraph, coloring: &Multicoloring, e: HyperedgeId) -> bool {
+    assert_eq!(coloring.node_count(), h.node_count(), "coloring size mismatch");
+    happy_witness(h, coloring, e).is_some()
+}
+
+/// The witness making `e` happy, if any: a `(vertex, color)` pair where
+/// the vertex is the only member of `e` holding that color.
+pub fn happy_witness(
+    h: &Hypergraph,
+    coloring: &Multicoloring,
+    e: HyperedgeId,
+) -> Option<(pslocal_graph::NodeId, Color)> {
+    let members = h.edge(e);
+    // Count color multiplicities across the edge.
+    let mut multiplicity: HashMap<Color, u32> = HashMap::new();
+    for &v in members {
+        for &c in coloring.colors_of(v) {
+            *multiplicity.entry(c).or_insert(0) += 1;
+        }
+    }
+    for &v in members {
+        for &c in coloring.colors_of(v) {
+            if multiplicity[&c] == 1 {
+                return Some((v, c));
+            }
+        }
+    }
+    None
+}
+
+/// All happy edges under `coloring`, in id order.
+pub fn happy_edges(h: &Hypergraph, coloring: &Multicoloring) -> Vec<HyperedgeId> {
+    h.edge_ids().filter(|&e| is_edge_happy(h, coloring, e)).collect()
+}
+
+/// All unhappy edges under `coloring`, in id order.
+pub fn unhappy_edges(h: &Hypergraph, coloring: &Multicoloring) -> Vec<HyperedgeId> {
+    h.edge_ids().filter(|&e| !is_edge_happy(h, coloring, e)).collect()
+}
+
+/// Number of happy edges.
+pub fn happy_count(h: &Hypergraph, coloring: &Multicoloring) -> usize {
+    h.edge_ids().filter(|&e| is_edge_happy(h, coloring, e)).count()
+}
+
+/// Whether `coloring` is a conflict-free multicoloring of `h` (every
+/// edge happy).
+pub fn is_conflict_free(h: &Hypergraph, coloring: &Multicoloring) -> bool {
+    h.edge_ids().all(|e| is_edge_happy(h, coloring, e))
+}
+
+/// Verification report for a claimed conflict-free multicoloring, the
+/// record EXPERIMENTS.md rows are built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfReport {
+    /// Total edges checked.
+    pub edges: usize,
+    /// How many were happy.
+    pub happy: usize,
+    /// Total distinct colors used.
+    pub colors_used: usize,
+    /// Largest per-vertex color multiplicity.
+    pub max_colors_per_vertex: usize,
+}
+
+impl CfReport {
+    /// Builds the report for `coloring` on `h`.
+    pub fn of(h: &Hypergraph, coloring: &Multicoloring) -> Self {
+        CfReport {
+            edges: h.edge_count(),
+            happy: happy_count(h, coloring),
+            colors_used: coloring.total_color_count(),
+            max_colors_per_vertex: coloring.max_colors_per_vertex(),
+        }
+    }
+
+    /// Whether the coloring was conflict-free.
+    pub fn is_conflict_free(&self) -> bool {
+        self.happy == self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::{Hypergraph, NodeId};
+
+    fn h() -> Hypergraph {
+        Hypergraph::from_edges(4, [vec![0, 1, 2], vec![1, 2, 3]]).unwrap()
+    }
+
+    fn single(colors: &[u32]) -> Multicoloring {
+        Multicoloring::from_single(&colors.iter().map(|&c| Color::new(c as usize)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn unique_color_makes_edge_happy() {
+        let h = h();
+        // Edge 0 = {0,1,2}: vertex 0 has unique color 0.
+        let mc = single(&[0, 1, 1, 1]);
+        assert!(is_edge_happy(&h, &mc, HyperedgeId::new(0)));
+        let (w, c) = happy_witness(&h, &mc, HyperedgeId::new(0)).unwrap();
+        assert_eq!((w, c), (NodeId::new(0), Color::new(0)));
+        // Edge 1 = {1,2,3}: all share color 1 → unhappy.
+        assert!(!is_edge_happy(&h, &mc, HyperedgeId::new(1)));
+        assert_eq!(happy_edges(&h, &mc), vec![HyperedgeId::new(0)]);
+        assert_eq!(unhappy_edges(&h, &mc), vec![HyperedgeId::new(1)]);
+        assert_eq!(happy_count(&h, &mc), 1);
+        assert!(!is_conflict_free(&h, &mc));
+    }
+
+    #[test]
+    fn proper_like_coloring_is_conflict_free() {
+        let h = h();
+        let mc = single(&[0, 1, 2, 0]);
+        assert!(is_conflict_free(&h, &mc));
+        let report = CfReport::of(&h, &mc);
+        assert!(report.is_conflict_free());
+        assert_eq!(report.colors_used, 3);
+        assert_eq!(report.max_colors_per_vertex, 1);
+    }
+
+    #[test]
+    fn uncolored_vertices_contribute_nothing() {
+        let h = h();
+        let mut mc = Multicoloring::new(4);
+        // Only vertex 3 colored: edge 1 happy, edge 0 not.
+        mc.add_color(NodeId::new(3), Color::new(7));
+        assert!(!is_edge_happy(&h, &mc, HyperedgeId::new(0)));
+        assert!(is_edge_happy(&h, &mc, HyperedgeId::new(1)));
+    }
+
+    #[test]
+    fn multicolor_can_create_uniqueness() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1, 2]]).unwrap();
+        let mut mc = Multicoloring::new(3);
+        // All three share color 0; vertex 2 additionally holds color 1.
+        for i in 0..3 {
+            mc.add_color(NodeId::new(i), Color::new(0));
+        }
+        assert!(!is_conflict_free(&h, &mc));
+        mc.add_color(NodeId::new(2), Color::new(1));
+        assert!(is_conflict_free(&h, &mc));
+        let (w, c) = happy_witness(&h, &mc, HyperedgeId::new(0)).unwrap();
+        assert_eq!((w, c), (NodeId::new(2), Color::new(1)));
+    }
+
+    #[test]
+    fn multicolor_duplication_can_destroy_uniqueness() {
+        let h = Hypergraph::from_edges(2, [vec![0, 1]]).unwrap();
+        let mut mc = Multicoloring::new(2);
+        mc.add_color(NodeId::new(0), Color::new(0));
+        assert!(is_conflict_free(&h, &mc));
+        // The other vertex acquiring the same color kills the witness.
+        mc.add_color(NodeId::new(1), Color::new(0));
+        assert!(!is_conflict_free(&h, &mc));
+    }
+
+    #[test]
+    fn singleton_edges_are_happy_once_colored() {
+        let h = Hypergraph::from_edges(2, [vec![0]]).unwrap();
+        let mut mc = Multicoloring::new(2);
+        assert!(!is_edge_happy(&h, &mc, HyperedgeId::new(0)));
+        mc.add_color(NodeId::new(0), Color::new(0));
+        assert!(is_edge_happy(&h, &mc, HyperedgeId::new(0)));
+    }
+
+    #[test]
+    fn edgeless_hypergraph_is_vacuously_conflict_free() {
+        let h = Hypergraph::from_edges(3, Vec::<Vec<usize>>::new()).unwrap();
+        let mc = Multicoloring::new(3);
+        assert!(is_conflict_free(&h, &mc));
+        assert!(CfReport::of(&h, &mc).is_conflict_free());
+    }
+}

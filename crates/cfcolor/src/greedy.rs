@@ -1,0 +1,179 @@
+//! Direct (reduction-free) conflict-free coloring baselines.
+//!
+//! The Theorem 1.1 reduction solves conflict-free multicoloring through
+//! a MaxIS oracle; these baselines solve it directly, giving the
+//! experiment suite independent ground truth to compare colors and
+//! phases against:
+//!
+//! * [`cf_via_primal_coloring`] — properly color the primal graph; in a
+//!   proper primal coloring *every* member of an edge is uniquely
+//!   colored, so the coloring is trivially conflict-free. Uses at most
+//!   `Δ_primal + 1` colors — cheap but wasteful.
+//! * [`greedy_cf_multicoloring`] — phase-based: per phase, pick a
+//!   maximal primal-independent set of witnesses among vertices of
+//!   still-unhappy edges, give them a fresh color (each edge then holds
+//!   at most one of them, so every covered edge becomes happy), repeat.
+//!   Every phase makes at least one edge happy, so at most `m` phases;
+//!   in practice the count is close to the paper's `ρ` bounds.
+
+use crate::checker;
+use crate::multicoloring::Multicoloring;
+use pslocal_graph::algo::degeneracy_coloring;
+use pslocal_graph::{Color, Hypergraph, HyperedgeId, NodeId};
+
+/// Conflict-free single-coloring via a proper coloring of the primal
+/// graph.
+///
+/// Returns the multicoloring (single color per vertex) — conflict-free
+/// by construction whenever every edge has ≥ 1 member, which
+/// [`Hypergraph`] guarantees.
+pub fn cf_via_primal_coloring(h: &Hypergraph) -> Multicoloring {
+    let primal = h.primal_graph();
+    let colors = degeneracy_coloring(&primal);
+    Multicoloring::from_single(&colors)
+}
+
+/// Outcome of [`greedy_cf_multicoloring`].
+#[derive(Debug, Clone)]
+pub struct GreedyCfOutcome {
+    /// The conflict-free multicoloring produced.
+    pub coloring: Multicoloring,
+    /// Number of phases (= colors) used.
+    pub phases: usize,
+    /// Edges still unhappy after each phase (strictly decreasing).
+    pub unhappy_after_phase: Vec<usize>,
+}
+
+/// Phase-greedy conflict-free multicoloring (see module docs).
+///
+/// Each phase uses one fresh color, so the total color count equals the
+/// phase count.
+pub fn greedy_cf_multicoloring(h: &Hypergraph) -> GreedyCfOutcome {
+    let n = h.node_count();
+    let mut coloring = Multicoloring::new(n);
+    let mut unhappy: Vec<HyperedgeId> = h.edge_ids().collect();
+    let mut phases = 0usize;
+    let mut unhappy_after_phase = Vec::new();
+
+    while !unhappy.is_empty() {
+        let fresh = Color::new(phases);
+        // Vertices incident to unhappy edges, and a per-vertex list of
+        // which unhappy edges contain them.
+        let mut blocked = vec![false; n];
+        let mut chosen: Vec<NodeId> = Vec::new();
+        // Greedy maximal "primal-independent within unhappy edges":
+        // scan unhappy edges; for each, try to add a witness that does
+        // not co-occur (in an unhappy edge) with an already-chosen one.
+        for &e in &unhappy {
+            if h.edge(e).iter().any(|&v| chosen_contains(&chosen, v)) {
+                continue; // already has a (unique) witness
+            }
+            if let Some(&w) = h.edge(e).iter().find(|&&v| !blocked[v.index()]) {
+                chosen.push(w);
+                // Block every vertex sharing an unhappy edge with w.
+                for &f in h.edges_of(w) {
+                    for &u in h.edge(f) {
+                        blocked[u.index()] = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(!chosen.is_empty(), "a maximal scan always finds a witness");
+        for &w in &chosen {
+            coloring.add_color(w, fresh);
+        }
+        phases += 1;
+        unhappy.retain(|&e| !checker::is_edge_happy(h, &coloring, e));
+        unhappy_after_phase.push(unhappy.len());
+        assert!(
+            phases <= h.edge_count().max(1),
+            "greedy CF must terminate within m phases"
+        );
+    }
+
+    GreedyCfOutcome { coloring, phases, unhappy_after_phase }
+}
+
+fn chosen_contains(chosen: &[NodeId], v: NodeId) -> bool {
+    chosen.contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::is_conflict_free;
+    use pslocal_graph::generators::hyper::{
+        planted_cf_instance, random_uniform_hypergraph, PlantedCfParams,
+    };
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn primal_coloring_is_conflict_free() {
+        let h = random_uniform_hypergraph(&mut rng(1), 30, 20, 4);
+        let mc = cf_via_primal_coloring(&h);
+        assert!(is_conflict_free(&h, &mc));
+        assert!(mc.is_single());
+    }
+
+    #[test]
+    fn primal_coloring_on_planted_instances() {
+        for seed in 0..3 {
+            let inst = planted_cf_instance(&mut rng(seed), PlantedCfParams::new(50, 30, 4));
+            let mc = cf_via_primal_coloring(&inst.hypergraph);
+            assert!(is_conflict_free(&inst.hypergraph, &mc));
+        }
+    }
+
+    #[test]
+    fn greedy_cf_is_conflict_free_and_bounded() {
+        for seed in 0..4 {
+            let h = random_uniform_hypergraph(&mut rng(seed), 40, 25, 5);
+            let outcome = greedy_cf_multicoloring(&h);
+            assert!(is_conflict_free(&h, &outcome.coloring));
+            assert_eq!(outcome.coloring.total_color_count(), outcome.phases);
+            assert!(outcome.phases <= h.edge_count());
+            // Unhappy counts strictly decrease.
+            let mut prev = h.edge_count() + 1;
+            for &u in &outcome.unhappy_after_phase {
+                assert!(u < prev);
+                prev = u;
+            }
+            assert_eq!(*outcome.unhappy_after_phase.last().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn greedy_cf_on_edgeless_hypergraph() {
+        let h = pslocal_graph::Hypergraph::from_edges(5, Vec::<Vec<usize>>::new()).unwrap();
+        let outcome = greedy_cf_multicoloring(&h);
+        assert_eq!(outcome.phases, 0);
+        assert!(is_conflict_free(&h, &outcome.coloring));
+    }
+
+    #[test]
+    fn greedy_cf_on_disjoint_edges_uses_one_phase() {
+        let h = pslocal_graph::Hypergraph::from_edges(6, [vec![0, 1], vec![2, 3], vec![4, 5]])
+            .unwrap();
+        let outcome = greedy_cf_multicoloring(&h);
+        assert_eq!(outcome.phases, 1);
+        assert!(is_conflict_free(&h, &outcome.coloring));
+    }
+
+    #[test]
+    fn greedy_cf_on_sunflower_needs_few_phases() {
+        // Edges all sharing vertex 0: {0,i} for i = 1..6. Coloring 0
+        // uniquely makes all happy in one phase.
+        let h = pslocal_graph::Hypergraph::from_edges(
+            7,
+            (1..7).map(|i| vec![0usize, i]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let outcome = greedy_cf_multicoloring(&h);
+        assert!(is_conflict_free(&h, &outcome.coloring));
+        assert!(outcome.phases <= 2, "phases = {}", outcome.phases);
+    }
+}

@@ -1,0 +1,161 @@
+//! Conflict-free coloring of **interval hypergraphs** — the [DN18]
+//! setting whose MaxIS technique the paper adapts for its hardness
+//! proof.
+//!
+//! Vertices are points `0..n` on a line; hyperedges are intervals. The
+//! classic *dyadic* coloring assigns point `p` the color
+//! `level(p) = trailing_zeros(p + 1)`: points of level `ℓ` are spaced
+//! `2^{ℓ+1}` apart, and strictly between two consecutive level-`ℓ`
+//! points there is a point of higher level. Hence every interval
+//! contains a *unique* maximum-level point, which is a conflict-free
+//! witness — `⌊log₂(n+1)⌋ + 1` colors suffice for **all** intervals at
+//! once, matching the `Θ(log n)` optimum for this family.
+//!
+//! This gives experiment F4 its exact baseline; the generic Theorem 1.1
+//! reduction (conflict graph + MaxIS oracle, in `pslocal-core`) is run
+//! on the same interval instances and compared against it.
+
+use crate::multicoloring::Multicoloring;
+use pslocal_graph::{Color, Hypergraph};
+use serde::{Deserialize, Serialize};
+
+/// The dyadic level of point `p`: `trailing_zeros(p + 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_cfcolor::interval::dyadic_level;
+/// assert_eq!(dyadic_level(0), 0); // p+1 = 1
+/// assert_eq!(dyadic_level(1), 1); // p+1 = 2
+/// assert_eq!(dyadic_level(7), 3); // p+1 = 8
+/// ```
+pub fn dyadic_level(p: usize) -> u32 {
+    (p + 1).trailing_zeros()
+}
+
+/// The dyadic conflict-free coloring of the `n` points `0..n`: point
+/// `p` gets color [`dyadic_level`]`(p)`. Conflict-free for *every*
+/// interval hyperedge simultaneously.
+pub fn dyadic_cf_coloring(n: usize) -> Multicoloring {
+    let colors: Vec<Color> =
+        (0..n).map(|p| Color::new(dyadic_level(p) as usize)).collect();
+    Multicoloring::from_single(&colors)
+}
+
+/// Number of colors the dyadic coloring uses on `0..n`:
+/// `⌊log₂ n⌋ + 1` for `n ≥ 1`.
+pub fn dyadic_color_count(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (usize::BITS - n.leading_zeros()) as usize
+    }
+}
+
+/// Checks that a hypergraph really is an interval hypergraph on the
+/// line `0..n` (every edge a contiguous run of vertex indices).
+pub fn is_interval_hypergraph(h: &Hypergraph) -> bool {
+    h.edge_ids().all(|e| {
+        let members = h.edge(e);
+        members.windows(2).all(|w| w[1].index() == w[0].index() + 1)
+    })
+}
+
+/// Summary row for interval-hypergraph experiments (F4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalCfSummary {
+    /// Number of points.
+    pub points: usize,
+    /// Number of interval hyperedges.
+    pub intervals: usize,
+    /// Colors used by the dyadic baseline.
+    pub dyadic_colors: usize,
+}
+
+impl IntervalCfSummary {
+    /// Builds the summary for an interval hypergraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not an interval hypergraph.
+    pub fn of(h: &Hypergraph) -> Self {
+        assert!(is_interval_hypergraph(h), "not an interval hypergraph");
+        IntervalCfSummary {
+            points: h.node_count(),
+            intervals: h.edge_count(),
+            dyadic_colors: dyadic_color_count(h.node_count()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::is_conflict_free;
+    use pslocal_graph::generators::hyper::interval_hypergraph;
+    use pslocal_graph::Hypergraph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dyadic_levels_are_the_ruler_sequence() {
+        let levels: Vec<u32> = (0..15).map(dyadic_level).collect();
+        assert_eq!(levels, vec![0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn dyadic_coloring_is_cf_for_all_intervals() {
+        // The complete interval hypergraph on 16 points: every [a, b].
+        let n = 16;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a..n {
+                edges.push((a..=b).collect::<Vec<usize>>());
+            }
+        }
+        let h = Hypergraph::from_edges(n, edges).unwrap();
+        let mc = dyadic_cf_coloring(n);
+        assert!(is_conflict_free(&h, &mc));
+        assert_eq!(mc.total_color_count(), dyadic_color_count(n));
+    }
+
+    #[test]
+    fn dyadic_coloring_is_cf_on_random_interval_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..4 {
+            let (h, _) = interval_hypergraph(&mut rng, 64, 40, 2, 20);
+            assert!(is_interval_hypergraph(&h));
+            let mc = dyadic_cf_coloring(64);
+            assert!(is_conflict_free(&h, &mc));
+        }
+    }
+
+    #[test]
+    fn color_count_is_logarithmic() {
+        assert_eq!(dyadic_color_count(0), 0);
+        assert_eq!(dyadic_color_count(1), 1);
+        assert_eq!(dyadic_color_count(2), 2);
+        assert_eq!(dyadic_color_count(16), 5);
+        assert_eq!(dyadic_color_count(1024), 11);
+        // The coloring really uses that many on a power-of-two range.
+        assert_eq!(dyadic_cf_coloring(16).total_color_count(), 5);
+    }
+
+    #[test]
+    fn interval_detection() {
+        let good = Hypergraph::from_edges(5, [vec![1, 2, 3], vec![0, 1]]).unwrap();
+        assert!(is_interval_hypergraph(&good));
+        let bad = Hypergraph::from_edges(5, [vec![0, 2]]).unwrap();
+        assert!(!is_interval_hypergraph(&bad));
+        let summary = IntervalCfSummary::of(&good);
+        assert_eq!(summary.points, 5);
+        assert_eq!(summary.intervals, 2);
+        assert_eq!(summary.dyadic_colors, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an interval hypergraph")]
+    fn summary_rejects_non_intervals() {
+        let bad = Hypergraph::from_edges(5, [vec![0, 2]]).unwrap();
+        let _ = IntervalCfSummary::of(&bad);
+    }
+}

@@ -1,0 +1,58 @@
+//! # pslocal-cfcolor
+//!
+//! **Conflict-free multicoloring** substrate for the executable
+//! reproduction of *"P-SLOCAL-Completeness of Maximum Independent Set
+//! Approximation"* (Maus, PODC 2019).
+//!
+//! Conflict-free multicoloring of almost-uniform hypergraphs is the
+//! P-SLOCAL-complete problem (the paper's Theorem 1.2, from [GKM17])
+//! that the hardness proof of Theorem 1.1 reduces *from*. This crate
+//! provides:
+//!
+//! * [`Multicoloring`] / [`PartialColoring`] — the assignment objects,
+//!   including the paper's `f_I : V → {1..k} ∪ {⊥}` with its
+//!   well-definedness assertion (Lemma 2.1 b);
+//! * [`checker`] — happy-edge computation and conflict-freeness
+//!   verification ("we call an edge with this property happy");
+//! * [`greedy`] — direct baselines (primal-graph coloring, phase
+//!   greedy) that the reduction is compared against;
+//! * [`interval`] — the dyadic `O(log n)` coloring of interval
+//!   hypergraphs, the [DN18] setting the paper adapts;
+//! * [`CfMulticoloringProblem`] — the problem verifier with color
+//!   budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use pslocal_cfcolor::{checker, greedy};
+//! use pslocal_graph::generators::hyper::random_uniform_hypergraph;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let h = random_uniform_hypergraph(&mut rng, 30, 20, 4);
+//! let outcome = greedy::greedy_cf_multicoloring(&h);
+//! assert!(checker::is_conflict_free(&h, &outcome.coloring));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod greedy;
+pub mod interval;
+pub mod multicoloring;
+pub mod problem;
+pub mod slocal_cf;
+pub mod unique_max;
+
+pub use checker::{
+    happy_count, happy_edges, happy_witness, is_conflict_free, is_edge_happy, unhappy_edges,
+    CfReport,
+};
+pub use greedy::{cf_via_primal_coloring, greedy_cf_multicoloring, GreedyCfOutcome};
+pub use multicoloring::{Multicoloring, PartialColoring};
+pub use problem::{CfMulticoloringProblem, CfViolation};
+pub use slocal_cf::{slocal_cf_coloring, SlocalCfOutcome};
+pub use unique_max::{
+    greedy_unique_maximum, is_unique_maximum_coloring, unique_max_witness, UniqueMaxOutcome,
+};

@@ -1,0 +1,270 @@
+//! Conflict-free multicolorings: the assignment objects of the paper's
+//! source problem.
+//!
+//! In conflict-free *k-coloring*, `f : V → {1..k}` must give every
+//! hyperedge a vertex whose color is unique within the edge. In the
+//! *multicoloring* variant (the P-SLOCAL-complete one, Theorem 1.2)
+//! "each node is allowed to have more than one color and all other
+//! requirements are the same". [`Multicoloring`] stores a set of colors
+//! per vertex; the Theorem 1.1 reduction grows one by adding a
+//! phase-palette color per phase to some vertices.
+
+use pslocal_graph::{Color, NodeId, Palette};
+use serde::{Deserialize, Serialize};
+
+/// A multicoloring: each vertex holds a (possibly empty) set of colors.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_cfcolor::Multicoloring;
+/// use pslocal_graph::{Color, NodeId};
+///
+/// let mut mc = Multicoloring::new(3);
+/// mc.add_color(NodeId::new(0), Color::new(1));
+/// mc.add_color(NodeId::new(0), Color::new(4));
+/// assert_eq!(mc.colors_of(NodeId::new(0)), &[Color::new(1), Color::new(4)]);
+/// assert_eq!(mc.total_color_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Multicoloring {
+    /// Sorted, deduplicated color list per vertex.
+    colors: Vec<Vec<Color>>,
+}
+
+impl Multicoloring {
+    /// The empty multicoloring on `n` vertices (no vertex has a color).
+    pub fn new(n: usize) -> Self {
+        Multicoloring { colors: vec![Vec::new(); n] }
+    }
+
+    /// Builds a multicoloring from a single-coloring (one color per
+    /// vertex).
+    pub fn from_single(single: &[Color]) -> Self {
+        Multicoloring { colors: single.iter().map(|&c| vec![c]).collect() }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Adds `color` to `v`'s set (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn add_color(&mut self, v: NodeId, color: Color) {
+        let set = &mut self.colors[v.index()];
+        if let Err(pos) = set.binary_search(&color) {
+            set.insert(pos, color);
+        }
+    }
+
+    /// The sorted colors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn colors_of(&self, v: NodeId) -> &[Color] {
+        &self.colors[v.index()]
+    }
+
+    /// Whether `v` holds `color`.
+    pub fn has_color(&self, v: NodeId, color: Color) -> bool {
+        self.colors[v.index()].binary_search(&color).is_ok()
+    }
+
+    /// Whether every vertex holds at most one color (i.e. the
+    /// multicoloring is a partial single-coloring).
+    pub fn is_single(&self) -> bool {
+        self.colors.iter().all(|set| set.len() <= 1)
+    }
+
+    /// Number of distinct colors used across all vertices — the "total
+    /// number of colors" the paper bounds by `k · ρ`.
+    pub fn total_color_count(&self) -> usize {
+        let mut all: Vec<Color> = self.colors.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+
+    /// The largest number of colors any single vertex holds.
+    pub fn max_colors_per_vertex(&self) -> usize {
+        self.colors.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Vertices holding at least one color.
+    pub fn colored_vertices(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Whether every color used belongs to one of `palettes`.
+    pub fn uses_only_palettes(&self, palettes: &[Palette]) -> bool {
+        self.colors
+            .iter()
+            .flatten()
+            .all(|&c| palettes.iter().any(|p| p.contains(c)))
+    }
+
+    /// Merges another multicoloring into this one (union per vertex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vertex counts differ.
+    pub fn merge(&mut self, other: &Multicoloring) {
+        assert_eq!(self.node_count(), other.node_count(), "vertex count mismatch");
+        for (i, set) in other.colors.iter().enumerate() {
+            for &c in set {
+                self.add_color(NodeId::new(i), c);
+            }
+        }
+    }
+}
+
+/// A partial single-coloring: at most one color per vertex, possibly
+/// `⊥` (the paper's Equation (1) object `f_I : V → {1..k} ∪ {⊥}`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialColoring {
+    assignment: Vec<Option<Color>>,
+}
+
+impl PartialColoring {
+    /// The all-`⊥` partial coloring on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        PartialColoring { assignment: vec![None; n] }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The color of `v`, or `None` for `⊥`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn color_of(&self, v: NodeId) -> Option<Color> {
+        self.assignment[v.index()]
+    }
+
+    /// Assigns `color` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` already holds a *different* color — the paper's
+    /// Lemma 2.1 b) shows `f_I` is well defined; this assertion is the
+    /// executable form of that claim.
+    pub fn assign(&mut self, v: NodeId, color: Color) {
+        match self.assignment[v.index()] {
+            None => self.assignment[v.index()] = Some(color),
+            Some(existing) => assert_eq!(
+                existing, color,
+                "vertex {v} would receive two colors — f_I not well defined"
+            ),
+        }
+    }
+
+    /// Number of colored (non-`⊥`) vertices.
+    pub fn colored_count(&self) -> usize {
+        self.assignment.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Converts into a [`Multicoloring`] (colored vertices keep their
+    /// single color).
+    pub fn to_multicoloring(&self) -> Multicoloring {
+        let mut mc = Multicoloring::new(self.node_count());
+        for (i, c) in self.assignment.iter().enumerate() {
+            if let Some(c) = c {
+                mc.add_color(NodeId::new(i), *c);
+            }
+        }
+        mc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_color_is_idempotent_and_sorted() {
+        let mut mc = Multicoloring::new(2);
+        mc.add_color(NodeId::new(1), Color::new(5));
+        mc.add_color(NodeId::new(1), Color::new(2));
+        mc.add_color(NodeId::new(1), Color::new(5));
+        assert_eq!(mc.colors_of(NodeId::new(1)), &[Color::new(2), Color::new(5)]);
+        assert!(mc.has_color(NodeId::new(1), Color::new(2)));
+        assert!(!mc.has_color(NodeId::new(0), Color::new(2)));
+        assert_eq!(mc.total_color_count(), 2);
+        assert_eq!(mc.max_colors_per_vertex(), 2);
+    }
+
+    #[test]
+    fn single_detection() {
+        let mut mc = Multicoloring::new(3);
+        assert!(mc.is_single());
+        mc.add_color(NodeId::new(0), Color::new(0));
+        assert!(mc.is_single());
+        mc.add_color(NodeId::new(0), Color::new(1));
+        assert!(!mc.is_single());
+    }
+
+    #[test]
+    fn from_single_round_trips() {
+        let single = vec![Color::new(0), Color::new(2), Color::new(0)];
+        let mc = Multicoloring::from_single(&single);
+        assert!(mc.is_single());
+        assert_eq!(mc.total_color_count(), 2);
+        assert_eq!(mc.colored_vertices().count(), 3);
+    }
+
+    #[test]
+    fn palette_discipline() {
+        let mut mc = Multicoloring::new(2);
+        mc.add_color(NodeId::new(0), Color::new(0));
+        mc.add_color(NodeId::new(1), Color::new(4));
+        let p0 = Palette::phase(3, 0); // {0,1,2}
+        let p1 = Palette::phase(3, 1); // {3,4,5}
+        assert!(mc.uses_only_palettes(&[p0, p1]));
+        assert!(!mc.uses_only_palettes(&[p0]));
+    }
+
+    #[test]
+    fn merge_unions_colors() {
+        let mut a = Multicoloring::new(2);
+        a.add_color(NodeId::new(0), Color::new(0));
+        let mut b = Multicoloring::new(2);
+        b.add_color(NodeId::new(0), Color::new(1));
+        b.add_color(NodeId::new(1), Color::new(0));
+        a.merge(&b);
+        assert_eq!(a.colors_of(NodeId::new(0)), &[Color::new(0), Color::new(1)]);
+        assert_eq!(a.colors_of(NodeId::new(1)), &[Color::new(0)]);
+    }
+
+    #[test]
+    fn partial_coloring_well_definedness_assertion() {
+        let mut f = PartialColoring::new(2);
+        assert_eq!(f.color_of(NodeId::new(0)), None);
+        f.assign(NodeId::new(0), Color::new(3));
+        f.assign(NodeId::new(0), Color::new(3)); // same color is fine
+        assert_eq!(f.colored_count(), 1);
+        let mc = f.to_multicoloring();
+        assert_eq!(mc.colors_of(NodeId::new(0)), &[Color::new(3)]);
+        assert!(mc.colors_of(NodeId::new(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not well defined")]
+    fn partial_coloring_rejects_double_assignment() {
+        let mut f = PartialColoring::new(1);
+        f.assign(NodeId::new(0), Color::new(0));
+        f.assign(NodeId::new(0), Color::new(1));
+    }
+}

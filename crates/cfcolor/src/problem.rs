@@ -1,0 +1,179 @@
+//! The conflict-free multicoloring *problem*, with verifier and color
+//! budget — the source problem of the Theorem 1.1 reduction
+//! (P-SLOCAL-complete by the paper's Theorem 1.2).
+
+use crate::checker;
+use crate::multicoloring::Multicoloring;
+use pslocal_graph::Hypergraph;
+use std::error::Error;
+use std::fmt;
+
+/// The conflict-free multicoloring problem on almost-uniform
+/// hypergraphs, parameterized by the paper's constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct CfMulticoloringProblem {
+    /// Maximum number of distinct colors allowed (`poly log n` in
+    /// Theorem 1.2; the reduction achieves `k · ρ`).
+    pub max_colors: usize,
+    /// Almost-uniformity slack ε the instance must satisfy.
+    pub epsilon: f64,
+}
+
+/// Verification failure for [`CfMulticoloringProblem`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CfViolation {
+    /// The instance is not almost uniform for the required ε.
+    NotAlmostUniform {
+        /// The underlying description.
+        detail: String,
+    },
+    /// Some edge has no uniquely colored vertex.
+    UnhappyEdge {
+        /// The first unhappy edge.
+        edge: pslocal_graph::HyperedgeId,
+    },
+    /// The coloring uses more colors than allowed.
+    TooManyColors {
+        /// Colors used.
+        used: usize,
+        /// Colors allowed.
+        allowed: usize,
+    },
+    /// The coloring's vertex count does not match the hypergraph.
+    SizeMismatch {
+        /// Vertices in the hypergraph.
+        expected: usize,
+        /// Vertices in the coloring.
+        found: usize,
+    },
+}
+
+impl fmt::Display for CfViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfViolation::NotAlmostUniform { detail } => {
+                write!(f, "instance not almost uniform: {detail}")
+            }
+            CfViolation::UnhappyEdge { edge } => {
+                write!(f, "edge {edge} has no uniquely colored vertex")
+            }
+            CfViolation::TooManyColors { used, allowed } => {
+                write!(f, "{used} colors used, only {allowed} allowed")
+            }
+            CfViolation::SizeMismatch { expected, found } => {
+                write!(f, "coloring covers {found} vertices, hypergraph has {expected}")
+            }
+        }
+    }
+}
+
+impl Error for CfViolation {}
+
+impl CfMulticoloringProblem {
+    /// A problem instance with the paper's default ε = 0.5 and the
+    /// given color budget.
+    pub fn with_budget(max_colors: usize) -> Self {
+        CfMulticoloringProblem { max_colors, epsilon: 0.5 }
+    }
+
+    /// Verifies `coloring` as a solution for `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CfViolation`] found: instance admissibility
+    /// (almost uniformity), coloring size, conflict-freeness, and the
+    /// color budget, in that order.
+    pub fn verify(
+        &self,
+        instance: &Hypergraph,
+        coloring: &Multicoloring,
+    ) -> Result<(), CfViolation> {
+        instance
+            .require_almost_uniform(self.epsilon)
+            .map_err(|e| CfViolation::NotAlmostUniform { detail: e.to_string() })?;
+        if coloring.node_count() != instance.node_count() {
+            return Err(CfViolation::SizeMismatch {
+                expected: instance.node_count(),
+                found: coloring.node_count(),
+            });
+        }
+        if let Some(&edge) = checker::unhappy_edges(instance, coloring).first() {
+            return Err(CfViolation::UnhappyEdge { edge });
+        }
+        let used = coloring.total_color_count();
+        if used > self.max_colors {
+            return Err(CfViolation::TooManyColors { used, allowed: self.max_colors });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::{Color, NodeId};
+
+    fn h() -> Hypergraph {
+        Hypergraph::from_edges(4, [vec![0, 1, 2], vec![1, 2, 3]]).unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_solutions() {
+        let problem = CfMulticoloringProblem::with_budget(3);
+        let mc = Multicoloring::from_single(&[
+            Color::new(0),
+            Color::new(1),
+            Color::new(2),
+            Color::new(0),
+        ]);
+        assert!(problem.verify(&h(), &mc).is_ok());
+    }
+
+    #[test]
+    fn rejects_unhappy_edges() {
+        let problem = CfMulticoloringProblem::with_budget(5);
+        let mc = Multicoloring::from_single(&[
+            Color::new(0),
+            Color::new(1),
+            Color::new(1),
+            Color::new(1),
+        ]);
+        // Edge 1 = {1,2,3} all color 1.
+        let err = problem.verify(&h(), &mc).unwrap_err();
+        assert!(matches!(err, CfViolation::UnhappyEdge { .. }));
+        assert!(err.to_string().contains("no uniquely colored"));
+    }
+
+    #[test]
+    fn rejects_budget_overruns() {
+        let problem = CfMulticoloringProblem::with_budget(2);
+        let mc = Multicoloring::from_single(&[
+            Color::new(0),
+            Color::new(1),
+            Color::new(2),
+            Color::new(0),
+        ]);
+        let err = problem.verify(&h(), &mc).unwrap_err();
+        assert!(matches!(err, CfViolation::TooManyColors { used: 3, allowed: 2 }));
+    }
+
+    #[test]
+    fn rejects_size_mismatch() {
+        let problem = CfMulticoloringProblem::with_budget(9);
+        let mc = Multicoloring::new(2);
+        let err = problem.verify(&h(), &mc).unwrap_err();
+        assert!(matches!(err, CfViolation::SizeMismatch { expected: 4, found: 2 }));
+    }
+
+    #[test]
+    fn rejects_non_uniform_instances() {
+        let h = Hypergraph::from_edges(8, [vec![0, 1], vec![2, 3, 4, 5, 6, 7]]).unwrap();
+        let problem = CfMulticoloringProblem { max_colors: 10, epsilon: 0.5 };
+        let mut mc = Multicoloring::new(8);
+        mc.add_color(NodeId::new(0), Color::new(0));
+        mc.add_color(NodeId::new(2), Color::new(0));
+        let err = problem.verify(&h, &mc).unwrap_err();
+        assert!(matches!(err, CfViolation::NotAlmostUniform { .. }));
+    }
+}

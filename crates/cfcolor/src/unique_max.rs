@@ -1,0 +1,197 @@
+//! Unique-maximum colorings — the classical strengthening of
+//! conflict-free coloring.
+//!
+//! A single-coloring is **unique-maximum (UM)** for a hypergraph when
+//! in every hyperedge the *largest* color present occurs exactly once.
+//! Every UM coloring is conflict-free (the max color is a witness), and
+//! the classic interval colorings — including the dyadic ruler coloring
+//! in [`interval`](crate::interval) — are UM. The distinction matters
+//! for lower bounds ([DN18] treats both notions); this module provides
+//! the checker and a sequential UM heuristic so experiments can compare
+//! budgets across the two notions.
+
+use crate::multicoloring::Multicoloring;
+use pslocal_graph::{Color, Hypergraph, HyperedgeId, NodeId};
+
+/// Whether `coloring` (a total single-coloring, one color per vertex)
+/// is unique-maximum for `h`.
+///
+/// # Panics
+///
+/// Panics if `coloring.len()` differs from the vertex count.
+pub fn is_unique_maximum_coloring(h: &Hypergraph, coloring: &[Color]) -> bool {
+    assert_eq!(coloring.len(), h.node_count(), "coloring length mismatch");
+    h.edge_ids().all(|e| unique_max_witness(h, coloring, e).is_some())
+}
+
+/// The vertex carrying the unique maximum color of edge `e`, if the
+/// maximum is unique.
+pub fn unique_max_witness(
+    h: &Hypergraph,
+    coloring: &[Color],
+    e: HyperedgeId,
+) -> Option<NodeId> {
+    let members = h.edge(e);
+    let max = members.iter().map(|&v| coloring[v.index()]).max()?;
+    let mut carriers = members.iter().filter(|&&v| coloring[v.index()] == max);
+    let first = carriers.next()?;
+    carriers.next().is_none().then_some(*first)
+}
+
+/// Outcome of [`greedy_unique_maximum`].
+#[derive(Debug, Clone)]
+pub struct UniqueMaxOutcome {
+    /// The UM coloring (total, one color per vertex).
+    pub coloring: Vec<Color>,
+    /// Colors used.
+    pub colors_used: usize,
+}
+
+/// Sequential unique-maximum coloring by *peeling*: level 0 takes a
+/// maximal set of vertices such that no hyperedge contains two of them
+/// (one witness candidate per edge at most)… proceeding upward would
+/// need care; instead this heuristic colors by **reverse peeling**:
+/// repeatedly pick a maximal "primal-independent" set among remaining
+/// vertices, give it the *current lowest* level, remove it, and
+/// continue — then every edge's maximum level is carried by the last
+/// level intersecting it, which by primal-independence it meets in at
+/// most one vertex... but it may meet it in zero. To guarantee
+/// correctness the construction instead assigns levels top-down:
+/// level `L` (highest) = maximal primal-independent set `S_L`; every
+/// edge meeting `S_L` has a unique maximum; edges not meeting it are
+/// handled recursively in `H` minus `S_L` (restricting edges), with all
+/// remaining vertices capped below `L`. Every recursion level colors a
+/// maximal independent set of the residual primal graph, so at most
+/// `m` levels are needed and each edge is eventually hit.
+pub fn greedy_unique_maximum(h: &Hypergraph) -> UniqueMaxOutcome {
+    let n = h.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut level = vec![UNSET; n];
+    // Active edges: not yet guaranteed a unique maximum.
+    let mut active: Vec<HyperedgeId> = h.edge_ids().collect();
+    let mut rounds = Vec::new(); // sets chosen per iteration, top level first
+
+    while !active.is_empty() {
+        // Maximal set of unset vertices, pairwise not co-occurring in
+        // an active edge, chosen so every active edge containing an
+        // unset vertex gets at most one.
+        let mut blocked = vec![false; n];
+        let mut chosen: Vec<NodeId> = Vec::new();
+        for &e in &active {
+            if h.edge(e).iter().any(|v| chosen.contains(v)) {
+                continue;
+            }
+            if let Some(&w) =
+                h.edge(e).iter().find(|&&v| level[v.index()] == UNSET && !blocked[v.index()])
+            {
+                chosen.push(w);
+                for &f in h.edges_of(w) {
+                    for &u in h.edge(f) {
+                        blocked[u.index()] = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(!chosen.is_empty(), "every active edge has unset vertices");
+        for &v in &chosen {
+            level[v.index()] = rounds.len() as u32; // provisional, remapped below
+        }
+        // An active edge is settled once it contains a chosen vertex:
+        // that vertex will carry a strictly higher final level than
+        // everything else in the edge (levels decrease in later
+        // iterations) and is unique in the edge by construction.
+        active.retain(|&e| !h.edge(e).iter().any(|&v| chosen.contains(&v)));
+        rounds.push(chosen);
+    }
+
+    // Remap: iteration 0 is the TOP level. Unset vertices (in no edge)
+    // get level 0.
+    let top = rounds.len() as u32;
+    let coloring: Vec<Color> = level
+        .iter()
+        .map(|&l| if l == UNSET { Color::new(0) } else { Color::new((top - l) as usize) })
+        .collect();
+    let mut used: Vec<Color> = coloring.clone();
+    used.sort_unstable();
+    used.dedup();
+    UniqueMaxOutcome { coloring, colors_used: used.len() }
+}
+
+/// Converts a UM coloring into a [`Multicoloring`] for the shared
+/// checkers.
+pub fn as_multicoloring(coloring: &[Color]) -> Multicoloring {
+    Multicoloring::from_single(coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::is_conflict_free;
+    use crate::interval::dyadic_cf_coloring;
+    use pslocal_graph::generators::hyper::{interval_hypergraph, random_uniform_hypergraph};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn um_witness_detection() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1, 2]]).unwrap();
+        let um = vec![Color::new(0), Color::new(1), Color::new(2)];
+        assert_eq!(unique_max_witness(&h, &um, HyperedgeId::new(0)), Some(NodeId::new(2)));
+        assert!(is_unique_maximum_coloring(&h, &um));
+        let tie = vec![Color::new(0), Color::new(2), Color::new(2)];
+        assert_eq!(unique_max_witness(&h, &tie, HyperedgeId::new(0)), None);
+        assert!(!is_unique_maximum_coloring(&h, &tie));
+    }
+
+    #[test]
+    fn um_implies_conflict_free() {
+        let mut r = rng(1);
+        for seed in 0..4 {
+            let _ = seed;
+            let h = random_uniform_hypergraph(&mut r, 24, 14, 4);
+            let out = greedy_unique_maximum(&h);
+            assert!(
+                is_unique_maximum_coloring(&h, &out.coloring),
+                "greedy UM output must be UM"
+            );
+            assert!(is_conflict_free(&h, &as_multicoloring(&out.coloring)));
+        }
+    }
+
+    #[test]
+    fn dyadic_coloring_is_unique_maximum_on_intervals() {
+        let mut r = rng(2);
+        let (h, _) = interval_hypergraph(&mut r, 64, 30, 2, 16);
+        let dyadic = dyadic_cf_coloring(64);
+        let single: Vec<Color> =
+            (0..64).map(|p| dyadic.colors_of(NodeId::new(p))[0]).collect();
+        assert!(is_unique_maximum_coloring(&h, &single));
+    }
+
+    #[test]
+    fn um_greedy_color_budget_is_bounded_by_edges_plus_one() {
+        let mut r = rng(3);
+        let h = random_uniform_hypergraph(&mut r, 30, 12, 3);
+        let out = greedy_unique_maximum(&h);
+        assert!(out.colors_used <= h.edge_count() + 1);
+    }
+
+    #[test]
+    fn edgeless_hypergraph_uses_one_color() {
+        let h = Hypergraph::from_edges(4, Vec::<Vec<usize>>::new()).unwrap();
+        let out = greedy_unique_maximum(&h);
+        assert_eq!(out.colors_used, 1);
+        assert!(is_unique_maximum_coloring(&h, &out.coloring));
+    }
+
+    #[test]
+    fn disjoint_edges_need_two_levels_at_most() {
+        let h = Hypergraph::from_edges(6, [vec![0, 1], vec![2, 3], vec![4, 5]]).unwrap();
+        let out = greedy_unique_maximum(&h);
+        assert!(is_unique_maximum_coloring(&h, &out.coloring));
+        assert!(out.colors_used <= 2);
+    }
+}

@@ -1,0 +1,487 @@
+//! The conflict graph `G_k` of conflict-free `k`-coloring a hypergraph
+//! `H` — the central construction of the paper (Section 2).
+//!
+//! > *The vertex set `V(G_k)` consists of all triples `(e, v, c)`,
+//! > `e ∈ E(H)`, `v ∈ e`, `1 ≤ c ≤ k`.*
+//!
+//! The edge set is the union of three families (quoted from the paper,
+//! with colors 0-based here):
+//!
+//! * `E_vertex` — `{(e,v,c), (g,v,d)}` for `c ≠ d`: a vertex may commit
+//!   to at most one color;
+//! * `E_edge` — `{(e,v,c), (e,u,d)}`: a hyperedge may nominate at most
+//!   one unique-color witness;
+//! * `E_color` — `{(e,v,c), (g,u,c)}` for **distinct** `u ≠ v` with
+//!   `{u,v} ⊆ e` or `{u,v} ⊆ g`: a nominated witness's color must
+//!   actually be unique within its edge. Since `v ∈ e` and `u ∈ g`
+//!   always hold, the condition is equivalent to `u ∈ e` or `v ∈ g`.
+//!
+//!   *Faithfulness note*: the paper's set-builder does not write
+//!   `u ≠ v` explicitly, and with `u = v` the condition `{u,v} ⊆ e`
+//!   degenerates to the trivially-true `{v} ⊆ e`, which would make
+//!   `(e,v,c)` and `(g,v,c)` adjacent and falsify Lemma 2.1 a) whenever
+//!   one vertex is the unique-color witness of two hyperedges. The
+//!   lemma's own proof (case `h ∈ E_color`) derives its contradiction
+//!   from `u ∈ e, u ≠ v`, so distinct vertices are clearly intended;
+//!   this implementation follows the proof.
+//!
+//! [`ConflictGraph`] materializes `G_k` as a
+//! [`Graph`](pslocal_graph::Graph) with a dense triple indexing
+//! (`O(1)`/`O(log |e|)` conversions both ways), retains the source
+//! hypergraph, and reports the per-family edge counts that experiment
+//! T1 tabulates.
+
+use pslocal_graph::{Graph, GraphBuilder, Hypergraph, HyperedgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A triple `(e, v, c)`: hyperedge, member vertex, 0-based color index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// The hyperedge.
+    pub edge: HyperedgeId,
+    /// A vertex of that hyperedge.
+    pub vertex: NodeId,
+    /// A color index in `0..k`.
+    pub color: usize,
+}
+
+/// Per-family edge counts of a conflict graph.
+///
+/// The families overlap (e.g. `{(e,v,c),(e,v,d)}` lies in both
+/// `E_vertex` and `E_edge`), so the family counts may sum to more than
+/// [`ConflictGraph::edge_count`], which counts the *union*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FamilyCounts {
+    /// Edges satisfying the `E_vertex` predicate.
+    pub vertex_family: usize,
+    /// Edges satisfying the `E_edge` predicate.
+    pub edge_family: usize,
+    /// Edges satisfying the `E_color` predicate.
+    pub color_family: usize,
+}
+
+/// Construction options for [`ConflictGraph`] — used by ablation
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConflictGraphOptions {
+    /// Read the paper's `E_color` set-builder **literally**, i.e. allow
+    /// `u = v` (which makes `(e,v,c)` and `(g,v,c)` adjacent for any
+    /// two hyperedges containing `v`). This falsifies Lemma 2.1 a)
+    /// whenever one vertex witnesses two edges — the ablation
+    /// experiment A2 measures exactly how often. The default (`false`)
+    /// follows the lemma's proof and requires `u ≠ v`.
+    pub literal_ecolor: bool,
+}
+
+/// The conflict graph `G_k` of conflict-free `k`-coloring `H`.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_core::ConflictGraph;
+/// use pslocal_graph::Hypergraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2]])?;
+/// let cg = ConflictGraph::build(&h, 2);
+/// // |V(G_k)| = k · Σ|e| = 2 · 4.
+/// assert_eq!(cg.graph().node_count(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    graph: Graph,
+    hypergraph: Hypergraph,
+    k: usize,
+    options: ConflictGraphOptions,
+    /// `base[e]` = first triple index of hyperedge `e`'s block; triples
+    /// of `e` occupy `base[e] + pos(v in e)·k + c`.
+    base: Vec<u32>,
+}
+
+impl ConflictGraph {
+    /// Builds `G_k` for `h` with the proof-faithful `E_color` reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn build(h: &Hypergraph, k: usize) -> Self {
+        Self::build_with_options(h, k, ConflictGraphOptions::default())
+    }
+
+    /// Builds `G_k` with explicit [`ConflictGraphOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn build_with_options(h: &Hypergraph, k: usize, options: ConflictGraphOptions) -> Self {
+        assert!(k >= 1, "palette size k must be positive");
+        let m = h.edge_count();
+        let mut base = vec![0u32; m + 1];
+        for e in 0..m {
+            base[e + 1] = base[e] + (h.edge_size(HyperedgeId::new(e)) * k) as u32;
+        }
+        let node_count = base[m] as usize;
+        let mut builder = GraphBuilder::new(node_count);
+
+        let triple = |e: HyperedgeId, pos: usize, c: usize| -> NodeId {
+            NodeId::new(base[e.index()] as usize + pos * k + c)
+        };
+
+        // E_vertex: same vertex, different colors, any edge pair.
+        // For each vertex v, enumerate its (edge, position) slots.
+        for v in h.nodes() {
+            let slots: Vec<(HyperedgeId, usize)> = h
+                .edges_of(v)
+                .iter()
+                .map(|&e| {
+                    let pos = h.edge(e).binary_search(&v).expect("incidence is consistent");
+                    (e, pos)
+                })
+                .collect();
+            for (i, &(e, pe)) in slots.iter().enumerate() {
+                for &(g, pg) in &slots[i..] {
+                    for c in 0..k {
+                        for d in 0..k {
+                            if c == d {
+                                continue;
+                            }
+                            let a = triple(e, pe, c);
+                            let b = triple(g, pg, d);
+                            if a != b {
+                                builder.add_edge(a, b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // E_edge: all pairs of triples within one hyperedge's block.
+        for e in h.edge_ids() {
+            let block = h.edge_size(e) * k;
+            let start = base[e.index()] as usize;
+            for i in 0..block {
+                for j in (i + 1)..block {
+                    builder.add_edge(NodeId::new(start + i), NodeId::new(start + j));
+                }
+            }
+        }
+
+        // E_color: (e,v,c) ~ (g,u,c) when u ∈ e and u ≠ v (the v ∈ g
+        // case follows by symmetry of the enumeration).
+        for e in h.edge_ids() {
+            let members = h.edge(e);
+            for (pv, &v) in members.iter().enumerate() {
+                for &u in members {
+                    if u == v && !options.literal_ecolor {
+                        continue;
+                    }
+                    for &g in h.edges_of(u) {
+                        let pu_in_g =
+                            h.edge(g).binary_search(&u).expect("incidence is consistent");
+                        for c in 0..k {
+                            let a = triple(e, pv, c);
+                            let b = triple(g, pu_in_g, c);
+                            if a != b {
+                                builder.add_edge(a, b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        ConflictGraph { graph: builder.build(), hypergraph: h.clone(), k, options, base }
+    }
+
+    /// The options the graph was built with.
+    #[inline]
+    pub fn options(&self) -> ConflictGraphOptions {
+        self.options
+    }
+
+    /// The materialized simple graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The source hypergraph.
+    #[inline]
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hypergraph
+    }
+
+    /// The palette size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of edges of `G_k` (union of the three families).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The conflict-graph node for `(e, v, c)`, or `None` if `v ∉ e` or
+    /// `c ≥ k`.
+    pub fn node_for(&self, e: HyperedgeId, v: NodeId, c: usize) -> Option<NodeId> {
+        if c >= self.k || e.index() >= self.hypergraph.edge_count() {
+            return None;
+        }
+        let pos = self.hypergraph.edge(e).binary_search(&v).ok()?;
+        Some(NodeId::new(self.base[e.index()] as usize + pos * self.k + c))
+    }
+
+    /// The triple a conflict-graph node stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn triple_of(&self, node: NodeId) -> Triple {
+        let idx = node.index() as u32;
+        assert!(idx < *self.base.last().unwrap(), "node {node} out of range");
+        // Find the hyperedge block via binary search on `base`.
+        let e = match self.base.binary_search(&idx) {
+            Ok(exact) => {
+                // `base` can contain repeated values only if some edge
+                // had zero triples, which Hypergraph forbids; an exact
+                // hit is the start of edge `exact`.
+                exact
+            }
+            Err(insertion) => insertion - 1,
+        };
+        let offset = (idx - self.base[e]) as usize;
+        let pos = offset / self.k;
+        let color = offset % self.k;
+        let edge = HyperedgeId::new(e);
+        Triple { edge, vertex: self.hypergraph.edge(edge)[pos], color }
+    }
+
+    /// Whether the pair `{a, b}` satisfies the `E_vertex` predicate.
+    pub fn in_vertex_family(&self, a: Triple, b: Triple) -> bool {
+        a.vertex == b.vertex && a.color != b.color
+    }
+
+    /// Whether the pair `{a, b}` satisfies the `E_edge` predicate.
+    pub fn in_edge_family(&self, a: Triple, b: Triple) -> bool {
+        a.edge == b.edge
+    }
+
+    /// Whether the pair `{a, b}` satisfies the `E_color` predicate
+    /// under this graph's options (distinct vertices by default — see
+    /// the module-level faithfulness note).
+    pub fn in_color_family(&self, a: Triple, b: Triple) -> bool {
+        a.color == b.color
+            && (self.options.literal_ecolor || a.vertex != b.vertex)
+            && (self.hypergraph.edge_contains(a.edge, b.vertex)
+                || self.hypergraph.edge_contains(b.edge, a.vertex))
+    }
+
+    /// Classifies every edge of the built graph into the (possibly
+    /// several) families it belongs to.
+    pub fn family_counts(&self) -> FamilyCounts {
+        let mut counts = FamilyCounts { vertex_family: 0, edge_family: 0, color_family: 0 };
+        for (x, y) in self.graph.edges() {
+            let (a, b) = (self.triple_of(x), self.triple_of(y));
+            if self.in_vertex_family(a, b) {
+                counts.vertex_family += 1;
+            }
+            if self.in_edge_family(a, b) {
+                counts.edge_family += 1;
+            }
+            if self.in_color_family(a, b) {
+                counts.color_family += 1;
+            }
+        }
+        counts
+    }
+
+    /// The closed-form vertex count `k · Σ_e |e|`.
+    pub fn expected_node_count(h: &Hypergraph, k: usize) -> usize {
+        k * h.incidence_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+    use rand::SeedableRng;
+
+    fn small() -> (Hypergraph, ConflictGraph) {
+        let h = Hypergraph::from_edges(4, [vec![0, 1, 2], vec![1, 2, 3]]).unwrap();
+        let cg = ConflictGraph::build(&h, 2);
+        (h, cg)
+    }
+
+    #[test]
+    fn vertex_count_matches_closed_form() {
+        let (h, cg) = small();
+        assert_eq!(cg.graph().node_count(), ConflictGraph::expected_node_count(&h, 2));
+        assert_eq!(cg.graph().node_count(), 12);
+    }
+
+    #[test]
+    fn triple_indexing_round_trips() {
+        let (h, cg) = small();
+        for e in h.edge_ids() {
+            for &v in h.edge(e) {
+                for c in 0..cg.k() {
+                    let node = cg.node_for(e, v, c).expect("valid triple");
+                    let t = cg.triple_of(node);
+                    assert_eq!(t, Triple { edge: e, vertex: v, color: c });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_for_rejects_invalid_triples() {
+        let (_, cg) = small();
+        // vertex 3 is not in edge 0.
+        assert_eq!(cg.node_for(HyperedgeId::new(0), NodeId::new(3), 0), None);
+        // color out of palette.
+        assert_eq!(cg.node_for(HyperedgeId::new(0), NodeId::new(0), 2), None);
+        // edge out of range.
+        assert_eq!(cg.node_for(HyperedgeId::new(9), NodeId::new(0), 0), None);
+    }
+
+    #[test]
+    fn every_edge_belongs_to_some_family_and_vice_versa() {
+        let (_, cg) = small();
+        for (x, y) in cg.graph().edges() {
+            let (a, b) = (cg.triple_of(x), cg.triple_of(y));
+            assert!(
+                cg.in_vertex_family(a, b) || cg.in_edge_family(a, b) || cg.in_color_family(a, b),
+                "edge ({a:?}, {b:?}) in no family"
+            );
+        }
+        // Conversely: every pair satisfying a family predicate is an
+        // edge of the built graph.
+        let n = cg.graph().node_count();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (x, y) = (NodeId::new(i), NodeId::new(j));
+                let (a, b) = (cg.triple_of(x), cg.triple_of(y));
+                let should = cg.in_vertex_family(a, b)
+                    || cg.in_edge_family(a, b)
+                    || cg.in_color_family(a, b);
+                assert_eq!(
+                    cg.graph().has_edge(x, y),
+                    should,
+                    "adjacency mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_counts_are_positive_and_consistent() {
+        let (_, cg) = small();
+        let counts = cg.family_counts();
+        assert!(counts.vertex_family > 0);
+        assert!(counts.edge_family > 0);
+        assert!(counts.color_family > 0);
+        // Union ≤ sum of families (overlap allowed).
+        assert!(
+            cg.edge_count()
+                <= counts.vertex_family + counts.edge_family + counts.color_family
+        );
+        // Every counted family edge is a real edge, so each family count
+        // is at most the union size.
+        assert!(counts.vertex_family <= cg.edge_count());
+        assert!(counts.edge_family <= cg.edge_count());
+        assert!(counts.color_family <= cg.edge_count());
+    }
+
+    #[test]
+    fn edge_family_makes_blocks_cliques() {
+        let (h, cg) = small();
+        // All triples of hyperedge 0 must form a clique (E_edge).
+        let e = HyperedgeId::new(0);
+        let block: Vec<NodeId> = h
+            .edge(e)
+            .iter()
+            .flat_map(|&v| (0..2).map(move |c| (v, c)))
+            .map(|(v, c)| cg.node_for(e, v, c).unwrap())
+            .collect();
+        assert!(pslocal_graph::algo::is_clique(cg.graph(), &block));
+        assert_eq!(block.len(), 6);
+    }
+
+    #[test]
+    fn k1_conflict_graph_has_no_vertex_family() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2]]).unwrap();
+        let cg = ConflictGraph::build(&h, 1);
+        let counts = cg.family_counts();
+        assert_eq!(counts.vertex_family, 0, "k = 1 leaves no c ≠ d pairs");
+        assert!(counts.edge_family > 0);
+    }
+
+    #[test]
+    fn same_vertex_same_color_different_edges_are_not_adjacent() {
+        // (e,v,c) and (g,v,c) with e ≠ g: NOT adjacent (the u ≠ v
+        // reading of E_color — otherwise one vertex could never witness
+        // two edges and Lemma 2.1 a) would fail; see module docs).
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![0, 2]]).unwrap();
+        let cg = ConflictGraph::build(&h, 2);
+        let a = cg.node_for(HyperedgeId::new(0), NodeId::new(0), 0).unwrap();
+        let b = cg.node_for(HyperedgeId::new(1), NodeId::new(0), 0).unwrap();
+        assert!(!cg.graph().has_edge(a, b));
+        let ta = cg.triple_of(a);
+        let tb = cg.triple_of(b);
+        assert!(!cg.in_color_family(ta, tb));
+        assert!(!cg.in_vertex_family(ta, tb));
+        // With different colors the same pair IS adjacent via E_vertex.
+        let d = cg.node_for(HyperedgeId::new(1), NodeId::new(0), 1).unwrap();
+        assert!(cg.graph().has_edge(a, d));
+    }
+
+    #[test]
+    fn scales_on_planted_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(40, 20, 3));
+        let cg = ConflictGraph::build(&inst.hypergraph, 3);
+        assert_eq!(
+            cg.graph().node_count(),
+            ConflictGraph::expected_node_count(&inst.hypergraph, 3)
+        );
+        // Spot-check the round trip on a sample of nodes.
+        for i in (0..cg.graph().node_count()).step_by(7) {
+            let t = cg.triple_of(NodeId::new(i));
+            assert_eq!(cg.node_for(t.edge, t.vertex, t.color), Some(NodeId::new(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let h = Hypergraph::from_edges(2, [vec![0, 1]]).unwrap();
+        let _ = ConflictGraph::build(&h, 0);
+    }
+
+    #[test]
+    fn literal_ecolor_option_adds_same_vertex_edges() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![0, 2]]).unwrap();
+        let strict = ConflictGraph::build(&h, 2);
+        let literal = ConflictGraph::build_with_options(
+            &h,
+            2,
+            ConflictGraphOptions { literal_ecolor: true },
+        );
+        assert!(!strict.options().literal_ecolor);
+        assert!(literal.options().literal_ecolor);
+        let a = literal.node_for(HyperedgeId::new(0), NodeId::new(0), 0).unwrap();
+        let b = literal.node_for(HyperedgeId::new(1), NodeId::new(0), 0).unwrap();
+        assert!(literal.graph().has_edge(a, b), "literal reading connects (e,v,c)-(g,v,c)");
+        assert!(!strict.graph().has_edge(a, b));
+        assert!(literal.edge_count() > strict.edge_count());
+        // The predicate agrees with the built adjacency in both modes.
+        let (ta, tb) = (literal.triple_of(a), literal.triple_of(b));
+        assert!(literal.in_color_family(ta, tb));
+        assert!(!strict.in_color_family(ta, tb));
+    }
+}

@@ -1,0 +1,269 @@
+//! The Lemma 2.1 correspondence between independent sets of `G_k` and
+//! (partial) conflict-free colorings of `H`.
+//!
+//! * **(a)** a conflict-free `k`-coloring `f` of `H` induces an
+//!   independent set `I_f` of `G_k` with `|I_f| = m = |E(H)|`, and no
+//!   independent set of `G_k` is larger (one triple per hyperedge is
+//!   the ceiling, by `E_edge`);
+//! * **(b)** any independent set `I ⊆ V(G_k)` induces a *well-defined*
+//!   partial coloring `f_I` (Equation (1)) under which at least `|I|`
+//!   edges of `H` are happy.
+//!
+//! Both directions are implemented exactly as in the paper's proof, and
+//! both return data the experiments assert against ([`lemma_2_1a`],
+//! [`lemma_2_1b`]).
+
+use crate::conflict_graph::ConflictGraph;
+use pslocal_cfcolor::{checker, Multicoloring, PartialColoring};
+use pslocal_graph::{Color, IndependentSet, NodeId};
+
+/// Outcome of the Lemma 2.1(a) direction `f → I_f`.
+#[derive(Debug, Clone)]
+pub struct ColoringToSet {
+    /// The induced independent set of `G_k`.
+    pub independent_set: IndependentSet,
+    /// Hyperedges that had no uniquely-colored vertex under `f` (empty
+    /// iff `f` is conflict-free, in which case
+    /// `independent_set.len() == m`).
+    pub unhappy_edges: Vec<pslocal_graph::HyperedgeId>,
+}
+
+/// Lemma 2.1(a): builds `I_f` from a (total or partial) single-coloring
+/// given as 0-based color indices per vertex (`None` = uncolored).
+///
+/// For each hyperedge with a uniquely colored vertex, one triple
+/// `(e, v, f(v))` joins the set — "breaking ties arbitrarily" is
+/// implemented as picking the smallest such vertex.
+///
+/// # Panics
+///
+/// Panics if `coloring.len()` differs from the hypergraph's vertex
+/// count, or some color index is `≥ k`.
+pub fn coloring_to_independent_set(
+    cg: &ConflictGraph,
+    coloring: &[Option<usize>],
+) -> ColoringToSet {
+    let h = cg.hypergraph();
+    assert_eq!(coloring.len(), h.node_count(), "coloring length mismatch");
+    let mut members = Vec::new();
+    let mut unhappy = Vec::new();
+    for e in h.edge_ids() {
+        let vertices = h.edge(e);
+        // Find a vertex whose color occurs exactly once within e.
+        let witness = vertices.iter().copied().find(|&v| {
+            let Some(c) = coloring[v.index()] else { return false };
+            assert!(c < cg.k(), "color index {c} outside palette of size {}", cg.k());
+            vertices
+                .iter()
+                .filter(|&&u| coloring[u.index()] == Some(c))
+                .count()
+                == 1
+        });
+        match witness {
+            Some(v) => {
+                let c = coloring[v.index()].expect("witness is colored");
+                members.push(cg.node_for(e, v, c).expect("triple exists"));
+            }
+            None => unhappy.push(e),
+        }
+    }
+    let independent_set = IndependentSet::new(cg.graph(), members)
+        .expect("Lemma 2.1 a): the induced set is independent");
+    ColoringToSet { independent_set, unhappy_edges: unhappy }
+}
+
+/// Outcome of the Lemma 2.1(b) direction `I → f_I`.
+#[derive(Debug, Clone)]
+pub struct SetToColoring {
+    /// The induced partial coloring `f_I` (0-based color indices stored
+    /// as [`Color`] values `0..k`).
+    pub coloring: PartialColoring,
+    /// Number of happy edges of `H` under `f_I`.
+    pub happy_edges: usize,
+}
+
+/// Lemma 2.1(b): builds `f_I` (Equation (1)) from an independent set of
+/// `G_k` and counts happy edges.
+///
+/// The partial coloring assigns `f(v) = c` for every `(e, v, c) ∈ I`;
+/// well-definedness (no vertex gets two colors) holds because `E_vertex`
+/// forbids it — the [`PartialColoring::assign`] assertion is the
+/// executable proof obligation.
+///
+/// # Panics
+///
+/// Panics if `set` is not a vertex set of `cg.graph()`.
+pub fn independent_set_to_coloring(
+    cg: &ConflictGraph,
+    set: &IndependentSet,
+) -> SetToColoring {
+    let h = cg.hypergraph();
+    let mut coloring = PartialColoring::new(h.node_count());
+    for node in set.iter() {
+        let t = cg.triple_of(node);
+        coloring.assign(t.vertex, Color::new(t.color));
+    }
+    let mc = coloring.to_multicoloring();
+    let happy = checker::happy_count(h, &mc);
+    SetToColoring { coloring, happy_edges: happy }
+}
+
+/// Asserts the full Lemma 2.1(a) statement for a conflict-free
+/// coloring: `I_f` independent (by construction) with `|I_f| = m`, and
+/// returns the set.
+///
+/// # Panics
+///
+/// Panics if `coloring` is not conflict-free for the hypergraph, or the
+/// lemma's size equality fails (which would falsify the paper).
+pub fn lemma_2_1a(cg: &ConflictGraph, coloring: &[Option<usize>]) -> IndependentSet {
+    let out = coloring_to_independent_set(cg, coloring);
+    assert!(
+        out.unhappy_edges.is_empty(),
+        "Lemma 2.1 a) requires a conflict-free coloring; unhappy: {:?}",
+        out.unhappy_edges
+    );
+    assert_eq!(
+        out.independent_set.len(),
+        cg.hypergraph().edge_count(),
+        "Lemma 2.1 a): |I_f| must equal m"
+    );
+    out.independent_set
+}
+
+/// Asserts the full Lemma 2.1(b) statement: `f_I` well defined and at
+/// least `|I|` edges happy; returns the induced coloring.
+///
+/// # Panics
+///
+/// Panics if the happiness inequality fails (which would falsify the
+/// paper).
+pub fn lemma_2_1b(cg: &ConflictGraph, set: &IndependentSet) -> SetToColoring {
+    let out = independent_set_to_coloring(cg, set);
+    assert!(
+        out.happy_edges >= set.len(),
+        "Lemma 2.1 b): happy(f_I) = {} < |I| = {}",
+        out.happy_edges,
+        set.len()
+    );
+    out
+}
+
+/// Converts a total single-coloring (as produced by the planted
+/// generator) into the `Option` form the correspondence consumes.
+pub fn total_coloring_as_indices(colors: &[Color]) -> Vec<Option<usize>> {
+    colors.iter().map(|c| Some(c.index())).collect()
+}
+
+/// Converts the partial coloring `f_I` into a [`Multicoloring`] with
+/// the given palette applied (palette index `c` becomes
+/// `palette.color(c)`), used by the reduction to merge phases.
+pub fn apply_palette(
+    coloring: &PartialColoring,
+    palette: pslocal_graph::Palette,
+) -> Multicoloring {
+    let mut mc = Multicoloring::new(coloring.node_count());
+    for i in 0..coloring.node_count() {
+        let v = NodeId::new(i);
+        if let Some(c) = coloring.color_of(v) {
+            mc.add_color(v, palette.color(c.index()));
+        }
+    }
+    mc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+    use pslocal_graph::{Hypergraph, Palette};
+    use pslocal_maxis::{GreedyOracle, MaxIsOracle};
+    use rand::SeedableRng;
+
+    fn planted(seed: u64) -> (ConflictGraph, Vec<Option<usize>>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(30, 15, 3));
+        let cg = ConflictGraph::build(&inst.hypergraph, 3);
+        let coloring = total_coloring_as_indices(&inst.planted_coloring);
+        (cg, coloring)
+    }
+
+    #[test]
+    fn lemma_a_holds_on_planted_instances() {
+        for seed in 0..5 {
+            let (cg, coloring) = planted(seed);
+            let set = lemma_2_1a(&cg, &coloring);
+            assert_eq!(set.len(), cg.hypergraph().edge_count());
+        }
+    }
+
+    #[test]
+    fn lemma_a_set_is_maximum() {
+        // No independent set exceeds m (each hyperedge's block is a
+        // clique). Verify with the exact solver on a small instance.
+        let h = Hypergraph::from_edges(4, [vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        let cg = ConflictGraph::build(&h, 2);
+        let alpha = pslocal_maxis::ExactOracle.independence_number(cg.graph());
+        assert_eq!(alpha, 3, "α(G_k) = m when H is CF k-colorable");
+    }
+
+    #[test]
+    fn lemma_b_holds_for_oracle_outputs() {
+        for seed in 0..5 {
+            let (cg, _) = planted(seed);
+            let set = GreedyOracle.independent_set(cg.graph());
+            let out = lemma_2_1b(&cg, &set);
+            assert!(out.happy_edges >= set.len());
+            assert!(out.coloring.colored_count() <= set.len());
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_happiness() {
+        let (cg, coloring) = planted(7);
+        let set = lemma_2_1a(&cg, &coloring);
+        let out = lemma_2_1b(&cg, &set);
+        // All m edges happy under f_{I_f}.
+        assert_eq!(out.happy_edges, cg.hypergraph().edge_count());
+    }
+
+    #[test]
+    fn partial_colorings_are_supported_in_direction_a() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2]]).unwrap();
+        let cg = ConflictGraph::build(&h, 2);
+        // Only vertex 0 colored: edge 0 happy, edge 1 not.
+        let coloring = vec![Some(0), None, None];
+        let out = coloring_to_independent_set(&cg, &coloring);
+        assert_eq!(out.independent_set.len(), 1);
+        assert_eq!(out.unhappy_edges.len(), 1);
+    }
+
+    #[test]
+    fn empty_set_gives_empty_coloring() {
+        let (cg, _) = planted(1);
+        let empty = IndependentSet::empty();
+        let out = independent_set_to_coloring(&cg, &empty);
+        assert_eq!(out.coloring.colored_count(), 0);
+        assert_eq!(out.happy_edges, 0);
+    }
+
+    #[test]
+    fn apply_palette_offsets_colors() {
+        let mut f = PartialColoring::new(3);
+        f.assign(NodeId::new(0), Color::new(1));
+        f.assign(NodeId::new(2), Color::new(0));
+        let mc = apply_palette(&f, Palette::phase(3, 2)); // offset 6
+        assert_eq!(mc.colors_of(NodeId::new(0)), &[Color::new(7)]);
+        assert_eq!(mc.colors_of(NodeId::new(2)), &[Color::new(6)]);
+        assert!(mc.colors_of(NodeId::new(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a conflict-free coloring")]
+    fn lemma_a_rejects_non_cf_colorings() {
+        let h = Hypergraph::from_edges(2, [vec![0, 1]]).unwrap();
+        let cg = ConflictGraph::build(&h, 2);
+        // Both endpoints share a color: the single edge is unhappy.
+        let _ = lemma_2_1a(&cg, &[Some(0), Some(0)]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # pslocal-core
+//!
+//! The primary contribution of *"P-SLOCAL-Completeness of Maximum
+//! Independent Set Approximation"* (Maus, PODC 2019), as an executable
+//! library:
+//!
+//! * [`ConflictGraph`] — the Section 2 construction `G_k` on triples
+//!   `(e, v, c)` with the `E_vertex`/`E_edge`/`E_color` families;
+//! * [`correspondence`] — Lemma 2.1, both directions, with the lemma's
+//!   inequalities as runtime assertions;
+//! * [`reduction`] — the hardness half of Theorem 1.1: conflict-free
+//!   multicoloring through any λ-approximate MaxIS oracle in
+//!   `ρ = λ·ln m + 1` phases and `k·ρ` colors;
+//! * [`containment`] — the containment half via network decomposition
+//!   ([GKM17, Thm 7.1]);
+//! * [`completeness`] — both halves composed and machine-checked;
+//! * [`simulation`] — the paper's "G_k can be efficiently simulated in
+//!   H in the LOCAL model" claim, measured (dilation ≤ 1).
+//!
+//! # Examples
+//!
+//! The whole Theorem 1.1 pipeline in a few lines:
+//!
+//! ```
+//! use pslocal_core::{reduce_cf_to_maxis, ReductionConfig};
+//! use pslocal_cfcolor::checker::is_conflict_free;
+//! use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+//! use pslocal_maxis::GreedyOracle;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(40, 16, 3));
+//! let out = reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, ReductionConfig::new(3))?;
+//! assert!(is_conflict_free(&inst.hypergraph, &out.coloring));
+//! assert!(out.phases_used <= out.rho);
+//! assert!(out.total_colors <= 3 * out.rho);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod completeness;
+pub mod conflict_graph;
+pub mod containment;
+pub mod correspondence;
+pub mod distributed;
+pub mod reduction;
+pub mod simulation;
+
+pub use completeness::{completeness_on_instance, CompletenessReport};
+pub use conflict_graph::{ConflictGraph, ConflictGraphOptions, FamilyCounts, Triple};
+pub use distributed::{distributed_reduction, DistributedPhase, DistributedReduction};
+pub use containment::{containment_certificate, ContainmentReport};
+pub use correspondence::{
+    apply_palette, coloring_to_independent_set, independent_set_to_coloring, lemma_2_1a,
+    lemma_2_1b, total_coloring_as_indices, ColoringToSet, SetToColoring,
+};
+pub use reduction::{
+    reduce_cf_to_maxis, PhaseRecord, ReductionConfig, ReductionError, ReductionOutcome,
+};
+pub use simulation::{host_of, simulate_in_hypergraph, SimulationReport};

@@ -1,0 +1,197 @@
+//! Clique machinery used to *bound* the independence number.
+//!
+//! The paper's reduction consumes a `λ`-approximate MaxIS oracle. To
+//! *measure* an oracle's realized λ on instances too large for the exact
+//! solver, the experiment suite needs upper bounds on `α(G)`. A clique
+//! cover of size `t` proves `α(G) ≤ t` (an independent set meets each
+//! clique at most once), and greedy clique covers are cheap.
+
+use crate::{Graph, NodeId};
+
+/// Verifies that `clique` is a clique of `graph` (pairwise adjacent,
+/// duplicates rejected).
+pub fn is_clique(graph: &Graph, clique: &[NodeId]) -> bool {
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            if u == v || !graph.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Greedily partitions the vertex set into cliques: repeatedly grow a
+/// clique from the smallest unused vertex by adding any unused vertex
+/// adjacent to all current members.
+///
+/// The number of cliques returned is an upper bound on `α(G)`.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::Graph;
+/// use pslocal_graph::algo::greedy_clique_cover;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two disjoint triangles: cover of size 2, and indeed α = 2.
+/// let g = Graph::from_edges(6, [(0,1),(1,2),(0,2),(3,4),(4,5),(3,5)])?;
+/// assert_eq!(greedy_clique_cover(&g).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_clique_cover(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut used = vec![false; n];
+    let mut cover = Vec::new();
+    for s in 0..n {
+        if used[s] {
+            continue;
+        }
+        let seed = NodeId::new(s);
+        used[s] = true;
+        let mut clique = vec![seed];
+        // Candidates: unused neighbors of the seed; refine as we grow.
+        let mut candidates: Vec<NodeId> =
+            graph.neighbors(seed).iter().copied().filter(|v| !used[v.index()]).collect();
+        while let Some(&v) = candidates.first() {
+            used[v.index()] = true;
+            clique.push(v);
+            candidates.retain(|&u| u != v && graph.has_edge(u, v) && !used[u.index()]);
+        }
+        cover.push(clique);
+    }
+    cover
+}
+
+/// Upper bound on the independence number via a greedy clique cover.
+///
+/// Always `≥ α(G)`; equal to `α` on cluster graphs (disjoint unions of
+/// cliques).
+pub fn clique_cover_bound(graph: &Graph) -> usize {
+    greedy_clique_cover(graph).len()
+}
+
+/// Maximum clique of small graphs by branch and bound (for tests and for
+/// calibrating the clique-removal oracle). Practical up to a few dozen
+/// vertices on dense graphs.
+pub fn max_clique(graph: &Graph) -> Vec<NodeId> {
+    fn extend(
+        graph: &Graph,
+        current: &mut Vec<NodeId>,
+        candidates: &[NodeId],
+        best: &mut Vec<NodeId>,
+    ) {
+        if current.len() + candidates.len() <= best.len() {
+            return; // bound
+        }
+        if candidates.is_empty() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        for (i, &v) in candidates.iter().enumerate() {
+            if current.len() + (candidates.len() - i) <= best.len() {
+                break;
+            }
+            current.push(v);
+            let next: Vec<NodeId> =
+                candidates[i + 1..].iter().copied().filter(|&u| graph.has_edge(u, v)).collect();
+            extend(graph, current, &next, best);
+            current.pop();
+        }
+    }
+
+    let all: Vec<NodeId> = graph.nodes().collect();
+    let mut best = Vec::new();
+    let mut current = Vec::new();
+    extend(graph, &mut current, &all, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))).unwrap()
+    }
+
+    #[test]
+    fn is_clique_checks_pairs() {
+        let g = complete(4);
+        assert!(is_clique(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]));
+        assert!(is_clique(&g, &[])); // vacuous
+        assert!(is_clique(&g, &[NodeId::new(3)]));
+        let p = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(!is_clique(&p, &[NodeId::new(0), NodeId::new(2)]));
+        assert!(!is_clique(&p, &[NodeId::new(0), NodeId::new(0)])); // duplicate
+    }
+
+    #[test]
+    fn cover_of_complete_graph_is_one_clique() {
+        let g = complete(5);
+        let cover = greedy_clique_cover(&g);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].len(), 5);
+        assert!(is_clique(&g, &cover[0]));
+    }
+
+    #[test]
+    fn cover_of_empty_graph_is_singletons() {
+        let g = Graph::empty(4);
+        let cover = greedy_clique_cover(&g);
+        assert_eq!(cover.len(), 4);
+        assert_eq!(clique_cover_bound(&g), 4); // α = 4 exactly
+    }
+
+    #[test]
+    fn cover_is_a_partition_of_cliques() {
+        let g = Graph::from_edges(
+            8,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (6, 7)],
+        )
+        .unwrap();
+        let cover = greedy_clique_cover(&g);
+        let mut seen = vec![false; 8];
+        for clique in &cover {
+            assert!(is_clique(&g, clique));
+            for &v in clique {
+                assert!(!seen[v.index()], "vertex {v} covered twice");
+                seen[v.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bound_dominates_alpha_on_path() {
+        // Path on 5 vertices: α = 3; any clique cover needs ≥ ⌈5/2⌉ = 3.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert!(clique_cover_bound(&g) >= 3);
+    }
+
+    #[test]
+    fn max_clique_finds_planted_clique() {
+        // Plant K4 on {0,1,2,3} plus a pendant path.
+        let mut edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        edges.extend([(3, 4), (4, 5)]);
+        let g = Graph::from_edges(6, edges).unwrap();
+        let clique = max_clique(&g);
+        assert_eq!(clique.len(), 4);
+        assert!(is_clique(&g, &clique));
+    }
+
+    #[test]
+    fn max_clique_of_triangle_free_graph_is_edge() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(max_clique(&g).len(), 2);
+    }
+
+    #[test]
+    fn max_clique_of_empty_graph() {
+        assert_eq!(max_clique(&Graph::empty(3)).len(), 1);
+        assert!(max_clique(&Graph::empty(0)).is_empty());
+    }
+}

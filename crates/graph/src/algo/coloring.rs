@@ -1,0 +1,207 @@
+//! Sequential vertex-coloring primitives.
+//!
+//! Greedy coloring along an order is the sequential shadow of the SLOCAL
+//! locality-1 coloring algorithm, and the degeneracy (smallest-last)
+//! order gives the classic `degeneracy + 1` color bound — both are used
+//! as baselines and as building blocks by the oracle suite.
+
+use crate::{Color, Graph, NodeId};
+
+/// Greedily colors the graph in the given vertex order, assigning each
+/// vertex the smallest color (0-based) unused by already-colored
+/// neighbors.
+///
+/// Returns one color per vertex. Uses at most `Δ + 1` colors.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the vertex set.
+pub fn greedy_coloring(graph: &Graph, order: &[NodeId]) -> Vec<Color> {
+    let n = graph.node_count();
+    assert_eq!(order.len(), n, "order must list every vertex exactly once");
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(!seen[v.index()], "vertex {v} repeated in order");
+        seen[v.index()] = true;
+    }
+
+    const UNCOLORED: u32 = u32::MAX;
+    let mut colors = vec![UNCOLORED; n];
+    let mut forbidden: Vec<u32> = Vec::new(); // stamp per color
+    let mut stamp = 0u32;
+    for &v in order {
+        stamp += 1;
+        let deg = graph.degree(v);
+        if forbidden.len() < deg + 1 {
+            forbidden.resize(deg + 1, 0);
+        }
+        for &u in graph.neighbors(v) {
+            let cu = colors[u.index()];
+            if cu != UNCOLORED && (cu as usize) < forbidden.len() {
+                forbidden[cu as usize] = stamp;
+            }
+        }
+        let c = (0..).find(|&c| c >= forbidden.len() as u32 || forbidden[c as usize] != stamp);
+        colors[v.index()] = c.expect("some color below deg+1 is free");
+    }
+    colors.into_iter().map(Color::from).collect()
+}
+
+/// Greedy coloring in identity vertex order.
+pub fn greedy_coloring_identity(graph: &Graph) -> Vec<Color> {
+    let order: Vec<NodeId> = graph.nodes().collect();
+    greedy_coloring(graph, &order)
+}
+
+/// Number of distinct colors used by a coloring.
+pub fn color_count(colors: &[Color]) -> usize {
+    let mut seen: Vec<Color> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Smallest-last (degeneracy) ordering together with the graph's
+/// degeneracy `d`: repeatedly remove a minimum-degree vertex; the
+/// returned order is the *reverse* removal order, so greedy coloring
+/// along it uses at most `d + 1` colors.
+///
+/// Runs in `O((n + m) log n)` via a lazily-updated min-heap.
+pub fn degeneracy_ordering(graph: &Graph) -> (Vec<NodeId>, usize) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = graph.node_count();
+    let mut degree: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    let mut heap: BinaryHeap<Reverse<(usize, NodeId)>> =
+        graph.nodes().map(|v| Reverse((degree[v.index()], v))).collect();
+    let mut removed = vec![false; n];
+    let mut removal_order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if removed[v.index()] || d != degree[v.index()] {
+            continue; // stale heap entry
+        }
+        removed[v.index()] = true;
+        degeneracy = degeneracy.max(d);
+        removal_order.push(v);
+        for &u in graph.neighbors(v) {
+            if !removed[u.index()] {
+                degree[u.index()] -= 1;
+                heap.push(Reverse((degree[u.index()], u)));
+            }
+        }
+    }
+    removal_order.reverse();
+    (removal_order, degeneracy)
+}
+
+/// Greedy coloring along the degeneracy order; uses at most
+/// `degeneracy + 1` colors.
+pub fn degeneracy_coloring(graph: &Graph) -> Vec<Color> {
+    let (order, _) = degeneracy_ordering(graph);
+    greedy_coloring(graph, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_small() {
+        let g = cycle(6);
+        let colors = greedy_coloring_identity(&g);
+        assert!(g.is_proper_coloring(&colors));
+        assert!(color_count(&colors) <= g.max_degree() + 1);
+        // Even cycle: identity order 2-colors it.
+        assert_eq!(color_count(&colors), 2);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three_colors() {
+        let g = cycle(5);
+        let colors = greedy_coloring_identity(&g);
+        assert!(g.is_proper_coloring(&colors));
+        assert_eq!(color_count(&colors), 3);
+    }
+
+    #[test]
+    fn empty_graph_uses_one_color() {
+        let g = Graph::empty(4);
+        let colors = greedy_coloring_identity(&g);
+        assert_eq!(color_count(&colors), 1);
+        assert!(colors.iter().all(|&c| c == Color::new(0)));
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::empty(0);
+        assert!(greedy_coloring_identity(&g).is_empty());
+        let (order, d) = degeneracy_ordering(&g);
+        assert!(order.is_empty());
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must list every vertex")]
+    fn short_order_panics() {
+        let g = cycle(4);
+        let _ = greedy_coloring(&g, &[NodeId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated in order")]
+    fn repeated_order_panics() {
+        let g = Graph::empty(2);
+        let _ = greedy_coloring(&g, &[NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    fn degeneracy_of_tree_is_one() {
+        // star K_{1,4}
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let (order, d) = degeneracy_ordering(&g);
+        assert_eq!(d, 1);
+        assert_eq!(order.len(), 5);
+        let colors = degeneracy_coloring(&g);
+        assert!(g.is_proper_coloring(&colors));
+        assert_eq!(color_count(&colors), 2);
+    }
+
+    #[test]
+    fn degeneracy_of_complete_graph() {
+        let n = 6;
+        let g = Graph::from_edges(n, (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))))
+            .unwrap();
+        let (_, d) = degeneracy_ordering(&g);
+        assert_eq!(d, n - 1);
+        let colors = degeneracy_coloring(&g);
+        assert!(g.is_proper_coloring(&colors));
+        assert_eq!(color_count(&colors), n);
+    }
+
+    #[test]
+    fn degeneracy_of_cycle_is_two() {
+        let g = cycle(9);
+        let (_, d) = degeneracy_ordering(&g);
+        assert_eq!(d, 2);
+        let colors = degeneracy_coloring(&g);
+        assert!(g.is_proper_coloring(&colors));
+        assert!(color_count(&colors) <= 3);
+    }
+
+    #[test]
+    fn degeneracy_order_is_permutation() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)])
+            .unwrap();
+        let (order, _) = degeneracy_ordering(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        let expect: Vec<_> = g.nodes().collect();
+        assert_eq!(sorted, expect);
+    }
+}

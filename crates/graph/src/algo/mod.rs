@@ -1,0 +1,25 @@
+//! Graph algorithms shared across the workspace.
+//!
+//! Three families live here:
+//!
+//! * [`traversal`] — BFS distances, `r`-hop [`Ball`] extraction (the
+//!   geometric primitive behind both the LOCAL and SLOCAL simulators),
+//!   connected components, eccentricity/diameter.
+//! * [`coloring`] — greedy coloring along arbitrary orders and the
+//!   degeneracy (smallest-last) order.
+//! * [`cliques`] — clique covers for upper-bounding the independence
+//!   number, plus an exact max-clique for tiny instances.
+
+pub mod cliques;
+pub mod coloring;
+pub mod traversal;
+
+pub use cliques::{clique_cover_bound, greedy_clique_cover, is_clique, max_clique};
+pub use coloring::{
+    color_count, degeneracy_coloring, degeneracy_ordering, greedy_coloring,
+    greedy_coloring_identity,
+};
+pub use traversal::{
+    ball, bfs_distances, component_vertex_sets, connected_components, diameter, eccentricity,
+    is_connected, Ball, BallExtractor, UNREACHABLE,
+};

@@ -1,0 +1,94 @@
+//! Error types for graph construction and validation.
+
+use crate::{HyperedgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating graphs and hypergraphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint referred to a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self loop `{v, v}` was inserted into a simple graph.
+    SelfLoop {
+        /// The looping node.
+        node: NodeId,
+    },
+    /// A hyperedge was empty.
+    EmptyHyperedge {
+        /// The offending hyperedge.
+        edge: HyperedgeId,
+    },
+    /// A hyperedge contained the same vertex twice.
+    DuplicateVertexInHyperedge {
+        /// The offending hyperedge.
+        edge: HyperedgeId,
+        /// The repeated vertex.
+        node: NodeId,
+    },
+    /// A hypergraph violated the almost-uniformity requirement
+    /// `k ≤ |e| ≤ (1 + ε)·k` of the paper's Theorem 1.2 instances.
+    NotAlmostUniform {
+        /// The smallest hyperedge size present.
+        min_size: usize,
+        /// The largest hyperedge size present.
+        max_size: usize,
+        /// The tolerance ε that was requested.
+        epsilon: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self loop at node {node} not allowed in a simple graph")
+            }
+            GraphError::EmptyHyperedge { edge } => {
+                write!(f, "hyperedge {edge} is empty")
+            }
+            GraphError::DuplicateVertexInHyperedge { edge, node } => {
+                write!(f, "hyperedge {edge} contains node {node} more than once")
+            }
+            GraphError::NotAlmostUniform { min_size, max_size, epsilon } => {
+                write!(
+                    f,
+                    "hyperedge sizes in [{min_size}, {max_size}] violate almost-uniformity \
+                     with epsilon {epsilon}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 4 };
+        assert_eq!(e.to_string(), "node 9 out of range for graph with 4 nodes");
+        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert!(e.to_string().contains("self loop at node 2"));
+        let e = GraphError::EmptyHyperedge { edge: HyperedgeId::new(1) };
+        assert!(e.to_string().contains("hyperedge 1 is empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+}

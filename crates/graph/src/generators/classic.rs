@@ -1,0 +1,196 @@
+//! Deterministic graph families used throughout tests and experiments.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The path `P_n`: vertices `0..n`, edges `{i, i+1}`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(NodeId::new(i - 1), NodeId::new(i));
+    }
+    b.build()
+}
+
+/// The cycle `C_n` (requires `n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices, got {n}");
+    let mut b = GraphBuilder::with_edge_capacity(n, n);
+    for i in 0..n {
+        b.add_edge(NodeId::new(i), NodeId::new((i + 1) % n));
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    b.build()
+}
+
+/// The star `K_{1,n-1}` with center 0.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(NodeId::new(0), NodeId::new(i));
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`; side A is `0..a`, side B is
+/// `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::with_edge_capacity(a + b, a * b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(NodeId::new(i), NodeId::new(a + j));
+        }
+    }
+    builder.build()
+}
+
+/// The `rows × cols` grid graph; vertex `(r, c)` has index `r·cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = NodeId::new(r * cols + c);
+            if c + 1 < cols {
+                b.add_edge(v, NodeId::new(r * cols + c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(v, NodeId::new((r + 1) * cols + c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A complete binary tree on `n` vertices; vertex `i`'s children are
+/// `2i + 1` and `2i + 2` (heap layout).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                b.add_edge(NodeId::new(i), NodeId::new(child));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Disjoint union of `count` cliques of `size` vertices each — a *cluster
+/// graph*, whose independence number is exactly `count`. Used to
+/// calibrate oracles (the optimum is known in closed form).
+pub fn cluster_graph(count: usize, size: usize) -> Graph {
+    assert!(size >= 1, "cliques must be non-empty");
+    let n = count * size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..count {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                b.add_edge(NodeId::new(base + i), NodeId::new(base + j));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{diameter, is_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), 4);
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(diameter(&g), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(complete(1).edge_count(), 0);
+        assert_eq!(complete(0).node_count(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(NodeId::new(0)), 5);
+        assert!((1..6).all(|i| g.degree(NodeId::new(i)) == 1));
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(NodeId::new(0)), 2); // corner
+        assert_eq!(g.degree(NodeId::new(5)), 4); // interior (1,1)
+        assert_eq!(diameter(&g), 5);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.edge_count(), 6);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 3);
+        assert_eq!(g.degree(NodeId::new(6)), 1);
+    }
+
+    #[test]
+    fn cluster_graph_alpha_is_clique_count() {
+        let g = cluster_graph(4, 3);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 4 * 3);
+        // One vertex per clique is independent and maximal.
+        let set: Vec<_> = (0..4).map(|c| NodeId::new(c * 3)).collect();
+        assert!(g.is_maximal_independent_set(&set));
+    }
+}

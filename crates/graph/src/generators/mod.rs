@@ -1,0 +1,23 @@
+//! Graph and hypergraph generators.
+//!
+//! * [`classic`] — deterministic families (paths, cycles, grids, cliques,
+//!   cluster graphs with known independence number, …).
+//! * [`random`] — seeded random families (`G(n,p)`, `G(n,m)`, random
+//!   trees, near-regular graphs, bipartite).
+//! * [`hyper`] — hypergraph families, headlined by
+//!   [`planted_cf_instance`](hyper::planted_cf_instance): almost-uniform
+//!   hypergraphs with a *planted* conflict-free `k`-coloring, the input
+//!   family of the Theorem 1.1 reduction experiments.
+
+pub mod classic;
+pub mod hyper;
+pub mod random;
+
+pub use classic::{
+    binary_tree, cluster_graph, complete, complete_bipartite, cycle, grid, path, star,
+};
+pub use hyper::{
+    interval_hypergraph, is_conflict_free_single_coloring, planted_cf_instance,
+    random_uniform_hypergraph, PlantedCfInstance, PlantedCfParams,
+};
+pub use random::{gnm, gnp, random_bipartite, random_regular, random_tree};

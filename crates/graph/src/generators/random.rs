@@ -1,0 +1,218 @@
+//! Seeded random graph generators.
+//!
+//! All generators take an explicit `&mut impl Rng`; the experiment
+//! harnesses thread a seeded `StdRng` through so that every table in
+//! EXPERIMENTS.md regenerates bit-identically.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: each of the `n·(n-1)/2` potential edges is
+/// present independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn gnp<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability {p} outside [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 {
+        return b.build();
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if p >= 1.0 || rng.gen_bool(p) {
+                b.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of vertex pairs.
+pub fn gnm<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "requested {m} edges but only {max} pairs exist");
+    // For the densities used in the suite, rejection sampling is fine.
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    while chosen.len() < m {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let pair = (i.min(j), i.max(j));
+        if chosen.insert(pair) {
+            b.add_edge(NodeId::new(pair.0), NodeId::new(pair.1));
+        }
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` vertices (random attachment:
+/// vertex `i` connects to a uniformly chosen earlier vertex — a random
+/// recursive tree, connected by construction).
+pub fn random_tree<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        b.add_edge(NodeId::new(parent), NodeId::new(i));
+    }
+    b.build()
+}
+
+/// A random `d`-regular(ish) graph via the configuration model with
+/// retries: pairs up `d` stubs per vertex, rejecting loops and parallel
+/// edges; after `max_attempts` full restarts it returns the best
+/// (possibly slightly irregular) result by dropping conflicting pairs.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d ≥ n`.
+pub fn random_regular<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even (n = {n}, d = {d})");
+    assert!(d < n, "degree {d} must be below n = {n}");
+    const MAX_ATTEMPTS: usize = 50;
+    let mut best: Option<Graph> = None;
+    for _ in 0..MAX_ATTEMPTS {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(rng);
+        let mut b = GraphBuilder::with_edge_capacity(n, n * d / 2);
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        let mut clean = true;
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                clean = false;
+                continue;
+            }
+            b.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+        let g = b.build();
+        if clean {
+            return g;
+        }
+        if best.as_ref().map_or(true, |bg| g.edge_count() > bg.edge_count()) {
+            best = Some(g);
+        }
+    }
+    best.expect("at least one attempt ran")
+}
+
+/// A random bipartite graph: sides `0..a` and `a..a+b`, each cross pair
+/// present with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn random_bipartite<R: Rng + ?Sized>(rng: &mut R, a: usize, b: usize, p: f64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability {p} outside [0, 1]");
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            if p >= 1.0 || (p > 0.0 && rng.gen_bool(p)) {
+                builder.add_edge(NodeId::new(i), NodeId::new(a + j));
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng(1);
+        assert_eq!(gnp(&mut r, 10, 0.0).edge_count(), 0);
+        assert_eq!(gnp(&mut r, 10, 1.0).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_under_seed() {
+        let g1 = gnp(&mut rng(7), 30, 0.2);
+        let g2 = gnp(&mut rng(7), 30, 0.2);
+        assert_eq!(g1, g2);
+        let g3 = gnp(&mut rng(8), 30, 0.2);
+        assert_ne!(g1, g3, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn gnp_density_is_plausible() {
+        let g = gnp(&mut rng(2), 100, 0.3);
+        let expected = 0.3 * (100.0 * 99.0 / 2.0);
+        let m = g.edge_count() as f64;
+        assert!((m - expected).abs() < 0.2 * expected, "m = {m}, expected ≈ {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn gnp_bad_probability_panics() {
+        let _ = gnp(&mut rng(0), 5, 1.5);
+    }
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = gnm(&mut rng(3), 20, 37);
+        assert_eq!(g.edge_count(), 37);
+        assert_eq!(gnm(&mut rng(3), 5, 0).edge_count(), 0);
+        assert_eq!(gnm(&mut rng(3), 5, 10).edge_count(), 10); // complete K5
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_too_many_edges_panics() {
+        let _ = gnm(&mut rng(0), 4, 7);
+    }
+
+    #[test]
+    fn random_tree_is_spanning_tree() {
+        for seed in 0..5 {
+            let g = random_tree(&mut rng(seed), 40);
+            assert_eq!(g.edge_count(), 39);
+            assert!(is_connected(&g));
+        }
+        assert_eq!(random_tree(&mut rng(0), 1).edge_count(), 0);
+        assert_eq!(random_tree(&mut rng(0), 0).node_count(), 0);
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(&mut rng(4), 24, 3);
+        // With retries this should be exactly regular almost always.
+        let irregular = g.nodes().filter(|&v| g.degree(v) != 3).count();
+        assert!(irregular <= 2, "too many irregular vertices: {irregular}");
+        assert!(g.edge_count() >= 24 * 3 / 2 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_odd_product_panics() {
+        let _ = random_regular(&mut rng(0), 5, 3);
+    }
+
+    #[test]
+    fn random_bipartite_respects_sides() {
+        let g = random_bipartite(&mut rng(5), 6, 7, 0.5);
+        for (u, v) in g.edges() {
+            let side_u = u.index() < 6;
+            let side_v = v.index() < 6;
+            assert_ne!(side_u, side_v, "edge inside one side: ({u}, {v})");
+        }
+        assert_eq!(random_bipartite(&mut rng(5), 3, 3, 1.0).edge_count(), 9);
+    }
+}

@@ -1,0 +1,483 @@
+//! Hypergraphs: the input objects of conflict-free multicoloring.
+//!
+//! The paper's Theorem 1.2 instances are *almost uniform* hypergraphs —
+//! every hyperedge size lies in `[k, (1+ε)k]` for some `k` — with
+//! polynomially many hyperedges. [`Hypergraph`] stores vertex/edge
+//! incidence both ways so that the conflict-graph construction of
+//! `pslocal-core` (which needs, per hyperedge, all member vertices, and
+//! per vertex, all containing hyperedges) runs in linear time.
+
+use crate::{GraphError, HyperedgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An immutable hypergraph `H = (V, E)` with `V = 0..n`.
+///
+/// Hyperedges are non-empty, duplicate-vertex-free, stored with sorted
+/// member lists. Two hyperedges *may* contain exactly the same vertex
+/// set — the reduction treats them as distinct constraints, exactly as
+/// the paper does.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::{Hypergraph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h = Hypergraph::from_edges(4, [vec![0, 1, 2], vec![1, 2, 3]])?;
+/// assert_eq!(h.node_count(), 4);
+/// assert_eq!(h.edge_count(), 2);
+/// assert_eq!(h.edge_size(pslocal_graph::HyperedgeId::new(0)), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypergraph {
+    n: usize,
+    /// `edge_offsets.len() == m + 1`; members of edge `e` are
+    /// `edge_members[edge_offsets[e]..edge_offsets[e+1]]`, sorted.
+    edge_offsets: Vec<u32>,
+    edge_members: Vec<NodeId>,
+    /// Reverse incidence: hyperedges containing vertex `v` are
+    /// `vertex_edges[vertex_offsets[v]..vertex_offsets[v+1]]`, sorted.
+    vertex_offsets: Vec<u32>,
+    vertex_edges: Vec<HyperedgeId>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph on `n` vertices from an iterator of member
+    /// lists (raw indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyHyperedge`],
+    /// [`GraphError::DuplicateVertexInHyperedge`] or
+    /// [`GraphError::NodeOutOfRange`].
+    pub fn from_edges<I, E>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = E>,
+        E: IntoIterator<Item = usize>,
+    {
+        let mut builder = HypergraphBuilder::new(n);
+        for edge in edges {
+            builder.try_add_edge_indices(edge)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges `m = |E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_offsets.len() - 1
+    }
+
+    /// Returns `true` when there are no hyperedges.
+    #[inline]
+    pub fn has_no_edges(&self) -> bool {
+        self.edge_count() == 0
+    }
+
+    /// Iterator over all hyperedge identifiers.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = HyperedgeId> + DoubleEndedIterator {
+        (0..self.edge_count() as u32).map(HyperedgeId::from)
+    }
+
+    /// Iterator over all vertex identifiers.
+    pub fn nodes(&self) -> crate::ids::NodeIds {
+        crate::ids::node_ids(self.n)
+    }
+
+    /// The sorted member vertices of hyperedge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge(&self, e: HyperedgeId) -> &[NodeId] {
+        let i = e.index();
+        &self.edge_members[self.edge_offsets[i] as usize..self.edge_offsets[i + 1] as usize]
+    }
+
+    /// Number of vertices in hyperedge `e` (its *rank*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge_size(&self, e: HyperedgeId) -> usize {
+        let i = e.index();
+        (self.edge_offsets[i + 1] - self.edge_offsets[i]) as usize
+    }
+
+    /// The sorted hyperedges containing vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn edges_of(&self, v: NodeId) -> &[HyperedgeId] {
+        let i = v.index();
+        &self.vertex_edges[self.vertex_offsets[i] as usize..self.vertex_offsets[i + 1] as usize]
+    }
+
+    /// Vertex degree: the number of hyperedges containing `v`.
+    #[inline]
+    pub fn vertex_degree(&self, v: NodeId) -> usize {
+        self.edges_of(v).len()
+    }
+
+    /// Whether hyperedge `e` contains vertex `v` (`O(log |e|)`).
+    #[inline]
+    pub fn edge_contains(&self, e: HyperedgeId, v: NodeId) -> bool {
+        self.edge(e).binary_search(&v).is_ok()
+    }
+
+    /// Total incidence size `Σ_e |e|`; the conflict graph of
+    /// `pslocal-core` has exactly `k` times this many vertices.
+    #[inline]
+    pub fn incidence_size(&self) -> usize {
+        self.edge_members.len()
+    }
+
+    /// Minimum hyperedge size, or `None` when edgeless.
+    pub fn min_edge_size(&self) -> Option<usize> {
+        self.edge_ids().map(|e| self.edge_size(e)).min()
+    }
+
+    /// Maximum hyperedge size, or `None` when edgeless.
+    pub fn max_edge_size(&self) -> Option<usize> {
+        self.edge_ids().map(|e| self.edge_size(e)).max()
+    }
+
+    /// Checks the paper's almost-uniformity condition: there exists `k`
+    /// with `k ≤ |e| ≤ (1 + ε)·k` for all hyperedges — equivalently,
+    /// `max ≤ (1 + ε)·min`. Edgeless hypergraphs are vacuously almost
+    /// uniform.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pslocal_graph::Hypergraph;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let h = Hypergraph::from_edges(6, [vec![0, 1, 2], vec![2, 3, 4, 5]])?;
+    /// assert!(h.is_almost_uniform(0.5)); // 4 ≤ 1.5 · 3
+    /// assert!(!h.is_almost_uniform(0.1));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn is_almost_uniform(&self, epsilon: f64) -> bool {
+        match (self.min_edge_size(), self.max_edge_size()) {
+            (Some(lo), Some(hi)) => hi as f64 <= (1.0 + epsilon) * lo as f64,
+            _ => true,
+        }
+    }
+
+    /// Validates almost-uniformity, returning a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAlmostUniform`] when violated.
+    pub fn require_almost_uniform(&self, epsilon: f64) -> Result<(), GraphError> {
+        if self.is_almost_uniform(epsilon) {
+            Ok(())
+        } else {
+            Err(GraphError::NotAlmostUniform {
+                min_size: self.min_edge_size().unwrap_or(0),
+                max_size: self.max_edge_size().unwrap_or(0),
+                epsilon,
+            })
+        }
+    }
+
+    /// Restriction of the hypergraph to a subset of hyperedges, keeping
+    /// the vertex set intact (the paper's `H_i = (V, E_i)` residual
+    /// hypergraphs between reduction phases).
+    ///
+    /// Returns the new hypergraph and, for each new hyperedge, the id it
+    /// had in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains an out-of-range hyperedge.
+    pub fn restrict_edges(&self, keep: &[HyperedgeId]) -> (Hypergraph, Vec<HyperedgeId>) {
+        let mut builder = HypergraphBuilder::new(self.n);
+        for &e in keep {
+            builder.add_edge(self.edge(e).iter().copied());
+        }
+        (builder.build(), keep.to_vec())
+    }
+
+    /// The *primal graph* (2-section): vertices of `H`, an edge between
+    /// every pair of vertices that co-occur in some hyperedge. Used by
+    /// tests and by locality accounting (distance in `H` is measured in
+    /// its primal graph, which is how the LOCAL simulation of the
+    /// conflict graph communicates).
+    pub fn primal_graph(&self) -> crate::Graph {
+        let mut builder = crate::GraphBuilder::new(self.n);
+        for e in self.edge_ids() {
+            let members = self.edge(e);
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    builder.add_edge(u, v);
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hypergraph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .field("min_edge_size", &self.min_edge_size())
+            .field("max_edge_size", &self.max_edge_size())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Hypergraph`].
+#[derive(Debug, Clone)]
+pub struct HypergraphBuilder {
+    n: usize,
+    edge_offsets: Vec<u32>,
+    edge_members: Vec<NodeId>,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder for a hypergraph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        HypergraphBuilder { n, edge_offsets: vec![0], edge_members: Vec::new() }
+    }
+
+    /// Number of hyperedges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edge_offsets.len() - 1
+    }
+
+    /// Adds a hyperedge from typed vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty edges, duplicate members, or out-of-range
+    /// vertices.
+    pub fn add_edge<I: IntoIterator<Item = NodeId>>(&mut self, members: I) -> HyperedgeId {
+        self.try_add_edge(members).expect("invalid hyperedge")
+    }
+
+    /// Adds a hyperedge from typed vertex ids, reporting failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyHyperedge`],
+    /// [`GraphError::DuplicateVertexInHyperedge`] or
+    /// [`GraphError::NodeOutOfRange`]. On error the builder is left
+    /// unchanged.
+    pub fn try_add_edge<I: IntoIterator<Item = NodeId>>(
+        &mut self,
+        members: I,
+    ) -> Result<HyperedgeId, GraphError> {
+        let id = HyperedgeId::new(self.edge_count());
+        let start = self.edge_members.len();
+        self.edge_members.extend(members);
+        let slice = &mut self.edge_members[start..];
+        slice.sort_unstable();
+        if slice.is_empty() {
+            return Err(GraphError::EmptyHyperedge { edge: id });
+        }
+        for w in slice.windows(2) {
+            if w[0] == w[1] {
+                let node = w[0];
+                self.edge_members.truncate(start);
+                return Err(GraphError::DuplicateVertexInHyperedge { edge: id, node });
+            }
+        }
+        if let Some(&max) = slice.last() {
+            if max.index() >= self.n {
+                self.edge_members.truncate(start);
+                return Err(GraphError::NodeOutOfRange { node: max, node_count: self.n });
+            }
+        }
+        self.edge_offsets.push(self.edge_members.len() as u32);
+        Ok(id)
+    }
+
+    /// Adds a hyperedge from raw vertex indices.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_add_edge`](Self::try_add_edge).
+    pub fn try_add_edge_indices<I: IntoIterator<Item = usize>>(
+        &mut self,
+        members: I,
+    ) -> Result<HyperedgeId, GraphError> {
+        let mut collected = Vec::new();
+        for i in members {
+            if i >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: NodeId::new(i.min(u32::MAX as usize)),
+                    node_count: self.n,
+                });
+            }
+            collected.push(NodeId::new(i));
+        }
+        self.try_add_edge(collected)
+    }
+
+    /// Finalizes into an immutable [`Hypergraph`], building the reverse
+    /// incidence index.
+    pub fn build(self) -> Hypergraph {
+        let n = self.n;
+        let mut vdeg = vec![0u32; n];
+        for &v in &self.edge_members {
+            vdeg[v.index()] += 1;
+        }
+        let mut vertex_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            vertex_offsets[i + 1] = vertex_offsets[i] + vdeg[i];
+        }
+        let mut cursor: Vec<u32> = vertex_offsets[..n].to_vec();
+        let mut vertex_edges = vec![HyperedgeId::new(0); self.edge_members.len()];
+        let m = self.edge_offsets.len() - 1;
+        for e in 0..m {
+            let (lo, hi) = (self.edge_offsets[e] as usize, self.edge_offsets[e + 1] as usize);
+            for &v in &self.edge_members[lo..hi] {
+                vertex_edges[cursor[v.index()] as usize] = HyperedgeId::new(e);
+                cursor[v.index()] += 1;
+            }
+        }
+        // Edges were appended in increasing id order per vertex, so each
+        // run is already sorted.
+        Hypergraph {
+            n,
+            edge_offsets: self.edge_offsets,
+            edge_members: self.edge_members,
+            vertex_offsets,
+            vertex_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        Hypergraph::from_edges(5, [vec![0, 1, 2], vec![1, 2, 3], vec![3, 4, 0]]).unwrap()
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let h = sample();
+        assert_eq!(h.node_count(), 5);
+        assert_eq!(h.edge_count(), 3);
+        assert_eq!(h.incidence_size(), 9);
+        assert_eq!(h.min_edge_size(), Some(3));
+        assert_eq!(h.max_edge_size(), Some(3));
+        assert!(!h.has_no_edges());
+    }
+
+    #[test]
+    fn members_are_sorted() {
+        let h = Hypergraph::from_edges(5, [vec![4, 0, 2]]).unwrap();
+        assert_eq!(
+            h.edge(HyperedgeId::new(0)),
+            &[NodeId::new(0), NodeId::new(2), NodeId::new(4)]
+        );
+    }
+
+    #[test]
+    fn reverse_incidence_matches_forward() {
+        let h = sample();
+        for v in h.nodes() {
+            for &e in h.edges_of(v) {
+                assert!(h.edge_contains(e, v), "edge {e} should contain {v}");
+            }
+        }
+        for e in h.edge_ids() {
+            for &v in h.edge(e) {
+                assert!(h.edges_of(v).contains(&e));
+            }
+        }
+        assert_eq!(h.vertex_degree(NodeId::new(1)), 2);
+        assert_eq!(h.vertex_degree(NodeId::new(4)), 1);
+    }
+
+    #[test]
+    fn empty_edge_rejected() {
+        let err = Hypergraph::from_edges(3, [Vec::<usize>::new()]).unwrap_err();
+        assert!(matches!(err, GraphError::EmptyHyperedge { .. }));
+    }
+
+    #[test]
+    fn duplicate_member_rejected() {
+        let err = Hypergraph::from_edges(3, [vec![0, 1, 0]]).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateVertexInHyperedge { .. }));
+    }
+
+    #[test]
+    fn out_of_range_member_rejected() {
+        let err = Hypergraph::from_edges(3, [vec![0, 3]]).unwrap_err();
+        assert!(matches!(err, GraphError::NotAlmostUniform { .. }) == false);
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn builder_survives_failed_edge() {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_edge([NodeId::new(0), NodeId::new(1)]);
+        assert!(b.try_add_edge([NodeId::new(2), NodeId::new(2)]).is_err());
+        b.add_edge([NodeId::new(2), NodeId::new(3)]);
+        let h = b.build();
+        assert_eq!(h.edge_count(), 2);
+        assert_eq!(h.edge(HyperedgeId::new(1)), &[NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn almost_uniformity() {
+        let h = Hypergraph::from_edges(8, [vec![0, 1, 2, 3], vec![4, 5, 6, 7, 0]]).unwrap();
+        assert!(h.is_almost_uniform(0.25)); // 5 ≤ 1.25 · 4
+        assert!(!h.is_almost_uniform(0.2));
+        assert!(h.require_almost_uniform(0.25).is_ok());
+        let err = h.require_almost_uniform(0.1).unwrap_err();
+        assert!(matches!(err, GraphError::NotAlmostUniform { min_size: 4, max_size: 5, .. }));
+        // Edgeless hypergraphs are vacuously almost uniform.
+        let empty = HypergraphBuilder::new(3).build();
+        assert!(empty.is_almost_uniform(0.0));
+        assert!(empty.has_no_edges());
+    }
+
+    #[test]
+    fn duplicate_edge_sets_are_allowed() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![0, 1]]).unwrap();
+        assert_eq!(h.edge_count(), 2);
+        assert_eq!(h.edges_of(NodeId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn restrict_edges_keeps_vertex_set() {
+        let h = sample();
+        let (r, map) = h.restrict_edges(&[HyperedgeId::new(2), HyperedgeId::new(0)]);
+        assert_eq!(r.node_count(), 5);
+        assert_eq!(r.edge_count(), 2);
+        assert_eq!(r.edge(HyperedgeId::new(0)), h.edge(HyperedgeId::new(2)));
+        assert_eq!(map, vec![HyperedgeId::new(2), HyperedgeId::new(0)]);
+    }
+
+    #[test]
+    fn primal_graph_of_triangle_edge() {
+        let h = Hypergraph::from_edges(4, [vec![0, 1, 2], vec![2, 3]]).unwrap();
+        let g = h.primal_graph();
+        assert_eq!(g.edge_count(), 4); // {01,02,12} + {23}
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(3)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+}

@@ -1,0 +1,205 @@
+//! Strongly-typed identifiers for graph entities.
+//!
+//! All identifiers are thin newtypes over `u32` (graphs in this workspace
+//! comfortably fit in 32-bit index space; the conflict graphs built by
+//! `pslocal-core` have `Σ|e|·k` vertices which stays far below `u32::MAX`
+//! for every experiment in the suite). The newtypes exist to prevent the
+//! classic index-confusion bugs: a [`NodeId`] of a hypergraph cannot be
+//! used where a [`HyperedgeId`] is expected, and a conflict-graph vertex
+//! index cannot silently be mistaken for a base-graph vertex index.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph) or
+/// [`Hypergraph`](crate::Hypergraph).
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+/// Identifier of an (undirected) edge in a [`Graph`](crate::Graph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(u32);
+
+/// Identifier of a hyperedge in a [`Hypergraph`](crate::Hypergraph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HyperedgeId(u32);
+
+/// A color drawn from some palette.
+///
+/// The paper's conflict-free colorings use palettes `{1, …, k}`; phases of
+/// the Theorem 1.1 reduction use *disjoint* palettes, which this crate
+/// models by offsetting color values (see
+/// [`Palette`](crate::palette::Palette)). A `Color` is just an opaque
+/// value; equality is what matters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Color(u32);
+
+macro_rules! id_impl {
+    ($ty:ident, $pretty:literal) => {
+        impl $ty {
+            /// Creates an identifier with the given index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                assert!(
+                    index <= u32::MAX as usize,
+                    concat!($pretty, " index {} exceeds u32 range"),
+                    index
+                );
+                Self(index as u32)
+            }
+
+            /// Returns the identifier as a `usize` suitable for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $ty {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u32 {
+            #[inline]
+            fn from(id: $ty) -> u32 {
+                id.0
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($pretty, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_impl!(NodeId, "NodeId");
+id_impl!(EdgeId, "EdgeId");
+id_impl!(HyperedgeId, "HyperedgeId");
+id_impl!(Color, "Color");
+
+/// Iterator over the node identifiers `0..n`.
+///
+/// Produced by [`node_ids`].
+#[derive(Debug, Clone)]
+pub struct NodeIds {
+    range: std::ops::Range<u32>,
+}
+
+impl Iterator for NodeIds {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        self.range.next().map(NodeId)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NodeIds {}
+impl DoubleEndedIterator for NodeIds {
+    #[inline]
+    fn next_back(&mut self) -> Option<NodeId> {
+        self.range.next_back().map(NodeId)
+    }
+}
+
+/// Returns an iterator over the `n` node identifiers `0, 1, …, n - 1`.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::ids::node_ids;
+/// let ids: Vec<_> = node_ids(3).map(|v| v.index()).collect();
+/// assert_eq!(ids, vec![0, 1, 2]);
+/// ```
+pub fn node_ids(n: usize) -> NodeIds {
+    assert!(n <= u32::MAX as usize, "node count {n} exceeds u32 range");
+    NodeIds { range: 0..n as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(u32::from(v), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(HyperedgeId::new(0) < HyperedgeId::new(7));
+        assert!(Color::new(3) > Color::new(1));
+    }
+
+    #[test]
+    fn display_is_bare_number_and_debug_is_tagged() {
+        assert_eq!(NodeId::new(5).to_string(), "5");
+        assert_eq!(format!("{:?}", NodeId::new(5)), "NodeId(5)");
+        assert_eq!(format!("{:?}", Color::new(2)), "Color(2)");
+    }
+
+    #[test]
+    fn node_ids_iterator_yields_exact_range() {
+        let ids: Vec<_> = node_ids(4).collect();
+        assert_eq!(
+            ids,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+        assert_eq!(node_ids(4).len(), 4);
+        let rev: Vec<_> = node_ids(3).rev().map(|v| v.index()).collect();
+        assert_eq!(rev, vec![2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 range")]
+    fn oversized_id_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // This is a compile-time property; the test documents intent by
+        // exercising each type independently.
+        let n = NodeId::new(1);
+        let e = HyperedgeId::new(1);
+        assert_eq!(n.index(), e.index());
+    }
+}

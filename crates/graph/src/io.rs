@@ -1,0 +1,285 @@
+//! Plain-text serialization of graphs and hypergraphs (DIMACS-flavored).
+//!
+//! A release-quality reproduction needs shareable instances: the CLI
+//! and the experiment harnesses read and write these formats, and the
+//! formats are deliberately trivial to produce from other tooling.
+//!
+//! Graphs (`p graph n m`, then one `e u v` line per edge, 0-based):
+//!
+//! ```text
+//! c an optional comment
+//! p graph 4 3
+//! e 0 1
+//! e 1 2
+//! e 2 3
+//! ```
+//!
+//! Hypergraphs (`p hypergraph n m`, then one `h v1 v2 …` per edge):
+//!
+//! ```text
+//! p hypergraph 4 2
+//! h 0 1 2
+//! h 1 2 3
+//! ```
+
+use crate::{Graph, GraphBuilder, Hypergraph, HypergraphBuilder};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors produced while parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The `p` header line is missing or malformed.
+    BadHeader {
+        /// What was found instead.
+        found: String,
+    },
+    /// The header declares one object kind but another was requested.
+    WrongKind {
+        /// Kind in the header.
+        found: String,
+        /// Kind the caller asked for.
+        expected: &'static str,
+    },
+    /// A data line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The body disagrees with the header's edge count.
+    CountMismatch {
+        /// Edges declared in the header.
+        declared: usize,
+        /// Edges actually present.
+        found: usize,
+    },
+    /// A structural error from the graph builder (range, loops, …).
+    Structural {
+        /// The builder's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader { found } => write!(f, "missing or bad header line: {found:?}"),
+            ParseError::WrongKind { found, expected } => {
+                write!(f, "expected a {expected}, found a {found}")
+            }
+            ParseError::BadLine { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+            ParseError::CountMismatch { declared, found } => {
+                write!(f, "header declares {declared} edges but body has {found}")
+            }
+            ParseError::Structural { message } => write!(f, "invalid structure: {message}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Serializes a graph to the text format.
+pub fn write_graph(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p graph {} {}", graph.node_count(), graph.edge_count());
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "e {u} {v}");
+    }
+    out
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem found.
+pub fn read_graph(text: &str) -> Result<Graph, ParseError> {
+    let (kind, n, m, data) = parse_header(text)?;
+    if kind != "graph" {
+        return Err(ParseError::WrongKind { found: kind, expected: "graph" });
+    }
+    let mut builder = GraphBuilder::with_edge_capacity(n, m);
+    let mut edges = 0usize;
+    for (line_no, line) in data {
+        let mut parts = line.split_whitespace();
+        let tag = parts.next();
+        if tag != Some("e") {
+            return Err(ParseError::BadLine { line: line_no, content: line.to_string() });
+        }
+        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), None) => (
+                u.parse::<usize>()
+                    .map_err(|_| ParseError::BadLine { line: line_no, content: line.to_string() })?,
+                v.parse::<usize>()
+                    .map_err(|_| ParseError::BadLine { line: line_no, content: line.to_string() })?,
+            ),
+            _ => return Err(ParseError::BadLine { line: line_no, content: line.to_string() }),
+        };
+        builder
+            .try_add_edge_indices(u, v)
+            .map_err(|e| ParseError::Structural { message: e.to_string() })?;
+        edges += 1;
+    }
+    if edges != m {
+        return Err(ParseError::CountMismatch { declared: m, found: edges });
+    }
+    Ok(builder.build())
+}
+
+/// Serializes a hypergraph to the text format.
+pub fn write_hypergraph(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p hypergraph {} {}", h.node_count(), h.edge_count());
+    for e in h.edge_ids() {
+        let members: Vec<String> = h.edge(e).iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(out, "h {}", members.join(" "));
+    }
+    out
+}
+
+/// Parses a hypergraph from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem found.
+pub fn read_hypergraph(text: &str) -> Result<Hypergraph, ParseError> {
+    let (kind, n, m, data) = parse_header(text)?;
+    if kind != "hypergraph" {
+        return Err(ParseError::WrongKind { found: kind, expected: "hypergraph" });
+    }
+    let mut builder = HypergraphBuilder::new(n);
+    for (line_no, line) in data {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("h") {
+            return Err(ParseError::BadLine { line: line_no, content: line.to_string() });
+        }
+        let members: Result<Vec<usize>, _> = parts.map(|p| p.parse::<usize>()).collect();
+        let members = members
+            .map_err(|_| ParseError::BadLine { line: line_no, content: line.to_string() })?;
+        builder
+            .try_add_edge_indices(members)
+            .map_err(|e| ParseError::Structural { message: e.to_string() })?;
+    }
+    if builder.edge_count() != m {
+        return Err(ParseError::CountMismatch { declared: m, found: builder.edge_count() });
+    }
+    Ok(builder.build())
+}
+
+/// Splits off the header, returning `(kind, n, m, data lines)` where
+/// data lines carry their original 1-based numbers. Comment (`c …`)
+/// and blank lines are skipped everywhere.
+#[allow(clippy::type_complexity)]
+fn parse_header(text: &str) -> Result<(String, usize, usize, Vec<(usize, &str)>), ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('c'));
+    let Some((_, header)) = lines.next() else {
+        return Err(ParseError::BadHeader { found: "<empty input>".into() });
+    };
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    match parts.as_slice() {
+        ["p", kind, n, m] => {
+            let n = n
+                .parse::<usize>()
+                .map_err(|_| ParseError::BadHeader { found: header.to_string() })?;
+            let m = m
+                .parse::<usize>()
+                .map_err(|_| ParseError::BadHeader { found: header.to_string() })?;
+            Ok((kind.to_string(), n, m, lines.collect()))
+        }
+        _ => Err(ParseError::BadHeader { found: header.to_string() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{cycle, grid};
+    use crate::generators::hyper::random_uniform_hypergraph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_round_trip() {
+        for g in [cycle(9), grid(4, 5), Graph::empty(3), Graph::empty(0)] {
+            let text = write_graph(&g);
+            let back = read_graph(&text).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn hypergraph_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let h = random_uniform_hypergraph(&mut rng, 20, 10, 4);
+        let text = write_hypergraph(&h);
+        let back = read_hypergraph(&text).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "c a comment\n\np graph 3 1\nc another\ne 0 2\n\n";
+        let g = read_graph(text).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(crate::NodeId::new(0), crate::NodeId::new(2)));
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(matches!(read_graph(""), Err(ParseError::BadHeader { .. })));
+        assert!(matches!(read_graph("p graph x 1"), Err(ParseError::BadHeader { .. })));
+        assert!(matches!(
+            read_graph("p hypergraph 3 0"),
+            Err(ParseError::WrongKind { expected: "graph", .. })
+        ));
+        assert!(matches!(
+            read_hypergraph("p graph 3 0"),
+            Err(ParseError::WrongKind { expected: "hypergraph", .. })
+        ));
+    }
+
+    #[test]
+    fn body_errors() {
+        assert!(matches!(
+            read_graph("p graph 3 1\nx 0 1"),
+            Err(ParseError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_graph("p graph 3 1\ne 0"),
+            Err(ParseError::BadLine { .. })
+        ));
+        assert!(matches!(
+            read_graph("p graph 3 2\ne 0 1"),
+            Err(ParseError::CountMismatch { declared: 2, found: 1 })
+        ));
+        assert!(matches!(
+            read_graph("p graph 3 1\ne 0 9"),
+            Err(ParseError::Structural { .. })
+        ));
+        assert!(matches!(
+            read_graph("p graph 3 1\ne 1 1"),
+            Err(ParseError::Structural { .. })
+        ));
+        assert!(matches!(
+            read_hypergraph("p hypergraph 3 1\nh 0 0"),
+            Err(ParseError::Structural { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = read_graph("p graph 3 2\ne 0 1").unwrap_err();
+        assert!(err.to_string().contains("declares 2 edges"));
+        let err = read_graph("nonsense").unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Derived-graph operators: power graphs and line graphs.
+//!
+//! * [`power_graph`] `G^t` — edges between vertices at distance `≤ t`.
+//!   The SLOCAL→LOCAL simulation of locality-`r` algorithms decomposes
+//!   `G^{2r}` so that same-color clusters have non-overlapping `r`-balls
+//!   (see `pslocal-slocal::simulate`).
+//! * [`line_graph`] `L(G)` — vertices are the edges of `G`, adjacent
+//!   when they share an endpoint. An independent set of `L(G)` is a
+//!   matching of `G`, so the MIS machinery doubles as maximal-matching
+//!   machinery.
+
+use crate::algo::BallExtractor;
+use crate::{EdgeId, Graph, GraphBuilder, NodeId};
+
+/// The `t`-th power `G^t`: same vertex set, an edge `{u, v}` whenever
+/// `1 ≤ dist_G(u, v) ≤ t`.
+///
+/// Runs one truncated BFS per vertex (`O(n · ball_t)`).
+///
+/// # Panics
+///
+/// Panics if `t == 0` (the 0th power has no edges and is almost surely
+/// a caller bug; use [`Graph::empty`] explicitly instead).
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::path;
+/// use pslocal_graph::ops::power_graph;
+///
+/// let g = path(4); // 0-1-2-3
+/// let g2 = power_graph(&g, 2);
+/// assert_eq!(g2.edge_count(), 5); // all pairs except {0,3}
+/// ```
+pub fn power_graph(graph: &Graph, t: usize) -> Graph {
+    assert!(t >= 1, "the 0th power is edgeless; construct it explicitly if intended");
+    let n = graph.node_count();
+    let mut builder = GraphBuilder::new(n);
+    let mut extractor = BallExtractor::new(n);
+    for v in graph.nodes() {
+        let ball = extractor.extract(graph, v, t);
+        for &u in &ball.vertices {
+            if u > v {
+                builder.add_edge(v, u);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// The line graph `L(G)`: one vertex per edge of `G` (indexed by
+/// [`EdgeId`], i.e. position in `G`'s canonical edge list), adjacent
+/// when the edges share an endpoint.
+///
+/// Returns the line graph together with the edge list it indexes (the
+/// `i`-th line-graph vertex is `edges[i]`).
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::star;
+/// use pslocal_graph::ops::line_graph;
+///
+/// // Edges of a star all share the hub: L(K_{1,4}) = K_4.
+/// let (lg, _) = line_graph(&star(5));
+/// assert_eq!(lg.node_count(), 4);
+/// assert_eq!(lg.edge_count(), 6);
+/// ```
+pub fn line_graph(graph: &Graph) -> (Graph, Vec<(NodeId, NodeId)>) {
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let mut builder = GraphBuilder::new(edges.len());
+    // Bucket edge ids by endpoint; each bucket forms a clique in L(G).
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        incident[u.index()].push(i as u32);
+        incident[v.index()].push(i as u32);
+    }
+    for bucket in &incident {
+        for (a, &i) in bucket.iter().enumerate() {
+            for &j in &bucket[a + 1..] {
+                builder.add_edge(NodeId::from(i), NodeId::from(j));
+            }
+        }
+    }
+    (builder.build(), edges)
+}
+
+/// Translates an independent set of `L(G)` (given as line-graph
+/// vertices) back to the matching of `G` it represents.
+///
+/// # Panics
+///
+/// Panics if an index is out of range for the edge list.
+pub fn matching_from_line_graph_set(
+    edges: &[(NodeId, NodeId)],
+    set: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    set.iter().map(|&i| edges[i.index()]).collect()
+}
+
+/// Whether `matching` is a matching of `graph` (edges exist and are
+/// pairwise disjoint).
+pub fn is_matching(graph: &Graph, matching: &[(NodeId, NodeId)]) -> bool {
+    let mut used = vec![false; graph.node_count()];
+    for &(u, v) in matching {
+        if u == v || !graph.has_edge(u, v) || used[u.index()] || used[v.index()] {
+            return false;
+        }
+        used[u.index()] = true;
+        used[v.index()] = true;
+    }
+    true
+}
+
+/// Whether `matching` is a *maximal* matching (no edge can be added).
+pub fn is_maximal_matching(graph: &Graph, matching: &[(NodeId, NodeId)]) -> bool {
+    if !is_matching(graph, matching) {
+        return false;
+    }
+    let mut used = vec![false; graph.node_count()];
+    for &(u, v) in matching {
+        used[u.index()] = true;
+        used[v.index()] = true;
+    }
+    graph.edges().all(|(u, v)| used[u.index()] || used[v.index()])
+}
+
+/// The `t`-th power's relation to edge ids: convenience check used by
+/// tests — whether `{u, v}` are within distance `t` in `graph`.
+pub fn within_distance(graph: &Graph, u: NodeId, v: NodeId, t: usize) -> bool {
+    let ball = crate::algo::ball(graph, u, t);
+    ball.vertices.contains(&v)
+}
+
+/// Maps a graph edge to its [`EdgeId`] in the canonical list, if
+/// present.
+pub fn edge_id_of(graph: &Graph, u: NodeId, v: NodeId) -> Option<EdgeId> {
+    let key = (u.min(v), u.max(v));
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    edges.binary_search(&key).ok().map(EdgeId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{complete, cycle, path, star};
+    use crate::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_of_path_matches_distance_predicate() {
+        let g = path(6);
+        for t in 1..=4 {
+            let gt = power_graph(&g, t);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if u < v {
+                        let expect = within_distance(&g, u, v, t);
+                        assert_eq!(gt.has_edge(u, v), expect, "t={t}, pair ({u},{v})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_power_is_complete_per_component() {
+        let g = cycle(7);
+        let gt = power_graph(&g, 3); // diameter 3
+        assert_eq!(gt.edge_count(), 21);
+        let two = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let p = power_graph(&two, 5);
+        assert_eq!(p.edge_count(), 2, "components stay separate");
+    }
+
+    #[test]
+    fn first_power_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = gnp(&mut rng, 30, 0.15);
+        assert_eq!(power_graph(&g, 1), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "0th power")]
+    fn zeroth_power_panics() {
+        let _ = power_graph(&path(3), 0);
+    }
+
+    #[test]
+    fn line_graph_of_path_is_path() {
+        let (lg, edges) = line_graph(&path(5)); // 4 edges in a row
+        assert_eq!(lg.node_count(), 4);
+        assert_eq!(lg.edge_count(), 3);
+        assert_eq!(edges.len(), 4);
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let (lg, _) = line_graph(&complete(3));
+        assert_eq!(lg.node_count(), 3);
+        assert_eq!(lg.edge_count(), 3);
+    }
+
+    #[test]
+    fn line_graph_independent_sets_are_matchings() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = gnp(&mut rng, 24, 0.2);
+        let (lg, edges) = line_graph(&g);
+        // Greedy MIS on L(G) → maximal matching of G.
+        let mut blocked = vec![false; lg.node_count()];
+        let mut set = Vec::new();
+        for v in lg.nodes() {
+            if !blocked[v.index()] {
+                set.push(v);
+                blocked[v.index()] = true;
+                for &u in lg.neighbors(v) {
+                    blocked[u.index()] = true;
+                }
+            }
+        }
+        let matching = matching_from_line_graph_set(&edges, &set);
+        assert!(is_maximal_matching(&g, &matching));
+    }
+
+    #[test]
+    fn matching_predicates() {
+        let g = path(5);
+        let m1 = [(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))];
+        assert!(is_matching(&g, &m1));
+        assert!(is_maximal_matching(&g, &m1));
+        let overlapping = [(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))];
+        assert!(!is_matching(&g, &overlapping));
+        let sparse = [(NodeId::new(0), NodeId::new(1))];
+        assert!(is_matching(&g, &sparse));
+        assert!(!is_maximal_matching(&g, &sparse)); // {2,3} addable
+        let non_edge = [(NodeId::new(0), NodeId::new(2))];
+        assert!(!is_matching(&g, &non_edge));
+        assert!(is_maximal_matching(&star(1), &[])); // single vertex, no edges
+    }
+
+    #[test]
+    fn edge_id_lookup() {
+        let g = path(4);
+        let id = edge_id_of(&g, NodeId::new(2), NodeId::new(1)).unwrap();
+        assert_eq!(g.edge_endpoints(id), (NodeId::new(1), NodeId::new(2)));
+        assert!(edge_id_of(&g, NodeId::new(0), NodeId::new(3)).is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Color palettes.
+//!
+//! The Theorem 1.1 reduction runs `ρ` phases and insists that each phase
+//! colors with a *distinct* palette of size `k` ("using a distinct
+//! palette of size k for each phase"). [`Palette`] models a contiguous
+//! block of `k` colors starting at some offset, so phase `i` simply uses
+//! `Palette::phase(k, i)` and disjointness is guaranteed by
+//! construction.
+
+use crate::Color;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous palette of `size` colors `{offset, …, offset + size - 1}`.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::palette::Palette;
+///
+/// let p0 = Palette::phase(3, 0);
+/// let p1 = Palette::phase(3, 1);
+/// assert!(p0.is_disjoint(&p1));
+/// assert_eq!(p0.colors().count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Palette {
+    offset: u32,
+    size: u32,
+}
+
+impl Palette {
+    /// The palette `{0, …, size - 1}`.
+    pub fn base(size: usize) -> Self {
+        Palette::with_offset(size, 0)
+    }
+
+    /// A palette of `size` colors starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + size` overflows `u32`.
+    pub fn with_offset(size: usize, offset: usize) -> Self {
+        let size = u32::try_from(size).expect("palette size exceeds u32");
+        let offset = u32::try_from(offset).expect("palette offset exceeds u32");
+        assert!(offset.checked_add(size).is_some(), "palette range overflows u32");
+        Palette { offset, size }
+    }
+
+    /// The `phase`-th disjoint palette of size `k`: colors
+    /// `{phase·k, …, phase·k + k - 1}`. This is how the reduction gets
+    /// its fresh palette per phase.
+    pub fn phase(k: usize, phase: usize) -> Self {
+        Palette::with_offset(k, k.checked_mul(phase).expect("palette offset overflows"))
+    }
+
+    /// Number of colors in the palette.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size as usize
+    }
+
+    /// The smallest color value of the palette.
+    #[inline]
+    pub fn offset(&self) -> usize {
+        self.offset as usize
+    }
+
+    /// The `i`-th color of the palette (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= size`.
+    #[inline]
+    pub fn color(&self, i: usize) -> Color {
+        assert!(i < self.size as usize, "color index {i} out of palette of size {}", self.size);
+        Color::new(self.offset as usize + i)
+    }
+
+    /// Whether `c` belongs to this palette.
+    #[inline]
+    pub fn contains(&self, c: Color) -> bool {
+        let v = c.raw();
+        v >= self.offset && v < self.offset + self.size
+    }
+
+    /// The 0-based index of `c` within the palette, if it belongs.
+    #[inline]
+    pub fn index_of(&self, c: Color) -> Option<usize> {
+        self.contains(c).then(|| (c.raw() - self.offset) as usize)
+    }
+
+    /// Iterator over the palette's colors in increasing order.
+    pub fn colors(&self) -> impl ExactSizeIterator<Item = Color> + DoubleEndedIterator {
+        (self.offset..self.offset + self.size).map(Color::from)
+    }
+
+    /// Whether two palettes share no color.
+    pub fn is_disjoint(&self, other: &Palette) -> bool {
+        self.offset + self.size <= other.offset || other.offset + other.size <= self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_palette_enumerates_colors() {
+        let p = Palette::base(4);
+        let cs: Vec<_> = p.colors().collect();
+        assert_eq!(cs, vec![Color::new(0), Color::new(1), Color::new(2), Color::new(3)]);
+        assert_eq!(p.color(2), Color::new(2));
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.offset(), 0);
+    }
+
+    #[test]
+    fn phase_palettes_are_pairwise_disjoint() {
+        let k = 5;
+        for i in 0..6 {
+            for j in 0..6 {
+                let (pi, pj) = (Palette::phase(k, i), Palette::phase(k, j));
+                assert_eq!(pi.is_disjoint(&pj), i != j, "phases {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_and_index_of() {
+        let p = Palette::phase(3, 2); // {6, 7, 8}
+        assert!(p.contains(Color::new(6)));
+        assert!(p.contains(Color::new(8)));
+        assert!(!p.contains(Color::new(5)));
+        assert!(!p.contains(Color::new(9)));
+        assert_eq!(p.index_of(Color::new(7)), Some(1));
+        assert_eq!(p.index_of(Color::new(9)), None);
+    }
+
+    #[test]
+    fn empty_palette_contains_nothing() {
+        let p = Palette::base(0);
+        assert_eq!(p.colors().count(), 0);
+        assert!(!p.contains(Color::new(0)));
+        // Empty palettes are disjoint from everything, including themselves.
+        assert!(p.is_disjoint(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of palette")]
+    fn color_out_of_range_panics() {
+        let _ = Palette::base(2).color(2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Summary statistics of graphs and hypergraphs, used by the experiment
+//! harnesses to annotate table rows.
+
+use crate::{Graph, Hypergraph};
+use serde::{Deserialize, Serialize};
+
+/// Degree and size statistics of a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Vertex count `n`.
+    pub nodes: usize,
+    /// Edge count `m`.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Average degree `2m/n`.
+    pub average_degree: f64,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph` (one BFS sweep plus a degree
+    /// scan).
+    pub fn of(graph: &Graph) -> Self {
+        let (_, components) = crate::algo::connected_components(graph);
+        GraphStats {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            min_degree: graph.nodes().map(|v| graph.degree(v)).min().unwrap_or(0),
+            max_degree: graph.max_degree(),
+            average_degree: graph.average_degree(),
+            components,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} deg=[{},{}] avg={:.2} comps={}",
+            self.nodes,
+            self.edges,
+            self.min_degree,
+            self.max_degree,
+            self.average_degree,
+            self.components
+        )
+    }
+}
+
+/// Size statistics of a [`Hypergraph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypergraphStats {
+    /// Vertex count `n`.
+    pub nodes: usize,
+    /// Hyperedge count `m`.
+    pub edges: usize,
+    /// Smallest hyperedge size (0 when edgeless).
+    pub min_edge_size: usize,
+    /// Largest hyperedge size (0 when edgeless).
+    pub max_edge_size: usize,
+    /// Total incidence `Σ|e|`.
+    pub incidence: usize,
+    /// Maximum vertex degree (hyperedges per vertex).
+    pub max_vertex_degree: usize,
+}
+
+impl HypergraphStats {
+    /// Computes statistics for `h`.
+    pub fn of(h: &Hypergraph) -> Self {
+        HypergraphStats {
+            nodes: h.node_count(),
+            edges: h.edge_count(),
+            min_edge_size: h.min_edge_size().unwrap_or(0),
+            max_edge_size: h.max_edge_size().unwrap_or(0),
+            incidence: h.incidence_size(),
+            max_vertex_degree: h.nodes().map(|v| h.vertex_degree(v)).max().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for HypergraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} rank=[{},{}] inc={} maxdeg={}",
+            self.nodes,
+            self.edges,
+            self.min_edge_size,
+            self.max_edge_size,
+            self.incidence,
+            self.max_vertex_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, hyper::random_uniform_hypergraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_stats_of_cycle() {
+        let s = GraphStats::of(&classic::cycle(8));
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.edges, 8);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.components, 1);
+        assert!(s.to_string().contains("n=8"));
+    }
+
+    #[test]
+    fn graph_stats_of_empty() {
+        let s = GraphStats::of(&crate::Graph::empty(3));
+        assert_eq!(s.components, 3);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.average_degree, 0.0);
+    }
+
+    #[test]
+    fn hypergraph_stats() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let h = random_uniform_hypergraph(&mut rng, 20, 10, 4);
+        let s = HypergraphStats::of(&h);
+        assert_eq!(s.nodes, 20);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.min_edge_size, 4);
+        assert_eq!(s.max_edge_size, 4);
+        assert_eq!(s.incidence, 40);
+        assert!(s.max_vertex_degree >= 2); // pigeonhole: 40 slots over 20 vertices
+        assert!(s.to_string().contains("rank=[4,4]"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Leader election and BFS-tree construction — the `O(D)`-round
+//! backbone primitives of the LOCAL model.
+//!
+//! Every node floods the smallest identifier it has heard together with
+//! its best-known hop distance to that identifier's owner; after
+//! `diameter + 1` quiet rounds the unique minimum has won everywhere
+//! and the distance labels form a BFS tree rooted at the leader (each
+//! non-root adopts as parent the neighbor that first offered its final
+//! distance). Termination is by a caller-supplied round budget, as is
+//! standard for algorithms whose natural stopping time is `Θ(D)` and
+//! unknown locally.
+
+use crate::runtime::{Incoming, LocalAlgorithm, NodeInfo, Outbox};
+use pslocal_graph::NodeId;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Message: `(leader id, distance to leader)` as currently believed.
+pub type BfsMessage = (u64, u32);
+
+/// Per-node state of [`LeaderBfs`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BfsState {
+    /// Smallest identifier heard so far.
+    pub leader: u64,
+    /// Best known hop distance to that leader.
+    pub distance: u32,
+    /// The port towards the parent in the BFS tree (`None` at the
+    /// root or before any offer arrived).
+    pub parent_port: Option<usize>,
+    /// Rounds remaining before halting.
+    remaining: u32,
+}
+
+/// Leader election + BFS tree in `budget` rounds (use
+/// `≥ diameter + 1`).
+#[derive(Debug, Clone, Copy)]
+pub struct LeaderBfs {
+    /// Round budget; the result is correct whenever this is at least
+    /// the graph's diameter plus one.
+    pub budget: u32,
+}
+
+impl LeaderBfs {
+    /// Creates the algorithm with the given round budget.
+    pub fn new(budget: u32) -> Self {
+        LeaderBfs { budget }
+    }
+
+    /// The elected leader (the globally smallest id), read from any
+    /// state vector of a completed run on a connected graph.
+    pub fn leader(states: &[BfsState]) -> u64 {
+        states.iter().map(|s| s.leader).min().expect("non-empty network")
+    }
+
+    /// Extracts `(parent, distance)` per node; the root has parent
+    /// `None`. Parents are resolved through the host network's ports.
+    pub fn tree(
+        net: &crate::Network,
+        states: &[BfsState],
+    ) -> Vec<(Option<NodeId>, u32)> {
+        states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let v = NodeId::new(i);
+                let parent = s.parent_port.map(|p| net.neighbor_at_port(v, p));
+                (parent, s.distance)
+            })
+            .collect()
+    }
+}
+
+impl LocalAlgorithm for LeaderBfs {
+    type State = BfsState;
+    type Message = BfsMessage;
+
+    fn init(&self, info: NodeInfo, _rng: &mut StdRng) -> (BfsState, Outbox<BfsMessage>) {
+        let state = BfsState {
+            leader: info.id,
+            distance: 0,
+            parent_port: None,
+            remaining: self.budget,
+        };
+        (state, Outbox::Broadcast((info.id, 0)))
+    }
+
+    fn round(
+        &self,
+        _info: NodeInfo,
+        state: &mut BfsState,
+        inbox: &[Incoming<BfsMessage>],
+        _rng: &mut StdRng,
+    ) -> Outbox<BfsMessage> {
+        let mut improved = false;
+        for m in inbox {
+            let (leader, dist) = m.message;
+            let offered = (leader, dist.saturating_add(1));
+            if offered < (state.leader, state.distance) {
+                state.leader = offered.0;
+                state.distance = offered.1;
+                state.parent_port = Some(m.port);
+                improved = true;
+            }
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            Outbox::Silent
+        } else if improved || state.remaining == self.budget - 1 {
+            Outbox::Broadcast((state.leader, state.distance))
+        } else {
+            // Nothing new to report; stay quiet (messages are the
+            // expensive resource worth saving even in LOCAL).
+            Outbox::Silent
+        }
+    }
+
+    fn is_halted(&self, state: &BfsState) -> bool {
+        state.remaining == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Network};
+    use pslocal_graph::algo::{bfs_distances, diameter};
+    use pslocal_graph::generators::classic::{cycle, grid, path};
+    use pslocal_graph::generators::random::{gnp, random_tree};
+    use rand::SeedableRng;
+
+    fn run(net: &Network, budget: u32) -> Vec<BfsState> {
+        Engine::new(net)
+            .max_rounds(budget as usize + 2)
+            .run(&LeaderBfs::new(budget))
+            .expect("fixed budget always halts")
+            .states
+    }
+
+    fn check_connected(net: &Network) {
+        let g = net.graph();
+        let budget = diameter(g) + 2;
+        let states = run(net, budget);
+        // Leader: the minimum id, agreed by everyone.
+        let min_id = g.nodes().map(|v| net.id_of(v)).min().unwrap();
+        assert!(states.iter().all(|s| s.leader == min_id));
+        // Distances: exact BFS distances from the leader's node.
+        let root = g.nodes().find(|&v| net.id_of(v) == min_id).unwrap();
+        let dist = bfs_distances(g, root);
+        for v in g.nodes() {
+            assert_eq!(states[v.index()].distance, dist[v.index()], "node {v}");
+        }
+        // Tree: parent is one hop closer; root has no parent.
+        let tree = LeaderBfs::tree(net, &states);
+        for v in g.nodes() {
+            match tree[v.index()].0 {
+                None => assert_eq!(v, root, "only the root lacks a parent"),
+                Some(p) => {
+                    assert!(g.has_edge(v, p));
+                    assert_eq!(dist[p.index()] + 1, dist[v.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elects_and_builds_tree_on_classic_families() {
+        check_connected(&Network::with_identity_ids(path(12)));
+        check_connected(&Network::with_identity_ids(cycle(15)));
+        check_connected(&Network::with_identity_ids(grid(4, 6)));
+        check_connected(&Network::with_scrambled_ids(grid(5, 5), 3));
+    }
+
+    #[test]
+    fn elects_on_random_connected_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for seed in 0..3 {
+            check_connected(&Network::with_scrambled_ids(random_tree(&mut rng, 40), seed));
+        }
+    }
+
+    #[test]
+    fn short_budget_leaves_far_nodes_uninformed() {
+        // Locality made visible: with budget b, node at distance > b
+        // from the minimum cannot know it.
+        let net = Network::with_identity_ids(path(12));
+        let states = run(&net, 3);
+        assert_eq!(states[2].leader, 0);
+        assert_ne!(states[11].leader, 0, "node 11 is 11 hops from id 0");
+    }
+
+    #[test]
+    fn disconnected_graphs_elect_per_component() {
+        let g = pslocal_graph::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let net = Network::with_identity_ids(g);
+        let states = run(&net, 5);
+        assert!(states[..3].iter().all(|s| s.leader == 0));
+        assert!(states[3..].iter().all(|s| s.leader == 3));
+    }
+
+    #[test]
+    fn message_suppression_still_converges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let g = gnp(&mut rng, 50, 0.1);
+        if pslocal_graph::algo::is_connected(&g) {
+            check_connected(&Network::with_scrambled_ids(g, 11));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Randomized `(Δ+1)`-vertex-coloring in the LOCAL model.
+//!
+//! The paper names `(Δ+1)`-coloring alongside MIS as the flagship
+//! problem with a fast randomized algorithm [Lub86] and no known
+//! polylog deterministic one. This module implements the classic
+//! *random color trial*: every uncolored node repeatedly proposes a
+//! uniformly random color from its remaining palette `{0..deg(v)}` minus
+//! the colors its neighbors have fixed; a proposal sticks unless some
+//! neighbor proposed or owns the same color. Each node succeeds with
+//! probability at least 1/4 per attempt, so `O(log n)` iterations
+//! suffice with high probability.
+
+use crate::runtime::{Incoming, LocalAlgorithm, NodeInfo, Outbox};
+use pslocal_graph::Color;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Message of [`RandomColorTrial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialMessage {
+    /// "I propose this color this iteration."
+    Try(u32),
+    /// "I have permanently adopted this color."
+    Fixed(u32),
+}
+
+/// Sub-round of an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// About to propose a color.
+    Propose,
+    /// About to resolve conflicts for the last proposal.
+    Resolve,
+}
+
+/// Per-node state of [`RandomColorTrial`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialState {
+    /// Still uncolored.
+    Uncolored {
+        /// Colors fixed by neighbors so far (bitset over `0..deg+1`).
+        taken: Vec<bool>,
+        /// The current proposal, if the node is mid-iteration.
+        proposal: Option<u32>,
+        /// Which sub-round comes next.
+        phase: Phase,
+    },
+    /// Permanently colored (terminal).
+    Done(Color),
+}
+
+/// The random color trial algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_local::{algorithms::RandomColorTrial, Engine, Network};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Network::with_identity_ids(cycle(12));
+/// let exec = Engine::new(&net).seed(5).run(&RandomColorTrial)?;
+/// let colors = RandomColorTrial::colors(&exec.states);
+/// assert!(net.graph().is_proper_coloring(&colors));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomColorTrial;
+
+impl RandomColorTrial {
+    /// Extracts the final colors from terminal states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node is still uncolored.
+    pub fn colors(states: &[TrialState]) -> Vec<Color> {
+        states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                TrialState::Done(c) => *c,
+                TrialState::Uncolored { .. } => panic!("node {i} still uncolored"),
+            })
+            .collect()
+    }
+
+    fn draw_free(taken: &[bool], rng: &mut StdRng) -> u32 {
+        let free: Vec<u32> = (0..taken.len() as u32).filter(|&c| !taken[c as usize]).collect();
+        assert!(!free.is_empty(), "palette exhausted — impossible with deg+1 colors");
+        free[rng.gen_range(0..free.len())]
+    }
+}
+
+impl LocalAlgorithm for RandomColorTrial {
+    type State = TrialState;
+    type Message = TrialMessage;
+
+    fn init(&self, info: NodeInfo, rng: &mut StdRng) -> (TrialState, Outbox<TrialMessage>) {
+        // Palette {0..deg}: deg+1 colors always suffice.
+        let taken = vec![false; info.degree + 1];
+        let proposal = Self::draw_free(&taken, rng);
+        (
+            TrialState::Uncolored { taken, proposal: Some(proposal), phase: Phase::Resolve },
+            Outbox::Broadcast(TrialMessage::Try(proposal)),
+        )
+    }
+
+    fn round(
+        &self,
+        _info: NodeInfo,
+        state: &mut TrialState,
+        inbox: &[Incoming<TrialMessage>],
+        rng: &mut StdRng,
+    ) -> Outbox<TrialMessage> {
+        let TrialState::Uncolored { taken, proposal, phase } = state else {
+            return Outbox::Silent;
+        };
+        match phase {
+            Phase::Resolve => {
+                let mine = proposal.expect("resolve phase implies an outstanding proposal");
+                // Record colors neighbors fixed in earlier rounds and
+                // clashes with this round's proposals.
+                let mut clash = false;
+                for m in inbox {
+                    match m.message {
+                        TrialMessage::Fixed(c) => {
+                            if (c as usize) < taken.len() {
+                                taken[c as usize] = true;
+                            }
+                            clash |= c == mine;
+                        }
+                        TrialMessage::Try(c) => clash |= c == mine,
+                    }
+                }
+                if !clash && !taken[mine as usize] {
+                    *state = TrialState::Done(Color::from(mine));
+                    Outbox::Broadcast(TrialMessage::Fixed(mine))
+                } else {
+                    *proposal = None;
+                    *phase = Phase::Propose;
+                    Outbox::Silent
+                }
+            }
+            Phase::Propose => {
+                // Neighbors that fixed a color in the previous resolve
+                // round announce now.
+                for m in inbox {
+                    if let TrialMessage::Fixed(c) = m.message {
+                        if (c as usize) < taken.len() {
+                            taken[c as usize] = true;
+                        }
+                    }
+                }
+                let fresh = Self::draw_free(taken, rng);
+                *proposal = Some(fresh);
+                *phase = Phase::Resolve;
+                Outbox::Broadcast(TrialMessage::Try(fresh))
+            }
+        }
+    }
+
+    fn is_halted(&self, state: &TrialState) -> bool {
+        matches!(state, TrialState::Done(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Network};
+    use pslocal_graph::algo::color_count;
+    use pslocal_graph::generators::classic::{complete, cycle, path, star};
+    use pslocal_graph::generators::random::{gnp, random_regular};
+    use rand::SeedableRng;
+
+    fn run_and_check(net: &Network, seed: u64) -> Vec<Color> {
+        let exec = Engine::new(net).seed(seed).run(&RandomColorTrial).unwrap();
+        let colors = RandomColorTrial::colors(&exec.states);
+        assert!(net.graph().is_proper_coloring(&colors), "improper coloring");
+        let delta = net.graph().max_degree();
+        assert!(
+            color_count(&colors) <= delta + 1,
+            "used {} colors with Δ = {delta}",
+            color_count(&colors)
+        );
+        colors
+    }
+
+    #[test]
+    fn colors_classic_families() {
+        run_and_check(&Network::with_identity_ids(path(20)), 1);
+        run_and_check(&Network::with_identity_ids(cycle(15)), 2);
+        run_and_check(&Network::with_identity_ids(star(10)), 3);
+        let colors = run_and_check(&Network::with_identity_ids(complete(6)), 4);
+        assert_eq!(color_count(&colors), 6, "K6 needs all Δ+1 colors");
+    }
+
+    #[test]
+    fn colors_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for seed in 0..4 {
+            let g = gnp(&mut rng, 70, 0.1);
+            run_and_check(&Network::with_scrambled_ids(g, seed), seed);
+        }
+        let g = random_regular(&mut rng, 40, 4);
+        run_and_check(&Network::with_identity_ids(g), 8);
+    }
+
+    #[test]
+    fn isolated_nodes_use_color_zero() {
+        let net = Network::with_identity_ids(pslocal_graph::Graph::empty(4));
+        let colors = run_and_check(&net, 0);
+        assert!(colors.iter().all(|&c| c == Color::new(0)));
+    }
+
+    #[test]
+    fn per_node_palette_is_degree_bounded() {
+        // A star: leaves have degree 1 so their colors are in {0,1},
+        // even though the center has degree 9.
+        let net = Network::with_identity_ids(star(10));
+        let colors = run_and_check(&net, 6);
+        for leaf in 1..10 {
+            assert!(colors[leaf].index() <= 1, "leaf color {:?}", colors[leaf]);
+        }
+    }
+
+    #[test]
+    fn round_count_is_modest() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = gnp(&mut rng, 200, 0.08);
+        let net = Network::with_identity_ids(g);
+        let exec = Engine::new(&net).seed(2).run(&RandomColorTrial).unwrap();
+        assert!(exec.trace.rounds <= 50, "rounds = {}", exec.trace.rounds);
+    }
+}

@@ -1,0 +1,224 @@
+//! Luby's randomized maximal independent set algorithm [Lub86].
+//!
+//! The paper cites this as *the* fast randomized algorithm whose missing
+//! deterministic counterpart motivates the whole P-SLOCAL programme: MIS
+//! has an `O(log n)`-round randomized LOCAL algorithm but only
+//! exponentially slower deterministic ones were known.
+//!
+//! Implementation: iterations of two rounds each. In a *propose* round
+//! every still-active node draws a random value and broadcasts it; in
+//! the following *decide* round a node joins the MIS iff its value beats
+//! every active neighbor's (ties broken by unique identifier, so the
+//! winner relation is a strict total order and at least one node per
+//! active component wins every iteration). Winners announce themselves;
+//! their neighbors retire on receipt.
+
+use crate::runtime::{Incoming, LocalAlgorithm, NodeInfo, Outbox};
+use pslocal_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Message of [`LubyMis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LubyMessage {
+    /// A proposal `(random value, unique id)`; compared
+    /// lexicographically.
+    Value(u64, u64),
+    /// "I joined the MIS."
+    Join,
+}
+
+/// Lifecycle phase of an active node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// About to draw and broadcast a proposal.
+    Propose,
+    /// About to compare proposals and possibly join.
+    Decide,
+}
+
+/// Per-node state of [`LubyMis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LubyState {
+    /// Still competing; remembers the current proposal and phase.
+    Active {
+        /// Proposal drawn in the last propose round.
+        proposal: (u64, u64),
+        /// Which sub-round comes next.
+        phase: Phase,
+    },
+    /// Joined the MIS (terminal).
+    InMis,
+    /// A neighbor joined; this node is out (terminal).
+    Out,
+}
+
+/// Luby's MIS as a [`LocalAlgorithm`].
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_local::{algorithms::LubyMis, Engine, Network};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Network::with_identity_ids(cycle(9));
+/// let exec = Engine::new(&net).seed(3).run(&LubyMis)?;
+/// let mis = LubyMis::members(&exec.states);
+/// assert!(net.graph().is_maximal_independent_set(&mis));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LubyMis;
+
+impl LubyMis {
+    /// Extracts the MIS membership from final states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node never decided (cannot happen for states
+    /// returned by a successful [`Engine::run`](crate::Engine::run)).
+    pub fn members(states: &[LubyState]) -> Vec<NodeId> {
+        states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                LubyState::InMis => Some(NodeId::new(i)),
+                LubyState::Out => None,
+                LubyState::Active { .. } => panic!("node {i} never decided"),
+            })
+            .collect()
+    }
+}
+
+impl LocalAlgorithm for LubyMis {
+    type State = LubyState;
+    type Message = LubyMessage;
+
+    fn init(&self, info: NodeInfo, rng: &mut StdRng) -> (LubyState, Outbox<LubyMessage>) {
+        let proposal = (rng.gen::<u64>(), info.id);
+        (
+            LubyState::Active { proposal, phase: Phase::Decide },
+            Outbox::Broadcast(LubyMessage::Value(proposal.0, proposal.1)),
+        )
+    }
+
+    fn round(
+        &self,
+        _info: NodeInfo,
+        state: &mut LubyState,
+        inbox: &[Incoming<LubyMessage>],
+        rng: &mut StdRng,
+    ) -> Outbox<LubyMessage> {
+        let LubyState::Active { proposal, phase } = *state else {
+            return Outbox::Silent;
+        };
+        // A Join from any neighbor retires this node immediately,
+        // whatever the phase.
+        if inbox.iter().any(|m| m.message == LubyMessage::Join) {
+            *state = LubyState::Out;
+            return Outbox::Silent;
+        }
+        match phase {
+            Phase::Decide => {
+                let best_rival = inbox
+                    .iter()
+                    .filter_map(|m| match m.message {
+                        LubyMessage::Value(v, id) => Some((v, id)),
+                        LubyMessage::Join => None,
+                    })
+                    .max();
+                if best_rival.map_or(true, |rival| proposal > rival) {
+                    *state = LubyState::InMis;
+                    Outbox::Broadcast(LubyMessage::Join)
+                } else {
+                    *state = LubyState::Active { proposal, phase: Phase::Propose };
+                    Outbox::Silent
+                }
+            }
+            Phase::Propose => {
+                let (_, id) = proposal;
+                let fresh = (rng.gen::<u64>(), id);
+                *state = LubyState::Active { proposal: fresh, phase: Phase::Decide };
+                Outbox::Broadcast(LubyMessage::Value(fresh.0, fresh.1))
+            }
+        }
+    }
+
+    fn is_halted(&self, state: &LubyState) -> bool {
+        matches!(state, LubyState::InMis | LubyState::Out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Network};
+    use pslocal_graph::generators::classic::{complete, cycle, path, star};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    fn run_and_check(net: &Network, seed: u64) -> Vec<NodeId> {
+        let exec = Engine::new(net).seed(seed).run(&LubyMis).unwrap();
+        let mis = LubyMis::members(&exec.states);
+        assert!(
+            net.graph().is_maximal_independent_set(&mis),
+            "not a maximal independent set: {mis:?}"
+        );
+        mis
+    }
+
+    #[test]
+    fn mis_on_classic_families() {
+        run_and_check(&Network::with_identity_ids(path(17)), 1);
+        run_and_check(&Network::with_identity_ids(cycle(16)), 2);
+        run_and_check(&Network::with_identity_ids(star(9)), 3);
+        let mis = run_and_check(&Network::with_identity_ids(complete(8)), 4);
+        assert_eq!(mis.len(), 1, "MIS of a clique is a single vertex");
+    }
+
+    #[test]
+    fn mis_on_random_graphs_with_scrambled_ids() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for seed in 0..5 {
+            let g = gnp(&mut rng, 80, 0.08);
+            let net = Network::with_scrambled_ids(g, seed);
+            run_and_check(&net, seed);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_always_join() {
+        let net = Network::with_identity_ids(pslocal_graph::Graph::empty(5));
+        let mis = run_and_check(&net, 0);
+        assert_eq!(mis.len(), 5);
+    }
+
+    #[test]
+    fn single_edge_picks_exactly_one() {
+        let g = pslocal_graph::Graph::from_edges(2, [(0, 1)]).unwrap();
+        let net = Network::with_identity_ids(g);
+        let mis = run_and_check(&net, 9);
+        assert_eq!(mis.len(), 1);
+    }
+
+    #[test]
+    fn round_count_is_logarithmic_in_practice() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = gnp(&mut rng, 300, 0.05);
+        let net = Network::with_identity_ids(g);
+        let exec = Engine::new(&net).seed(11).run(&LubyMis).unwrap();
+        // 2 rounds per iteration; expect well under 2 * 8 * log2(300) ≈ 132.
+        assert!(exec.trace.rounds <= 60, "rounds = {}", exec.trace.rounds);
+    }
+
+    #[test]
+    fn different_seeds_can_give_different_sets() {
+        let net = Network::with_identity_ids(cycle(21));
+        let a = run_and_check(&net, 1);
+        let b = run_and_check(&net, 2);
+        // Overwhelmingly likely on a 21-cycle.
+        assert_ne!(a, b);
+    }
+}

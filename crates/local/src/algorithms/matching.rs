@@ -1,0 +1,115 @@
+//! Maximal matching via MIS on the line graph.
+//!
+//! A matching of `G` is an independent set of `L(G)`; a *maximal*
+//! matching is an MIS of `L(G)`. Running Luby's algorithm on the line
+//! graph therefore yields an `O(log n)`-round randomized LOCAL maximal
+//! matching — with the standard accounting that one `L(G)` round is
+//! simulated by `O(1)` rounds of `G` (adjacent line-graph vertices
+//! share a `G`-endpoint, so their messages travel ≤ 2 `G`-hops).
+//! Maximal matching sits alongside MIS and coloring in the paper's
+//! landscape of "easy randomized, hard deterministic" LOCAL problems.
+
+use crate::algorithms::LubyMis;
+use crate::{Engine, Network, RoundLimitExceeded};
+use pslocal_graph::ops::{line_graph, matching_from_line_graph_set};
+use pslocal_graph::{Graph, NodeId};
+
+/// Result of the distributed maximal-matching computation.
+#[derive(Debug, Clone)]
+pub struct MaximalMatching {
+    /// The matched edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Luby rounds on the line graph.
+    pub line_rounds: usize,
+    /// Charged `G`-rounds (2 per line-graph round).
+    pub local_rounds: usize,
+}
+
+/// Computes a maximal matching of `graph` by running Luby's MIS on its
+/// line graph.
+///
+/// # Errors
+///
+/// Propagates [`RoundLimitExceeded`] from the MIS run.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_graph::ops::is_maximal_matching;
+/// use pslocal_local::algorithms::matching::maximal_matching;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = cycle(10);
+/// let m = maximal_matching(&g, 3)?;
+/// assert!(is_maximal_matching(&g, &m.edges));
+/// # Ok(())
+/// # }
+/// ```
+pub fn maximal_matching(graph: &Graph, seed: u64) -> Result<MaximalMatching, RoundLimitExceeded> {
+    let (lg, edges) = line_graph(graph);
+    if lg.is_empty() {
+        return Ok(MaximalMatching { edges: Vec::new(), line_rounds: 0, local_rounds: 0 });
+    }
+    let net = Network::with_identity_ids(lg);
+    let exec = Engine::new(&net).seed(seed).run(&LubyMis)?;
+    let set = LubyMis::members(&exec.states);
+    Ok(MaximalMatching {
+        edges: matching_from_line_graph_set(&edges, &set),
+        line_rounds: exec.trace.rounds,
+        local_rounds: 2 * exec.trace.rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::classic::{complete, cycle, path, star};
+    use pslocal_graph::generators::random::gnp;
+    use pslocal_graph::ops::is_maximal_matching;
+    use rand::SeedableRng;
+
+    fn check(g: &Graph, seed: u64) -> usize {
+        let m = maximal_matching(g, seed).unwrap();
+        assert!(is_maximal_matching(g, &m.edges), "not maximal: {:?}", m.edges);
+        assert_eq!(m.local_rounds, 2 * m.line_rounds);
+        m.edges.len()
+    }
+
+    #[test]
+    fn matches_classic_families() {
+        assert_eq!(check(&path(2), 1), 1);
+        assert!(check(&path(9), 2) >= 3);
+        assert!(check(&cycle(12), 3) >= 4);
+        // A star's matching has exactly one edge.
+        assert_eq!(check(&star(8), 4), 1);
+        // K_6: perfect matching possible, maximality forces ≥ 2.
+        assert!(check(&complete(6), 5) >= 2);
+    }
+
+    #[test]
+    fn matches_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for seed in 0..4 {
+            let g = gnp(&mut rng, 50, 0.1);
+            check(&g, seed);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_matches_nothing() {
+        let g = Graph::empty(5);
+        let m = maximal_matching(&g, 0).unwrap();
+        assert!(m.edges.is_empty());
+        assert_eq!(m.local_rounds, 0);
+    }
+
+    #[test]
+    fn matching_size_is_at_least_half_maximum() {
+        // Any maximal matching is a 2-approximation of the maximum one;
+        // on an even path the maximum is n/2 edges.
+        let g = path(20); // maximum matching = 10
+        let size = check(&g, 7);
+        assert!(size >= 5, "size = {size}");
+    }
+}

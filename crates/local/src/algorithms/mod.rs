@@ -1,0 +1,25 @@
+//! Classic LOCAL-model algorithms, implemented as
+//! [`LocalAlgorithm`](crate::LocalAlgorithm) state machines.
+//!
+//! * [`LubyMis`] — randomized MIS in `O(log n)` rounds w.h.p. [Lub86].
+//! * [`RandomColorTrial`] — randomized `(Δ+1)`-coloring in `O(log n)`
+//!   rounds w.h.p.
+//! * [`MisFromColoring`] / [`ColorReduction`] — deterministic reductions
+//!   between colorings and MIS.
+//! * [`ColeVishkinRing`] — deterministic `O(log* n)` ring 3-coloring.
+
+pub mod bfs;
+pub mod cole_vishkin;
+pub mod coloring;
+pub mod luby;
+pub mod matching;
+pub mod reduce;
+pub mod ruling;
+
+pub use bfs::{BfsState, LeaderBfs};
+pub use cole_vishkin::{ColeVishkinRing, CvState};
+pub use coloring::{RandomColorTrial, TrialMessage, TrialState};
+pub use luby::{LubyMessage, LubyMis, LubyState};
+pub use matching::{maximal_matching, MaximalMatching};
+pub use reduce::{ColorReduction, ColorReductionState, MisFromColoring, MisFromColoringState};
+pub use ruling::{ruling_set, verify_ruling_set, RulingSet};

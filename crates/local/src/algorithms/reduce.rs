@@ -1,0 +1,337 @@
+//! Deterministic LOCAL reductions between colorings and independent
+//! sets.
+//!
+//! Two classic deterministic building blocks:
+//!
+//! * [`MisFromColoring`] — given a proper `c`-coloring as input
+//!   labeling, computes an MIS in `c` rounds by processing one color
+//!   class per round (a color class is independent, so all its
+//!   still-unblocked nodes may join simultaneously).
+//! * [`ColorReduction`] — given a proper `c`-coloring, reduces it to a
+//!   `(Δ+1)`-coloring in `max(c - Δ - 1, 0)` rounds by recoloring one
+//!   top color class per round to the smallest free color.
+//!
+//! Together with Luby-type randomized routines these exhibit the classic
+//! trade-off the P-SLOCAL programme formalizes: deterministic LOCAL
+//! algorithms are fast *given* a good coloring, and the hard part is
+//! obtaining the coloring deterministically.
+
+use crate::runtime::{Incoming, LocalAlgorithm, NodeInfo, Outbox};
+use pslocal_graph::{Color, NodeId};
+use rand::rngs::StdRng;
+
+/// Computes an MIS from a proper input coloring in `#colors` rounds.
+///
+/// The input coloring is part of the *local input* of each node (in the
+/// LOCAL model every node knows its own input label), modelled here as a
+/// vector indexed by node.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::algo::greedy_coloring_identity;
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_local::{algorithms::MisFromColoring, Engine, Network};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = cycle(10);
+/// let coloring = greedy_coloring_identity(&g);
+/// let algo = MisFromColoring::new(coloring);
+/// let net = Network::with_identity_ids(g);
+/// let exec = Engine::new(&net).run(&algo)?;
+/// let mis = MisFromColoring::members(&exec.states);
+/// assert!(net.graph().is_maximal_independent_set(&mis));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisFromColoring {
+    input: Vec<Color>,
+    color_count: usize,
+}
+
+/// Per-node state of [`MisFromColoring`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisFromColoringState {
+    /// The node's input color (its scheduled round).
+    color: u32,
+    /// Rounds already executed.
+    clock: u32,
+    /// Decision: `None` while waiting, then joined or blocked.
+    decided: Option<bool>,
+}
+
+/// Message of [`MisFromColoring`]: "I joined".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Joined;
+
+impl MisFromColoring {
+    /// Creates the algorithm for the given proper input coloring.
+    pub fn new(input: Vec<Color>) -> Self {
+        let color_count = input.iter().map(|c| c.index() + 1).max().unwrap_or(0);
+        MisFromColoring { input, color_count }
+    }
+
+    /// Number of rounds the schedule needs (the largest color + 1).
+    pub fn schedule_length(&self) -> usize {
+        self.color_count
+    }
+
+    /// Extracts MIS membership from final states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node never decided.
+    pub fn members(states: &[MisFromColoringState]) -> Vec<NodeId> {
+        states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.decided {
+                Some(true) => Some(NodeId::new(i)),
+                Some(false) => None,
+                None => panic!("node {i} never decided"),
+            })
+            .collect()
+    }
+
+    fn step(
+        &self,
+        state: &mut MisFromColoringState,
+        heard_join: bool,
+    ) -> Outbox<Joined> {
+        if heard_join && state.decided.is_none() {
+            state.decided = Some(false);
+        }
+        let out = if state.clock == state.color && state.decided.is_none() {
+            state.decided = Some(true);
+            Outbox::Broadcast(Joined)
+        } else {
+            Outbox::Silent
+        };
+        state.clock += 1;
+        out
+    }
+}
+
+impl LocalAlgorithm for MisFromColoring {
+    type State = MisFromColoringState;
+    type Message = Joined;
+
+    fn init(&self, info: NodeInfo, _rng: &mut StdRng) -> (Self::State, Outbox<Joined>) {
+        let mut state = MisFromColoringState {
+            color: self.input[info.node.index()].raw(),
+            clock: 0,
+            decided: None,
+        };
+        let out = self.step(&mut state, false);
+        (state, out)
+    }
+
+    fn round(
+        &self,
+        _info: NodeInfo,
+        state: &mut Self::State,
+        inbox: &[Incoming<Joined>],
+        _rng: &mut StdRng,
+    ) -> Outbox<Joined> {
+        self.step(state, !inbox.is_empty())
+    }
+
+    fn is_halted(&self, state: &Self::State) -> bool {
+        // A node may halt as soon as it decided AND its announcement has
+        // been handed to the engine (clock advanced past its color).
+        state.decided.is_some() && state.clock > state.color
+            || state.decided == Some(false)
+    }
+}
+
+/// Reduces a proper `c`-coloring to a `(Δ+1)`-coloring, one top color
+/// class per round.
+///
+/// Round `r` recolors the class with color `c - 1 - r` (if that color is
+/// `≥ Δ+1`) to the smallest color in `{0..Δ}` unused by its neighbors
+/// — color classes are independent, so simultaneous recoloring is safe.
+/// Every node broadcasts its current color every round so the scheduled
+/// class always has a fresh view.
+#[derive(Debug, Clone)]
+pub struct ColorReduction {
+    input: Vec<Color>,
+    target_colors: usize,
+    schedule: usize,
+}
+
+/// Per-node state of [`ColorReduction`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorReductionState {
+    /// Current color.
+    color: u32,
+    /// Rounds executed.
+    clock: u32,
+    /// Latest colors heard per port.
+    neighbor_colors: Vec<u32>,
+}
+
+impl ColorReduction {
+    /// Creates the reduction for `input` (a proper coloring) targeting
+    /// `Δ + 1` colors, where `Δ` is the maximum degree of the network
+    /// the algorithm will run on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_colors == 0`.
+    pub fn new(input: Vec<Color>, target_colors: usize) -> Self {
+        assert!(target_colors > 0, "target palette must be non-empty");
+        let c = input.iter().map(|c| c.index() + 1).max().unwrap_or(0);
+        let schedule = c.saturating_sub(target_colors);
+        ColorReduction { input, target_colors, schedule }
+    }
+
+    /// Number of recoloring rounds the schedule needs.
+    pub fn schedule_length(&self) -> usize {
+        self.schedule
+    }
+
+    /// Extracts the final colors.
+    pub fn colors(states: &[ColorReductionState]) -> Vec<Color> {
+        states.iter().map(|s| Color::from(s.color)).collect()
+    }
+}
+
+impl LocalAlgorithm for ColorReduction {
+    type State = ColorReductionState;
+    type Message = u32;
+
+    fn init(&self, info: NodeInfo, _rng: &mut StdRng) -> (Self::State, Outbox<u32>) {
+        let color = self.input[info.node.index()].raw();
+        let state = ColorReductionState {
+            color,
+            clock: 0,
+            neighbor_colors: vec![u32::MAX; info.degree],
+        };
+        if self.schedule == 0 {
+            (state, Outbox::Silent)
+        } else {
+            (state, Outbox::Broadcast(color))
+        }
+    }
+
+    fn round(
+        &self,
+        info: NodeInfo,
+        state: &mut Self::State,
+        inbox: &[Incoming<u32>],
+        _rng: &mut StdRng,
+    ) -> Outbox<u32> {
+        for m in inbox {
+            state.neighbor_colors[m.port] = m.message;
+        }
+        // Round r (clock r) recolors class `top - r` where `top` is the
+        // highest input color.
+        let top = (self.input.iter().map(|c| c.raw() + 1).max().unwrap_or(0)) - 1;
+        let scheduled = top - state.clock;
+        if state.color == scheduled && state.color as usize >= self.target_colors {
+            let free = (0..self.target_colors as u32)
+                .find(|c| !state.neighbor_colors[..info.degree].contains(c))
+                .expect("Δ+1 colors always leave one free");
+            state.color = free;
+        }
+        state.clock += 1;
+        if (state.clock as usize) < self.schedule {
+            Outbox::Broadcast(state.color)
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn is_halted(&self, state: &Self::State) -> bool {
+        state.clock as usize >= self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Network};
+    use pslocal_graph::algo::{color_count, greedy_coloring_identity};
+    use pslocal_graph::generators::classic::{cycle, grid, path};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mis_from_coloring_on_cycle() {
+        let g = cycle(11);
+        let coloring = greedy_coloring_identity(&g);
+        let algo = MisFromColoring::new(coloring);
+        let net = Network::with_identity_ids(g);
+        let exec = Engine::new(&net).run(&algo).unwrap();
+        let mis = MisFromColoring::members(&exec.states);
+        assert!(net.graph().is_maximal_independent_set(&mis));
+        assert!(exec.trace.rounds <= algo.schedule_length() + 1);
+    }
+
+    #[test]
+    fn mis_from_coloring_is_deterministic() {
+        let g = gnp(&mut rand::rngs::StdRng::seed_from_u64(3), 60, 0.1);
+        let coloring = greedy_coloring_identity(&g);
+        let net = Network::with_identity_ids(g);
+        let algo = MisFromColoring::new(coloring);
+        let a = Engine::new(&net).seed(1).run(&algo).unwrap();
+        let b = Engine::new(&net).seed(99).run(&algo).unwrap();
+        assert_eq!(MisFromColoring::members(&a.states), MisFromColoring::members(&b.states));
+    }
+
+    #[test]
+    fn mis_round_complexity_equals_color_count() {
+        let g = path(30);
+        let coloring = greedy_coloring_identity(&g); // 2 colors
+        let algo = MisFromColoring::new(coloring);
+        assert_eq!(algo.schedule_length(), 2);
+        let net = Network::with_identity_ids(g);
+        let exec = Engine::new(&net).run(&algo).unwrap();
+        assert!(exec.trace.rounds <= 2);
+    }
+
+    #[test]
+    fn color_reduction_reaches_delta_plus_one() {
+        let g = grid(5, 6);
+        let delta = g.max_degree();
+        // Start from the wasteful coloring "color = node index".
+        let wasteful: Vec<Color> = (0..g.node_count()).map(Color::new).collect();
+        assert!(g.is_proper_coloring(&wasteful));
+        let algo = ColorReduction::new(wasteful, delta + 1);
+        let net = Network::with_identity_ids(g);
+        let exec =
+            Engine::new(&net).max_rounds(algo.schedule_length() + 2).run(&algo).unwrap();
+        let colors = ColorReduction::colors(&exec.states);
+        assert!(net.graph().is_proper_coloring(&colors));
+        assert!(color_count(&colors) <= delta + 1);
+        assert_eq!(exec.trace.rounds, algo.schedule_length());
+    }
+
+    #[test]
+    fn color_reduction_noop_when_already_small() {
+        let g = cycle(8);
+        let coloring = greedy_coloring_identity(&g); // 2 colors ≤ Δ+1 = 3
+        let algo = ColorReduction::new(coloring.clone(), 3);
+        assert_eq!(algo.schedule_length(), 0);
+        let net = Network::with_identity_ids(g);
+        let exec = Engine::new(&net).run(&algo).unwrap();
+        assert_eq!(exec.trace.rounds, 0);
+        assert_eq!(ColorReduction::colors(&exec.states), coloring);
+    }
+
+    #[test]
+    fn color_reduction_on_random_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let g = gnp(&mut rng, 50, 0.15);
+        let delta = g.max_degree();
+        let wasteful: Vec<Color> = (0..g.node_count()).map(Color::new).collect();
+        let algo = ColorReduction::new(wasteful, delta + 1);
+        let net = Network::with_identity_ids(g);
+        let exec =
+            Engine::new(&net).max_rounds(algo.schedule_length() + 2).run(&algo).unwrap();
+        let colors = ColorReduction::colors(&exec.states);
+        assert!(net.graph().is_proper_coloring(&colors));
+        assert!(color_count(&colors) <= delta + 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Ruling sets: the standard generalization of MIS in the locality
+//! toolbox.
+//!
+//! An `(α, β)`-ruling set is a vertex set `S` with pairwise distance
+//! `≥ α` between members and every vertex within distance `β` of `S`.
+//! An MIS is exactly a `(2, 1)`-ruling set, and an MIS of the power
+//! graph `G^t` is a `(t+1, t)`-ruling set of `G` — computable in the
+//! LOCAL model with a factor-`t` round overhead (each `G^t` round is
+//! simulated by `t` rounds of `G`). Both facts are implemented and
+//! verified here; the round accounting mirrors the simulation argument
+//! used throughout the P-SLOCAL literature.
+
+use crate::algorithms::LubyMis;
+use crate::{Engine, Network, RoundLimitExceeded};
+use pslocal_graph::algo::bfs_distances;
+use pslocal_graph::ops::power_graph;
+use pslocal_graph::{Graph, NodeId};
+
+/// Result of a ruling-set computation.
+#[derive(Debug, Clone)]
+pub struct RulingSet {
+    /// The members of the set.
+    pub members: Vec<NodeId>,
+    /// The independence parameter α (pairwise distance ≥ α).
+    pub alpha: usize,
+    /// The domination parameter β (everyone within β).
+    pub beta: usize,
+    /// LOCAL rounds charged: `t ×` the power-graph MIS rounds.
+    pub local_rounds: usize,
+}
+
+/// Computes a `(t+1, t)`-ruling set of `graph` as an MIS of `G^t`,
+/// using Luby's algorithm on the power graph.
+///
+/// LOCAL-model accounting: every round on `G^t` costs `t` rounds on
+/// `G` (messages are relayed along paths of length ≤ t), so the
+/// reported `local_rounds` is `t ×` the Luby round count.
+///
+/// # Errors
+///
+/// Propagates [`RoundLimitExceeded`] if Luby's algorithm exceeds its
+/// (generous) budget.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_local::algorithms::ruling::{ruling_set, verify_ruling_set};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = cycle(24);
+/// let rs = ruling_set(&g, 2, 7)?;
+/// assert!(verify_ruling_set(&g, &rs.members, rs.alpha, rs.beta));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ruling_set(graph: &Graph, t: usize, seed: u64) -> Result<RulingSet, RoundLimitExceeded> {
+    assert!(t >= 1, "t must be at least 1 (t = 1 gives an MIS)");
+    let power = if t == 1 { graph.clone() } else { power_graph(graph, t) };
+    let net = Network::with_identity_ids(power);
+    let exec = Engine::new(&net).seed(seed).run(&LubyMis)?;
+    let members = LubyMis::members(&exec.states);
+    Ok(RulingSet { members, alpha: t + 1, beta: t, local_rounds: t * exec.trace.rounds })
+}
+
+/// Verifies the `(α, β)`-ruling-set property directly against `graph`:
+/// members pairwise at distance ≥ α, every vertex within β of some
+/// member. Vertices unreachable from any member fail domination unless
+/// they are members themselves.
+pub fn verify_ruling_set(graph: &Graph, members: &[NodeId], alpha: usize, beta: usize) -> bool {
+    let n = graph.node_count();
+    if n == 0 {
+        return members.is_empty();
+    }
+    // Multi-source BFS for domination; pairwise BFS for independence.
+    let mut dominated = vec![u32::MAX; n];
+    for &s in members {
+        let dist = bfs_distances(graph, s);
+        for v in 0..n {
+            dominated[v] = dominated[v].min(dist[v]);
+        }
+    }
+    if dominated.iter().any(|&d| d as usize > beta) {
+        return false;
+    }
+    for (i, &u) in members.iter().enumerate() {
+        let dist = bfs_distances(graph, u);
+        for &v in &members[i + 1..] {
+            if (dist[v.index()] as usize) < alpha {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::classic::{cycle, grid, path};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mis_is_a_2_1_ruling_set() {
+        let g = cycle(20);
+        let rs = ruling_set(&g, 1, 3).unwrap();
+        assert_eq!((rs.alpha, rs.beta), (2, 1));
+        assert!(verify_ruling_set(&g, &rs.members, 2, 1));
+        assert!(g.is_maximal_independent_set(&rs.members));
+    }
+
+    #[test]
+    fn higher_t_spreads_members_out() {
+        let g = path(40);
+        for t in 2..=4 {
+            let rs = ruling_set(&g, t, 7).unwrap();
+            assert!(
+                verify_ruling_set(&g, &rs.members, t + 1, t),
+                "t = {t}, members = {:?}",
+                rs.members
+            );
+            assert!(rs.local_rounds >= rs.local_rounds / t * t);
+        }
+    }
+
+    #[test]
+    fn ruling_sets_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for seed in 0..3 {
+            let g = gnp(&mut rng, 60, 0.08);
+            let rs = ruling_set(&g, 2, seed).unwrap();
+            assert!(verify_ruling_set(&g, &rs.members, 3, 2));
+        }
+    }
+
+    #[test]
+    fn round_accounting_scales_with_t() {
+        let g = grid(8, 8);
+        let r1 = ruling_set(&g, 1, 1).unwrap();
+        let r3 = ruling_set(&g, 3, 1).unwrap();
+        // local_rounds for t = 3 charges 3 G-rounds per power round.
+        assert_eq!(r3.local_rounds % 3, 0);
+        assert!(r1.local_rounds >= 1);
+    }
+
+    #[test]
+    fn verifier_rejects_bad_sets() {
+        let g = path(10);
+        // Adjacent members violate α = 2.
+        assert!(!verify_ruling_set(&g, &[NodeId::new(0), NodeId::new(1)], 2, 9));
+        // An empty set dominates nothing.
+        assert!(!verify_ruling_set(&g, &[], 2, 1));
+        // Sparse set violates β = 1.
+        assert!(!verify_ruling_set(&g, &[NodeId::new(0)], 2, 1));
+        // But is fine for β = 9.
+        assert!(verify_ruling_set(&g, &[NodeId::new(0)], 2, 9));
+        // Empty graph, empty set: vacuously fine.
+        assert!(verify_ruling_set(&Graph::empty(0), &[], 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "t must be at least 1")]
+    fn zero_t_panics() {
+        let _ = ruling_set(&path(3), 0, 0);
+    }
+}

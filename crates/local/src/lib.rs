@@ -1,0 +1,49 @@
+//! # pslocal-local
+//!
+//! A synchronous simulator of the **LOCAL model** of distributed
+//! computing [Lin92], the ambient machine model of *"P-SLOCAL-
+//! Completeness of Maximum Independent Set Approximation"* (Maus,
+//! PODC 2019).
+//!
+//! In the LOCAL model the input graph is the communication network:
+//! per round, each node sends one unbounded message to each neighbor,
+//! receives its neighbors' messages, and updates its state. The only
+//! complexity measure is the number of rounds, so after `r` rounds a
+//! node's output is a function of its `r`-hop neighborhood — *locality*
+//! in the sense the paper builds on.
+//!
+//! * [`Network`] — graph + unique identifiers + ports.
+//! * [`Engine`] — the round executor with message/round accounting; it
+//!   structurally enforces the model (a node sees only its inbox).
+//! * [`algorithms`] — Luby's MIS, random-trial `(Δ+1)`-coloring,
+//!   MIS-from-coloring, color reduction, and Cole–Vishkin ring
+//!   3-coloring.
+//!
+//! # Examples
+//!
+//! ```
+//! use pslocal_graph::generators::classic::cycle;
+//! use pslocal_local::{algorithms::LubyMis, Engine, Network};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Network::with_identity_ids(cycle(20));
+//! let exec = Engine::new(&net).seed(42).run(&LubyMis)?;
+//! let mis = LubyMis::members(&exec.states);
+//! assert!(net.graph().is_maximal_independent_set(&mis));
+//! println!("MIS of size {} in {} rounds", mis.len(), exec.trace.rounds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod network;
+pub mod runtime;
+
+pub use network::Network;
+pub use runtime::{
+    Engine, Execution, ExecutionTrace, Incoming, LocalAlgorithm, NodeInfo, Outbox,
+    RoundLimitExceeded,
+};

@@ -1,0 +1,167 @@
+//! Networks: the communication topology of the LOCAL model.
+//!
+//! In the LOCAL model the input graph *is* the communication network:
+//! vertices are processors with unique identifiers, edges are
+//! bidirectional links, and a node refers to its incident links by
+//! *port numbers* `0..deg(v)`. [`Network`] wraps a
+//! [`Graph`](pslocal_graph::Graph) with an identifier assignment and the
+//! port <-> neighbor correspondence.
+
+use pslocal_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A LOCAL-model network: a graph plus unique node identifiers.
+///
+/// Port `p` of node `v` leads to `graph.neighbors(v)[p]`; ports are
+/// consistent across rounds (the neighbor lists are immutable).
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_local::Network;
+///
+/// let net = Network::with_identity_ids(cycle(5));
+/// assert_eq!(net.node_count(), 5);
+/// assert_eq!(net.id_of(pslocal_graph::NodeId::new(3)), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    graph: Graph,
+    /// `ids[v]` is the unique identifier of node `v`.
+    ids: Vec<u64>,
+}
+
+impl Network {
+    /// Wraps `graph` with explicit unique identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != n` or the identifiers are not pairwise
+    /// distinct.
+    pub fn new(graph: Graph, ids: Vec<u64>) -> Self {
+        assert_eq!(ids.len(), graph.node_count(), "one identifier per node required");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert!(sorted.windows(2).all(|w| w[0] != w[1]), "identifiers must be unique");
+        Network { graph, ids }
+    }
+
+    /// Wraps `graph` using each node's index as its identifier.
+    pub fn with_identity_ids(graph: Graph) -> Self {
+        let ids = (0..graph.node_count() as u64).collect();
+        Network { graph, ids }
+    }
+
+    /// Wraps `graph` with pseudo-random (but unique) identifiers derived
+    /// from `seed` — useful to check that algorithms do not secretly
+    /// depend on identifiers being `0..n`.
+    pub fn with_scrambled_ids(graph: Graph, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = graph.node_count() as u64;
+        // Unique ids in a sparse range: shuffled multiples plus offset.
+        let mut ids: Vec<u64> = (0..n).map(|i| i * 7 + 13).collect();
+        ids.shuffle(&mut rng);
+        Network { graph, ids }
+    }
+
+    /// The underlying communication graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The unique identifier of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn id_of(&self, v: NodeId) -> u64 {
+        self.ids[v.index()]
+    }
+
+    /// Degree of `v` (the number of ports).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.graph.degree(v)
+    }
+
+    /// The neighbor behind port `p` of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    #[inline]
+    pub fn neighbor_at_port(&self, v: NodeId, p: usize) -> NodeId {
+        self.graph.neighbors(v)[p]
+    }
+
+    /// The port of `v` that leads to neighbor `u`, if adjacent.
+    pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<usize> {
+        self.graph.neighbors(v).binary_search(&u).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::classic::{cycle, star};
+
+    #[test]
+    fn identity_ids() {
+        let net = Network::with_identity_ids(cycle(4));
+        for v in net.graph().nodes() {
+            assert_eq!(net.id_of(v), v.index() as u64);
+        }
+    }
+
+    #[test]
+    fn scrambled_ids_are_unique_and_seeded() {
+        let a = Network::with_scrambled_ids(cycle(10), 3);
+        let b = Network::with_scrambled_ids(cycle(10), 3);
+        let c = Network::with_scrambled_ids(cycle(10), 4);
+        let ids_a: Vec<_> = a.graph().nodes().map(|v| a.id_of(v)).collect();
+        let ids_b: Vec<_> = b.graph().nodes().map(|v| b.id_of(v)).collect();
+        let ids_c: Vec<_> = c.graph().nodes().map(|v| c.id_of(v)).collect();
+        assert_eq!(ids_a, ids_b);
+        assert_ne!(ids_a, ids_c);
+        let mut sorted = ids_a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be unique")]
+    fn duplicate_ids_panic() {
+        let _ = Network::new(cycle(3), vec![1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one identifier per node")]
+    fn wrong_id_count_panics() {
+        let _ = Network::new(cycle(3), vec![1, 2]);
+    }
+
+    #[test]
+    fn ports_round_trip() {
+        let net = Network::with_identity_ids(star(5));
+        let center = NodeId::new(0);
+        assert_eq!(net.degree(center), 4);
+        for p in 0..4 {
+            let u = net.neighbor_at_port(center, p);
+            assert_eq!(net.port_to(center, u), Some(p));
+            assert_eq!(net.port_to(u, center), Some(0));
+        }
+        assert_eq!(net.port_to(NodeId::new(1), NodeId::new(2)), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Adversarial and stress-testing oracles.
+//!
+//! The reduction experiments need oracles that are *exactly* as weak as
+//! their contract allows (to exercise the paper's worst-case phase
+//! budget) and oracles that are *broken* (to show the pipeline's
+//! verification actually catches violations):
+//!
+//! * [`PrecisionOracle`] — wraps the exact solver but returns only
+//!   `⌈α/λ⌉` vertices: a *precisely* `λ`-approximate oracle, realizing
+//!   the envelope `|E_{i+1}| = (1 − 1/λ)|E_i|` the proof budgets for
+//!   (experiment F1).
+//! * [`WorstWitnessOracle`] — returns a single-vertex set and declares
+//!   [`ApproxGuarantee::Heuristic`] (no factor). Downstream budgeted
+//!   pipelines must refuse it unless given an explicit λ override —
+//!   the failure-injection tests exercise exactly that refusal.
+
+use crate::exact::ExactOracle;
+use crate::oracle::{ApproxGuarantee, MaxIsOracle};
+use pslocal_graph::{Graph, IndependentSet};
+
+/// An oracle that is *exactly* λ-approximate: it computes a maximum
+/// independent set and keeps only `⌈α/λ⌉` of its vertices.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::star;
+/// use pslocal_maxis::{MaxIsOracle, PrecisionOracle};
+///
+/// // α(K_{1,9}) = 9; a 3-approximate oracle returns exactly 3 leaves.
+/// let oracle = PrecisionOracle::new(3.0);
+/// assert_eq!(oracle.independent_set(&star(10)).len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PrecisionOracle {
+    lambda: f64,
+}
+
+impl PrecisionOracle {
+    /// Creates the oracle with factor `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda ≥ 1`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 1.0, "approximation factor must be at least 1, got {lambda}");
+        PrecisionOracle { lambda }
+    }
+
+    /// The configured factor.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl MaxIsOracle for PrecisionOracle {
+    fn name(&self) -> &'static str {
+        "precision-lambda"
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        let full = ExactOracle.independent_set(graph);
+        if full.is_empty() {
+            return full;
+        }
+        let keep = ((full.len() as f64) / self.lambda).ceil().max(1.0) as usize;
+        let kept: Vec<_> =
+            full.vertices().iter().copied().take(keep.min(full.len())).collect();
+        IndependentSet::new(graph, kept).expect("subset of an independent set")
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        ApproxGuarantee::Factor(self.lambda)
+    }
+}
+
+/// A contract-free oracle returning one arbitrary vertex (or nothing);
+/// declares no guarantee, so budgeted pipelines must reject it unless
+/// given an explicit override.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstWitnessOracle;
+
+impl MaxIsOracle for WorstWitnessOracle {
+    fn name(&self) -> &'static str {
+        "worst-witness"
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        let first: Vec<_> = graph.nodes().take(1).collect();
+        IndependentSet::new(graph, first).expect("singletons are independent")
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        ApproxGuarantee::Heuristic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::classic::{cycle, path, star};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn precision_oracle_is_exactly_lambda() {
+        let g = star(13); // α = 12
+        for lambda in [1.0, 2.0, 3.0, 4.0, 6.0, 12.0] {
+            let set = PrecisionOracle::new(lambda).independent_set(&g);
+            assert_eq!(set.len(), (12.0 / lambda).ceil() as usize, "λ = {lambda}");
+            assert!(g.is_independent_set(set.vertices()));
+        }
+    }
+
+    #[test]
+    fn precision_oracle_never_returns_empty_on_nonempty_graphs() {
+        let g = cycle(5);
+        let set = PrecisionOracle::new(100.0).independent_set(&g);
+        assert_eq!(set.len(), 1);
+        let empty = PrecisionOracle::new(2.0).independent_set(&pslocal_graph::Graph::empty(0));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unit_lambda_panics() {
+        let _ = PrecisionOracle::new(0.5);
+    }
+
+    #[test]
+    fn precision_oracle_guarantee_reports_factor() {
+        let oracle = PrecisionOracle::new(2.5);
+        assert_eq!(oracle.lambda(), 2.5);
+        assert_eq!(oracle.guarantee(), ApproxGuarantee::Factor(2.5));
+        assert_eq!(oracle.lambda_for(&path(4)), Some(2.5));
+    }
+
+    #[test]
+    fn worst_witness_declares_nothing() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = gnp(&mut rng, 20, 0.3);
+        let oracle = WorstWitnessOracle;
+        assert_eq!(oracle.independent_set(&g).len(), 1);
+        assert_eq!(oracle.lambda_for(&g), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Upper bounds on the independence number and realized-λ measurement.
+//!
+//! The reduction's phase budget uses the oracle's *theoretical* λ; the
+//! experiment tables additionally report the *realized* approximation
+//! ratio. On instances small enough for the exact solver the ratio is
+//! exact; otherwise a clique-cover upper bound on `α` certifies an
+//! upper bound on the ratio.
+
+use crate::exact::ExactOracle;
+use crate::oracle::MaxIsOracle;
+use pslocal_graph::algo::clique_cover_bound;
+use pslocal_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Instance-size threshold below which `α` is computed exactly.
+pub const EXACT_ALPHA_THRESHOLD: usize = 40;
+
+/// A certified upper bound on `α(G)` together with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlphaBound {
+    /// The bound value.
+    pub value: usize,
+    /// Whether the bound is exact (`value == α`).
+    pub exact: bool,
+}
+
+/// Computes a certified upper bound on `α(graph)`: exact up to
+/// [`EXACT_ALPHA_THRESHOLD`] vertices, clique-cover beyond.
+pub fn alpha_upper_bound(graph: &Graph) -> AlphaBound {
+    alpha_upper_bound_with_threshold(graph, EXACT_ALPHA_THRESHOLD)
+}
+
+/// [`alpha_upper_bound`] with an explicit exact-solve threshold.
+pub fn alpha_upper_bound_with_threshold(graph: &Graph, threshold: usize) -> AlphaBound {
+    if graph.node_count() <= threshold {
+        AlphaBound { value: ExactOracle.independence_number(graph), exact: true }
+    } else {
+        AlphaBound { value: clique_cover_bound(graph), exact: false }
+    }
+}
+
+/// The measured quality of one oracle run on one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioMeasurement {
+    /// Size of the independent set the oracle produced.
+    pub size: usize,
+    /// Certified upper bound on `α`.
+    pub alpha_bound: AlphaBound,
+    /// `alpha_bound / size` — an upper bound on the realized λ (exact
+    /// when `alpha_bound.exact`); `None` when the oracle returned an
+    /// empty set on a graph with vertices.
+    pub realized_lambda: Option<f64>,
+}
+
+/// Runs `oracle` on `graph` and measures its realized approximation
+/// ratio.
+pub fn measure_ratio<O: MaxIsOracle + ?Sized>(oracle: &O, graph: &Graph) -> RatioMeasurement {
+    let set = oracle.independent_set(graph);
+    let alpha_bound = alpha_upper_bound(graph);
+    let realized_lambda = if set.is_empty() {
+        (alpha_bound.value == 0).then_some(1.0)
+    } else {
+        Some(alpha_bound.value as f64 / set.len() as f64)
+    };
+    RatioMeasurement { size: set.len(), alpha_bound, realized_lambda }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyOracle;
+    use pslocal_graph::generators::classic::{cluster_graph, cycle, path};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_instances_get_exact_alpha() {
+        let g = cycle(9);
+        let b = alpha_upper_bound(&g);
+        assert!(b.exact);
+        assert_eq!(b.value, 4);
+    }
+
+    #[test]
+    fn large_instances_get_cover_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = gnp(&mut rng, 100, 0.1);
+        let b = alpha_upper_bound(&g);
+        assert!(!b.exact);
+        // Any valid upper bound dominates any independent set.
+        let greedy = GreedyOracle.independent_set(&g);
+        assert!(b.value >= greedy.len());
+    }
+
+    #[test]
+    fn cover_bound_is_tight_on_cluster_graphs() {
+        let g = cluster_graph(7, 5);
+        let b = alpha_upper_bound_with_threshold(&g, 0);
+        assert!(!b.exact);
+        assert_eq!(b.value, 7); // greedy clique cover finds the cliques
+    }
+
+    #[test]
+    fn ratio_measurement_on_path() {
+        let g = path(9); // α = 5, greedy finds 5
+        let m = measure_ratio(&GreedyOracle, &g);
+        assert_eq!(m.size, 5);
+        assert!(m.alpha_bound.exact);
+        assert_eq!(m.realized_lambda, Some(1.0));
+    }
+
+    #[test]
+    fn ratio_on_empty_graph() {
+        let g = pslocal_graph::Graph::empty(0);
+        let m = measure_ratio(&GreedyOracle, &g);
+        assert_eq!(m.size, 0);
+        assert_eq!(m.realized_lambda, Some(1.0));
+    }
+
+    #[test]
+    fn threshold_switch_is_respected() {
+        let g = cycle(20);
+        assert!(alpha_upper_bound_with_threshold(&g, 30).exact);
+        assert!(!alpha_upper_bound_with_threshold(&g, 10).exact);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimum-degree greedy MaxIS.
+//!
+//! Repeatedly takes a minimum-degree vertex of the residual graph and
+//! deletes its closed neighborhood. Guarantees:
+//!
+//! * the output is *maximal*, hence at least `n / (Δ+1)`, hence a
+//!   `(Δ+1)`-approximation of `α(G)`;
+//! * it meets the Turán bound `n / (d̄ + 1)` (Wei's theorem), which the
+//!   tests check explicitly.
+
+use crate::oracle::{ApproxGuarantee, MaxIsOracle};
+use pslocal_graph::{Graph, IndependentSet, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Minimum-degree greedy oracle (λ = Δ + 1).
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::star;
+/// use pslocal_maxis::{GreedyOracle, MaxIsOracle};
+///
+/// // The greedy takes the leaves, not the hub.
+/// let is = GreedyOracle::default().independent_set(&star(8));
+/// assert_eq!(is.len(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyOracle;
+
+impl MaxIsOracle for GreedyOracle {
+    fn name(&self) -> &'static str {
+        "greedy-min-degree"
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        let n = graph.node_count();
+        let mut alive = vec![true; n];
+        let mut degree: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+        let mut heap: BinaryHeap<Reverse<(usize, NodeId)>> =
+            graph.nodes().map(|v| Reverse((degree[v.index()], v))).collect();
+        let mut chosen = Vec::new();
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if !alive[v.index()] || d != degree[v.index()] {
+                continue; // stale entry
+            }
+            chosen.push(v);
+            alive[v.index()] = false;
+            for &u in graph.neighbors(v) {
+                if alive[u.index()] {
+                    alive[u.index()] = false;
+                    for &w in graph.neighbors(u) {
+                        if alive[w.index()] {
+                            degree[w.index()] -= 1;
+                            heap.push(Reverse((degree[w.index()], w)));
+                        }
+                    }
+                }
+            }
+        }
+        IndependentSet::new(graph, chosen).expect("greedy output is independent")
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        ApproxGuarantee::MaxDegreePlusOne
+    }
+}
+
+/// The Turán lower bound `⌈n / (d̄ + 1)⌉` that minimum-degree greedy is
+/// guaranteed to meet (Wei's theorem gives the stronger
+/// `Σ 1/(deg(v)+1)`, also exposed for experiment tables).
+pub fn turan_bound(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let avg = graph.average_degree();
+    (n as f64 / (avg + 1.0)).ceil() as usize
+}
+
+/// Wei's bound `Σ_v 1 / (deg(v) + 1) ≤ α(G)`.
+pub fn wei_bound(graph: &Graph) -> f64 {
+    graph.nodes().map(|v| 1.0 / (graph.degree(v) as f64 + 1.0)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactOracle;
+    use pslocal_graph::generators::classic::{cluster_graph, complete, cycle, path, star};
+    use pslocal_graph::generators::random::{gnp, random_regular};
+    use rand::SeedableRng;
+
+    fn check(g: &Graph) -> usize {
+        let is = GreedyOracle.independent_set(g);
+        assert!(g.is_independent_set(is.vertices()));
+        assert!(g.is_maximal_independent_set(is.vertices()), "greedy must be maximal");
+        assert!(is.len() >= turan_bound(g), "misses Turán: {} < {}", is.len(), turan_bound(g));
+        assert!(is.len() as f64 >= wei_bound(g) - 1e-9, "misses Wei");
+        is.len()
+    }
+
+    #[test]
+    fn greedy_on_closed_forms() {
+        assert_eq!(check(&path(9)), 5); // greedy is optimal on paths
+        assert_eq!(check(&complete(7)), 1);
+        assert_eq!(check(&star(6)), 5);
+        assert_eq!(check(&cluster_graph(4, 4)), 4); // optimal on cluster graphs
+        assert_eq!(check(&Graph::empty(5)), 5);
+        assert_eq!(check(&Graph::empty(0)), 0);
+        check(&cycle(11));
+    }
+
+    #[test]
+    fn greedy_respects_delta_plus_one_guarantee() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..6 {
+            let g = gnp(&mut rng, 40, 0.2);
+            let greedy = GreedyOracle.independent_set(&g).len();
+            let alpha = ExactOracle.independence_number(&g);
+            let lambda = g.max_degree() as f64 + 1.0;
+            assert!(
+                greedy as f64 >= alpha as f64 / lambda,
+                "greedy {greedy} below α/λ = {alpha}/{lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_often_near_optimal_on_sparse_regular() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = random_regular(&mut rng, 60, 3);
+        let greedy = check(&g);
+        let alpha = ExactOracle.independence_number(&g);
+        assert!(greedy * 2 >= alpha, "greedy {greedy} vs α {alpha}");
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        let g = cycle(12);
+        assert_eq!(turan_bound(&g), 4);
+        assert!((wei_bound(&g) - 4.0).abs() < 1e-9);
+        assert_eq!(turan_bound(&Graph::empty(0)), 0);
+        let k = complete(5);
+        assert_eq!(turan_bound(&k), 1);
+    }
+
+    #[test]
+    fn oracle_metadata() {
+        assert_eq!(GreedyOracle.name(), "greedy-min-degree");
+        let g = cycle(5);
+        assert_eq!(GreedyOracle.lambda_for(&g), Some(3.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Local-search polishing of independent sets: `(1, 2)`-swaps.
+//!
+//! A classical post-processing step: while some vertex `v` of the set
+//! blocks two non-adjacent outside vertices that have no other blocker,
+//! swapping `v` out for the pair grows the set by one; vertices with
+//! *no* blocker at all are simply added. The result is 2-swap-optimal
+//! and never smaller than the input. [`LocalSearchOracle`] wraps any
+//! inner oracle with this polish — the guarantee of the inner oracle is
+//! preserved (the output only grows), which the wrapper's
+//! [`guarantee`](MaxIsOracle::guarantee) reflects.
+
+use crate::oracle::{ApproxGuarantee, MaxIsOracle};
+use pslocal_graph::{Graph, IndependentSet, NodeId};
+
+/// Improves `set` by free additions and `(1, 2)`-swaps until a fixed
+/// point. The result is independent, contains at least `set.len()`
+/// vertices, and is maximal.
+pub fn improve_by_swaps(graph: &Graph, set: &IndependentSet) -> IndependentSet {
+    let n = graph.node_count();
+    let mut member = vec![false; n];
+    for v in set.iter() {
+        member[v.index()] = true;
+    }
+
+    // blockers[u] = number of set members adjacent to u (for u ∉ set).
+    let mut blockers = vec![0u32; n];
+    let recount = |member: &[bool], blockers: &mut Vec<u32>| {
+        blockers.iter_mut().for_each(|b| *b = 0);
+        for v in graph.nodes() {
+            if member[v.index()] {
+                for &u in graph.neighbors(v) {
+                    blockers[u.index()] += 1;
+                }
+            }
+        }
+    };
+    recount(&member, &mut blockers);
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Free additions.
+        for v in graph.nodes() {
+            if !member[v.index()] && blockers[v.index()] == 0 {
+                member[v.index()] = true;
+                for &u in graph.neighbors(v) {
+                    blockers[u.index()] += 1;
+                }
+                changed = true;
+            }
+        }
+        // (1,2)-swaps: for each member v, collect outside vertices
+        // blocked ONLY by v; if two of them are non-adjacent, swap.
+        for v in graph.nodes() {
+            if !member[v.index()] {
+                continue;
+            }
+            let candidates: Vec<NodeId> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| !member[u.index()] && blockers[u.index()] == 1)
+                .collect();
+            let mut swap: Option<(NodeId, NodeId)> = None;
+            'outer: for (i, &a) in candidates.iter().enumerate() {
+                for &b in &candidates[i + 1..] {
+                    if !graph.has_edge(a, b) {
+                        swap = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some((a, b)) = swap {
+                member[v.index()] = false;
+                member[a.index()] = true;
+                member[b.index()] = true;
+                recount(&member, &mut blockers);
+                changed = true;
+            }
+        }
+    }
+
+    let vertices: Vec<NodeId> =
+        graph.nodes().filter(|v| member[v.index()]).collect();
+    IndependentSet::new(graph, vertices).expect("swaps preserve independence")
+}
+
+/// Wraps an oracle with [`improve_by_swaps`] post-processing.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::path;
+/// use pslocal_maxis::{LocalSearchOracle, MaxIsOracle, WorstWitnessOracle};
+///
+/// // Even a single-vertex oracle reaches the optimum on a path once
+/// // polished.
+/// let oracle = LocalSearchOracle::new(WorstWitnessOracle);
+/// assert_eq!(oracle.independent_set(&path(7)).len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchOracle<O> {
+    inner: O,
+}
+
+impl<O: MaxIsOracle> LocalSearchOracle<O> {
+    /// Wraps `inner`.
+    pub fn new(inner: O) -> Self {
+        LocalSearchOracle { inner }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: MaxIsOracle> MaxIsOracle for LocalSearchOracle<O> {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        improve_by_swaps(graph, &self.inner.independent_set(graph))
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        // The polish only grows the set, so the inner guarantee is
+        // preserved; additionally the output is maximal, so (Δ+1) holds
+        // unconditionally.
+        match self.inner.guarantee() {
+            ApproxGuarantee::Heuristic => ApproxGuarantee::MaxDegreePlusOne,
+            inner => inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactOracle;
+    use crate::greedy::GreedyOracle;
+    use crate::adversarial::WorstWitnessOracle;
+    use pslocal_graph::generators::classic::{cycle, path, star};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn improvement_never_shrinks_and_is_maximal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..6 {
+            let g = gnp(&mut rng, 40, 0.15);
+            let before = GreedyOracle.independent_set(&g);
+            let after = improve_by_swaps(&g, &before);
+            assert!(after.len() >= before.len());
+            assert!(g.is_maximal_independent_set(after.vertices()));
+        }
+    }
+
+    #[test]
+    fn swap_escapes_the_star_center_trap() {
+        // Starting from {center} of a star: one swap reaches 2 leaves,
+        // then free additions take the rest.
+        let g = star(7);
+        let bad = IndependentSet::new(&g, vec![NodeId::new(0)]).unwrap();
+        let polished = improve_by_swaps(&g, &bad);
+        assert_eq!(polished.len(), 6);
+    }
+
+    #[test]
+    fn polished_singleton_is_optimal_on_paths_and_cycles() {
+        for n in [5usize, 8, 11] {
+            let oracle = LocalSearchOracle::new(WorstWitnessOracle);
+            let alpha_path = ExactOracle.independence_number(&path(n));
+            assert_eq!(oracle.independent_set(&path(n)).len(), alpha_path, "P_{n}");
+            let alpha_cycle = ExactOracle.independence_number(&cycle(n));
+            let got = oracle.independent_set(&cycle(n)).len();
+            assert!(got + 1 >= alpha_cycle, "C_{n}: {got} vs {alpha_cycle}");
+        }
+    }
+
+    #[test]
+    fn never_beats_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..4 {
+            let g = gnp(&mut rng, 26, 0.25);
+            let alpha = ExactOracle.independence_number(&g);
+            let polished = LocalSearchOracle::new(GreedyOracle).independent_set(&g);
+            assert!(polished.len() <= alpha);
+        }
+    }
+
+    #[test]
+    fn guarantee_upgrade_for_heuristics() {
+        let wrapped = LocalSearchOracle::new(WorstWitnessOracle);
+        assert_eq!(wrapped.guarantee(), ApproxGuarantee::MaxDegreePlusOne);
+        let wrapped = LocalSearchOracle::new(ExactOracle);
+        assert_eq!(wrapped.guarantee(), ApproxGuarantee::Exact);
+        assert_eq!(wrapped.inner().name(), "exact");
+    }
+
+    #[test]
+    fn empty_graph_and_empty_set() {
+        let g = Graph::empty(0);
+        let out = improve_by_swaps(&g, &IndependentSet::empty());
+        assert!(out.is_empty());
+        let g = Graph::empty(4);
+        let out = improve_by_swaps(&g, &IndependentSet::empty());
+        assert_eq!(out.len(), 4, "free additions fill isolated vertices");
+    }
+}

@@ -1,0 +1,124 @@
+//! Luby's randomized LOCAL MIS as a MaxIS oracle.
+//!
+//! Any maximal independent set is a `(Δ+1)`-approximation of the
+//! maximum, so the `O(log n)`-round randomized algorithm from
+//! `pslocal-local` doubles as a legitimate (if weak) oracle for the
+//! Theorem 1.1 reduction — and, importantly for the paper's narrative,
+//! it is the *distributed* oracle: plugging it in makes the whole
+//! reduction run on the LOCAL simulator.
+
+use crate::oracle::{ApproxGuarantee, MaxIsOracle};
+use pslocal_graph::{Graph, IndependentSet};
+use pslocal_local::algorithms::LubyMis;
+use pslocal_local::{Engine, Network};
+
+/// MIS-as-approximation oracle backed by the LOCAL-model Luby
+/// algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_maxis::{LubyOracle, MaxIsOracle};
+///
+/// let g = cycle(15);
+/// let is = LubyOracle::new(7).independent_set(&g);
+/// assert!(g.is_maximal_independent_set(is.vertices()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LubyOracle {
+    seed: u64,
+}
+
+impl LubyOracle {
+    /// Creates the oracle with the given randomness seed.
+    pub fn new(seed: u64) -> Self {
+        LubyOracle { seed }
+    }
+
+    /// Runs the oracle and also reports the LOCAL round count — the
+    /// quantity experiment F3 plots.
+    pub fn independent_set_with_rounds(&self, graph: &Graph) -> (IndependentSet, usize) {
+        let network = Network::with_identity_ids(graph.clone());
+        let exec = Engine::new(&network)
+            .seed(self.seed)
+            .max_rounds(4096)
+            .run(&LubyMis)
+            .expect("Luby terminates within the generous budget");
+        let members = LubyMis::members(&exec.states);
+        let set = IndependentSet::new(graph, members).expect("Luby returns an independent set");
+        (set, exec.trace.rounds)
+    }
+}
+
+impl Default for LubyOracle {
+    fn default() -> Self {
+        LubyOracle::new(0xC0FFEE)
+    }
+}
+
+impl MaxIsOracle for LubyOracle {
+    fn name(&self) -> &'static str {
+        "luby-local-mis"
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        self.independent_set_with_rounds(graph).0
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        ApproxGuarantee::MaxDegreePlusOne
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactOracle;
+    use pslocal_graph::generators::classic::{complete, grid};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_maximal_independent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for seed in 0..4 {
+            let g = gnp(&mut rng, 60, 0.1);
+            let is = LubyOracle::new(seed).independent_set(&g);
+            assert!(g.is_maximal_independent_set(is.vertices()));
+        }
+    }
+
+    #[test]
+    fn guarantee_holds_against_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let g = gnp(&mut rng, 30, 0.2);
+        let alpha = ExactOracle.independence_number(&g);
+        let luby = LubyOracle::default().independent_set(&g).len();
+        let lambda = g.max_degree() as f64 + 1.0;
+        assert!(luby as f64 >= alpha as f64 / lambda);
+    }
+
+    #[test]
+    fn rounds_are_reported() {
+        let g = grid(8, 8);
+        let (is, rounds) = LubyOracle::new(1).independent_set_with_rounds(&g);
+        assert!(!is.is_empty());
+        assert!(rounds >= 1);
+        assert!(rounds <= 60, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn clique_yields_singleton() {
+        let g = complete(10);
+        assert_eq!(LubyOracle::new(3).independent_set(&g).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = grid(5, 5);
+        let a = LubyOracle::new(42).independent_set(&g);
+        let b = LubyOracle::new(42).independent_set(&g);
+        assert_eq!(a, b);
+    }
+}

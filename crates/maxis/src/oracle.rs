@@ -1,0 +1,123 @@
+//! The `λ`-approximate MaxIS oracle interface.
+//!
+//! The hardness proof of Theorem 1.1 begins "Assume that we can compute
+//! λ-approximations for MaxIS" — the reduction is generic in the
+//! oracle. [`MaxIsOracle`] is that assumption as a trait; every
+//! implementation returns a *verified* [`IndependentSet`] and declares
+//! the guarantee its theory provides, so the reduction can compute the
+//! phase budget `ρ = λ·ln m + 1` from the oracle actually plugged in.
+
+use pslocal_graph::{Graph, IndependentSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The approximation guarantee an oracle provides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ApproxGuarantee {
+    /// The output is a maximum independent set (λ = 1).
+    Exact,
+    /// A fixed factor λ independent of the instance.
+    Factor(f64),
+    /// λ = Δ + 1 where Δ is the instance's maximum degree (any maximal
+    /// independent set achieves this).
+    MaxDegreePlusOne,
+    /// λ = number of colors of the network decomposition the oracle
+    /// computes on the instance (the containment-direction bound
+    /// `⌈log₂ n⌉ + 1`).
+    DecompositionColors,
+    /// Boppana–Halldórsson clique removal: `O(n / log² n)`; the concrete
+    /// constant-free bound `n / max(1, ⌊log₂ n⌋²)` is reported.
+    CliqueRemoval,
+    /// No guarantee is claimed (pure heuristic).
+    Heuristic,
+}
+
+impl ApproxGuarantee {
+    /// The concrete λ this guarantee yields on `graph`, or `None` for
+    /// [`Heuristic`](ApproxGuarantee::Heuristic).
+    pub fn lambda_for(&self, graph: &Graph) -> Option<f64> {
+        let n = graph.node_count().max(1) as f64;
+        match self {
+            ApproxGuarantee::Exact => Some(1.0),
+            ApproxGuarantee::Factor(f) => Some(*f),
+            ApproxGuarantee::MaxDegreePlusOne => Some(graph.max_degree() as f64 + 1.0),
+            ApproxGuarantee::DecompositionColors => Some(n.log2().ceil().max(1.0) + 1.0),
+            ApproxGuarantee::CliqueRemoval => {
+                let log = n.log2().floor().max(1.0);
+                Some((n / (log * log)).max(1.0))
+            }
+            ApproxGuarantee::Heuristic => None,
+        }
+    }
+}
+
+impl fmt::Display for ApproxGuarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxGuarantee::Exact => write!(f, "exact"),
+            ApproxGuarantee::Factor(l) => write!(f, "{l}-approximation"),
+            ApproxGuarantee::MaxDegreePlusOne => write!(f, "(Δ+1)-approximation"),
+            ApproxGuarantee::DecompositionColors => {
+                write!(f, "decomposition-color approximation")
+            }
+            ApproxGuarantee::CliqueRemoval => write!(f, "clique-removal approximation"),
+            ApproxGuarantee::Heuristic => write!(f, "heuristic"),
+        }
+    }
+}
+
+/// A maximum-independent-set approximation algorithm.
+///
+/// Implementations must return an independent set of the input graph;
+/// the [`IndependentSet`] return type re-verifies independence at
+/// construction, so a buggy oracle fails loudly instead of corrupting
+/// the reduction.
+pub trait MaxIsOracle {
+    /// A short stable name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes an independent set of `graph`.
+    fn independent_set(&self, graph: &Graph) -> IndependentSet;
+
+    /// The guarantee this oracle's theory provides.
+    fn guarantee(&self) -> ApproxGuarantee;
+
+    /// The concrete λ on `graph` per [`guarantee`](Self::guarantee), or
+    /// `None` for heuristics.
+    fn lambda_for(&self, graph: &Graph) -> Option<f64> {
+        self.guarantee().lambda_for(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::classic::{complete, cycle};
+
+    #[test]
+    fn lambda_computations() {
+        let g = cycle(16);
+        assert_eq!(ApproxGuarantee::Exact.lambda_for(&g), Some(1.0));
+        assert_eq!(ApproxGuarantee::Factor(3.5).lambda_for(&g), Some(3.5));
+        assert_eq!(ApproxGuarantee::MaxDegreePlusOne.lambda_for(&g), Some(3.0));
+        // log2(16) = 4 → 5 colors.
+        assert_eq!(ApproxGuarantee::DecompositionColors.lambda_for(&g), Some(5.0));
+        // n / log² = 16/16 = 1.
+        assert_eq!(ApproxGuarantee::CliqueRemoval.lambda_for(&g), Some(1.0));
+        assert_eq!(ApproxGuarantee::Heuristic.lambda_for(&g), None);
+    }
+
+    #[test]
+    fn max_degree_guarantee_tracks_instance() {
+        let k = complete(9);
+        assert_eq!(ApproxGuarantee::MaxDegreePlusOne.lambda_for(&k), Some(9.0));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(ApproxGuarantee::Exact.to_string(), "exact");
+        assert_eq!(ApproxGuarantee::Factor(2.0).to_string(), "2-approximation");
+        assert!(ApproxGuarantee::MaxDegreePlusOne.to_string().contains("Δ+1"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Constant-locality SLOCAL algorithms.
+//!
+//! The paper's introduction uses greedy MIS as *the* example: "The
+//! maximal independent set problem admits an SLOCAL algorithm with
+//! locality r = 1 by iterating through the nodes in an arbitrary order
+//! and joining the independent set if none of the already processed
+//! neighbors is already contained in the set." [`GreedyMis`] is that
+//! algorithm, word for word; [`GreedyColoring`] is the analogous
+//! locality-1 `(Δ+1)`-coloring.
+
+use crate::runtime::SlocalAlgorithm;
+use crate::view::View;
+use pslocal_graph::{Color, NodeId};
+
+/// The locality-1 greedy MIS from the paper's introduction.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::path;
+/// use pslocal_slocal::{algorithms::GreedyMis, orders, run};
+///
+/// let g = path(6);
+/// let outcome = run(&g, &GreedyMis, &orders::identity(6));
+/// let mis = GreedyMis::members(&outcome.states);
+/// assert!(g.is_maximal_independent_set(&mis));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyMis;
+
+/// State of [`GreedyMis`]: `None` before processing, then membership.
+pub type MisState = Option<bool>;
+
+impl GreedyMis {
+    /// Extracts MIS membership from final states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node was never processed.
+    pub fn members(states: &[MisState]) -> Vec<NodeId> {
+        states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Some(true) => Some(NodeId::new(i)),
+                Some(false) => None,
+                None => panic!("node {i} never processed"),
+            })
+            .collect()
+    }
+}
+
+impl SlocalAlgorithm for GreedyMis {
+    type State = MisState;
+
+    fn locality(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn initial_state(&self, _node: NodeId) -> MisState {
+        None
+    }
+
+    fn process(&self, view: &mut View<'_, MisState>) {
+        let center = view.center();
+        let neighbor_in_mis = view
+            .neighbors(center)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .any(|u| *view.state(u) == Some(true));
+        view.set_state(center, Some(!neighbor_in_mis));
+    }
+}
+
+/// The locality-1 greedy `(Δ+1)`-coloring: each processed node takes
+/// the smallest color not used by an already-colored neighbor.
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_slocal::{algorithms::GreedyColoring, orders, run};
+///
+/// let g = cycle(8);
+/// let outcome = run(&g, &GreedyColoring, &orders::identity(8));
+/// let colors = GreedyColoring::colors(&outcome.states);
+/// assert!(g.is_proper_coloring(&colors));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyColoring;
+
+/// State of [`GreedyColoring`]: `None` before processing, then a color.
+pub type ColorState = Option<Color>;
+
+impl GreedyColoring {
+    /// Extracts the coloring from final states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node was never processed.
+    pub fn colors(states: &[ColorState]) -> Vec<Color> {
+        states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("node {i} never processed")))
+            .collect()
+    }
+}
+
+impl SlocalAlgorithm for GreedyColoring {
+    type State = ColorState;
+
+    fn locality(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn initial_state(&self, _node: NodeId) -> ColorState {
+        None
+    }
+
+    fn process(&self, view: &mut View<'_, ColorState>) {
+        let center = view.center();
+        let mut used: Vec<u32> = view
+            .neighbors(center)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|u| view.state(u).map(|c| c.raw()))
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        // Smallest non-negative integer missing from `used`.
+        let mut c = 0u32;
+        for &u in &used {
+            if u == c {
+                c += 1;
+            } else if u > c {
+                break;
+            }
+        }
+        view.set_state(center, Some(Color::from(c)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{orders, run};
+    use pslocal_graph::algo::color_count;
+    use pslocal_graph::generators::classic::{complete, cycle, path, star};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_mis_is_correct_on_every_order() {
+        let g = cycle(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let orders = [
+            orders::identity(10),
+            orders::reverse(10),
+            orders::random(&mut rng, 10),
+            orders::by_decreasing_degree(&g),
+        ];
+        for order in orders {
+            let outcome = run(&g, &GreedyMis, &order);
+            let mis = GreedyMis::members(&outcome.states);
+            assert!(g.is_maximal_independent_set(&mis), "order {order:?}");
+            assert_eq!(outcome.trace.realized_locality, 1);
+        }
+    }
+
+    #[test]
+    fn greedy_mis_on_clique_is_first_processed() {
+        let g = complete(7);
+        let order = orders::reverse(7);
+        let outcome = run(&g, &GreedyMis, &order);
+        let mis = GreedyMis::members(&outcome.states);
+        assert_eq!(mis, vec![NodeId::new(6)]);
+    }
+
+    #[test]
+    fn greedy_mis_identity_on_path_takes_alternating() {
+        let g = path(6);
+        let outcome = run(&g, &GreedyMis, &orders::identity(6));
+        let mis = GreedyMis::members(&outcome.states);
+        assert_eq!(mis, vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn greedy_coloring_uses_at_most_delta_plus_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..4 {
+            let g = gnp(&mut rng, 50, 0.15);
+            let order = orders::random(&mut rng, 50);
+            let outcome = run(&g, &GreedyColoring, &order);
+            let colors = GreedyColoring::colors(&outcome.states);
+            assert!(g.is_proper_coloring(&colors));
+            assert!(color_count(&colors) <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_of_star_is_two_colors() {
+        let g = star(9);
+        let outcome = run(&g, &GreedyColoring, &orders::identity(9));
+        let colors = GreedyColoring::colors(&outcome.states);
+        assert_eq!(color_count(&colors), 2);
+    }
+
+    #[test]
+    fn empty_graph_cases() {
+        let g = pslocal_graph::Graph::empty(3);
+        let mis =
+            GreedyMis::members(&run(&g, &GreedyMis, &orders::identity(3)).states);
+        assert_eq!(mis.len(), 3);
+        let colors =
+            GreedyColoring::colors(&run(&g, &GreedyColoring, &orders::identity(3)).states);
+        assert!(colors.iter().all(|&c| c == Color::new(0)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Locally checkable labelings — the verification side of the paper's
+//! class membership argument.
+//!
+//! The paper cites [GHK18]: P-SLOCAL "contains all problems that can be
+//! solved efficiently by randomized algorithms in the LOCAL model as
+//! long as a solution of the problem can be verified efficiently".
+//! "Verified efficiently" means *locally*: there is a radius `r` such
+//! that a labeling is globally correct iff every node's `r`-ball looks
+//! correct. [`LocallyCheckable`] captures that notion; the generic
+//! [`locally_verify`] runs the per-ball check through the same
+//! access-controlled [`View`] the SLOCAL runtime uses, so a checker
+//! physically cannot peek outside its radius.
+
+use crate::view::View;
+use pslocal_graph::algo::BallExtractor;
+use pslocal_graph::{Color, Graph, NodeId};
+use std::fmt;
+
+/// A problem whose solutions are labelings checkable within a fixed
+/// radius.
+pub trait LocallyCheckable {
+    /// Per-node output label.
+    type Label: Clone + fmt::Debug;
+
+    /// A short stable name.
+    fn name(&self) -> &'static str;
+
+    /// The verification radius `r`.
+    fn radius(&self) -> usize;
+
+    /// Checks the ball around `view.center()`; must return `true` at
+    /// every node iff the labeling is globally valid.
+    fn check(&self, view: &View<'_, Self::Label>) -> bool;
+}
+
+/// Verifies `labels` by running the local check at every node.
+///
+/// Returns the first failing center, if any. The per-node views are
+/// radius-limited, so this really is a *local* verification: total work
+/// is `Σ_v |ball(v, r)|`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the vertex count.
+pub fn locally_verify<P: LocallyCheckable>(
+    graph: &Graph,
+    problem: &P,
+    labels: &[P::Label],
+) -> Result<(), NodeId> {
+    assert_eq!(labels.len(), graph.node_count(), "one label per node required");
+    let n = graph.node_count();
+    let r = problem.radius();
+    let mut extractor = BallExtractor::new(n);
+    let mut position = vec![0u32; n];
+    let processed = vec![true; n];
+    let mut scratch: Vec<P::Label> = labels.to_vec();
+    for v in graph.nodes() {
+        let ball = extractor.extract(graph, v, r);
+        for (i, &u) in ball.vertices.iter().enumerate() {
+            position[u.index()] = i as u32 + 1;
+        }
+        let ok = {
+            let view = View::new(graph, &ball, &position, &mut scratch, &processed);
+            problem.check(&view)
+        };
+        for &u in &ball.vertices {
+            position[u.index()] = 0;
+        }
+        if !ok {
+            return Err(v);
+        }
+    }
+    Ok(())
+}
+
+/// MIS as a locally checkable labeling (radius 1): `true` labels form
+/// an independent set, and every `false` node has a `true` neighbor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisLabeling;
+
+impl LocallyCheckable for MisLabeling {
+    type Label = bool;
+
+    fn name(&self) -> &'static str {
+        "mis-labeling"
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn check(&self, view: &View<'_, bool>) -> bool {
+        let c = view.center();
+        let neighbors: Vec<NodeId> = view.neighbors(c).collect();
+        if *view.state(c) {
+            neighbors.iter().all(|&u| !*view.state(u))
+        } else {
+            neighbors.iter().any(|&u| *view.state(u))
+        }
+    }
+}
+
+/// Proper coloring as a locally checkable labeling (radius 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColoringLabeling;
+
+impl LocallyCheckable for ColoringLabeling {
+    type Label = Color;
+
+    fn name(&self) -> &'static str {
+        "coloring-labeling"
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn check(&self, view: &View<'_, Color>) -> bool {
+        let c = view.center();
+        let mine = *view.state(c);
+        view.neighbors(c).collect::<Vec<_>>().into_iter().all(|u| *view.state(u) != mine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{GreedyColoring, GreedyMis};
+    use crate::runtime::{orders, run};
+    use pslocal_graph::generators::classic::{cycle, grid};
+    use pslocal_graph::generators::random::gnp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mis_outputs_verify_locally() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..3 {
+            let g = gnp(&mut rng, 50, 0.1);
+            let outcome = run(&g, &GreedyMis, &orders::identity(50));
+            let labels: Vec<bool> =
+                outcome.states.iter().map(|s| s.expect("processed")).collect();
+            assert!(locally_verify(&g, &MisLabeling, &labels).is_ok());
+        }
+    }
+
+    #[test]
+    fn local_verification_catches_violations_at_the_right_node() {
+        let g = cycle(8);
+        // All false: every node lacks a dominating neighbor.
+        let labels = vec![false; 8];
+        let failing = locally_verify(&g, &MisLabeling, &labels).unwrap_err();
+        assert_eq!(failing, NodeId::new(0), "first center fails");
+        // Two adjacent members: independence violated at node 0.
+        let mut labels = vec![false; 8];
+        labels[0] = true;
+        labels[1] = true;
+        assert!(locally_verify(&g, &MisLabeling, &labels).is_err());
+        // A valid MIS passes.
+        let mut labels = vec![false; 8];
+        for i in [0, 2, 4, 6] {
+            labels[i] = true;
+        }
+        assert!(locally_verify(&g, &MisLabeling, &labels).is_ok());
+    }
+
+    #[test]
+    fn coloring_outputs_verify_locally() {
+        let g = grid(5, 6);
+        let outcome = run(&g, &GreedyColoring, &orders::reverse(30));
+        let labels = GreedyColoring::colors(&outcome.states);
+        assert!(locally_verify(&g, &ColoringLabeling, &labels).is_ok());
+        // Corrupt one label to equal its neighbor's.
+        let mut bad = labels.clone();
+        let (u, v) = g.edges().next().unwrap();
+        bad[u.index()] = bad[v.index()];
+        let failing = locally_verify(&g, &ColoringLabeling, &bad).unwrap_err();
+        assert!(failing == u || failing == v);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = Graph::empty(0);
+        assert!(locally_verify(&g, &MisLabeling, &[]).is_ok());
+        let g = Graph::empty(1);
+        assert!(locally_verify(&g, &MisLabeling, &[true]).is_ok());
+        // A lone false node has no dominating neighbor: invalid MIS.
+        assert!(locally_verify(&g, &MisLabeling, &[false]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per node")]
+    fn wrong_label_count_panics() {
+        let g = cycle(4);
+        let _ = locally_verify(&g, &MisLabeling, &[true]);
+    }
+}

@@ -1,0 +1,62 @@
+//! # pslocal-slocal
+//!
+//! A simulator of the **SLOCAL model** of [GKM17], the model in which
+//! *"P-SLOCAL-Completeness of Maximum Independent Set Approximation"*
+//! (Maus, PODC 2019) states its result.
+//!
+//! In an SLOCAL algorithm with locality `r`, nodes are processed in an
+//! arbitrary order; a processed node sees the current state of its
+//! `r`-hop neighborhood (topology included), outputs an arbitrary
+//! function of it, and may store state that later nodes read. The class
+//! **P-SLOCAL** collects the problems solvable with polylogarithmic
+//! locality; the paper proves polylog MaxIS approximation complete for
+//! it.
+//!
+//! * [`run`] / [`SlocalAlgorithm`] — the executor; the [`View`] type
+//!   structurally enforces the model (out-of-ball access panics) and
+//!   records realized locality.
+//! * [`algorithms`] — the paper's locality-1 greedy MIS and greedy
+//!   `(Δ+1)`-coloring.
+//! * [`decomposition`] — `(⌈log₂ n⌉+1, 2⌊log₂ n⌋)` network decomposition
+//!   by sequential ball carving: the P-SLOCAL workhorse behind the
+//!   containment direction of Theorem 1.1.
+//! * [`problems`] — problem verifiers and the [`LocalityBudget`]
+//!   accounting of local reductions.
+//!
+//! # Examples
+//!
+//! ```
+//! use pslocal_graph::generators::classic::cycle;
+//! use pslocal_slocal::{algorithms::GreedyMis, orders, run};
+//!
+//! let g = cycle(12);
+//! let outcome = run(&g, &GreedyMis, &orders::reverse(12));
+//! assert!(g.is_maximal_independent_set(&GreedyMis::members(&outcome.states)));
+//! assert_eq!(outcome.trace.realized_locality, 1); // the paper's r = 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod checkable;
+pub mod decomposition;
+pub mod problems;
+pub mod runtime;
+pub mod simulate;
+pub mod view;
+
+pub use checkable::{locally_verify, ColoringLabeling, LocallyCheckable, MisLabeling};
+pub use decomposition::{
+    carve_decomposition, carve_decomposition_with_order, DecompositionError,
+    NetworkDecomposition,
+};
+pub use problems::{
+    ColoringProblem, GraphProblem, LocalityBudget, MaxIsApproxProblem, MisProblem,
+    NetworkDecompositionProblem, Violation,
+};
+pub use runtime::{orders, run, SlocalAlgorithm, SlocalRun, SlocalTrace};
+pub use simulate::{
+    interleaving_is_irrelevant, simulate_in_local, SimulatedRun, SimulationBill,
+};
+pub use view::View;

@@ -1,0 +1,333 @@
+//! Problem definitions, verifiers, and locality accounting for local
+//! reductions.
+//!
+//! The class **P-SLOCAL** ([GKM17]) contains the problems solvable with
+//! polylogarithmic locality in the SLOCAL model; a problem is
+//! P-SLOCAL-complete if it is in the class and every problem of the
+//! class locally reduces to it. This module gives the reproduction's
+//! executable handle on those notions:
+//!
+//! * [`GraphProblem`] — a named problem with an output verifier, so
+//!   every experiment can *check* solutions rather than trust them.
+//! * [`LocalityBudget`] — the bookkeeping of a local reduction: its own
+//!   locality plus the locality consumed by oracle calls. The paper's
+//!   footnote 2 describes reductions as algorithms that "use an
+//!   algorithm for problem A to solve problem B while only incurring a
+//!   polylogarithmic overhead"; a budget makes that overhead a number.
+
+use pslocal_graph::{Color, Graph, IndependentSet, NodeId};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure, carrying the problem name and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated problem.
+    pub problem: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {}", self.problem, self.message)
+    }
+}
+
+impl Error for Violation {}
+
+/// A graph problem with a checkable output.
+///
+/// Verifiers run in time polynomial in the graph; efficiency of
+/// verification is what places randomized-LOCAL-solvable problems in
+/// P-SLOCAL ([GHK18], as cited by the paper).
+pub trait GraphProblem {
+    /// The output type a solution assigns to the graph.
+    type Output;
+
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks `output` against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Violation`] describing the first broken property.
+    fn verify(&self, graph: &Graph, output: &Self::Output) -> Result<(), Violation>;
+}
+
+/// The maximal independent set problem (the paper's MIS).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisProblem;
+
+impl GraphProblem for MisProblem {
+    type Output = Vec<NodeId>;
+
+    fn name(&self) -> &'static str {
+        "maximal-independent-set"
+    }
+
+    fn verify(&self, graph: &Graph, output: &Vec<NodeId>) -> Result<(), Violation> {
+        if !graph.is_independent_set(output) {
+            return Err(Violation {
+                problem: self.name(),
+                message: "set is not independent".into(),
+            });
+        }
+        if !graph.is_maximal_independent_set(output) {
+            return Err(Violation {
+                problem: self.name(),
+                message: "independent set is not maximal".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Proper vertex coloring with a bounded palette (e.g. `Δ+1`).
+#[derive(Debug, Clone, Copy)]
+pub struct ColoringProblem {
+    /// Maximum number of distinct colors allowed.
+    pub max_colors: usize,
+}
+
+impl GraphProblem for ColoringProblem {
+    type Output = Vec<Color>;
+
+    fn name(&self) -> &'static str {
+        "vertex-coloring"
+    }
+
+    fn verify(&self, graph: &Graph, output: &Vec<Color>) -> Result<(), Violation> {
+        if output.len() != graph.node_count() {
+            return Err(Violation {
+                problem: self.name(),
+                message: format!(
+                    "coloring has {} entries for {} vertices",
+                    output.len(),
+                    graph.node_count()
+                ),
+            });
+        }
+        if !graph.is_proper_coloring(output) {
+            return Err(Violation {
+                problem: self.name(),
+                message: "coloring is not proper".into(),
+            });
+        }
+        let used = pslocal_graph::algo::color_count(output);
+        if used > self.max_colors {
+            return Err(Violation {
+                problem: self.name(),
+                message: format!("{used} colors exceed the allowed {}", self.max_colors),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// λ-approximate maximum independent set: the output must be an
+/// independent set of size at least `alpha_upper_bound / λ` — the
+/// verifier takes a certified upper bound on `α(G)` (exact `α` on small
+/// instances, a clique-cover bound on larger ones), so that *passing*
+/// the check genuinely certifies the approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxIsApproxProblem {
+    /// The approximation factor λ ≥ 1.
+    pub lambda: f64,
+    /// A certified upper bound on the independence number.
+    pub alpha_upper_bound: usize,
+}
+
+impl GraphProblem for MaxIsApproxProblem {
+    type Output = IndependentSet;
+
+    fn name(&self) -> &'static str {
+        "maxis-approximation"
+    }
+
+    fn verify(&self, graph: &Graph, output: &IndependentSet) -> Result<(), Violation> {
+        // Re-verify independence against this graph (the set may have
+        // been built elsewhere).
+        if !graph.is_independent_set(output.vertices()) {
+            return Err(Violation {
+                problem: self.name(),
+                message: "set is not independent in this graph".into(),
+            });
+        }
+        let need = self.alpha_upper_bound as f64 / self.lambda;
+        if (output.len() as f64) < need {
+            return Err(Violation {
+                problem: self.name(),
+                message: format!(
+                    "size {} below α/λ = {}/{} = {need:.2}",
+                    output.len(),
+                    self.alpha_upper_bound,
+                    self.lambda
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `(c, d)`-network decomposition: at most `max_colors` colors, carving
+/// radius at most `max_radius` (weak diameter `≤ 2·max_radius`).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkDecompositionProblem {
+    /// Color budget `c`.
+    pub max_colors: usize,
+    /// Radius budget `d/2`.
+    pub max_radius: usize,
+}
+
+impl GraphProblem for NetworkDecompositionProblem {
+    type Output = crate::decomposition::NetworkDecomposition;
+
+    fn name(&self) -> &'static str {
+        "network-decomposition"
+    }
+
+    fn verify(&self, graph: &Graph, output: &Self::Output) -> Result<(), Violation> {
+        output
+            .verify(graph)
+            .map_err(|e| Violation { problem: self.name(), message: e.to_string() })?;
+        if output.color_count() > self.max_colors {
+            return Err(Violation {
+                problem: self.name(),
+                message: format!(
+                    "{} colors exceed budget {}",
+                    output.color_count(),
+                    self.max_colors
+                ),
+            });
+        }
+        if output.max_radius() > self.max_radius {
+            return Err(Violation {
+                problem: self.name(),
+                message: format!(
+                    "radius {} exceeds budget {}",
+                    output.max_radius(),
+                    self.max_radius
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Locality bookkeeping of a local reduction (paper, footnote 2).
+///
+/// A reduction solving problem B with its own locality `own_locality`
+/// while making `oracle_calls` calls to an algorithm of locality
+/// `oracle_locality` yields a B-algorithm of locality at most
+/// `own_locality + oracle_calls · oracle_locality` (each oracle answer
+/// about a node depends on that node's `oracle_locality`-ball, and the
+/// calls compose sequentially). The reduction is a *polylog* (efficient)
+/// reduction when this composition stays polylogarithmic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalityBudget {
+    /// Locality of the reduction's own pre/post-processing.
+    pub own_locality: usize,
+    /// Number of oracle invocations.
+    pub oracle_calls: usize,
+    /// Locality of each oracle invocation.
+    pub oracle_locality: usize,
+}
+
+impl LocalityBudget {
+    /// A budget with no oracle calls.
+    pub fn local_only(own_locality: usize) -> Self {
+        LocalityBudget { own_locality, oracle_calls: 0, oracle_locality: 0 }
+    }
+
+    /// The composed locality bound.
+    pub fn composed_locality(&self) -> usize {
+        self.own_locality + self.oracle_calls * self.oracle_locality
+    }
+
+    /// Whether the composed locality is within `c · log₂(n)^e` — the
+    /// "polylogarithmic" test used by experiment reports.
+    pub fn is_polylog(&self, n: usize, c: f64, e: u32) -> bool {
+        let log = (n.max(2) as f64).log2();
+        (self.composed_locality() as f64) <= c * log.powi(e as i32)
+    }
+}
+
+impl fmt::Display for LocalityBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "locality {} (+{} own, {} calls × {})",
+            self.composed_locality(),
+            self.own_locality,
+            self.oracle_calls,
+            self.oracle_locality
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::carve_decomposition;
+    use pslocal_graph::generators::classic::{cycle, path};
+
+    #[test]
+    fn mis_problem_verifies() {
+        let g = path(4);
+        let p = MisProblem;
+        assert!(p.verify(&g, &vec![NodeId::new(0), NodeId::new(2)]).is_ok());
+        let err = p.verify(&g, &vec![NodeId::new(0), NodeId::new(1)]).unwrap_err();
+        assert!(err.message.contains("not independent"));
+        let err = p.verify(&g, &vec![NodeId::new(0)]).unwrap_err();
+        assert!(err.message.contains("not maximal"));
+        assert!(err.to_string().contains("maximal-independent-set"));
+    }
+
+    #[test]
+    fn coloring_problem_verifies() {
+        let g = cycle(4);
+        let p = ColoringProblem { max_colors: 2 };
+        let good = vec![Color::new(0), Color::new(1), Color::new(0), Color::new(1)];
+        assert!(p.verify(&g, &good).is_ok());
+        let improper = vec![Color::new(0), Color::new(0), Color::new(1), Color::new(1)];
+        assert!(p.verify(&g, &improper).is_err());
+        let too_many = vec![Color::new(0), Color::new(1), Color::new(2), Color::new(1)];
+        assert!(p.verify(&g, &too_many).unwrap_err().message.contains("exceed"));
+        assert!(p.verify(&g, &vec![Color::new(0)]).unwrap_err().message.contains("entries"));
+    }
+
+    #[test]
+    fn maxis_approx_problem_verifies() {
+        let g = path(5); // α = 3
+        let p = MaxIsApproxProblem { lambda: 2.0, alpha_upper_bound: 3 };
+        let big = IndependentSet::new(&g, vec![NodeId::new(0), NodeId::new(2)]).unwrap();
+        assert!(p.verify(&g, &big).is_ok()); // 2 ≥ 3/2
+        let small = IndependentSet::new(&g, vec![NodeId::new(4)]).unwrap();
+        assert!(p.verify(&g, &small).unwrap_err().message.contains("below"));
+    }
+
+    #[test]
+    fn decomposition_problem_verifies() {
+        let g = cycle(32);
+        let d = carve_decomposition(&g);
+        let p = NetworkDecompositionProblem { max_colors: 6, max_radius: 5 };
+        assert!(p.verify(&g, &d).is_ok());
+        let strict = NetworkDecompositionProblem { max_colors: 1, max_radius: 5 };
+        assert!(strict.verify(&g, &d).is_err());
+    }
+
+    #[test]
+    fn locality_budget_composition() {
+        let b = LocalityBudget { own_locality: 2, oracle_calls: 10, oracle_locality: 3 };
+        assert_eq!(b.composed_locality(), 32);
+        assert_eq!(LocalityBudget::local_only(5).composed_locality(), 5);
+        // 32 ≤ 2 · log2(1024)^2 = 200.
+        assert!(b.is_polylog(1024, 2.0, 2));
+        // but not within 1 · log2(1024)^1 = 10.
+        assert!(!b.is_polylog(1024, 1.0, 1));
+        assert!(b.to_string().contains("locality 32"));
+    }
+}

@@ -1,0 +1,272 @@
+//! The SLOCAL executor: processes nodes in an arbitrary order, handing
+//! each one a radius-`r` [`View`] of the current global state.
+//!
+//! The model ([GKM17], recalled in the paper's introduction) measures an
+//! algorithm solely by its *locality* `r`. The runtime therefore
+//! reports, besides the declared `r`, the **realized** locality — the
+//! largest radius any process step actually touched — plus volume
+//! statistics (ball sizes), which is what experiment T6 tabulates.
+
+use crate::view::View;
+use pslocal_graph::algo::BallExtractor;
+use pslocal_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An algorithm in the SLOCAL model.
+///
+/// The runtime processes nodes in a caller-chosen order; for each node
+/// it extracts the radius-[`locality`](Self::locality) ball and calls
+/// [`process`](Self::process) with a [`View`] of it. All persistent
+/// information lives in the per-node `State`, which later-processed
+/// nodes can read (this is exactly the model's "it can store information
+/// that can be read by later nodes").
+pub trait SlocalAlgorithm {
+    /// Per-node public state.
+    type State: Clone + fmt::Debug;
+
+    /// The declared locality `r` for a graph with `n` nodes.
+    fn locality(&self, n: usize) -> usize;
+
+    /// The initial state every node starts with.
+    fn initial_state(&self, node: NodeId) -> Self::State;
+
+    /// Processes the view's center node.
+    fn process(&self, view: &mut View<'_, Self::State>);
+}
+
+/// Statistics of an SLOCAL execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlocalTrace {
+    /// The declared locality the run used.
+    pub declared_locality: usize,
+    /// The largest radius any process step actually read or wrote.
+    pub realized_locality: usize,
+    /// The largest ball (in vertices) any step saw.
+    pub max_view_size: usize,
+    /// Total vertices across all views (the "volume" of the run).
+    pub total_view_volume: usize,
+    /// Number of nodes processed.
+    pub processed: usize,
+}
+
+/// Result of an SLOCAL run: final states plus the trace.
+#[derive(Debug, Clone)]
+pub struct SlocalRun<S> {
+    /// Final per-node states, indexed by node.
+    pub states: Vec<S>,
+    /// Locality/volume statistics.
+    pub trace: SlocalTrace,
+}
+
+/// Executes `algorithm` on `graph`, processing nodes in `order`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the vertex set, or if the
+/// algorithm accesses a node outside its declared view (an SLOCAL-model
+/// violation, reported by [`View`]).
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_graph::generators::classic::cycle;
+/// use pslocal_slocal::{algorithms::GreedyMis, orders, run};
+///
+/// let g = cycle(9);
+/// let order = orders::identity(g.node_count());
+/// let outcome = run(&g, &GreedyMis, &order);
+/// let mis = GreedyMis::members(&outcome.states);
+/// assert!(g.is_maximal_independent_set(&mis));
+/// assert_eq!(outcome.trace.realized_locality, 1);
+/// ```
+pub fn run<A: SlocalAlgorithm>(graph: &Graph, algorithm: &A, order: &[NodeId]) -> SlocalRun<A::State> {
+    let n = graph.node_count();
+    assert_eq!(order.len(), n, "order must list every vertex exactly once");
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(!seen[v.index()], "vertex {v} repeated in order");
+        seen[v.index()] = true;
+    }
+
+    let r = algorithm.locality(n);
+    let mut states: Vec<A::State> =
+        graph.nodes().map(|v| algorithm.initial_state(v)).collect();
+    let mut processed = vec![false; n];
+    let mut extractor = BallExtractor::new(n);
+    let mut position = vec![0u32; n];
+    let mut trace = SlocalTrace {
+        declared_locality: r,
+        realized_locality: 0,
+        max_view_size: 0,
+        total_view_volume: 0,
+        processed: 0,
+    };
+
+    for &v in order {
+        let ball = extractor.extract(graph, v, r);
+        for (i, &u) in ball.vertices.iter().enumerate() {
+            position[u.index()] = i as u32 + 1;
+        }
+        let realized = {
+            let mut view = View::new(graph, &ball, &position, &mut states, &processed);
+            algorithm.process(&mut view);
+            view.realized_radius() as usize
+        };
+        for &u in &ball.vertices {
+            position[u.index()] = 0;
+        }
+        processed[v.index()] = true;
+        trace.realized_locality = trace.realized_locality.max(realized);
+        trace.max_view_size = trace.max_view_size.max(ball.len());
+        trace.total_view_volume += ball.len();
+        trace.processed += 1;
+    }
+
+    SlocalRun { states, trace }
+}
+
+/// Standard processing orders for SLOCAL executions. The model promises
+/// correctness for *arbitrary* orders; tests exercise several.
+pub mod orders {
+    use pslocal_graph::{Graph, NodeId};
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    /// The identity order `0, 1, …, n-1`.
+    pub fn identity(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    /// The reverse order `n-1, …, 0`.
+    pub fn reverse(n: usize) -> Vec<NodeId> {
+        (0..n).rev().map(NodeId::new).collect()
+    }
+
+    /// A uniformly random order.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<NodeId> {
+        let mut order = identity(n);
+        order.shuffle(rng);
+        order
+    }
+
+    /// Nodes sorted by decreasing degree (a natural adversarial order
+    /// for greedy algorithms).
+    pub fn by_decreasing_degree(graph: &Graph) -> Vec<NodeId> {
+        let mut order = identity(graph.node_count());
+        order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+        order
+    }
+
+    /// Nodes sorted by increasing degree.
+    pub fn by_increasing_degree(graph: &Graph) -> Vec<NodeId> {
+        let mut order = identity(graph.node_count());
+        order.sort_by_key(|&v| graph.degree(v));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::generators::classic::{cycle, path};
+
+    /// Records, for every node, the number of already-processed nodes in
+    /// its 1-ball — a pure bookkeeping algorithm for runtime testing.
+    struct CountProcessed;
+
+    impl SlocalAlgorithm for CountProcessed {
+        type State = u32;
+
+        fn locality(&self, _n: usize) -> usize {
+            1
+        }
+
+        fn initial_state(&self, _node: NodeId) -> u32 {
+            u32::MAX
+        }
+
+        fn process(&self, view: &mut View<'_, u32>) {
+            let center = view.center();
+            let count = view
+                .vertices()
+                .to_vec()
+                .into_iter()
+                .filter(|&u| u != center && view.is_processed(u))
+                .count() as u32;
+            view.set_state(center, count);
+        }
+    }
+
+    #[test]
+    fn processing_order_is_respected() {
+        let g = path(4); // 0-1-2-3
+        let outcome = run(&g, &CountProcessed, &orders::identity(4));
+        // node 0 first: no processed neighbors; node 1: neighbor 0
+        // processed; node 2: neighbor 1 processed; node 3: neighbor 2.
+        assert_eq!(outcome.states, vec![0, 1, 1, 1]);
+        let outcome = run(&g, &CountProcessed, &orders::reverse(4));
+        assert_eq!(outcome.states, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn trace_accounts_views() {
+        let g = cycle(6);
+        let outcome = run(&g, &CountProcessed, &orders::identity(6));
+        assert_eq!(outcome.trace.declared_locality, 1);
+        assert_eq!(outcome.trace.realized_locality, 1);
+        assert_eq!(outcome.trace.max_view_size, 3);
+        assert_eq!(outcome.trace.total_view_volume, 18);
+        assert_eq!(outcome.trace.processed, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated in order")]
+    fn bad_order_panics() {
+        let g = path(3);
+        let order = vec![NodeId::new(0), NodeId::new(0), NodeId::new(1)];
+        let _ = run(&g, &CountProcessed, &order);
+    }
+
+    #[test]
+    fn order_helpers() {
+        use rand::SeedableRng;
+        let g = pslocal_graph::generators::classic::star(5);
+        assert_eq!(orders::identity(3), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(orders::reverse(3), vec![NodeId::new(2), NodeId::new(1), NodeId::new(0)]);
+        let dec = orders::by_decreasing_degree(&g);
+        assert_eq!(dec[0], NodeId::new(0)); // the hub
+        let inc = orders::by_increasing_degree(&g);
+        assert_eq!(*inc.last().unwrap(), NodeId::new(0));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let a = orders::random(&mut rng, 10);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orders::identity(10));
+    }
+
+    /// A deliberately cheating algorithm that reads outside its ball.
+    struct Cheater;
+
+    impl SlocalAlgorithm for Cheater {
+        type State = u32;
+
+        fn locality(&self, _n: usize) -> usize {
+            1
+        }
+        fn initial_state(&self, _node: NodeId) -> u32 {
+            0
+        }
+        fn process(&self, view: &mut View<'_, u32>) {
+            // Try to read a far-away node.
+            let _ = view.state(NodeId::new(9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SLOCAL violation")]
+    fn cheating_is_detected() {
+        let g = path(10);
+        let _ = run(&g, &Cheater, &orders::identity(10));
+    }
+}

@@ -1,0 +1,291 @@
+//! The `r`-hop view an SLOCAL algorithm gets when a node is processed.
+//!
+//! Quoting the paper: *"When a node v is processed it can see the
+//! current state of all nodes in its r-hop neighborhood (including all
+//! topological information of this neighborhood) and its output can be
+//! an arbitrary function of this neighborhood. Additionally, it can
+//! store information that can be read by later nodes as part of v's
+//! state."*
+//!
+//! [`View`] enforces exactly that interface: topology queries and state
+//! reads are restricted to the extracted ball (out-of-ball access
+//! panics), and every access records the distance at which it happened,
+//! so the runtime can report the *realized* locality of an execution —
+//! the quantity Theorems 1.1/1.2 are about.
+//!
+//! One standard convenience is allowed: a processed node may *write*
+//! state anywhere inside its view (not only at itself). This is the
+//! usual "clustering writes membership into the ball" convention; it is
+//! equivalent to the strict model up to a constant factor in locality,
+//! because a later node could recompute the writer's decision from the
+//! writer's own state within the same radius.
+
+use pslocal_graph::algo::Ball;
+use pslocal_graph::{Graph, NodeId};
+use std::cell::Cell;
+
+/// The mutable view of a ball handed to
+/// [`SlocalAlgorithm::process`](crate::SlocalAlgorithm::process).
+#[derive(Debug)]
+pub struct View<'a, S> {
+    graph: &'a Graph,
+    ball: &'a Ball,
+    /// Dense position map: `position[v] = index in ball + 1`, 0 = absent.
+    position: &'a [u32],
+    /// Full state array (indexed by global node); access is gated.
+    states: &'a mut [S],
+    /// Which nodes have been processed already (globally indexed).
+    processed: &'a [bool],
+    /// Largest distance at which any read/write happened.
+    max_access_radius: Cell<u32>,
+}
+
+impl<'a, S> View<'a, S> {
+    pub(crate) fn new(
+        graph: &'a Graph,
+        ball: &'a Ball,
+        position: &'a [u32],
+        states: &'a mut [S],
+        processed: &'a [bool],
+    ) -> Self {
+        View { graph, ball, position, states, processed, max_access_radius: Cell::new(0) }
+    }
+
+    /// The node being processed.
+    #[inline]
+    pub fn center(&self) -> NodeId {
+        self.ball.center
+    }
+
+    /// The view radius `r` (the algorithm's declared locality).
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.ball.radius
+    }
+
+    /// Number of vertices visible in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ball.vertices.len()
+    }
+
+    /// A view always contains its center.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Vertices of the view in nondecreasing distance order (the first
+    /// is the center).
+    #[inline]
+    pub fn vertices(&self) -> &[NodeId] {
+        &self.ball.vertices
+    }
+
+    /// Whether `v` is inside the view.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.position.get(v.index()).is_some_and(|&p| p != 0)
+    }
+
+    /// Hop distance of `v` from the center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view — that read would violate the
+    /// SLOCAL model.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> u32 {
+        let p = self.require(v);
+        self.ball.distances[p]
+    }
+
+    /// Neighbors of `v` that lie inside the view. For `v` at distance
+    /// `< r` this is the full neighborhood of `v`; at the boundary it is
+    /// truncated, exactly like the topological information an SLOCAL
+    /// node legitimately has.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let _ = self.require(v);
+        self.graph.neighbors(v).iter().copied().filter(|u| self.contains(*u))
+    }
+
+    /// Degree of `v` **in the underlying graph** — a node always knows
+    /// its own degree and, within the view, the degrees of visible
+    /// nodes (degrees are part of the topological information of the
+    /// neighborhood in the LOCAL/SLOCAL models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view.
+    pub fn degree(&self, v: NodeId) -> usize {
+        let _ = self.require(v);
+        self.graph.degree(v)
+    }
+
+    /// Whether `v` has already been processed by the SLOCAL schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view.
+    #[inline]
+    pub fn is_processed(&self, v: NodeId) -> bool {
+        let _ = self.require(v);
+        self.processed[v.index()]
+    }
+
+    /// Reads the current state of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view.
+    #[inline]
+    pub fn state(&self, v: NodeId) -> &S {
+        let _ = self.require(v);
+        &self.states[v.index()]
+    }
+
+    /// Writes the state of `v` (the center or any view member — see the
+    /// module docs for why in-ball writes are permitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view.
+    #[inline]
+    pub fn set_state(&mut self, v: NodeId, state: S) {
+        let _ = self.require(v);
+        self.states[v.index()] = state;
+    }
+
+    /// Mutable access to the state of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view.
+    #[inline]
+    pub fn state_mut(&mut self, v: NodeId) -> &mut S {
+        let p = self.require(v);
+        let _ = p;
+        &mut self.states[v.index()]
+    }
+
+    /// The largest distance at which this view was actually read or
+    /// written — the realized locality of this process step.
+    pub fn realized_radius(&self) -> u32 {
+        self.max_access_radius.get()
+    }
+
+    /// Validates membership, records the access radius, and returns the
+    /// ball-internal index.
+    #[inline]
+    fn require(&self, v: NodeId) -> usize {
+        let p = self
+            .position
+            .get(v.index())
+            .copied()
+            .filter(|&p| p != 0)
+            .unwrap_or_else(|| {
+                panic!(
+                    "SLOCAL violation: node {v} is outside the radius-{} view of {}",
+                    self.ball.radius, self.ball.center
+                )
+            }) as usize
+            - 1;
+        let d = self.ball.distances[p];
+        if d > self.max_access_radius.get() {
+            self.max_access_radius.set(d);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pslocal_graph::algo::BallExtractor;
+    use pslocal_graph::generators::classic::path;
+
+    fn make_view_fixture(
+        g: &Graph,
+        center: usize,
+        r: usize,
+    ) -> (Ball, Vec<u32>, Vec<i32>, Vec<bool>) {
+        let mut ex = BallExtractor::new(g.node_count());
+        let ball = ex.extract(g, NodeId::new(center), r);
+        let mut position = vec![0u32; g.node_count()];
+        for (i, &v) in ball.vertices.iter().enumerate() {
+            position[v.index()] = i as u32 + 1;
+        }
+        let states = vec![0i32; g.node_count()];
+        let processed = vec![false; g.node_count()];
+        (ball, position, states, processed)
+    }
+
+    #[test]
+    fn reads_inside_ball_work_and_track_radius() {
+        let g = path(7);
+        let (ball, position, mut states, processed) = make_view_fixture(&g, 3, 2);
+        let view = View::new(&g, &ball, &position, &mut states, &processed);
+        assert_eq!(view.center(), NodeId::new(3));
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.realized_radius(), 0);
+        assert_eq!(view.distance(NodeId::new(4)), 1);
+        assert_eq!(view.realized_radius(), 1);
+        assert_eq!(view.distance(NodeId::new(1)), 2);
+        assert_eq!(view.realized_radius(), 2);
+        assert_eq!(view.degree(NodeId::new(3)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLOCAL violation")]
+    fn out_of_ball_read_panics() {
+        let g = path(7);
+        let (ball, position, mut states, processed) = make_view_fixture(&g, 3, 1);
+        let view = View::new(&g, &ball, &position, &mut states, &processed);
+        let _ = view.state(NodeId::new(6));
+    }
+
+    #[test]
+    fn neighbors_are_truncated_at_boundary() {
+        let g = path(7);
+        let (ball, position, mut states, processed) = make_view_fixture(&g, 3, 1);
+        let view = View::new(&g, &ball, &position, &mut states, &processed);
+        // Node 4 is at the boundary: its neighbor 5 is invisible.
+        let nbrs: Vec<_> = view.neighbors(NodeId::new(4)).collect();
+        assert_eq!(nbrs, vec![NodeId::new(3)]);
+        // Center sees both neighbors.
+        let nbrs: Vec<_> = view.neighbors(NodeId::new(3)).collect();
+        assert_eq!(nbrs.len(), 2);
+    }
+
+    #[test]
+    fn writes_inside_ball_take_effect() {
+        let g = path(5);
+        let (ball, position, mut states, processed) = make_view_fixture(&g, 2, 1);
+        {
+            let mut view = View::new(&g, &ball, &position, &mut states, &processed);
+            view.set_state(NodeId::new(2), 10);
+            *view.state_mut(NodeId::new(1)) = 20;
+            assert_eq!(*view.state(NodeId::new(1)), 20);
+        }
+        assert_eq!(states[2], 10);
+        assert_eq!(states[1], 20);
+        assert_eq!(states[3], 0);
+    }
+
+    #[test]
+    fn contains_is_nonpanicking_membership() {
+        let g = path(5);
+        let (ball, position, mut states, processed) = make_view_fixture(&g, 0, 1);
+        let view = View::new(&g, &ball, &position, &mut states, &processed);
+        assert!(view.contains(NodeId::new(0)));
+        assert!(view.contains(NodeId::new(1)));
+        assert!(!view.contains(NodeId::new(2)));
+        assert!(!view.contains(NodeId::new(99)));
+        // contains() does not advance the realized radius.
+        assert_eq!(view.realized_radius(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The completeness story, end to end.
+//!
+//! Theorem 1.1 matters because of what it would unlock: *"If any
+//! P-SLOCAL-complete problem can be solved efficiently by a
+//! deterministic algorithm in the LOCAL model, all problems in the
+//! class P-SLOCAL can be solved efficiently by deterministic
+//! algorithms; this includes the MIS and vertex coloring problem."*
+//!
+//! This example walks the full pipeline on a concrete instance:
+//!
+//! 1. **containment** — the decomposition-based SLOCAL algorithm
+//!    approximates MaxIS on the conflict graph within `c = O(log n)`;
+//! 2. **hardness** — that very algorithm, used as the oracle, solves
+//!    the P-SLOCAL-complete conflict-free multicoloring problem through
+//!    the paper's phased reduction;
+//! 3. the composed locality budget is checked to be polylogarithmic —
+//!    the quantitative content of "efficiently reduced".
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example derandomization_pipeline
+//! ```
+
+use pslocal::core::completeness_on_instance;
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal::maxis::{DecompositionOracle, MaxIsOracle};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(60, 25, 3));
+    let n = inst.hypergraph.node_count();
+    println!(
+        "instance: n = {n}, m = {}, planted k = {}",
+        inst.hypergraph.edge_count(),
+        inst.k
+    );
+
+    let oracle = DecompositionOracle::default();
+    println!("oracle: {} — the P-SLOCAL MaxIS approximation itself", oracle.name());
+
+    let report = completeness_on_instance(&inst, &oracle)?;
+
+    println!("\n── containment direction (GKM17 Thm 7.1, on the conflict graph) ──");
+    let c = &report.containment;
+    println!("  conflict graph nodes:      {}", c.nodes);
+    println!("  decomposition colors (λ):  {}", c.decomposition_colors);
+    println!("  carving radius (locality): {}", c.max_radius);
+    println!("  independent set found:     {} (α ≤ {})", c.set_size, c.alpha_bound.value);
+    println!("  λ-guarantee verified:      {}", c.lambda_verified);
+
+    println!("\n── hardness direction (the Theorem 1.1 reduction) ──");
+    let hd = &report.hardness;
+    println!("  λ used for budget:         {:.1}", hd.lambda);
+    println!("  phase budget ρ:            {}", hd.rho);
+    println!("  phases used:               {}", hd.phases_used);
+    println!("  colors used (≤ k·ρ):       {} ≤ {}", hd.total_colors, inst.k * hd.rho);
+    println!("  output verified:           {}", report.hardness_verified);
+
+    println!("\n── composition ──");
+    println!("  reduction locality budget: {}", hd.locality);
+    let polylog = hd.locality.is_polylog(n, 64.0, 2);
+    println!("  polylog (≤ 64·log²n)?      {polylog}");
+    assert!(report.hardness_verified && c.lambda_verified && polylog);
+    println!("\nTheorem 1.1, machine-checked on this instance ✓");
+    Ok(())
+}

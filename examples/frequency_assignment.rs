@@ -1,0 +1,97 @@
+//! Frequency assignment: the classic application behind conflict-free
+//! coloring.
+//!
+//! A field of base stations serves roaming clients. A client hears
+//! every station within range; to lock onto one it needs *some* station
+//! in range broadcasting on a frequency no other in-range station uses.
+//! Model: stations are hypergraph vertices, each client's audible set
+//! is a hyperedge, frequencies are colors — a conflict-free
+//! multicoloring is exactly an interference-free assignment.
+//!
+//! This example builds a random geometric instance, assigns frequencies
+//! three ways (primal-graph coloring, phase greedy, and the paper's
+//! MaxIS reduction), and compares frequency budgets.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example frequency_assignment
+//! ```
+
+use pslocal::cfcolor::{cf_via_primal_coloring, greedy_cf_multicoloring, is_conflict_free};
+use pslocal::core::{reduce_cf_to_maxis, ReductionConfig};
+use pslocal::graph::{Hypergraph, HypergraphBuilder, NodeId};
+use pslocal::maxis::{ExactOracle, MaxIsOracle};
+use rand::{Rng, SeedableRng};
+
+/// Stations on a unit square; clients hear stations within `radius`.
+fn geometric_instance(
+    rng: &mut impl Rng,
+    stations: usize,
+    clients: usize,
+    radius: f64,
+) -> Hypergraph {
+    let positions: Vec<(f64, f64)> =
+        (0..stations).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut builder = HypergraphBuilder::new(stations);
+    let mut placed = 0;
+    while placed < clients {
+        let (cx, cy) = (rng.gen::<f64>(), rng.gen::<f64>());
+        let audible: Vec<NodeId> = positions
+            .iter()
+            .enumerate()
+            .filter(|(_, (x, y))| ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() <= radius)
+            .map(|(i, _)| NodeId::new(i))
+            .collect();
+        // A client hearing nothing (or one station) is trivially served.
+        if audible.len() >= 2 {
+            builder.add_edge(audible);
+            placed += 1;
+        }
+    }
+    builder.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let h = geometric_instance(&mut rng, 60, 35, 0.25);
+    println!(
+        "{} stations, {} clients (audible sets of size {}..{})",
+        h.node_count(),
+        h.edge_count(),
+        h.min_edge_size().unwrap_or(0),
+        h.max_edge_size().unwrap_or(0),
+    );
+
+    // Baseline 1: proper coloring of the interference (primal) graph —
+    // always valid, usually wasteful.
+    let primal = cf_via_primal_coloring(&h);
+    assert!(is_conflict_free(&h, &primal));
+    println!("primal-graph coloring:   {:3} frequencies", primal.total_color_count());
+
+    // Baseline 2: phase-greedy conflict-free multicoloring.
+    let greedy = greedy_cf_multicoloring(&h);
+    assert!(is_conflict_free(&h, &greedy.coloring));
+    println!(
+        "phase-greedy CF:         {:3} frequencies ({} phases)",
+        greedy.coloring.total_color_count(),
+        greedy.phases
+    );
+
+    // The paper's reduction, with k chosen from the greedy baseline (a
+    // valid CF k-coloring exists whenever greedy used ≤ k colors).
+    let k = greedy.coloring.total_color_count().max(2);
+    let out = reduce_cf_to_maxis(&h, &ExactOracle, ReductionConfig::new(k))?;
+    assert!(is_conflict_free(&h, &out.coloring));
+    println!(
+        "MaxIS reduction ({}):  {:3} frequencies ({} phases of palette {k}, ρ = {})",
+        ExactOracle.name(),
+        out.total_colors,
+        out.phases_used,
+        out.rho
+    );
+
+    // All three serve every client.
+    println!("all assignments verified conflict-free — every client can lock on");
+    Ok(())
+}

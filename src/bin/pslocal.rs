@@ -1,0 +1,215 @@
+//! `pslocal` — command-line front end for the reproduction stack.
+//!
+//! ```text
+//! pslocal gen planted --n 80 --m 40 --k 4 [--seed S] > instance.hg
+//! pslocal gen gnp --n 100 --p 0.05 [--seed S]        > graph.g
+//! pslocal stats    < instance.hg | graph.g
+//! pslocal maxis  [--oracle NAME] [--seed S]          < graph.g
+//! pslocal reduce --k 4 [--oracle NAME] [--seed S]    < instance.hg
+//! ```
+//!
+//! Oracles: `exact`, `greedy`, `luby`, `clique-removal`, `decomposition`.
+//! Inputs use the text formats of `pslocal_graph::io`.
+
+use pslocal::cfcolor::checker;
+use pslocal::core::{reduce_cf_to_maxis, ReductionConfig};
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal::graph::generators::random::gnp;
+use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
+use pslocal::graph::{GraphStats, HypergraphStats};
+use pslocal::maxis::{
+    CliqueRemovalOracle, DecompositionOracle, ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle,
+};
+use rand::SeedableRng;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pslocal — P-SLOCAL-completeness of MaxIS approximation, executable
+
+USAGE:
+  pslocal gen planted --n N --m M --k K [--epsilon E] [--seed S]
+  pslocal gen gnp --n N --p P [--seed S]
+  pslocal stats                 (reads a graph or hypergraph on stdin)
+  pslocal maxis [--oracle O] [--seed S]         (graph on stdin)
+  pslocal reduce --k K [--oracle O] [--seed S]  (hypergraph on stdin)
+
+ORACLES: exact | greedy | luby | clique-removal | decomposition
+FORMATS: see pslocal_graph::io (p graph / p hypergraph headers)";
+
+/// Minimal `--key value` argument map.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut iter = raw.peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                options.push((key.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { positional, options })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("cannot parse --{key} value {v:?}")),
+        }
+    }
+
+    fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.parsed(key)?.ok_or_else(|| format!("missing required option --{key}"))
+    }
+}
+
+fn oracle_by_name(name: &str, seed: u64) -> Result<Box<dyn MaxIsOracle>, String> {
+    Ok(match name {
+        "exact" => Box::new(ExactOracle),
+        "greedy" => Box::new(GreedyOracle),
+        "luby" => Box::new(LubyOracle::new(seed)),
+        "clique-removal" => Box::new(CliqueRemovalOracle),
+        "decomposition" => Box::new(DecompositionOracle::default()),
+        other => return Err(format!("unknown oracle {other:?} (see --help)")),
+    })
+}
+
+fn read_stdin() -> Result<String, String> {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .map_err(|e| format!("cannot read stdin: {e}"))?;
+    Ok(text)
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    match args.positional.get(1).map(String::as_str) {
+        Some("planted") => {
+            let n = args.required("n")?;
+            let m = args.required("m")?;
+            let k = args.required("k")?;
+            let epsilon: f64 = args.parsed("epsilon")?.unwrap_or(0.5);
+            let inst = planted_cf_instance(&mut rng, PlantedCfParams { n, m, k, epsilon });
+            println!("c planted conflict-free instance: k = {k}, epsilon = {epsilon}, seed = {seed}");
+            print!("{}", write_hypergraph(&inst.hypergraph));
+            Ok(())
+        }
+        Some("gnp") => {
+            let n = args.required("n")?;
+            let p: f64 = args.required("p")?;
+            let g = gnp(&mut rng, n, p);
+            println!("c G({n}, {p}) seed = {seed}");
+            print!("{}", write_graph(&g));
+            Ok(())
+        }
+        other => Err(format!("unknown generator {other:?}; try 'planted' or 'gnp'")),
+    }
+}
+
+fn cmd_stats() -> Result<(), String> {
+    let text = read_stdin()?;
+    if let Ok(g) = read_graph(&text) {
+        println!("graph: {}", GraphStats::of(&g));
+        return Ok(());
+    }
+    let h = read_hypergraph(&text).map_err(|e| format!("not a graph nor a hypergraph: {e}"))?;
+    println!("hypergraph: {}", HypergraphStats::of(&h));
+    println!("almost-uniform(0.5): {}", h.is_almost_uniform(0.5));
+    Ok(())
+}
+
+fn cmd_maxis(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
+    let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
+    let g = read_graph(&read_stdin()?).map_err(|e| e.to_string())?;
+    let set = oracle.independent_set(&g);
+    println!(
+        "c oracle = {}, |I| = {}, guarantee = {}",
+        oracle.name(),
+        set.len(),
+        oracle.guarantee()
+    );
+    for v in set.iter() {
+        println!("i {v}");
+    }
+    Ok(())
+}
+
+fn cmd_reduce(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
+    let k: usize = args.required("k")?;
+    let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
+    let h = read_hypergraph(&read_stdin()?).map_err(|e| e.to_string())?;
+    let out = reduce_cf_to_maxis(&h, oracle.as_ref(), ReductionConfig::new(k))
+        .map_err(|e| format!("reduction failed: {e}"))?;
+    assert!(checker::is_conflict_free(&h, &out.coloring));
+    println!(
+        "c oracle = {}, lambda = {:.2}, rho = {}, phases = {}, colors = {}",
+        oracle.name(),
+        out.lambda,
+        out.rho,
+        out.phases_used,
+        out.total_colors
+    );
+    for r in &out.records {
+        println!(
+            "c phase {} edges {} -> {} (|I| = {})",
+            r.phase, r.edges_before, r.edges_after, r.independent_set_size
+        );
+    }
+    for v in 0..h.node_count() {
+        let node = pslocal::graph::NodeId::new(v);
+        let colors: Vec<String> = out
+            .coloring
+            .colors_of(node)
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        println!("v {v} {}", colors.join(" "));
+    }
+    Ok(())
+}
+
+fn dispatch() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    match args.positional.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args),
+        Some("stats") => cmd_stats(),
+        Some("maxis") => cmd_maxis(&args),
+        Some("reduce") => cmd_reduce(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match dispatch() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # pslocal
+//!
+//! Umbrella crate of the executable reproduction of *"P-SLOCAL-
+//! Completeness of Maximum Independent Set Approximation"* (Maus,
+//! PODC 2019, arXiv:1907.10499).
+//!
+//! Re-exports the whole stack under one roof:
+//!
+//! * [`graph`] — graphs, hypergraphs, generators ([`pslocal_graph`])
+//! * [`local`] — the LOCAL model simulator ([`pslocal_local`])
+//! * [`slocal`] — the SLOCAL model simulator ([`pslocal_slocal`])
+//! * [`maxis`] — the MaxIS approximation oracles ([`pslocal_maxis`])
+//! * [`cfcolor`] — conflict-free multicoloring ([`pslocal_cfcolor`])
+//! * [`core`] — the paper's constructions and Theorem 1.1
+//!   ([`pslocal_core`])
+//!
+//! See the `examples/` directory for runnable walkthroughs, starting
+//! with `quickstart.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pslocal::core::{reduce_cf_to_maxis, ReductionConfig};
+//! use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+//! use pslocal::maxis::ExactOracle;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+//! let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(32, 12, 3));
+//! let out = reduce_cf_to_maxis(&inst.hypergraph, &ExactOracle, ReductionConfig::new(3))?;
+//! assert!(pslocal::cfcolor::is_conflict_free(&inst.hypergraph, &out.coloring));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pslocal_cfcolor as cfcolor;
+pub use pslocal_core as core;
+pub use pslocal_graph as graph;
+pub use pslocal_local as local;
+pub use pslocal_maxis as maxis;
+pub use pslocal_slocal as slocal;

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `pslocal` CLI binary: generate → stats →
+//! reduce/maxis pipelines over the text formats.
+
+use std::io::Write as _;
+use std::process::{Command, Output, Stdio};
+
+fn run(args: &[&str], stdin: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pslocal"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    } else {
+        cmd.stdin(Stdio::null());
+    }
+    let mut child = cmd.spawn().expect("binary spawns");
+    if let Some(text) = stdin {
+        // The binary may exit (e.g. on a bad flag) before reading its
+        // stdin; a broken pipe here is fine for those tests.
+        let _ = child.stdin.as_mut().unwrap().write_all(text.as_bytes());
+    }
+    child.wait_with_output().expect("binary finishes")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = run(&["help"], None);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+    let bare = run(&[], None);
+    assert!(bare.status.success());
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = run(&["frobnicate"], None);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_planted_then_stats_then_reduce() {
+    let gen = run(&["gen", "planted", "--n", "36", "--m", "15", "--k", "3", "--seed", "1"], None);
+    assert!(gen.status.success());
+    let instance = stdout(&gen);
+    assert!(instance.contains("p hypergraph 36 15"));
+
+    let stats = run(&["stats"], Some(&instance));
+    assert!(stats.status.success());
+    assert!(stdout(&stats).contains("hypergraph: n=36 m=15"));
+    assert!(stdout(&stats).contains("almost-uniform(0.5): true"));
+
+    let reduce = run(&["reduce", "--k", "3", "--oracle", "exact"], Some(&instance));
+    assert!(reduce.status.success(), "stderr: {}", String::from_utf8_lossy(&reduce.stderr));
+    let text = stdout(&reduce);
+    assert!(text.contains("oracle = exact"));
+    assert!(text.contains("phases = 1"));
+    // One `v` line per vertex.
+    assert_eq!(text.lines().filter(|l| l.starts_with("v ")).count(), 36);
+}
+
+#[test]
+fn gen_gnp_then_maxis_with_each_oracle() {
+    let gen = run(&["gen", "gnp", "--n", "24", "--p", "0.15", "--seed", "2"], None);
+    assert!(gen.status.success());
+    let graph = stdout(&gen);
+    assert!(graph.contains("p graph 24"));
+    for oracle in ["exact", "greedy", "luby", "clique-removal", "decomposition"] {
+        let out = run(&["maxis", "--oracle", oracle], Some(&graph));
+        assert!(out.status.success(), "oracle {oracle}");
+        let text = stdout(&out);
+        assert!(text.contains(&format!("oracle = ")), "oracle {oracle}");
+        assert!(text.lines().any(|l| l.starts_with("i ")), "oracle {oracle} found nothing");
+    }
+}
+
+#[test]
+fn reduce_requires_k_and_valid_oracle() {
+    let gen = run(&["gen", "planted", "--n", "24", "--m", "8", "--k", "2"], None);
+    let instance = stdout(&gen);
+    let missing_k = run(&["reduce"], Some(&instance));
+    assert!(!missing_k.status.success());
+    assert!(String::from_utf8_lossy(&missing_k.stderr).contains("--k"));
+    let bad_oracle = run(&["reduce", "--k", "2", "--oracle", "psychic"], Some(&instance));
+    assert!(!bad_oracle.status.success());
+    assert!(String::from_utf8_lossy(&bad_oracle.stderr).contains("unknown oracle"));
+}
+
+#[test]
+fn stats_rejects_garbage() {
+    let out = run(&["stats"], Some("not a graph at all"));
+    assert!(!out.status.success());
+}
+
+#[test]
+fn generation_is_seed_deterministic_across_invocations() {
+    let a = run(&["gen", "gnp", "--n", "20", "--p", "0.2", "--seed", "9"], None);
+    let b = run(&["gen", "gnp", "--n", "20", "--p", "0.2", "--seed", "9"], None);
+    let c = run(&["gen", "gnp", "--n", "20", "--p", "0.2", "--seed", "10"], None);
+    assert_eq!(stdout(&a), stdout(&b));
+    assert_ne!(stdout(&a), stdout(&c));
+}

@@ -1,0 +1,120 @@
+//! Failure-injection tests: every guard rail in the pipeline must
+//! actually fire when fed broken inputs, starved budgets, or
+//! contract-free oracles.
+
+use pslocal::cfcolor::{CfMulticoloringProblem, CfViolation, Multicoloring};
+use pslocal::core::{reduce_cf_to_maxis, ReductionConfig, ReductionError};
+use pslocal::graph::generators::classic::{cycle, path};
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal::graph::{Color, IndependentSet, NodeId};
+use pslocal::local::{algorithms::LubyMis, Engine, Network};
+use pslocal::maxis::{PrecisionOracle, WorstWitnessOracle};
+use pslocal::slocal::{GraphProblem, MisProblem, Violation};
+use rand::SeedableRng;
+
+fn planted(seed: u64) -> pslocal::graph::Hypergraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    planted_cf_instance(&mut rng, PlantedCfParams::new(36, 18, 3)).hypergraph
+}
+
+#[test]
+fn contract_free_oracle_is_refused_without_override() {
+    let h = planted(1);
+    let err = reduce_cf_to_maxis(&h, &WorstWitnessOracle, ReductionConfig::new(3)).unwrap_err();
+    assert_eq!(err, ReductionError::NoLambdaAvailable);
+    assert!(err.to_string().contains("no guarantee"));
+}
+
+#[test]
+fn contract_free_oracle_with_override_can_exhaust_budget() {
+    let h = planted(2);
+    // One vertex per phase with λ = 1.5 budget: ρ = ⌈1.5·ln 18⌉ + 1 = 6
+    // phases, but 18 edges need 18 singleton phases — exhaustion.
+    let config =
+        ReductionConfig { k: 3, lambda_override: Some(1.5), max_phases: None };
+    let err = reduce_cf_to_maxis(&h, &WorstWitnessOracle, config).unwrap_err();
+    match err {
+        ReductionError::PhaseBudgetExhausted { rho, remaining_edges } => {
+            assert_eq!(rho, ReductionConfig::rho(1.5, 18));
+            assert!(remaining_edges > 0);
+        }
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn independent_set_constructor_rejects_corrupt_sets() {
+    let g = path(4);
+    // Adjacent pair.
+    assert!(IndependentSet::new(&g, vec![NodeId::new(1), NodeId::new(2)]).is_err());
+    // Out of range.
+    assert!(IndependentSet::new(&g, vec![NodeId::new(7)]).is_err());
+}
+
+#[test]
+fn cf_verifier_catches_every_violation_class() {
+    let h = planted(3);
+    let problem = CfMulticoloringProblem::with_budget(100);
+    // Empty coloring: some edge unhappy.
+    let empty = Multicoloring::new(h.node_count());
+    assert!(matches!(problem.verify(&h, &empty), Err(CfViolation::UnhappyEdge { .. })));
+    // Wrong size.
+    let short = Multicoloring::new(1);
+    assert!(matches!(problem.verify(&h, &short), Err(CfViolation::SizeMismatch { .. })));
+    // Budget overrun: a rainbow coloring is CF but wide.
+    let rainbow =
+        Multicoloring::from_single(&(0..h.node_count()).map(Color::new).collect::<Vec<_>>());
+    let tight = CfMulticoloringProblem::with_budget(2);
+    assert!(matches!(tight.verify(&h, &rainbow), Err(CfViolation::TooManyColors { .. })));
+}
+
+#[test]
+fn engine_round_limit_fires_and_reports_unfinished_nodes() {
+    let net = Network::with_identity_ids(cycle(30));
+    let err = Engine::new(&net).max_rounds(1).run(&LubyMis).unwrap_err();
+    assert_eq!(err.limit, 1);
+    assert!(err.unfinished > 0);
+}
+
+#[test]
+fn mis_verifier_rejects_both_failure_modes() {
+    let g = cycle(6);
+    let not_independent = vec![NodeId::new(0), NodeId::new(1)];
+    let not_maximal = vec![NodeId::new(0)];
+    let ok = vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)];
+    assert!(matches!(MisProblem.verify(&g, &not_independent), Err(Violation { .. })));
+    assert!(MisProblem.verify(&g, &not_maximal).is_err());
+    assert!(MisProblem.verify(&g, &ok).is_ok());
+}
+
+#[test]
+fn precision_oracle_is_exactly_as_weak_as_claimed_in_the_pipeline() {
+    let h = planted(4);
+    let strong = reduce_cf_to_maxis(&h, &PrecisionOracle::new(1.0), ReductionConfig::new(3))
+        .expect("λ = 1 is the exact oracle");
+    assert_eq!(strong.phases_used, 1);
+    let weak = reduce_cf_to_maxis(&h, &PrecisionOracle::new(6.0), ReductionConfig::new(3))
+        .expect("λ = 6 still finishes within its own ρ");
+    assert!(weak.phases_used > strong.phases_used);
+    assert!(weak.phases_used <= ReductionConfig::rho(6.0, h.edge_count()));
+}
+
+#[test]
+fn starved_max_phases_cannot_mask_success_reporting() {
+    let h = planted(5);
+    for budget in 0..3 {
+        let config = ReductionConfig {
+            k: 3,
+            lambda_override: Some(4.0),
+            max_phases: Some(budget),
+        };
+        let result = reduce_cf_to_maxis(&h, &PrecisionOracle::new(4.0), config);
+        match result {
+            Ok(out) => assert!(out.phases_used <= budget),
+            Err(ReductionError::PhaseBudgetExhausted { remaining_edges, .. }) => {
+                assert!(remaining_edges > 0)
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the graph substrate: CSR invariants, generator
+//! contracts, derived-graph operators, and the text formats.
+
+use proptest::prelude::*;
+use pslocal::graph::algo::{bfs_distances, connected_components, UNREACHABLE};
+use pslocal::graph::generators::random::{gnm, gnp, random_tree};
+use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
+use pslocal::graph::ops::{line_graph, power_graph};
+use pslocal::graph::{Graph, NodeId};
+use rand::SeedableRng;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (0u64..5000, 2usize..50, 0usize..3).prop_map(|(seed, n, kind)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match kind {
+            0 => gnp(&mut rng, n, 0.15),
+            1 => random_tree(&mut rng, n),
+            _ => {
+                let max = n * (n - 1) / 2;
+                gnm(&mut rng, n, (2 * n).min(max))
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR invariants: neighbor lists sorted & loop-free; degree sums
+    /// to 2m; adjacency is symmetric.
+    #[test]
+    fn csr_invariants(g in arbitrary_graph()) {
+        let mut degree_sum = 0usize;
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            prop_assert!(!ns.contains(&v), "loop at {v}");
+            degree_sum += ns.len();
+            for &u in ns {
+                prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    /// BFS distances satisfy the triangle property along edges and
+    /// agree with component structure.
+    #[test]
+    fn bfs_is_metric_consistent(g in arbitrary_graph()) {
+        let n = g.node_count();
+        let src = NodeId::new(0);
+        let dist = bfs_distances(&g, src);
+        let (comp, _) = connected_components(&g);
+        for v in 0..n {
+            prop_assert_eq!(dist[v] != UNREACHABLE, comp[v] == comp[0]);
+        }
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u.index()], dist[v.index()]);
+            if du != UNREACHABLE {
+                prop_assert!(dv != UNREACHABLE && dv <= du + 1 && du <= dv + 1);
+            }
+        }
+    }
+
+    /// Power graph: adjacency ⟺ distance ≤ t (checked for t = 2).
+    #[test]
+    fn power_graph_matches_distances(g in arbitrary_graph()) {
+        let p2 = power_graph(&g, 2);
+        for v in g.nodes() {
+            let dist = bfs_distances(&g, v);
+            for u in g.nodes() {
+                if u > v {
+                    let close = dist[u.index()] != UNREACHABLE && dist[u.index()] <= 2;
+                    prop_assert_eq!(p2.has_edge(u, v), close, "pair ({}, {})", u, v);
+                }
+            }
+        }
+    }
+
+    /// Line graph: vertex count = m; degrees equal the number of
+    /// adjacent edges (deg(u) + deg(v) − 2).
+    #[test]
+    fn line_graph_degrees(g in arbitrary_graph()) {
+        let (lg, edges) = line_graph(&g);
+        prop_assert_eq!(lg.node_count(), g.edge_count());
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let expected = g.degree(u) + g.degree(v) - 2;
+            prop_assert_eq!(lg.degree(NodeId::new(i)), expected);
+        }
+    }
+
+    /// Text format round-trips preserve the graph exactly.
+    #[test]
+    fn io_round_trip(g in arbitrary_graph()) {
+        let back = read_graph(&write_graph(&g)).expect("own output parses");
+        prop_assert_eq!(back, g);
+    }
+
+    /// Hypergraph text round-trips (via planted instances).
+    #[test]
+    fn hypergraph_io_round_trip(seed in 0u64..2000, k in 2usize..4) {
+        use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let h = planted_cf_instance(&mut rng, PlantedCfParams::new(8 * k, 6, k)).hypergraph;
+        let back = read_hypergraph(&write_hypergraph(&h)).expect("own output parses");
+        prop_assert_eq!(back, h);
+    }
+
+    /// Induced subgraphs preserve adjacency among kept vertices.
+    #[test]
+    fn induced_subgraph_is_faithful(g in arbitrary_graph(), mask_seed in 0u64..1000) {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(mask_seed);
+        let keep: Vec<NodeId> = g.nodes().filter(|_| rng.gen_bool(0.5)).collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.node_count(), keep.len());
+        for i in 0..keep.len() {
+            for j in (i + 1)..keep.len() {
+                prop_assert_eq!(
+                    sub.has_edge(NodeId::new(i), NodeId::new(j)),
+                    g.has_edge(map[i], map[j])
+                );
+            }
+        }
+    }
+}

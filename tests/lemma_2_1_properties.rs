@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) for the Lemma 2.1 correspondence
+//! and the conflict-graph construction — the workspace's core
+//! invariants under randomized instance generation.
+
+use proptest::prelude::*;
+use pslocal::core::{
+    coloring_to_independent_set, independent_set_to_coloring, lemma_2_1a, lemma_2_1b,
+    total_coloring_as_indices, ConflictGraph,
+};
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfInstance, PlantedCfParams};
+use pslocal::graph::{IndependentSet, NodeId};
+use rand::SeedableRng;
+
+/// Strategy: a planted CF instance plus its conflict graph, sizes kept
+/// small enough for exhaustive-ish checks.
+fn planted_instance() -> impl Strategy<Value = (PlantedCfInstance, ConflictGraph)> {
+    (0u64..5000, 2usize..4, 3usize..12).prop_map(|(seed, k, m)| {
+        let n = 8 * k + (seed as usize % 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
+        let cg = ConflictGraph::build(&inst.hypergraph, k);
+        (inst, cg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 2.1 a): the planted coloring induces an independent set of
+    /// size exactly m.
+    #[test]
+    fn lemma_a_on_planted_colorings((inst, cg) in planted_instance()) {
+        let coloring = total_coloring_as_indices(&inst.planted_coloring);
+        let set = lemma_2_1a(&cg, &coloring);
+        prop_assert_eq!(set.len(), inst.hypergraph.edge_count());
+        // Every member triple's color matches the planted coloring.
+        for node in set.iter() {
+            let t = cg.triple_of(node);
+            prop_assert_eq!(
+                inst.planted_coloring[t.vertex.index()].index(),
+                t.color
+            );
+        }
+    }
+
+    /// Lemma 2.1 b): greedily sampled maximal independent sets induce
+    /// well-defined colorings with happy(f_I) ≥ |I|.
+    #[test]
+    fn lemma_b_on_random_maximal_sets((_inst, cg) in planted_instance(), pick_seed in 0u64..1000) {
+        // Sample a random maximal independent set of G_k.
+        let g = cg.graph();
+        let mut order: Vec<NodeId> = g.nodes().collect();
+        use rand::seq::SliceRandom;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pick_seed);
+        order.shuffle(&mut rng);
+        let mut members = Vec::new();
+        let mut blocked = vec![false; g.node_count()];
+        for v in order {
+            if !blocked[v.index()] {
+                members.push(v);
+                blocked[v.index()] = true;
+                for &u in g.neighbors(v) {
+                    blocked[u.index()] = true;
+                }
+            }
+        }
+        let set = IndependentSet::new(g, members).expect("greedy maximal set is independent");
+        let out = lemma_2_1b(&cg, &set);
+        prop_assert!(out.happy_edges >= set.len());
+        // f_I is a partial single-coloring with ≤ |I| colored vertices.
+        prop_assert!(out.coloring.colored_count() <= set.len());
+    }
+
+    /// No independent set of G_k exceeds m (the E_edge cliques cap it).
+    #[test]
+    fn no_independent_set_beats_m((inst, cg) in planted_instance()) {
+        let greedy = pslocal::maxis::GreedyOracle;
+        use pslocal::maxis::MaxIsOracle;
+        let set = greedy.independent_set(cg.graph());
+        prop_assert!(set.len() <= inst.hypergraph.edge_count());
+    }
+
+    /// Round trip: f → I_f → f_{I_f} makes every edge happy again.
+    #[test]
+    fn round_trip_restores_all_happiness((inst, cg) in planted_instance()) {
+        let coloring = total_coloring_as_indices(&inst.planted_coloring);
+        let set = lemma_2_1a(&cg, &coloring);
+        let out = independent_set_to_coloring(&cg, &set);
+        prop_assert_eq!(out.happy_edges, inst.hypergraph.edge_count());
+    }
+
+    /// The conflict graph has no self loops and exactly k·Σ|e| nodes,
+    /// and every built edge satisfies at least one family predicate.
+    #[test]
+    fn conflict_graph_structural_invariants((inst, cg) in planted_instance()) {
+        prop_assert_eq!(
+            cg.graph().node_count(),
+            ConflictGraph::expected_node_count(&inst.hypergraph, cg.k())
+        );
+        for (x, y) in cg.graph().edges() {
+            prop_assert!(x != y, "self loop");
+            let (a, b) = (cg.triple_of(x), cg.triple_of(y));
+            prop_assert!(
+                cg.in_vertex_family(a, b)
+                    || cg.in_edge_family(a, b)
+                    || cg.in_color_family(a, b),
+                "edge in no family"
+            );
+        }
+    }
+
+    /// Partial colorings: direction a) never claims a witness for an
+    /// edge whose members are all uncolored.
+    #[test]
+    fn direction_a_respects_partiality((inst, cg) in planted_instance(), mask_seed in 0u64..1000) {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(mask_seed);
+        let partial: Vec<Option<usize>> = inst
+            .planted_coloring
+            .iter()
+            .map(|c| rng.gen_bool(0.5).then(|| c.index()))
+            .collect();
+        let out = coloring_to_independent_set(&cg, &partial);
+        // Happy edges (with witness) + unhappy edges = m.
+        prop_assert_eq!(
+            out.independent_set.len() + out.unhappy_edges.len(),
+            inst.hypergraph.edge_count()
+        );
+        // Every unhappy edge genuinely has no uniquely-colored member.
+        for &e in &out.unhappy_edges {
+            let members = inst.hypergraph.edge(e);
+            let has_witness = members.iter().any(|&v| {
+                partial[v.index()].is_some_and(|c| {
+                    members.iter().filter(|&&u| partial[u.index()] == Some(c)).count() == 1
+                })
+            });
+            prop_assert!(!has_witness);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-model integration tests: the LOCAL and SLOCAL simulators, the
+//! oracles, and the problem verifiers agree with each other on shared
+//! instances.
+
+use pslocal::graph::generators::classic::{cycle, grid};
+use pslocal::graph::generators::random::{gnp, random_tree};
+use pslocal::local::algorithms::{LubyMis, MisFromColoring, RandomColorTrial};
+use pslocal::local::{Engine, Network};
+use pslocal::maxis::{measure_ratio, standard_oracles, DecompositionOracle};
+use pslocal::slocal::{
+    algorithms::GreedyColoring, algorithms::GreedyMis, carve_decomposition, orders, run,
+    GraphProblem, MisProblem, NetworkDecompositionProblem,
+};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn local_and_slocal_mis_both_pass_the_same_verifier() {
+    let g = gnp(&mut rng(1), 80, 0.08);
+    let problem = MisProblem;
+
+    let net = Network::with_scrambled_ids(g.clone(), 5);
+    let exec = Engine::new(&net).seed(2).run(&LubyMis).unwrap();
+    let local_mis = LubyMis::members(&exec.states);
+    problem.verify(&g, &local_mis).expect("LOCAL MIS verifies");
+
+    let outcome = run(&g, &GreedyMis, &orders::by_decreasing_degree(&g));
+    let slocal_mis = GreedyMis::members(&outcome.states);
+    problem.verify(&g, &slocal_mis).expect("SLOCAL MIS verifies");
+}
+
+#[test]
+fn slocal_coloring_feeds_local_mis_from_coloring() {
+    // SLOCAL produces the coloring; the deterministic LOCAL algorithm
+    // consumes it — the classic pipeline the P-SLOCAL programme asks
+    // to derandomize end to end.
+    let g = grid(7, 8);
+    let outcome = run(&g, &GreedyColoring, &orders::identity(g.node_count()));
+    let coloring = GreedyColoring::colors(&outcome.states);
+    assert!(g.is_proper_coloring(&coloring));
+
+    let algo = MisFromColoring::new(coloring);
+    let net = Network::with_identity_ids(g.clone());
+    let exec = Engine::new(&net).run(&algo).unwrap();
+    let mis = MisFromColoring::members(&exec.states);
+    MisProblem.verify(&g, &mis).expect("pipeline MIS verifies");
+    // Deterministic round bound: #colors rounds.
+    assert!(exec.trace.rounds <= algo.schedule_length());
+}
+
+#[test]
+fn decomposition_passes_problem_verifier_with_paper_budgets() {
+    for (seed, n) in [(1u64, 50), (2, 90), (3, 140)] {
+        let g = gnp(&mut rng(seed), n, 6.0 / n as f64);
+        let d = carve_decomposition(&g);
+        let log = ((n.max(2)) as f64).log2().ceil() as usize;
+        let problem = NetworkDecompositionProblem { max_colors: log + 1, max_radius: log };
+        problem.verify(&g, &d).unwrap_or_else(|e| panic!("n = {n}: {e}"));
+    }
+}
+
+#[test]
+fn randomized_local_coloring_feeds_mis_pipeline() {
+    let g = random_tree(&mut rng(4), 60);
+    let net = Network::with_identity_ids(g.clone());
+    let exec = Engine::new(&net).seed(9).run(&RandomColorTrial).unwrap();
+    let coloring = RandomColorTrial::colors(&exec.states);
+    assert!(g.is_proper_coloring(&coloring));
+
+    let algo = MisFromColoring::new(coloring);
+    let exec2 = Engine::new(&net).run(&algo).unwrap();
+    let mis = MisFromColoring::members(&exec2.states);
+    assert!(g.is_maximal_independent_set(&mis));
+}
+
+#[test]
+fn oracle_ratios_never_beat_one() {
+    // Realized λ is ≥ 1 by definition (α bound ≥ any independent set);
+    // check the measurement plumbing across oracles and families.
+    let graphs =
+        vec![cycle(30), grid(6, 7), gnp(&mut rng(6), 48, 0.12), random_tree(&mut rng(7), 44)];
+    for g in &graphs {
+        for oracle in standard_oracles(3) {
+            let m = measure_ratio(oracle.as_ref(), g);
+            let lambda = m.realized_lambda.expect("nonempty instances");
+            assert!(
+                lambda >= 1.0 - 1e-9,
+                "oracle {} claims ratio {lambda} < 1",
+                oracle.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn decomposition_oracle_class_sizes_sum_consistently() {
+    let g = gnp(&mut rng(8), 70, 0.07);
+    let solve = DecompositionOracle::default().solve(&g);
+    // The winning class is the maximum of the per-class sizes.
+    let max = solve.class_sizes.iter().copied().max().unwrap_or(0);
+    assert_eq!(solve.independent_set.len(), max);
+    // Every class size is at most n.
+    assert!(solve.class_sizes.iter().all(|&s| s <= g.node_count()));
+}
+
+#[test]
+fn slocal_realized_locality_never_exceeds_declared() {
+    let g = gnp(&mut rng(9), 64, 0.1);
+    let outcome = run(&g, &GreedyMis, &orders::random(&mut rng(10), 64));
+    assert!(outcome.trace.realized_locality <= outcome.trace.declared_locality);
+    let outcome = run(&g, &GreedyColoring, &orders::identity(64));
+    assert!(outcome.trace.realized_locality <= outcome.trace.declared_locality);
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the Theorem 1.1 reduction driver: budget,
+//! decay, palette discipline, and determinism across randomized
+//! instances and oracles.
+
+use proptest::prelude::*;
+use pslocal::cfcolor::checker;
+use pslocal::core::{reduce_cf_to_maxis, ReductionConfig};
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfInstance, PlantedCfParams};
+use pslocal::graph::Palette;
+use pslocal::maxis::{ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle};
+use rand::SeedableRng;
+
+fn planted() -> impl Strategy<Value = PlantedCfInstance> {
+    (0u64..5000, 2usize..4, 4usize..14).prop_map(|(seed, k, m)| {
+        let n = 8 * k + (seed as usize % 9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k))
+    })
+}
+
+fn oracle_by_index(i: usize) -> Box<dyn MaxIsOracle> {
+    match i % 3 {
+        0 => Box::new(ExactOracle),
+        1 => Box::new(GreedyOracle),
+        _ => Box::new(LubyOracle::new(17)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The reduction terminates within ρ with a conflict-free output of
+    /// at most k·phases colors, for every certified oracle.
+    #[test]
+    fn reduction_invariants(inst in planted(), oracle_idx in 0usize..3) {
+        let k = inst.k;
+        let oracle = oracle_by_index(oracle_idx);
+        let out = reduce_cf_to_maxis(&inst.hypergraph, oracle.as_ref(), ReductionConfig::new(k))
+            .expect("certified oracles finish within the paper budget");
+        prop_assert!(checker::is_conflict_free(&inst.hypergraph, &out.coloring));
+        prop_assert!(out.phases_used <= out.rho);
+        prop_assert!(out.total_colors <= k * out.phases_used.max(1));
+        let palettes: Vec<Palette> = (0..out.phases_used).map(|i| Palette::phase(k, i)).collect();
+        prop_assert!(out.coloring.uses_only_palettes(&palettes));
+    }
+
+    /// Per-phase decay: every phase removes at least |I_i| edges and
+    /// satisfies |E_{i+1}| ≤ (1 − 1/λ)|E_i| for the certified λ.
+    #[test]
+    fn per_phase_decay(inst in planted()) {
+        let k = inst.k;
+        let out = reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, ReductionConfig::new(k))
+            .unwrap();
+        for r in &out.records {
+            prop_assert!(r.edges_removed >= r.independent_set_size);
+            let allowed = (1.0 - 1.0 / out.lambda) * r.edges_before as f64;
+            prop_assert!(
+                r.edges_after as f64 <= allowed + 1e-9,
+                "phase {}: {} edges after, allowed {:.2}",
+                r.phase, r.edges_after, allowed
+            );
+        }
+        // Records chain correctly down to zero.
+        let last = out.records.last().unwrap();
+        prop_assert_eq!(last.edges_after, 0);
+    }
+
+    /// Determinism: identical inputs and oracles give identical outputs.
+    #[test]
+    fn reduction_is_deterministic(inst in planted()) {
+        let k = inst.k;
+        let a = reduce_cf_to_maxis(&inst.hypergraph, &LubyOracle::new(3), ReductionConfig::new(k))
+            .unwrap();
+        let b = reduce_cf_to_maxis(&inst.hypergraph, &LubyOracle::new(3), ReductionConfig::new(k))
+            .unwrap();
+        prop_assert_eq!(a.coloring, b.coloring);
+        prop_assert_eq!(a.records, b.records);
+    }
+
+    /// The exact oracle always finishes in exactly one phase on planted
+    /// instances (α(G_k) = m ⇒ every edge gets a witness at once).
+    #[test]
+    fn exact_oracle_is_single_phase(inst in planted()) {
+        let out = reduce_cf_to_maxis(&inst.hypergraph, &ExactOracle, ReductionConfig::new(inst.k))
+            .unwrap();
+        prop_assert_eq!(out.phases_used, 1);
+        prop_assert_eq!(out.records[0].independent_set_size, inst.hypergraph.edge_count());
+    }
+
+    /// Conflict graphs shrink monotonically across phases.
+    #[test]
+    fn conflict_graphs_shrink(inst in planted()) {
+        let out = reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, ReductionConfig::new(inst.k))
+            .unwrap();
+        for w in out.records.windows(2) {
+            prop_assert!(w[1].conflict_nodes <= w[0].conflict_nodes);
+            prop_assert!(w[1].edges_before <= w[0].edges_before);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the SLOCAL→LOCAL simulation and the model
+//! runtimes: the derandomization schedule must agree with sequential
+//! execution, balls must be genuinely disjoint, and round bills must
+//! stay polylogarithmic — across randomized graph families.
+
+use proptest::prelude::*;
+use pslocal::graph::generators::random::{gnp, random_tree};
+use pslocal::graph::Graph;
+use pslocal::slocal::{
+    algorithms::{GreedyColoring, GreedyMis},
+    interleaving_is_irrelevant, run, simulate_in_local,
+};
+use rand::SeedableRng;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (0u64..5000, 10usize..60, prop_oneof![Just(true), Just(false)]).prop_map(
+        |(seed, n, tree)| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            if tree {
+                random_tree(&mut rng, n)
+            } else {
+                gnp(&mut rng, n, 6.0 / n as f64)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The simulated run equals the sequential run under the induced
+    /// order, and its output is a valid MIS.
+    #[test]
+    fn simulation_agrees_with_sequential(g in arbitrary_graph()) {
+        let sim = simulate_in_local(&g, &GreedyMis);
+        let seq = run(&g, &GreedyMis, &sim.induced_order);
+        prop_assert_eq!(&sim.states, &seq.states);
+        let mis = GreedyMis::members(&sim.states);
+        prop_assert!(g.is_maximal_independent_set(&mis));
+    }
+
+    /// Same-class clusters of the simulation's decomposition always
+    /// have disjoint r-balls (the soundness of the parallel slots).
+    #[test]
+    fn parallel_slots_are_sound(g in arbitrary_graph()) {
+        let sim = simulate_in_local(&g, &GreedyMis);
+        prop_assert!(interleaving_is_irrelevant(&g, &sim.decomposition, sim.bill.locality));
+    }
+
+    /// The LOCAL bill stays within O(log² n) for locality-1 algorithms.
+    #[test]
+    fn bill_is_polylog(g in arbitrary_graph()) {
+        let n = g.node_count().max(2) as f64;
+        let sim = simulate_in_local(&g, &GreedyColoring);
+        let budget = 16.0 * (n.log2() + 1.0).powi(2);
+        prop_assert!(
+            (sim.bill.local_rounds as f64) <= budget,
+            "{} rounds > {budget}", sim.bill.local_rounds
+        );
+        // Colorings coming out of the simulation are proper.
+        let colors = GreedyColoring::colors(&sim.states);
+        prop_assert!(g.is_proper_coloring(&colors));
+    }
+
+    /// The induced order is a permutation of the vertex set.
+    #[test]
+    fn induced_order_is_a_permutation(g in arbitrary_graph()) {
+        let sim = simulate_in_local(&g, &GreedyMis);
+        let mut sorted = sim.induced_order.clone();
+        sorted.sort_unstable();
+        let expect: Vec<_> = g.nodes().collect();
+        prop_assert_eq!(sorted, expect);
+    }
+}
