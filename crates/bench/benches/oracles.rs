@@ -6,7 +6,7 @@ use pslocal_core::ConflictGraph;
 use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
 use pslocal_graph::generators::random::gnp;
 use pslocal_graph::Graph;
-use pslocal_maxis::{standard_oracles, MaxIsOracle};
+use pslocal_maxis::standard_oracles;
 use rand::SeedableRng;
 
 fn conflict_instance() -> Graph {
@@ -18,11 +18,9 @@ fn conflict_instance() -> Graph {
 fn bench_on(c: &mut Criterion, label: &str, graph: &Graph) {
     let mut group = c.benchmark_group(format!("oracles_{label}"));
     for oracle in standard_oracles(6) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(oracle.name()),
-            &oracle,
-            |b, oracle: &Box<dyn MaxIsOracle>| b.iter(|| oracle.independent_set(graph)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(oracle.name()), &oracle, |b, oracle| {
+            b.iter(|| oracle.independent_set(graph))
+        });
     }
     group.finish();
 }

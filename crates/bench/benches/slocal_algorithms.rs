@@ -12,10 +12,7 @@ use rand::SeedableRng;
 
 fn graphs() -> Vec<(usize, Graph)> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    [64usize, 256, 1024]
-        .iter()
-        .map(|&n| (n, gnp(&mut rng, n, (8.0 / n as f64).min(0.5))))
-        .collect()
+    [64usize, 256, 1024].iter().map(|&n| (n, gnp(&mut rng, n, (8.0 / n as f64).min(0.5)))).collect()
 }
 
 fn bench_greedy_mis(c: &mut Criterion) {

@@ -12,11 +12,9 @@
 use pslocal_bench::table::{cell, Table};
 use pslocal_bench::{rng_for, seed_from_args};
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_core::{
-    apply_palette, lemma_2_1b, reduce_cf_to_maxis, ConflictGraph, ReductionConfig,
-};
+use pslocal_core::{apply_palette, lemma_2_1b, reduce_cf_to_maxis, ConflictGraph, ReductionConfig};
 use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
-use pslocal_graph::{Hypergraph, HyperedgeId, Palette};
+use pslocal_graph::{HyperedgeId, Hypergraph, Palette};
 use pslocal_maxis::{MaxIsOracle, PrecisionOracle};
 
 /// The ablated loop: identical to the Theorem 1.1 reduction except
@@ -58,7 +56,16 @@ fn main() {
     let mut table = Table::new(
         "A1",
         "ablation: shared palette across phases vs the paper's fresh palettes (λ = 4 oracle)",
-        &["n", "m", "k", "faithful CF", "faithful phases", "ablated CF", "ablated phases", "happiness regressions"],
+        &[
+            "n",
+            "m",
+            "k",
+            "faithful CF",
+            "faithful phases",
+            "ablated CF",
+            "ablated phases",
+            "happiness regressions",
+        ],
     );
     let mut rng = rng_for(seed, "a1");
     let oracle = PrecisionOracle::new(4.0); // weak oracle ⇒ several phases
@@ -72,9 +79,8 @@ fn main() {
         (96, 96, 6),
     ] {
         let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
-        let faithful =
-            reduce_cf_to_maxis(&inst.hypergraph, &oracle, ReductionConfig::new(k))
-                .expect("faithful reduction completes");
+        let faithful = reduce_cf_to_maxis(&inst.hypergraph, &oracle, ReductionConfig::new(k))
+            .expect("faithful reduction completes");
         assert!(checker::is_conflict_free(&inst.hypergraph, &faithful.coloring));
         let budget = 3 * faithful.rho; // generous: let the ablation try hard
         let (ablated_cf, ablated_phases, regressions) =
@@ -99,5 +105,7 @@ fn main() {
          {ablated_failures} instance(s)"
     );
     println!("  (a regression = a phase after which previously happy edges became unhappy —");
-    println!("   impossible with fresh palettes, since new colors never change old multiplicities)");
+    println!(
+        "   impossible with fresh palettes, since new colors never change old multiplicities)"
+    );
 }

@@ -21,7 +21,15 @@ fn main() {
     let mut table = Table::new(
         "A2",
         "literal E_color (u = v allowed) vs proof-faithful reading: Lemma 2.1 a) survival",
-        &["n", "m", "k", "strict edges", "literal edges", "strict I_f independent", "literal I_f independent"],
+        &[
+            "n",
+            "m",
+            "k",
+            "strict edges",
+            "literal edges",
+            "strict I_f independent",
+            "literal I_f independent",
+        ],
     );
     let mut rng = rng_for(seed, "a2");
     let mut literal_failures = 0usize;
@@ -54,8 +62,7 @@ fn main() {
                     vs.iter().filter(|&&u| coloring[u.index()] == c).count() == 1
                 })
                 .expect("planted coloring is conflict-free");
-            members
-                .push(strict.node_for(e, witness, coloring[witness.index()].index()).unwrap());
+            members.push(strict.node_for(e, witness, coloring[witness.index()].index()).unwrap());
         }
 
         let strict_ok = strict.graph().is_independent_set(&members);

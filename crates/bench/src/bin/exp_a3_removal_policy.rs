@@ -12,11 +12,9 @@
 use pslocal_bench::table::{cell, Table};
 use pslocal_bench::{rng_for, seed_from_args};
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_core::{
-    apply_palette, lemma_2_1b, reduce_cf_to_maxis, ConflictGraph, ReductionConfig,
-};
+use pslocal_core::{apply_palette, lemma_2_1b, reduce_cf_to_maxis, ConflictGraph, ReductionConfig};
 use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
-use pslocal_graph::{Hypergraph, HyperedgeId, Palette};
+use pslocal_graph::{HyperedgeId, Hypergraph, Palette};
 use pslocal_maxis::{MaxIsOracle, PrecisionOracle};
 
 /// Reduction variant that removes only the edges carrying a triple of
@@ -60,19 +58,14 @@ fn main() {
     );
     let mut rng = rng_for(seed, "a3");
     let oracle = PrecisionOracle::new(4.0);
-    for &(n, m, k) in &[
-        (32usize, 24usize, 3usize),
-        (48, 32, 3),
-        (64, 48, 4),
-        (96, 64, 4),
-        (96, 96, 6),
-    ] {
+    for &(n, m, k) in
+        &[(32usize, 24usize, 3usize), (48, 32, 3), (64, 48, 4), (96, 64, 4), (96, 96, 6)]
+    {
         let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
         let paper = reduce_cf_to_maxis(&inst.hypergraph, &oracle, ReductionConfig::new(k))
             .expect("paper policy completes");
-        let (w_phases, w_colors) =
-            witnessed_only_run(&inst.hypergraph, k, &oracle, 4 * paper.rho)
-                .expect("witnessed-only policy also completes (same decay bound)");
+        let (w_phases, w_colors) = witnessed_only_run(&inst.hypergraph, k, &oracle, 4 * paper.rho)
+            .expect("witnessed-only policy also completes (same decay bound)");
         assert!(w_phases >= paper.phases_used, "paper policy can only be faster");
         table.row(&[
             cell(n),

@@ -21,7 +21,15 @@ fn main() {
     let mut table = Table::new(
         "F4",
         "interval hypergraphs: dyadic O(log n) baseline vs generic MaxIS reduction vs phase greedy",
-        &["points", "intervals", "oracle", "dyadic colors", "reduction colors", "reduction phases", "greedy colors"],
+        &[
+            "points",
+            "intervals",
+            "oracle",
+            "dyadic colors",
+            "reduction colors",
+            "reduction phases",
+            "greedy colors",
+        ],
     );
     let mut rng = rng_for(seed, "f4");
     for exp in 5..10 {

@@ -15,7 +15,18 @@ fn main() {
     let mut table = Table::new(
         "T1",
         "conflict graph size: |V| = k·Σ|e| (measured = closed form), family counts",
-        &["n", "m", "k", "incidence", "V_closed", "V_measured", "E_total", "E_vertex", "E_edge", "E_color"],
+        &[
+            "n",
+            "m",
+            "k",
+            "incidence",
+            "V_closed",
+            "V_measured",
+            "E_total",
+            "E_vertex",
+            "E_edge",
+            "E_color",
+        ],
     );
     let mut rng = rng_for(seed, "t1");
     for &(n, m, k) in &[

@@ -14,10 +14,7 @@ use pslocal_graph::{IndependentSet, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-fn random_maximal_set(
-    g: &pslocal_graph::Graph,
-    rng: &mut impl Rng,
-) -> IndependentSet {
+fn random_maximal_set(g: &pslocal_graph::Graph, rng: &mut impl Rng) -> IndependentSet {
     let mut order: Vec<NodeId> = g.nodes().collect();
     order.shuffle(rng);
     let mut blocked = vec![false; g.node_count()];

@@ -22,13 +22,9 @@ fn main() {
     let mut rng = rng_for(seed, "t4");
     let oracles: Vec<Box<dyn MaxIsOracle>> =
         vec![Box::new(GreedyOracle), Box::new(LubyOracle::new(seed))];
-    for &(n, m, k) in &[
-        (32usize, 12usize, 3usize),
-        (48, 24, 3),
-        (64, 48, 4),
-        (96, 96, 4),
-        (128, 192, 4),
-    ] {
+    for &(n, m, k) in
+        &[(32usize, 12usize, 3usize), (48, 24, 3), (64, 48, 4), (96, 96, 4), (128, 192, 4)]
+    {
         let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
         for oracle in &oracles {
             let out =

@@ -19,7 +19,16 @@ fn main() {
     let mut table = Table::new(
         "T5",
         "oracle λ landscape on conflict graphs: theoretical λ vs realized (α = m known exactly)",
-        &["oracle", "G_k nodes", "G_k edges", "alpha=m", "|I|", "lambda_theory", "lambda_real", "ms"],
+        &[
+            "oracle",
+            "G_k nodes",
+            "G_k edges",
+            "alpha=m",
+            "|I|",
+            "lambda_theory",
+            "lambda_real",
+            "ms",
+        ],
     );
     let mut rng = rng_for(seed, "t5");
     let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(64, 28, 4));
@@ -31,10 +40,7 @@ fn main() {
         let start = Instant::now();
         let set = oracle.independent_set(cg.graph());
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        let theory = oracle
-            .lambda_for(cg.graph())
-            .map(cell_f)
-            .unwrap_or_else(|| cell("-"));
+        let theory = oracle.lambda_for(cg.graph()).map(cell_f).unwrap_or_else(|| cell("-"));
         // On CF-k-colorable instances α(G_k) = m exactly (Lemma 2.1 a).
         let realized = m as f64 / set.len().max(1) as f64;
         table.row(&[

@@ -10,14 +10,25 @@
 use pslocal_bench::table::{cell, Table};
 use pslocal_bench::{rng_for, seed_from_args};
 use pslocal_graph::generators::random::gnp;
-use pslocal_slocal::{algorithms::GreedyColoring, algorithms::GreedyMis, carve_decomposition, orders, run};
+use pslocal_slocal::{
+    algorithms::GreedyColoring, algorithms::GreedyMis, carve_decomposition, orders, run,
+};
 
 fn main() {
     let seed = seed_from_args();
     let mut table = Table::new(
         "T6",
         "SLOCAL locality: greedy MIS/coloring (r = 1) and network decomposition (log n)",
-        &["n", "avg deg", "MIS r", "coloring r", "decomp colors", "color bound", "decomp radius", "radius bound"],
+        &[
+            "n",
+            "avg deg",
+            "MIS r",
+            "coloring r",
+            "decomp colors",
+            "color bound",
+            "decomp radius",
+            "radius bound",
+        ],
     );
     let mut rng = rng_for(seed, "t6");
     for exp in 5..12 {

@@ -19,7 +19,17 @@ fn main() {
     let mut table = Table::new(
         "T7",
         "containment: decomposition oracle λ = colors; realized ratio vs certified α bound",
-        &["family", "n", "colors(λ)", "radius", "|I|", "alpha bound", "ratio", "certified", "verified"],
+        &[
+            "family",
+            "n",
+            "colors(λ)",
+            "radius",
+            "|I|",
+            "alpha bound",
+            "ratio",
+            "certified",
+            "verified",
+        ],
     );
     let mut rng = rng_for(seed, "t7");
     let families: Vec<(&str, Graph)> = vec![

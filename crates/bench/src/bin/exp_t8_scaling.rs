@@ -18,7 +18,16 @@ fn main() {
     let mut table = Table::new(
         "T8",
         "reduction cost scaling + LOCAL simulation of G_k in H (greedy oracle, k = 4)",
-        &["n", "m", "G_k nodes", "G_k edges", "phases", "build+reduce ms", "dilation", "congestion"],
+        &[
+            "n",
+            "m",
+            "G_k nodes",
+            "G_k edges",
+            "phases",
+            "build+reduce ms",
+            "dilation",
+            "congestion",
+        ],
     );
     let mut rng = rng_for(seed, "t8");
     let k = 4usize;

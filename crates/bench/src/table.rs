@@ -20,11 +20,7 @@ pub struct Table {
 
 impl Table {
     /// Creates a table with the given id, caption, and column headers.
-    pub fn new(
-        id: impl Into<String>,
-        caption: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, caption: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             id: id.into(),
             caption: caption.into(),
@@ -71,13 +67,14 @@ impl Table {
             .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
             .collect();
         let _ = writeln!(out, "  {}", head.join("  "));
-        let _ = writeln!(out, "  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        let _ = writeln!(
+            out,
+            "  {}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
         for row in &self.rows {
-            let cells: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-                .collect();
+            let cells: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
             let _ = writeln!(out, "  {}", cells.join("  "));
         }
         out

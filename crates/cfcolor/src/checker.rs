@@ -7,7 +7,7 @@
 //! phase and as the final verification of Theorem 1.1's output.
 
 use crate::multicoloring::Multicoloring;
-use pslocal_graph::{Color, Hypergraph, HyperedgeId};
+use pslocal_graph::{Color, HyperedgeId, Hypergraph};
 use std::collections::HashMap;
 
 /// Whether hyperedge `e` is happy under `coloring`: some member vertex
@@ -109,7 +109,9 @@ mod tests {
     }
 
     fn single(colors: &[u32]) -> Multicoloring {
-        Multicoloring::from_single(&colors.iter().map(|&c| Color::new(c as usize)).collect::<Vec<_>>())
+        Multicoloring::from_single(
+            &colors.iter().map(|&c| Color::new(c as usize)).collect::<Vec<_>>(),
+        )
     }
 
     #[test]

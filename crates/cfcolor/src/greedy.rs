@@ -19,7 +19,7 @@
 use crate::checker;
 use crate::multicoloring::Multicoloring;
 use pslocal_graph::algo::degeneracy_coloring;
-use pslocal_graph::{Color, Hypergraph, HyperedgeId, NodeId};
+use pslocal_graph::{Color, HyperedgeId, Hypergraph, NodeId};
 
 /// Conflict-free single-coloring via a proper coloring of the primal
 /// graph.
@@ -85,10 +85,7 @@ pub fn greedy_cf_multicoloring(h: &Hypergraph) -> GreedyCfOutcome {
         phases += 1;
         unhappy.retain(|&e| !checker::is_edge_happy(h, &coloring, e));
         unhappy_after_phase.push(unhappy.len());
-        assert!(
-            phases <= h.edge_count().max(1),
-            "greedy CF must terminate within m phases"
-        );
+        assert!(phases <= h.edge_count().max(1), "greedy CF must terminate within m phases");
     }
 
     GreedyCfOutcome { coloring, phases, unhappy_after_phase }
@@ -156,8 +153,8 @@ mod tests {
 
     #[test]
     fn greedy_cf_on_disjoint_edges_uses_one_phase() {
-        let h = pslocal_graph::Hypergraph::from_edges(6, [vec![0, 1], vec![2, 3], vec![4, 5]])
-            .unwrap();
+        let h =
+            pslocal_graph::Hypergraph::from_edges(6, [vec![0, 1], vec![2, 3], vec![4, 5]]).unwrap();
         let outcome = greedy_cf_multicoloring(&h);
         assert_eq!(outcome.phases, 1);
         assert!(is_conflict_free(&h, &outcome.coloring));

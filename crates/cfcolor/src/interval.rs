@@ -37,8 +37,7 @@ pub fn dyadic_level(p: usize) -> u32 {
 /// `p` gets color [`dyadic_level`]`(p)`. Conflict-free for *every*
 /// interval hyperedge simultaneously.
 pub fn dyadic_cf_coloring(n: usize) -> Multicoloring {
-    let colors: Vec<Color> =
-        (0..n).map(|p| Color::new(dyadic_level(p) as usize)).collect();
+    let colors: Vec<Color> = (0..n).map(|p| Color::new(dyadic_level(p) as usize)).collect();
     Multicoloring::from_single(&colors)
 }
 

@@ -106,10 +106,7 @@ impl Multicoloring {
 
     /// Whether every color used belongs to one of `palettes`.
     pub fn uses_only_palettes(&self, palettes: &[Palette]) -> bool {
-        self.colors
-            .iter()
-            .flatten()
-            .all(|&c| palettes.iter().any(|p| p.contains(c)))
+        self.colors.iter().flatten().all(|&c| palettes.iter().any(|p| p.contains(c)))
     }
 
     /// Merges another multicoloring into this one (union per vertex).

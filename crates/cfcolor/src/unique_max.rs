@@ -11,7 +11,7 @@
 //! budgets across the two notions.
 
 use crate::multicoloring::Multicoloring;
-use pslocal_graph::{Color, Hypergraph, HyperedgeId, NodeId};
+use pslocal_graph::{Color, HyperedgeId, Hypergraph, NodeId};
 
 /// Whether `coloring` (a total single-coloring, one color per vertex)
 /// is unique-maximum for `h`.
@@ -26,11 +26,7 @@ pub fn is_unique_maximum_coloring(h: &Hypergraph, coloring: &[Color]) -> bool {
 
 /// The vertex carrying the unique maximum color of edge `e`, if the
 /// maximum is unique.
-pub fn unique_max_witness(
-    h: &Hypergraph,
-    coloring: &[Color],
-    e: HyperedgeId,
-) -> Option<NodeId> {
+pub fn unique_max_witness(h: &Hypergraph, coloring: &[Color], e: HyperedgeId) -> Option<NodeId> {
     let members = h.edge(e);
     let max = members.iter().map(|&v| coloring[v.index()]).max()?;
     let mut carriers = members.iter().filter(|&&v| coloring[v.index()] == max);
@@ -153,10 +149,7 @@ mod tests {
             let _ = seed;
             let h = random_uniform_hypergraph(&mut r, 24, 14, 4);
             let out = greedy_unique_maximum(&h);
-            assert!(
-                is_unique_maximum_coloring(&h, &out.coloring),
-                "greedy UM output must be UM"
-            );
+            assert!(is_unique_maximum_coloring(&h, &out.coloring), "greedy UM output must be UM");
             assert!(is_conflict_free(&h, &as_multicoloring(&out.coloring)));
         }
     }
@@ -166,8 +159,7 @@ mod tests {
         let mut r = rng(2);
         let (h, _) = interval_hypergraph(&mut r, 64, 30, 2, 16);
         let dyadic = dyadic_cf_coloring(64);
-        let single: Vec<Color> =
-            (0..64).map(|p| dyadic.colors_of(NodeId::new(p))[0]).collect();
+        let single: Vec<Color> = (0..64).map(|p| dyadic.colors_of(NodeId::new(p))[0]).collect();
         assert!(is_unique_maximum_coloring(&h, &single));
     }
 

@@ -53,10 +53,7 @@ pub fn completeness_on_instance<O: MaxIsOracle + ?Sized>(
     // Hardness: CF multicoloring via the oracle.
     let hardness = reduce_cf_to_maxis(h, oracle, ReductionConfig::new(k))?;
     let budget = k * hardness.rho;
-    let problem = CfMulticoloringProblem {
-        max_colors: budget,
-        epsilon: instance.epsilon,
-    };
+    let problem = CfMulticoloringProblem { max_colors: budget, epsilon: instance.epsilon };
     let hardness_verified = problem.verify(h, &hardness.coloring).is_ok();
 
     // Containment: certify the P-SLOCAL MaxIS approximation on the
@@ -102,8 +99,7 @@ mod tests {
         // plugged into the hardness reduction — exactly the composition
         // that makes the completeness statement meaningful.
         let inst = instance(3);
-        let report =
-            completeness_on_instance(&inst, &DecompositionOracle::default()).unwrap();
+        let report = completeness_on_instance(&inst, &DecompositionOracle::default()).unwrap();
         assert!(report.hardness_verified);
         // Composed locality stays polylog.
         let n = inst.hypergraph.node_count();

@@ -31,7 +31,7 @@
 //! hypergraph, and reports the per-family edge counts that experiment
 //! T1 tabulates.
 
-use pslocal_graph::{Graph, GraphBuilder, Hypergraph, HyperedgeId, NodeId};
+use pslocal_graph::{Graph, GraphBuilder, HyperedgeId, Hypergraph, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// A triple `(e, v, c)`: hyperedge, member vertex, 0-based color index.
@@ -136,6 +136,9 @@ impl ConflictGraph {
                 .edges_of(v)
                 .iter()
                 .map(|&e| {
+                    // Invariant, not a fallible path: `edges_of(v)`
+                    // lists exactly the edges whose sorted member list
+                    // contains v, so the search always hits.
                     let pos = h.edge(e).binary_search(&v).expect("incidence is consistent");
                     (e, pos)
                 })
@@ -179,8 +182,8 @@ impl ConflictGraph {
                         continue;
                     }
                     for &g in h.edges_of(u) {
-                        let pu_in_g =
-                            h.edge(g).binary_search(&u).expect("incidence is consistent");
+                        // Invariant: u ∈ g by definition of `edges_of`.
+                        let pu_in_g = h.edge(g).binary_search(&u).expect("incidence is consistent");
                         for c in 0..k {
                             let a = triple(e, pv, c);
                             let b = triple(g, pu_in_g, c);
@@ -386,10 +389,7 @@ mod tests {
         assert!(counts.edge_family > 0);
         assert!(counts.color_family > 0);
         // Union ≤ sum of families (overlap allowed).
-        assert!(
-            cg.edge_count()
-                <= counts.vertex_family + counts.edge_family + counts.color_family
-        );
+        assert!(cg.edge_count() <= counts.vertex_family + counts.edge_family + counts.color_family);
         // Every counted family edge is a real edge, so each family count
         // is at most the union size.
         assert!(counts.vertex_family <= cg.edge_count());
@@ -467,11 +467,8 @@ mod tests {
     fn literal_ecolor_option_adds_same_vertex_edges() {
         let h = Hypergraph::from_edges(3, [vec![0, 1], vec![0, 2]]).unwrap();
         let strict = ConflictGraph::build(&h, 2);
-        let literal = ConflictGraph::build_with_options(
-            &h,
-            2,
-            ConflictGraphOptions { literal_ecolor: true },
-        );
+        let literal =
+            ConflictGraph::build_with_options(&h, 2, ConflictGraphOptions { literal_ecolor: true });
         assert!(!strict.options().literal_ecolor);
         assert!(literal.options().literal_ecolor);
         let a = literal.node_for(HyperedgeId::new(0), NodeId::new(0), 0).unwrap();

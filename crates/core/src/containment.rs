@@ -49,10 +49,7 @@ pub fn containment_certificate(graph: &Graph) -> ContainmentReport {
     let colors = solve.decomposition.color_count().max(1);
     let alpha = alpha_upper_bound(graph);
 
-    let problem = MaxIsApproxProblem {
-        lambda: colors as f64,
-        alpha_upper_bound: alpha.value,
-    };
+    let problem = MaxIsApproxProblem { lambda: colors as f64, alpha_upper_bound: alpha.value };
     let lambda_verified = problem.verify(graph, &solve.independent_set).is_ok()
         // A non-exact α bound can overestimate α; only exact bounds can
         // refute the guarantee.

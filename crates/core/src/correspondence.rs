@@ -53,14 +53,13 @@ pub fn coloring_to_independent_set(
         let witness = vertices.iter().copied().find(|&v| {
             let Some(c) = coloring[v.index()] else { return false };
             assert!(c < cg.k(), "color index {c} outside palette of size {}", cg.k());
-            vertices
-                .iter()
-                .filter(|&&u| coloring[u.index()] == Some(c))
-                .count()
-                == 1
+            vertices.iter().filter(|&&u| coloring[u.index()] == Some(c)).count() == 1
         });
         match witness {
             Some(v) => {
+                // Invariants: the witness predicate only matches colored
+                // vertices, and (e, v, c) with v ∈ e, c < k is a node of
+                // G_k by construction.
                 let c = coloring[v.index()].expect("witness is colored");
                 members.push(cg.node_for(e, v, c).expect("triple exists"));
             }
@@ -93,10 +92,7 @@ pub struct SetToColoring {
 /// # Panics
 ///
 /// Panics if `set` is not a vertex set of `cg.graph()`.
-pub fn independent_set_to_coloring(
-    cg: &ConflictGraph,
-    set: &IndependentSet,
-) -> SetToColoring {
+pub fn independent_set_to_coloring(cg: &ConflictGraph, set: &IndependentSet) -> SetToColoring {
     let h = cg.hypergraph();
     let mut coloring = PartialColoring::new(h.node_count());
     for node in set.iter() {
@@ -158,10 +154,7 @@ pub fn total_coloring_as_indices(colors: &[Color]) -> Vec<Option<usize>> {
 /// Converts the partial coloring `f_I` into a [`Multicoloring`] with
 /// the given palette applied (palette index `c` becomes
 /// `palette.color(c)`), used by the reduction to merge phases.
-pub fn apply_palette(
-    coloring: &PartialColoring,
-    palette: pslocal_graph::Palette,
-) -> Multicoloring {
+pub fn apply_palette(coloring: &PartialColoring, palette: pslocal_graph::Palette) -> Multicoloring {
     let mut mc = Multicoloring::new(coloring.node_count());
     for i in 0..coloring.node_count() {
         let v = NodeId::new(i);

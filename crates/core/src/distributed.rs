@@ -17,13 +17,21 @@
 //! With a *randomized* oracle this yields a randomized LOCAL algorithm
 //! for conflict-free multicoloring — the deterministic analogue is
 //! precisely what Theorem 1.1 shows would derandomize all of P-SLOCAL.
+//!
+//! The pipeline is generic over the oracle
+//! ([`distributed_reduction_with`]), and the round accounting is
+//! fault-aware: steps an oracle call *stalls* for (reported through
+//! [`MaxIsOracle::stalled_steps`], injected by
+//! `pslocal_maxis::FaultyOracle`) are billed as dropped host rounds in
+//! [`DistributedPhase::stalled_rounds`] — on clean runs the field is 0
+//! and the bill reduces to the paper's.
 
 use crate::conflict_graph::ConflictGraph;
 use crate::correspondence;
 use crate::reduction::{ReductionConfig, ReductionError};
 use crate::simulation::simulate_in_hypergraph;
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_graph::{Hypergraph, HyperedgeId, Palette};
+use pslocal_graph::{HyperedgeId, Hypergraph, Palette};
 use pslocal_maxis::{LubyOracle, MaxIsOracle};
 use serde::{Deserialize, Serialize};
 
@@ -34,12 +42,16 @@ pub struct DistributedPhase {
     pub phase: usize,
     /// Residual edges at phase start.
     pub edges_before: usize,
-    /// Luby rounds on this phase's conflict graph.
+    /// Oracle (Luby) rounds on this phase's conflict graph.
     pub oracle_rounds: usize,
     /// Host dilation of the phase's simulation (≤ 1 by construction).
     pub dilation: usize,
-    /// `H`-rounds charged for the phase: `oracle_rounds × max(dilation, 1)`
-    /// plus 2 rounds of gather/scatter bookkeeping.
+    /// Host rounds dropped waiting on a stalled oracle call (0 on
+    /// clean runs; populated under fault injection).
+    pub stalled_rounds: usize,
+    /// `H`-rounds charged for the phase:
+    /// `oracle_rounds × max(dilation, 1) + stalled_rounds` plus 2
+    /// rounds of gather/scatter bookkeeping.
     pub host_rounds: usize,
 }
 
@@ -52,6 +64,9 @@ pub struct DistributedReduction {
     pub phases: Vec<DistributedPhase>,
     /// Total `H`-rounds across all phases.
     pub total_host_rounds: usize,
+    /// Total host rounds lost to stalled oracle calls (a summand of
+    /// [`total_host_rounds`](Self::total_host_rounds)).
+    pub total_stalled_rounds: usize,
     /// The phase budget `ρ` that applied.
     pub rho: usize,
 }
@@ -69,19 +84,37 @@ pub fn distributed_reduction(
     k: usize,
     seed: u64,
 ) -> Result<DistributedReduction, ReductionError> {
+    distributed_reduction_with(h, &LubyOracle::new(seed), k)
+}
+
+/// Runs the distributed pipeline with an arbitrary oracle.
+///
+/// Sequential oracles bill one oracle round per call (the footnote-2
+/// black-box accounting); distributed oracles report their simulator's
+/// round count through [`MaxIsOracle::independent_set_with_rounds`].
+///
+/// # Errors
+///
+/// Returns [`ReductionError::NoLambdaAvailable`] if `oracle` claims no
+/// guarantee (the phase budget `ρ = ⌈λ ln m⌉ + 1` needs a λ), and
+/// [`ReductionError::PhaseBudgetExhausted`] if edges survive the
+/// budget.
+pub fn distributed_reduction_with<O: MaxIsOracle + ?Sized>(
+    h: &Hypergraph,
+    oracle: &O,
+    k: usize,
+) -> Result<DistributedReduction, ReductionError> {
     let m = h.edge_count();
     let mut coloring = Multicoloring::new(h.node_count());
     let mut residual: Vec<HyperedgeId> = h.edge_ids().collect();
-    let oracle = LubyOracle::new(seed);
 
     let first_cg = ConflictGraph::build(h, k);
-    let lambda = oracle
-        .lambda_for(first_cg.graph())
-        .expect("Luby declares a (Δ+1) guarantee");
+    let lambda = oracle.lambda_for(first_cg.graph()).ok_or(ReductionError::NoLambdaAvailable)?;
     let rho = ReductionConfig::rho(lambda, m);
 
     let mut phases = Vec::new();
     let mut total_host_rounds = 0usize;
+    let mut total_stalled_rounds = 0usize;
     let mut phase = 0usize;
     let mut first_cg = Some(first_cg);
     while !residual.is_empty() && phase < rho {
@@ -94,6 +127,9 @@ pub fn distributed_reduction(
         };
         let sim = simulate_in_hypergraph(&cg);
         let (set, oracle_rounds) = oracle.independent_set_with_rounds(cg.graph());
+        // Rounds the host spent waiting on a slow oracle are dropped
+        // rounds — the nodes idled, but the LOCAL clock still ticked.
+        let stalled_rounds = oracle.stalled_steps();
         let decoded = correspondence::lemma_2_1b(&cg, &set);
         let phase_colors =
             correspondence::apply_palette(&decoded.coloring, Palette::phase(k, phase));
@@ -101,32 +137,32 @@ pub fn distributed_reduction(
         let edges_before = residual.len();
         residual.retain(|&e| !checker::is_edge_happy(h, &coloring, e));
 
-        let host_rounds = oracle_rounds * sim.rounds_per_conflict_round + 2;
+        let host_rounds = oracle_rounds * sim.rounds_per_conflict_round + stalled_rounds + 2;
         total_host_rounds += host_rounds;
+        total_stalled_rounds += stalled_rounds;
         phases.push(DistributedPhase {
             phase,
             edges_before,
             oracle_rounds,
             dilation: sim.dilation,
+            stalled_rounds,
             host_rounds,
         });
         phase += 1;
     }
 
     if !residual.is_empty() {
-        return Err(ReductionError::PhaseBudgetExhausted {
-            rho,
-            remaining_edges: residual.len(),
-        });
+        return Err(ReductionError::PhaseBudgetExhausted { rho, remaining_edges: residual.len() });
     }
     debug_assert!(checker::is_conflict_free(h, &coloring));
-    Ok(DistributedReduction { coloring, phases, total_host_rounds, rho })
+    Ok(DistributedReduction { coloring, phases, total_host_rounds, total_stalled_rounds, rho })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+    use pslocal_maxis::{FaultKind, FaultPlan, FaultyOracle, WorstWitnessOracle};
     use rand::SeedableRng;
 
     fn planted(seed: u64, n: usize, m: usize, k: usize) -> Hypergraph {
@@ -149,8 +185,10 @@ mod tests {
         let out = distributed_reduction(&h, 3, 9).unwrap();
         let sum: usize = out.phases.iter().map(|p| p.host_rounds).sum();
         assert_eq!(sum, out.total_host_rounds);
+        assert_eq!(out.total_stalled_rounds, 0, "clean runs never stall");
         for p in &out.phases {
             assert!(p.dilation <= 1);
+            assert_eq!(p.stalled_rounds, 0);
             assert_eq!(p.host_rounds, p.oracle_rounds * 1.max(p.dilation) + 2);
         }
     }
@@ -171,5 +209,29 @@ mod tests {
         let out = distributed_reduction(&h, 2, 1).unwrap();
         // Few phases × O(log |G_k|) Luby rounds: two-digit territory.
         assert!(out.total_host_rounds < 400, "rounds = {}", out.total_host_rounds);
+    }
+
+    #[test]
+    fn guarantee_free_oracle_yields_typed_error() {
+        let h = planted(5, 24, 8, 2);
+        let err = distributed_reduction_with(&h, &WorstWitnessOracle, 2).unwrap_err();
+        assert_eq!(err, ReductionError::NoLambdaAvailable);
+    }
+
+    #[test]
+    fn stalled_oracle_rounds_are_billed_as_dropped() {
+        let h = planted(6, 30, 10, 2);
+        // Stall the first call for 11 steps; answer correctly otherwise.
+        let plan = FaultPlan::scripted(vec![Some(FaultKind::Stall(11))]);
+        let faulty = FaultyOracle::new(LubyOracle::new(3), plan);
+        let out = distributed_reduction_with(&h, &faulty, 2).unwrap();
+        assert!(checker::is_conflict_free(&h, &out.coloring));
+        assert_eq!(out.phases[0].stalled_rounds, 11);
+        assert_eq!(
+            out.phases[0].host_rounds,
+            out.phases[0].oracle_rounds * 1.max(out.phases[0].dilation) + 11 + 2
+        );
+        assert_eq!(out.total_stalled_rounds, 11);
+        assert!(out.phases[1..].iter().all(|p| p.stalled_rounds == 0));
     }
 }

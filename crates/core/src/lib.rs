@@ -48,17 +48,24 @@ pub mod containment;
 pub mod correspondence;
 pub mod distributed;
 pub mod reduction;
+pub mod resilient;
 pub mod simulation;
 
 pub use completeness::{completeness_on_instance, CompletenessReport};
 pub use conflict_graph::{ConflictGraph, ConflictGraphOptions, FamilyCounts, Triple};
-pub use distributed::{distributed_reduction, DistributedPhase, DistributedReduction};
 pub use containment::{containment_certificate, ContainmentReport};
 pub use correspondence::{
     apply_palette, coloring_to_independent_set, independent_set_to_coloring, lemma_2_1a,
     lemma_2_1b, total_coloring_as_indices, ColoringToSet, SetToColoring,
 };
+pub use distributed::{
+    distributed_reduction, distributed_reduction_with, DistributedPhase, DistributedReduction,
+};
 pub use reduction::{
     reduce_cf_to_maxis, PhaseRecord, ReductionConfig, ReductionError, ReductionOutcome,
+};
+pub use resilient::{
+    reduce_cf_resilient, FaultEvent, FaultEventKind, PartialOutcome, ResilientConfig,
+    ResilientFailure, ResilientOutcome,
 };
 pub use simulation::{host_of, simulate_in_hypergraph, SimulationReport};

@@ -20,7 +20,7 @@
 use crate::conflict_graph::ConflictGraph;
 use crate::correspondence;
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_graph::{Hypergraph, HyperedgeId, Palette};
+use pslocal_graph::{HyperedgeId, Hypergraph, Palette};
 use pslocal_maxis::MaxIsOracle;
 use pslocal_slocal::LocalityBudget;
 use serde::{Deserialize, Serialize};
@@ -128,6 +128,15 @@ pub enum ReductionError {
         /// The certified λ.
         lambda: f64,
     },
+    /// The resilient driver (`crate::resilient`) spent its entire
+    /// retry/fallback budget inside one phase without obtaining an
+    /// acceptable independent set from any oracle in the chain.
+    RetriesExhausted {
+        /// The phase that could not complete.
+        phase: usize,
+        /// Total oracle attempts spent in that phase.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for ReductionError {
@@ -143,6 +152,10 @@ impl fmt::Display for ReductionError {
             ReductionError::DecayViolated { phase, before, after, lambda } => write!(
                 f,
                 "phase {phase}: {before} → {after} edges violates the (1 - 1/{lambda}) decay"
+            ),
+            ReductionError::RetriesExhausted { phase, attempts } => write!(
+                f,
+                "phase {phase}: no oracle produced an acceptable set in {attempts} attempts"
             ),
         }
     }
@@ -186,11 +199,13 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
     let mut first_cg = Some(first_cg);
     while !residual.is_empty() && phase < budget {
         // Build H_i and G_k^i (reuse the phase-0 graph).
-        let (cg, id_map): (ConflictGraph, Vec<HyperedgeId>) = if phase == 0 {
-            (first_cg.take().expect("present in phase 0"), residual.clone())
+        let cg = if phase == 0 {
+            // Invariant, not a fallible path: `first_cg` is seeded with
+            // `Some` above and taken only here, in the first iteration.
+            first_cg.take().expect("present in phase 0")
         } else {
-            let (h_i, map) = h.restrict_edges(&residual);
-            (ConflictGraph::build(&h_i, k), map)
+            let (h_i, _) = h.restrict_edges(&residual);
+            ConflictGraph::build(&h_i, k)
         };
 
         let edges_before = residual.len();
@@ -207,7 +222,6 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
         // coloring is sound).
         residual.retain(|&e| !checker::is_edge_happy(h, &coloring, e));
         let edges_after = residual.len();
-        let _ = &id_map;
 
         records.push(PhaseRecord {
             phase,
@@ -286,8 +300,7 @@ mod tests {
         assert!(out.phases_used <= out.rho);
         assert!(out.total_colors <= k * out.phases_used.max(1));
         // Palette discipline: only phase palettes appear.
-        let palettes: Vec<Palette> =
-            (0..out.phases_used).map(|i| Palette::phase(k, i)).collect();
+        let palettes: Vec<Palette> = (0..out.phases_used).map(|i| Palette::phase(k, i)).collect();
         assert!(out.coloring.uses_only_palettes(&palettes));
         // Records are consistent.
         let mut prev = h.edge_count();
@@ -326,10 +339,9 @@ mod tests {
     fn luby_and_clique_removal_complete() {
         let k = 2;
         let h = planted(3, 24, 10, k);
-        for oracle in [
-            Box::new(LubyOracle::new(5)) as Box<dyn MaxIsOracle>,
-            Box::new(CliqueRemovalOracle),
-        ] {
+        for oracle in
+            [Box::new(LubyOracle::new(5)) as Box<dyn MaxIsOracle>, Box::new(CliqueRemovalOracle)]
+        {
             let out = reduce_cf_to_maxis(&h, oracle.as_ref(), ReductionConfig::new(k))
                 .unwrap_or_else(|e| panic!("oracle {} failed: {e}", oracle.name()));
             check_outcome(&h, k, &out);
@@ -340,9 +352,8 @@ mod tests {
     fn decomposition_oracle_completes() {
         let k = 2;
         let h = planted(4, 24, 8, k);
-        let out =
-            reduce_cf_to_maxis(&h, &DecompositionOracle::default(), ReductionConfig::new(k))
-                .unwrap();
+        let out = reduce_cf_to_maxis(&h, &DecompositionOracle::default(), ReductionConfig::new(k))
+            .unwrap();
         check_outcome(&h, k, &out);
     }
 
@@ -359,11 +370,7 @@ mod tests {
     fn lambda_override_controls_budget() {
         let k = 2;
         let h = planted(5, 20, 6, k);
-        let config = ReductionConfig {
-            k,
-            lambda_override: Some(1.0),
-            max_phases: None,
-        };
+        let config = ReductionConfig { k, lambda_override: Some(1.0), max_phases: None };
         // Exact oracle with λ = 1: budget ρ = ln 6 + 1 ≈ 3; exact
         // finishes in 1.
         let out = reduce_cf_to_maxis(&h, &ExactOracle, config).unwrap();

@@ -1,0 +1,612 @@
+//! A hardened Theorem 1.1 reduction driver that survives misbehaving
+//! oracles.
+//!
+//! [`reduce_cf_to_maxis`](crate::reduce_cf_to_maxis) *trusts* its
+//! oracle: the paper's analysis assumes every call returns a genuine
+//! independent set of size `≥ |E_i|/λ`. [`reduce_cf_resilient`] drops
+//! that trust and re-validates every answer before committing a phase:
+//!
+//! * **independence** — range check plus a full adjacency re-check of
+//!   the claimed set against the phase's conflict graph;
+//! * **delivery** — the Lemma 2.1 quota `|I_i| ≥ ⌈|E_i|/λ⌉` against
+//!   the calling oracle's *certified* λ (skipped for heuristics, whose
+//!   λ claims nothing);
+//! * **liveness** — panics are caught and isolated
+//!   ([`std::panic::catch_unwind`]); stalls reported through
+//!   [`MaxIsOracle::stalled_steps`] are billed against a per-attempt
+//!   step budget that doubles on every retry (exponential backoff).
+//!
+//! A rejected answer costs one attempt; attempts walk a configurable
+//! **fallback chain** (typically `primary → GreedyOracle`) with
+//! [`ResilientConfig::max_retries`] retries per oracle. Every rejection
+//! is recorded as a [`FaultEvent`]. If a phase exhausts the whole
+//! chain, the driver fails *with salvage*: the
+//! [`PartialOutcome`] carries the verified partial coloring, the still
+//! unhappy edges, and the per-phase records accumulated so far.
+//!
+//! The driver's contract — the chaos-test invariant — is:
+//!
+//! > For **every** fault schedule, `reduce_cf_resilient` either returns
+//! > a verified conflict-free multicoloring or a typed error with a
+//! > salvageable partial outcome. It never panics and never returns an
+//! > invalid coloring. With no faults it reproduces
+//! > [`reduce_cf_to_maxis`](crate::reduce_cf_to_maxis) exactly
+//! > (byte-identical [`PhaseRecord`]s).
+
+use crate::conflict_graph::ConflictGraph;
+use crate::correspondence;
+use crate::reduction::{PhaseRecord, ReductionConfig, ReductionError, ReductionOutcome};
+use pslocal_cfcolor::{checker, Multicoloring};
+use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, Palette};
+use pslocal_maxis::{ApproxGuarantee, MaxIsOracle};
+use pslocal_slocal::LocalityBudget;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why the resilient driver rejected (or routed around) an oracle call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultEventKind {
+    /// The call panicked; the panic was caught and isolated.
+    OraclePanicked,
+    /// The claimed independent set failed re-validation (out-of-range
+    /// vertex or adjacent pair).
+    OracleInvalidOutput,
+    /// The set was valid but below the Lemma 2.1 quota its certified λ
+    /// promises.
+    OracleUnderDelivered {
+        /// Vertices actually delivered.
+        delivered: usize,
+        /// The quota `⌈|E_i|/λ⌉`.
+        required: usize,
+    },
+    /// The call stalled longer than the attempt's step budget.
+    OracleStalled {
+        /// Steps the call stalled for.
+        steps: usize,
+        /// The budget it exceeded.
+        tolerance: usize,
+    },
+    /// The driver moved on to the next oracle in the fallback chain.
+    FallbackEngaged,
+    /// A phase ran out of oracles and retries (terminal; mirrored by
+    /// [`ReductionError::RetriesExhausted`]).
+    RetriesExhausted {
+        /// Attempts spent in the phase.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for FaultEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEventKind::OraclePanicked => write!(f, "oracle-panicked"),
+            FaultEventKind::OracleInvalidOutput => write!(f, "oracle-invalid-output"),
+            FaultEventKind::OracleUnderDelivered { delivered, required } => {
+                write!(f, "oracle-under-delivered ({delivered} < {required})")
+            }
+            FaultEventKind::OracleStalled { steps, tolerance } => {
+                write!(f, "oracle-stalled ({steps} > {tolerance})")
+            }
+            FaultEventKind::FallbackEngaged => write!(f, "fallback-engaged"),
+            FaultEventKind::RetriesExhausted { attempts } => {
+                write!(f, "retries-exhausted ({attempts} attempts)")
+            }
+        }
+    }
+}
+
+/// One entry of the resilient driver's fault log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Phase the event occurred in.
+    pub phase: usize,
+    /// 0-based attempt index within the phase.
+    pub attempt: usize,
+    /// Name of the oracle involved.
+    pub oracle: &'static str,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase {} attempt {} [{}]: {}", self.phase, self.attempt, self.oracle, self.kind)
+    }
+}
+
+/// Configuration of [`reduce_cf_resilient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientConfig {
+    /// The underlying reduction configuration (promised `k`, optional λ
+    /// override, phase cap).
+    pub base: ReductionConfig,
+    /// Retries per oracle per phase *beyond* the first attempt.
+    pub max_retries: usize,
+    /// Base step budget for stalled calls; attempt `j` of an oracle
+    /// tolerates `stall_tolerance << j` steps (exponential backoff).
+    pub stall_tolerance: usize,
+}
+
+impl ResilientConfig {
+    /// Default resilience (2 retries, stall tolerance 8) for a promised
+    /// palette size `k`.
+    pub fn new(k: usize) -> Self {
+        ResilientConfig { base: ReductionConfig::new(k), max_retries: 2, stall_tolerance: 8 }
+    }
+}
+
+/// What could be salvaged from a failed resilient run.
+///
+/// The coloring is *verified partial progress*: every phase that
+/// committed did so with a re-validated independent set, so the
+/// coloring is conflict-free on all edges outside
+/// [`residual_edges`](Self::residual_edges).
+#[derive(Debug, Clone)]
+pub struct PartialOutcome {
+    /// The partial multicoloring built by the committed phases.
+    pub coloring: Multicoloring,
+    /// Hyperedges still unhappy under the partial coloring.
+    pub residual_edges: Vec<HyperedgeId>,
+    /// Per-phase records of the committed phases.
+    pub records: Vec<PhaseRecord>,
+}
+
+/// Successful resilient run: the base outcome plus fault accounting.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The verified reduction outcome (same shape as the trusting
+    /// driver's).
+    pub reduction: ReductionOutcome,
+    /// Every fault observed and routed around, in order.
+    pub fault_log: Vec<FaultEvent>,
+    /// Attempts beyond the first across all phases.
+    pub retries: usize,
+    /// Times the driver fell back to a later oracle in the chain.
+    pub fallbacks_engaged: usize,
+}
+
+/// Failed resilient run: the typed error, the salvage, and the log.
+#[derive(Debug, Clone)]
+pub struct ResilientFailure {
+    /// Why the run failed.
+    pub error: ReductionError,
+    /// Verified partial progress at the point of failure.
+    pub partial: PartialOutcome,
+    /// Every fault observed, in order.
+    pub fault_log: Vec<FaultEvent>,
+}
+
+impl fmt::Display for ResilientFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} faults logged, {} edges salvageable)",
+            self.error,
+            self.fault_log.len(),
+            self.partial.residual_edges.len()
+        )
+    }
+}
+
+impl Error for ResilientFailure {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Validates a claimed independent set against the phase's conflict
+/// graph. The range check must come first: `is_independent_set` panics
+/// on out-of-range vertices.
+fn validates_independence(cg: &ConflictGraph, set: &IndependentSet) -> bool {
+    let n = cg.graph().node_count();
+    set.vertices().iter().all(|v| v.index() < n) && cg.graph().is_independent_set(set.vertices())
+}
+
+/// Runs the Theorem 1.1 reduction against an untrusted oracle
+/// **chain** (`chain[0]` is the primary; later entries are fallbacks,
+/// tried left to right).
+///
+/// Every oracle answer is re-validated before the phase commits; see
+/// the [module docs](self) for the validation, retry, and salvage
+/// semantics. With well-behaved oracles the result's
+/// [`reduction`](ResilientOutcome::reduction) is identical to
+/// [`reduce_cf_to_maxis`](crate::reduce_cf_to_maxis)'s on the primary.
+///
+/// # Errors
+///
+/// [`ResilientFailure`] wraps the [`ReductionError`] with the
+/// salvageable [`PartialOutcome`] and the fault log. An empty `chain`
+/// fails immediately with
+/// [`ReductionError::RetriesExhausted`]`{ phase: 0, attempts: 0 }`.
+// The large `Err` variant is the point: it carries the salvaged
+// partial coloring and the fault log for post-mortem use.
+#[allow(clippy::result_large_err)]
+pub fn reduce_cf_resilient(
+    h: &Hypergraph,
+    chain: &[&dyn MaxIsOracle],
+    config: ResilientConfig,
+) -> Result<ResilientOutcome, ResilientFailure> {
+    let m = h.edge_count();
+    let k = config.base.k;
+    let mut coloring = Multicoloring::new(h.node_count());
+    let mut residual: Vec<HyperedgeId> = h.edge_ids().collect();
+    let mut fault_log: Vec<FaultEvent> = Vec::new();
+    let mut records: Vec<PhaseRecord> = Vec::new();
+
+    macro_rules! fail {
+        ($error:expr) => {
+            return Err(ResilientFailure {
+                error: $error,
+                partial: PartialOutcome { coloring, residual_edges: residual, records },
+                fault_log,
+            })
+        };
+    }
+
+    if chain.is_empty() {
+        fail!(ReductionError::RetriesExhausted { phase: 0, attempts: 0 });
+    }
+
+    // λ and budget exactly as the trusting driver computes them, from
+    // the primary oracle.
+    let first_cg = ConflictGraph::build(h, k);
+    let lambda = match config.base.lambda_override {
+        Some(l) => l,
+        None => match chain[0].lambda_for(first_cg.graph()) {
+            Some(l) => l,
+            None => fail!(ReductionError::NoLambdaAvailable),
+        },
+    };
+    let rho = ReductionConfig::rho(lambda, m);
+    let budget = config.base.max_phases.unwrap_or(rho).min(rho);
+
+    let mut retries = 0usize;
+    let mut fallbacks_engaged = 0usize;
+    let mut phase = 0usize;
+    let mut first_cg = Some(first_cg);
+    while !residual.is_empty() && phase < budget {
+        let cg = match first_cg.take() {
+            Some(cg) => cg,
+            None => {
+                let (h_i, _) = h.restrict_edges(&residual);
+                ConflictGraph::build(&h_i, k)
+            }
+        };
+        let edges_before = residual.len();
+
+        // Acquire an acceptable independent set: walk the chain, retry
+        // each oracle up to max_retries times with a doubling stall
+        // budget per attempt.
+        let mut accepted: Option<(IndependentSet, usize)> = None;
+        let mut attempt = 0usize;
+        'chain: for (idx, oracle) in chain.iter().enumerate() {
+            if idx > 0 {
+                fallbacks_engaged += 1;
+                fault_log.push(FaultEvent {
+                    phase,
+                    attempt,
+                    oracle: oracle.name(),
+                    kind: FaultEventKind::FallbackEngaged,
+                });
+            }
+            for retry in 0..=config.max_retries {
+                let this_attempt = attempt;
+                attempt += 1;
+                let tolerance = config.stall_tolerance << retry.min(usize::BITS as usize - 1);
+                let answer = catch_unwind(AssertUnwindSafe(|| oracle.independent_set(cg.graph())));
+                let set = match answer {
+                    Err(_) => {
+                        fault_log.push(FaultEvent {
+                            phase,
+                            attempt: this_attempt,
+                            oracle: oracle.name(),
+                            kind: FaultEventKind::OraclePanicked,
+                        });
+                        continue;
+                    }
+                    Ok(set) => set,
+                };
+                let stalled = oracle.stalled_steps();
+                if stalled > tolerance {
+                    fault_log.push(FaultEvent {
+                        phase,
+                        attempt: this_attempt,
+                        oracle: oracle.name(),
+                        kind: FaultEventKind::OracleStalled { steps: stalled, tolerance },
+                    });
+                    continue;
+                }
+                if !validates_independence(&cg, &set) {
+                    fault_log.push(FaultEvent {
+                        phase,
+                        attempt: this_attempt,
+                        oracle: oracle.name(),
+                        kind: FaultEventKind::OracleInvalidOutput,
+                    });
+                    continue;
+                }
+                // Delivery quota per Lemma 2.1, against the calling
+                // oracle's own certified λ on this phase's conflict
+                // graph; heuristic and asymptotic guarantees promise no
+                // per-instance quota, so only certified ones gate.
+                let certified = matches!(
+                    oracle.guarantee(),
+                    ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
+                );
+                if certified {
+                    if let Some(l) = oracle.lambda_for(cg.graph()) {
+                        if l >= 1.0 {
+                            let required =
+                                ((edges_before as f64 / l) - 1e-9).ceil().max(0.0) as usize;
+                            if set.len() < required {
+                                fault_log.push(FaultEvent {
+                                    phase,
+                                    attempt: this_attempt,
+                                    oracle: oracle.name(),
+                                    kind: FaultEventKind::OracleUnderDelivered {
+                                        delivered: set.len(),
+                                        required,
+                                    },
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
+                accepted = Some((set, idx));
+                break 'chain;
+            }
+        }
+        retries += attempt.saturating_sub(1);
+
+        let Some((set, accepted_idx)) = accepted else {
+            fault_log.push(FaultEvent {
+                phase,
+                attempt: attempt.saturating_sub(1),
+                oracle: chain.last().map_or("", |o| o.name()),
+                kind: FaultEventKind::RetriesExhausted { attempts: attempt },
+            });
+            fail!(ReductionError::RetriesExhausted { phase, attempts: attempt });
+        };
+
+        // Commit the phase exactly as the trusting driver does.
+        let decoded = correspondence::lemma_2_1b(&cg, &set);
+        let phase_colors =
+            correspondence::apply_palette(&decoded.coloring, Palette::phase(k, phase));
+        coloring.merge(&phase_colors);
+        residual.retain(|&e| !checker::is_edge_happy(h, &coloring, e));
+        let edges_after = residual.len();
+
+        records.push(PhaseRecord {
+            phase,
+            edges_before,
+            conflict_nodes: cg.graph().node_count(),
+            conflict_edges: cg.graph().edge_count(),
+            independent_set_size: set.len(),
+            edges_removed: edges_before - edges_after,
+            edges_after,
+        });
+
+        // Decay invariant, mirroring the trusting driver: enforced only
+        // for the primary oracle's certified λ (fallback commits are
+        // already annotated in the fault log).
+        let primary_certified = matches!(
+            chain[0].guarantee(),
+            ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
+        );
+        if accepted_idx == 0
+            && primary_certified
+            && config.base.lambda_override.is_none()
+            && lambda >= 1.0
+        {
+            let allowed = ((1.0 - 1.0 / lambda) * edges_before as f64).floor() as usize;
+            if edges_after > allowed {
+                fail!(ReductionError::DecayViolated {
+                    phase,
+                    before: edges_before,
+                    after: edges_after,
+                    lambda,
+                });
+            }
+        }
+        phase += 1;
+    }
+
+    if !residual.is_empty() {
+        fail!(ReductionError::PhaseBudgetExhausted {
+            rho: budget,
+            remaining_edges: residual.len()
+        });
+    }
+
+    debug_assert!(checker::is_conflict_free(h, &coloring));
+    let total_colors = coloring.total_color_count();
+    Ok(ResilientOutcome {
+        reduction: ReductionOutcome {
+            coloring,
+            lambda,
+            rho,
+            phases_used: phase,
+            total_colors,
+            records,
+            locality: LocalityBudget {
+                own_locality: 1,
+                oracle_calls: phase,
+                oracle_locality: ((h.node_count().max(2) as f64).log2().ceil()) as usize,
+            },
+        },
+        fault_log,
+        retries,
+        fallbacks_engaged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::reduce_cf_to_maxis;
+    use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+    use pslocal_maxis::{
+        ExactOracle, FaultKind, FaultPlan, FaultyOracle, GreedyOracle, PrecisionOracle,
+        WorstWitnessOracle,
+    };
+    use rand::SeedableRng;
+
+    fn planted(seed: u64, n: usize, m: usize, k: usize) -> Hypergraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k)).hypergraph
+    }
+
+    #[test]
+    fn clean_run_matches_trusting_driver_exactly() {
+        let k = 3;
+        let h = planted(1, 36, 15, k);
+        let base = reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k)).unwrap();
+        let res = reduce_cf_resilient(&h, &[&GreedyOracle], ResilientConfig::new(k)).unwrap();
+        assert_eq!(res.reduction.records, base.records, "byte-identical phase records");
+        assert_eq!(res.reduction.coloring, base.coloring);
+        assert_eq!(res.reduction.lambda, base.lambda);
+        assert_eq!(res.reduction.rho, base.rho);
+        assert_eq!(res.reduction.total_colors, base.total_colors);
+        assert!(res.fault_log.is_empty());
+        assert_eq!(res.retries, 0);
+        assert_eq!(res.fallbacks_engaged, 0);
+    }
+
+    #[test]
+    fn every_single_fault_kind_is_survived_by_retry() {
+        let k = 2;
+        let h = planted(2, 28, 10, k);
+        for kind in [
+            FaultKind::InvalidSet,
+            FaultKind::EmptySet,
+            FaultKind::Panic,
+            FaultKind::Stall(1_000_000),
+        ] {
+            let plan = FaultPlan::scripted(vec![Some(kind)]);
+            let faulty = FaultyOracle::new(GreedyOracle, plan);
+            let out = reduce_cf_resilient(&h, &[&faulty], ResilientConfig::new(k))
+                .unwrap_or_else(|e| panic!("fault {kind:?} not survived: {e}"));
+            assert!(checker::is_conflict_free(&h, &out.reduction.coloring));
+            assert!(out.retries >= 1, "fault {kind:?} must cost a retry");
+            assert!(!out.fault_log.is_empty());
+        }
+    }
+
+    #[test]
+    fn under_delivery_below_certified_quota_is_caught() {
+        let k = 2;
+        let h = planted(8, 28, 10, k);
+        // Exact's certified quota on a CF-k-colorable instance is the
+        // full |E_i| (α(G_k) = m); halving it must trip the Lemma 2.1
+        // delivery check, and the clean retry completes the run.
+        let plan = FaultPlan::scripted(vec![Some(FaultKind::UnderDeliver)]);
+        let faulty = FaultyOracle::new(ExactOracle, plan);
+        let out = reduce_cf_resilient(&h, &[&faulty], ResilientConfig::new(k)).unwrap();
+        assert!(checker::is_conflict_free(&h, &out.reduction.coloring));
+        assert_eq!(out.retries, 1);
+        assert!(out
+            .fault_log
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::OracleUnderDelivered { .. })));
+    }
+
+    #[test]
+    fn fallback_rescues_an_always_failing_primary() {
+        let k = 2;
+        let h = planted(3, 24, 8, k);
+        // Primary panics on every call; Greedy fallback must carry the run.
+        let broken =
+            FaultyOracle::new(ExactOracle, FaultPlan::scripted(vec![Some(FaultKind::Panic); 64]));
+        let cfg = ResilientConfig::new(k);
+        let out = reduce_cf_resilient(&h, &[&broken, &GreedyOracle], cfg).unwrap();
+        assert!(checker::is_conflict_free(&h, &out.reduction.coloring));
+        assert!(out.fallbacks_engaged >= 1);
+        assert!(out.fault_log.iter().any(|e| e.kind == FaultEventKind::FallbackEngaged));
+        assert!(out.fault_log.iter().any(|e| e.kind == FaultEventKind::OraclePanicked));
+    }
+
+    #[test]
+    fn exhausted_chain_salvages_partial_progress() {
+        let k = 2;
+        // 8 disjoint edges: a 1-triple-per-phase oracle removes exactly
+        // one edge per phase, so the run cannot finish in phase 0.
+        let h =
+            Hypergraph::from_edges(16, (0..8).map(|i| vec![2 * i, 2 * i + 1]).collect::<Vec<_>>())
+                .unwrap();
+        // First call succeeds (phase 0 commits), everything after panics.
+        let mut script = vec![None];
+        script.extend(std::iter::repeat_n(Some(FaultKind::Panic), 64));
+        let faulty = FaultyOracle::new(PrecisionOracle::new(1000.0), FaultPlan::scripted(script));
+        let mut cfg = ResilientConfig::new(k);
+        cfg.base.lambda_override = Some(3.0);
+        let err = reduce_cf_resilient(&h, &[&faulty], cfg).unwrap_err();
+        let ReductionError::RetriesExhausted { phase, attempts } = err.error else {
+            panic!("expected RetriesExhausted, got {}", err.error);
+        };
+        assert_eq!(phase, 1, "phase 0 committed before the failures began");
+        assert_eq!(attempts, cfg.max_retries + 1);
+        assert_eq!(err.partial.records.len(), 1);
+        assert!(!err.partial.residual_edges.is_empty());
+        // Salvage is verified progress: edges outside the residual are
+        // happy under the partial coloring.
+        for e in h.edge_ids() {
+            if !err.partial.residual_edges.contains(&e) {
+                assert!(checker::is_edge_happy(&h, &err.partial.coloring, e));
+            }
+        }
+        assert!(err.to_string().contains("salvageable"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn heuristic_primary_without_override_is_refused() {
+        let h = planted(5, 20, 6, 2);
+        let err =
+            reduce_cf_resilient(&h, &[&WorstWitnessOracle], ResilientConfig::new(2)).unwrap_err();
+        assert_eq!(err.error, ReductionError::NoLambdaAvailable);
+        assert!(err.partial.records.is_empty());
+        assert_eq!(err.partial.residual_edges.len(), h.edge_count());
+    }
+
+    #[test]
+    fn empty_chain_fails_gracefully() {
+        let h = planted(6, 20, 6, 2);
+        let err = reduce_cf_resilient(&h, &[], ResilientConfig::new(2)).unwrap_err();
+        assert!(matches!(err.error, ReductionError::RetriesExhausted { phase: 0, attempts: 0 }));
+    }
+
+    #[test]
+    fn stall_backoff_admits_slow_oracle_on_retry() {
+        let k = 2;
+        let h = planted(7, 24, 8, k);
+        // Stalls of 20 exceed tolerance 8 but fit 16 on the first
+        // retry (8 << 1); a permanently-slow oracle still completes.
+        let script = vec![Some(FaultKind::Stall(12)); 64];
+        let faulty = FaultyOracle::new(GreedyOracle, FaultPlan::scripted(script));
+        let cfg = ResilientConfig { stall_tolerance: 8, ..ResilientConfig::new(k) };
+        let out = reduce_cf_resilient(&h, &[&faulty], cfg).unwrap();
+        assert!(checker::is_conflict_free(&h, &out.reduction.coloring));
+        assert!(out
+            .fault_log
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::OracleStalled { .. })));
+    }
+
+    #[test]
+    fn fault_event_display_is_informative() {
+        let e = FaultEvent {
+            phase: 2,
+            attempt: 1,
+            oracle: "greedy",
+            kind: FaultEventKind::OracleUnderDelivered { delivered: 1, required: 4 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("phase 2"));
+        assert!(s.contains("greedy"));
+        assert!(s.contains("under-delivered"));
+    }
+}

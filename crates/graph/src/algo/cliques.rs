@@ -154,7 +154,7 @@ mod tests {
         )
         .unwrap();
         let cover = greedy_clique_cover(&g);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for clique in &cover {
             assert!(is_clique(&g, clique));
             for &v in clique {

@@ -175,8 +175,8 @@ mod tests {
     #[test]
     fn degeneracy_of_complete_graph() {
         let n = 6;
-        let g = Graph::from_edges(n, (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))))
-            .unwrap();
+        let g =
+            Graph::from_edges(n, (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))).unwrap();
         let (_, d) = degeneracy_ordering(&g);
         assert_eq!(d, n - 1);
         let colors = degeneracy_coloring(&g);
@@ -196,8 +196,9 @@ mod tests {
 
     #[test]
     fn degeneracy_order_is_permutation() {
-        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)])
-            .unwrap();
+        let g =
+            Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4)])
+                .unwrap();
         let (order, _) = degeneracy_ordering(&g);
         let mut sorted = order.clone();
         sorted.sort_unstable();

@@ -80,11 +80,7 @@ impl Ball {
     /// The vertices at exactly the boundary distance `r`.
     pub fn boundary(&self) -> impl Iterator<Item = NodeId> + '_ {
         let r = self.radius as u32;
-        self.vertices
-            .iter()
-            .zip(&self.distances)
-            .filter(move |(_, &d)| d == r)
-            .map(|(&v, _)| v)
+        self.vertices.iter().zip(&self.distances).filter(move |(_, &d)| d == r).map(|(&v, _)| v)
     }
 }
 

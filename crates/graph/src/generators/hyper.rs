@@ -213,14 +213,10 @@ mod tests {
     #[test]
     fn planted_instance_is_conflict_free() {
         for seed in 0..5 {
-            let inst =
-                planted_cf_instance(&mut rng(seed), PlantedCfParams::new(60, 40, 4));
+            let inst = planted_cf_instance(&mut rng(seed), PlantedCfParams::new(60, 40, 4));
             assert_eq!(inst.hypergraph.edge_count(), 40);
             assert_eq!(inst.hypergraph.node_count(), 60);
-            assert!(is_conflict_free_single_coloring(
-                &inst.hypergraph,
-                &inst.planted_coloring
-            ));
+            assert!(is_conflict_free_single_coloring(&inst.hypergraph, &inst.planted_coloring));
         }
     }
 
@@ -256,12 +252,8 @@ mod tests {
     fn planted_k1_means_singleton_edges() {
         // k = 1 forces edges of size exactly 1 (max_size = 1): every
         // edge is trivially happy.
-        let inst = planted_cf_instance(&mut rng(1), PlantedCfParams {
-            n: 10,
-            m: 5,
-            k: 1,
-            epsilon: 0.0,
-        });
+        let inst =
+            planted_cf_instance(&mut rng(1), PlantedCfParams { n: 10, m: 5, k: 1, epsilon: 0.0 });
         assert!(inst.hypergraph.edge_ids().all(|e| inst.hypergraph.edge_size(e) == 1));
     }
 
@@ -270,12 +262,8 @@ mod tests {
     fn infeasible_parameters_panic() {
         // max edge size 6 needs 5 off-color vertices, but with n = 6 and
         // k = 3 only 4 vertices lie outside the largest color class.
-        let _ = planted_cf_instance(&mut rng(0), PlantedCfParams {
-            n: 6,
-            m: 1,
-            k: 3,
-            epsilon: 1.0,
-        });
+        let _ =
+            planted_cf_instance(&mut rng(0), PlantedCfParams { n: 6, m: 1, k: 3, epsilon: 1.0 });
     }
 
     #[test]

@@ -76,12 +76,12 @@ pub fn random_tree<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Graph {
 ///
 /// Panics if `n·d` is odd or `d ≥ n`.
 pub fn random_regular<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even (n = {n}, d = {d})");
+    assert!((n * d).is_multiple_of(2), "n·d must be even (n = {n}, d = {d})");
     assert!(d < n, "degree {d} must be below n = {n}");
     const MAX_ATTEMPTS: usize = 50;
     let mut best: Option<Graph> = None;
     for _ in 0..MAX_ATTEMPTS {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut b = GraphBuilder::with_edge_capacity(n, n * d / 2);
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
@@ -98,7 +98,7 @@ pub fn random_regular<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Graph
         if clean {
             return g;
         }
-        if best.as_ref().map_or(true, |bg| g.edge_count() > bg.edge_count()) {
+        if best.as_ref().is_none_or(|bg| g.edge_count() > bg.edge_count()) {
             best = Some(g);
         }
     }

@@ -249,9 +249,8 @@ impl Graph {
         for &v in set {
             member[v.index()] = true;
         }
-        self.nodes().all(|v| {
-            member[v.index()] || self.neighbors(v).iter().any(|&u| member[u.index()])
-        })
+        self.nodes()
+            .all(|v| member[v.index()] || self.neighbors(v).iter().any(|&u| member[u.index()]))
     }
 
     /// Validates a proper vertex coloring: every edge bichromatic.

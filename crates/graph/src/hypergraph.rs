@@ -387,10 +387,7 @@ mod tests {
     #[test]
     fn members_are_sorted() {
         let h = Hypergraph::from_edges(5, [vec![4, 0, 2]]).unwrap();
-        assert_eq!(
-            h.edge(HyperedgeId::new(0)),
-            &[NodeId::new(0), NodeId::new(2), NodeId::new(4)]
-        );
+        assert_eq!(h.edge(HyperedgeId::new(0)), &[NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
     }
 
     #[test]
@@ -425,7 +422,7 @@ mod tests {
     #[test]
     fn out_of_range_member_rejected() {
         let err = Hypergraph::from_edges(3, [vec![0, 3]]).unwrap_err();
-        assert!(matches!(err, GraphError::NotAlmostUniform { .. }) == false);
+        assert!(!matches!(err, GraphError::NotAlmostUniform { .. }));
         assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
     }
 

@@ -179,10 +179,7 @@ mod tests {
     #[test]
     fn node_ids_iterator_yields_exact_range() {
         let ids: Vec<_> = node_ids(4).collect();
-        assert_eq!(
-            ids,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
-        );
+        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
         assert_eq!(node_ids(4).len(), 4);
         let rev: Vec<_> = node_ids(3).rev().map(|v| v.index()).collect();
         assert_eq!(rev, vec![2, 1, 0]);

@@ -97,6 +97,23 @@ impl IndependentSet {
         IndependentSet { vertices: Vec::new() }
     }
 
+    /// Wraps `vertices` **without** verifying independence or range.
+    ///
+    /// This is the escape hatch for fault injection: chaos testing must
+    /// be able to hand downstream consumers a *claimed* independent set
+    /// that is actually broken, so that their own re-validation (e.g.
+    /// the resilient reduction driver's per-phase independence check)
+    /// can be exercised. The list is still sorted and deduplicated so
+    /// accessor invariants ([`contains`](Self::contains) binary search,
+    /// ordered iteration) keep holding.
+    ///
+    /// Outside fault-injection code, use [`IndependentSet::new`].
+    pub fn new_unchecked(mut vertices: Vec<NodeId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        IndependentSet { vertices }
+    }
+
     /// Number of vertices in the set.
     #[inline]
     pub fn len(&self) -> usize {
@@ -194,6 +211,17 @@ mod tests {
         assert!(!is.is_maximal(&g));
         let maximal = IndependentSet::new(&g, vec![NodeId::new(0), NodeId::new(2)]).unwrap();
         assert!(maximal.is_maximal(&g));
+    }
+
+    #[test]
+    fn new_unchecked_skips_validation_but_normalizes() {
+        let g = path4();
+        // An adjacent pair the checked constructor would reject.
+        let bad =
+            IndependentSet::new_unchecked(vec![NodeId::new(2), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(bad.vertices(), &[NodeId::new(1), NodeId::new(2)]);
+        assert!(!g.is_independent_set(bad.vertices()));
+        assert!(bad.contains(NodeId::new(2)));
     }
 
     #[test]

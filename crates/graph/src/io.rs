@@ -114,10 +114,14 @@ pub fn read_graph(text: &str) -> Result<Graph, ParseError> {
         }
         let (u, v) = match (parts.next(), parts.next(), parts.next()) {
             (Some(u), Some(v), None) => (
-                u.parse::<usize>()
-                    .map_err(|_| ParseError::BadLine { line: line_no, content: line.to_string() })?,
-                v.parse::<usize>()
-                    .map_err(|_| ParseError::BadLine { line: line_no, content: line.to_string() })?,
+                u.parse::<usize>().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    content: line.to_string(),
+                })?,
+                v.parse::<usize>().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    content: line.to_string(),
+                })?,
             ),
             _ => return Err(ParseError::BadLine { line: line_no, content: line.to_string() }),
         };
@@ -253,22 +257,13 @@ mod tests {
             read_graph("p graph 3 1\nx 0 1"),
             Err(ParseError::BadLine { line: 2, .. })
         ));
-        assert!(matches!(
-            read_graph("p graph 3 1\ne 0"),
-            Err(ParseError::BadLine { .. })
-        ));
+        assert!(matches!(read_graph("p graph 3 1\ne 0"), Err(ParseError::BadLine { .. })));
         assert!(matches!(
             read_graph("p graph 3 2\ne 0 1"),
             Err(ParseError::CountMismatch { declared: 2, found: 1 })
         ));
-        assert!(matches!(
-            read_graph("p graph 3 1\ne 0 9"),
-            Err(ParseError::Structural { .. })
-        ));
-        assert!(matches!(
-            read_graph("p graph 3 1\ne 1 1"),
-            Err(ParseError::Structural { .. })
-        ));
+        assert!(matches!(read_graph("p graph 3 1\ne 0 9"), Err(ParseError::Structural { .. })));
+        assert!(matches!(read_graph("p graph 3 1\ne 1 1"), Err(ParseError::Structural { .. })));
         assert!(matches!(
             read_hypergraph("p hypergraph 3 1\nh 0 0"),
             Err(ParseError::Structural { .. })

@@ -55,10 +55,7 @@ impl LeaderBfs {
 
     /// Extracts `(parent, distance)` per node; the root has parent
     /// `None`. Parents are resolved through the host network's ports.
-    pub fn tree(
-        net: &crate::Network,
-        states: &[BfsState],
-    ) -> Vec<(Option<NodeId>, u32)> {
+    pub fn tree(net: &crate::Network, states: &[BfsState]) -> Vec<(Option<NodeId>, u32)> {
         states
             .iter()
             .enumerate()
@@ -76,12 +73,8 @@ impl LocalAlgorithm for LeaderBfs {
     type Message = BfsMessage;
 
     fn init(&self, info: NodeInfo, _rng: &mut StdRng) -> (BfsState, Outbox<BfsMessage>) {
-        let state = BfsState {
-            leader: info.id,
-            distance: 0,
-            parent_port: None,
-            remaining: self.budget,
-        };
+        let state =
+            BfsState { leader: info.id, distance: 0, parent_port: None, remaining: self.budget };
         (state, Outbox::Broadcast((info.id, 0)))
     }
 

@@ -129,7 +129,7 @@ impl LocalAlgorithm for LubyMis {
                         LubyMessage::Join => None,
                     })
                     .max();
-                if best_rival.map_or(true, |rival| proposal > rival) {
+                if best_rival.is_none_or(|rival| proposal > rival) {
                     *state = LubyState::InMis;
                     Outbox::Broadcast(LubyMessage::Join)
                 } else {

@@ -94,11 +94,7 @@ impl MisFromColoring {
             .collect()
     }
 
-    fn step(
-        &self,
-        state: &mut MisFromColoringState,
-        heard_join: bool,
-    ) -> Outbox<Joined> {
+    fn step(&self, state: &mut MisFromColoringState, heard_join: bool) -> Outbox<Joined> {
         if heard_join && state.decided.is_none() {
             state.decided = Some(false);
         }
@@ -140,8 +136,7 @@ impl LocalAlgorithm for MisFromColoring {
     fn is_halted(&self, state: &Self::State) -> bool {
         // A node may halt as soon as it decided AND its announcement has
         // been handed to the engine (clock advanced past its color).
-        state.decided.is_some() && state.clock > state.color
-            || state.decided == Some(false)
+        state.decided.is_some() && state.clock > state.color || state.decided == Some(false)
     }
 }
 
@@ -203,11 +198,8 @@ impl LocalAlgorithm for ColorReduction {
 
     fn init(&self, info: NodeInfo, _rng: &mut StdRng) -> (Self::State, Outbox<u32>) {
         let color = self.input[info.node.index()].raw();
-        let state = ColorReductionState {
-            color,
-            clock: 0,
-            neighbor_colors: vec![u32::MAX; info.degree],
-        };
+        let state =
+            ColorReductionState { color, clock: 0, neighbor_colors: vec![u32::MAX; info.degree] };
         if self.schedule == 0 {
             (state, Outbox::Silent)
         } else {
@@ -300,8 +292,7 @@ mod tests {
         assert!(g.is_proper_coloring(&wasteful));
         let algo = ColorReduction::new(wasteful, delta + 1);
         let net = Network::with_identity_ids(g);
-        let exec =
-            Engine::new(&net).max_rounds(algo.schedule_length() + 2).run(&algo).unwrap();
+        let exec = Engine::new(&net).max_rounds(algo.schedule_length() + 2).run(&algo).unwrap();
         let colors = ColorReduction::colors(&exec.states);
         assert!(net.graph().is_proper_coloring(&colors));
         assert!(color_count(&colors) <= delta + 1);
@@ -328,8 +319,7 @@ mod tests {
         let wasteful: Vec<Color> = (0..g.node_count()).map(Color::new).collect();
         let algo = ColorReduction::new(wasteful, delta + 1);
         let net = Network::with_identity_ids(g);
-        let exec =
-            Engine::new(&net).max_rounds(algo.schedule_length() + 2).run(&algo).unwrap();
+        let exec = Engine::new(&net).max_rounds(algo.schedule_length() + 2).run(&algo).unwrap();
         let colors = ColorReduction::colors(&exec.states);
         assert!(net.graph().is_proper_coloring(&colors));
         assert!(color_count(&colors) <= delta + 1);

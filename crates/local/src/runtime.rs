@@ -196,16 +196,13 @@ impl<'a> Engine<'a> {
         let mut rngs: Vec<StdRng> = (0..n)
             .map(|v| {
                 // Derive a distinct stream per node from the run seed.
-                StdRng::seed_from_u64(self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(v as u64 + 1)))
+                StdRng::seed_from_u64(
+                    self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(v as u64 + 1)),
+                )
             })
             .collect();
 
-        let info = |v: NodeId| NodeInfo {
-            node: v,
-            id: net.id_of(v),
-            degree: net.degree(v),
-            n,
-        };
+        let info = |v: NodeId| NodeInfo { node: v, id: net.id_of(v), degree: net.degree(v), n };
 
         let mut states: Vec<A::State> = Vec::with_capacity(n);
         // outboxes[v] holds what v sends between this round and the next.
@@ -217,8 +214,7 @@ impl<'a> Engine<'a> {
             outboxes.push(out);
         }
 
-        let mut trace =
-            ExecutionTrace { rounds: 0, messages: 0, messages_per_round: Vec::new() };
+        let mut trace = ExecutionTrace { rounds: 0, messages: 0, messages_per_round: Vec::new() };
         let mut inboxes: Vec<Vec<Incoming<A::Message>>> = vec![Vec::new(); n];
 
         loop {
@@ -252,8 +248,7 @@ impl<'a> Engine<'a> {
                         for (p, slot) in slots.iter().enumerate() {
                             if let Some(msg) = slot {
                                 let u = net.neighbor_at_port(v, p);
-                                let back_port =
-                                    net.port_to(u, v).expect("symmetric adjacency");
+                                let back_port = net.port_to(u, v).expect("symmetric adjacency");
                                 inboxes[u.index()]
                                     .push(Incoming { port: back_port, message: msg.clone() });
                                 delivered += 1;

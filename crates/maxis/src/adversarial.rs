@@ -64,8 +64,7 @@ impl MaxIsOracle for PrecisionOracle {
             return full;
         }
         let keep = ((full.len() as f64) / self.lambda).ceil().max(1.0) as usize;
-        let kept: Vec<_> =
-            full.vertices().iter().copied().take(keep.min(full.len())).collect();
+        let kept: Vec<_> = full.vertices().iter().copied().take(keep.min(full.len())).collect();
         IndependentSet::new(graph, kept).expect("subset of an independent set")
     }
 

@@ -52,6 +52,8 @@ impl MaxIsOracle for CliqueRemovalOracle {
             }
             remaining.retain(|v| !in_clique[v.index()]);
         }
+        // Invariant, not a fallible path: the Ramsey recursion grows its
+        // independent side only by vertices non-adjacent to all of it.
         IndependentSet::new(graph, best).expect("ramsey independent side is independent")
     }
 

@@ -95,6 +95,8 @@ impl DecompositionOracle {
             }
         }
 
+        // Invariant, not a fallible path: the decomposition's verifier
+        // has already certified the cluster coloring.
         let independent_set = IndependentSet::new(graph, best)
             .expect("same-color clusters are non-adjacent, so the union is independent");
         DecompositionSolve {

@@ -53,6 +53,9 @@ impl MaxIsOracle for ExactOracle {
             let local = solve_connected(&sub);
             chosen.extend(local.into_iter().map(|v| map[v.index()]));
         }
+        // Invariant, not a fallible path: the branch-and-bound solver
+        // only branches on vertices compatible with its current set, and
+        // components are vertex-disjoint.
         IndependentSet::new(graph, chosen).expect("solver returns an independent set")
     }
 
@@ -68,8 +71,7 @@ fn solve_connected(graph: &Graph) -> Vec<NodeId> {
     let mut degree: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
     // Warm start with the greedy solution so the bounds prune from the
     // first branch node on (greedy is often optimal on these graphs).
-    let mut best: Vec<NodeId> =
-        crate::greedy::GreedyOracle.independent_set(graph).into_vertices();
+    let mut best: Vec<NodeId> = crate::greedy::GreedyOracle.independent_set(graph).into_vertices();
     let mut current: Vec<NodeId> = Vec::new();
     branch(graph, &mut alive, &mut degree, n, &mut current, &mut best);
     best
@@ -77,12 +79,7 @@ fn solve_connected(graph: &Graph) -> Vec<NodeId> {
 
 /// Removes `v` from the residual graph, updating degrees. Returns the
 /// list of removed vertices for undo.
-fn remove_vertex(
-    graph: &Graph,
-    alive: &mut [bool],
-    degree: &mut [usize],
-    v: NodeId,
-) {
+fn remove_vertex(graph: &Graph, alive: &mut [bool], degree: &mut [usize], v: NodeId) {
     alive[v.index()] = false;
     for &u in graph.neighbors(v) {
         if alive[u.index()] {
@@ -107,8 +104,8 @@ fn restore_vertex(graph: &Graph, alive: &mut [bool], degree: &mut [usize], v: No
 /// `current + alive` bound never fires).
 fn cover_bound(graph: &Graph, alive: &[bool]) -> usize {
     let mut cliques: Vec<Vec<NodeId>> = Vec::new();
-    for i in 0..alive.len() {
-        if !alive[i] {
+    for (i, &is_alive) in alive.iter().enumerate() {
+        if !is_alive {
             continue;
         }
         let v = NodeId::new(i);

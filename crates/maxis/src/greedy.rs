@@ -58,6 +58,8 @@ impl MaxIsOracle for GreedyOracle {
                 }
             }
         }
+        // Invariant, not a fallible path: a vertex is chosen only while
+        // alive, and choosing it kills its whole neighborhood.
         IndependentSet::new(graph, chosen).expect("greedy output is independent")
     }
 

@@ -40,6 +40,7 @@ pub mod bounds;
 pub mod clique_removal;
 pub mod decomposition;
 pub mod exact;
+pub mod faulty;
 pub mod greedy;
 pub mod local_search;
 pub mod luby;
@@ -53,6 +54,7 @@ pub use bounds::{
 pub use clique_removal::CliqueRemovalOracle;
 pub use decomposition::{DecompositionOracle, DecompositionSolve};
 pub use exact::ExactOracle;
+pub use faulty::{FaultKind, FaultPlan, FaultyOracle, InjectedFault};
 pub use greedy::{turan_bound, wei_bound, GreedyOracle};
 pub use local_search::{improve_by_swaps, LocalSearchOracle};
 pub use luby::LubyOracle;

@@ -80,8 +80,9 @@ pub fn improve_by_swaps(graph: &Graph, set: &IndependentSet) -> IndependentSet {
         }
     }
 
-    let vertices: Vec<NodeId> =
-        graph.nodes().filter(|v| member[v.index()]).collect();
+    let vertices: Vec<NodeId> = graph.nodes().filter(|v| member[v.index()]).collect();
+    // Invariant, not a fallible path: a (1,2)-swap admits {a, b} only
+    // after checking a–b non-adjacency and both against the membership.
     IndependentSet::new(graph, vertices).expect("swaps preserve independence")
 }
 
@@ -138,9 +139,9 @@ impl<O: MaxIsOracle> MaxIsOracle for LocalSearchOracle<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversarial::WorstWitnessOracle;
     use crate::exact::ExactOracle;
     use crate::greedy::GreedyOracle;
-    use crate::adversarial::WorstWitnessOracle;
     use pslocal_graph::generators::classic::{cycle, path, star};
     use pslocal_graph::generators::random::gnp;
     use rand::SeedableRng;

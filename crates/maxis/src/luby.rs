@@ -35,20 +35,6 @@ impl LubyOracle {
     pub fn new(seed: u64) -> Self {
         LubyOracle { seed }
     }
-
-    /// Runs the oracle and also reports the LOCAL round count — the
-    /// quantity experiment F3 plots.
-    pub fn independent_set_with_rounds(&self, graph: &Graph) -> (IndependentSet, usize) {
-        let network = Network::with_identity_ids(graph.clone());
-        let exec = Engine::new(&network)
-            .seed(self.seed)
-            .max_rounds(4096)
-            .run(&LubyMis)
-            .expect("Luby terminates within the generous budget");
-        let members = LubyMis::members(&exec.states);
-        let set = IndependentSet::new(graph, members).expect("Luby returns an independent set");
-        (set, exec.trace.rounds)
-    }
 }
 
 impl Default for LubyOracle {
@@ -64,6 +50,26 @@ impl MaxIsOracle for LubyOracle {
 
     fn independent_set(&self, graph: &Graph) -> IndependentSet {
         self.independent_set_with_rounds(graph).0
+    }
+
+    /// Runs the oracle on the LOCAL simulator and reports the round
+    /// count — the quantity experiment F3 plots.
+    fn independent_set_with_rounds(&self, graph: &Graph) -> (IndependentSet, usize) {
+        let network = Network::with_identity_ids(graph.clone());
+        let exec = Engine::new(&network)
+            .seed(self.seed)
+            .max_rounds(4096)
+            .run(&LubyMis)
+            // Invariant, not a fallible path: Luby terminates in
+            // O(log n) rounds w.h.p.; 4096 rounds would require an
+            // astronomically unlucky seed on any graph the simulator
+            // can hold in memory.
+            .expect("Luby terminates within the generous budget");
+        let members = LubyMis::members(&exec.states);
+        // Invariant: LubyMis's own verifier guarantees membership forms
+        // an independent set of the network graph.
+        let set = IndependentSet::new(graph, members).expect("Luby returns an independent set");
+        (set, exec.trace.rounds)
     }
 
     fn guarantee(&self) -> ApproxGuarantee {

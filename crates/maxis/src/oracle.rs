@@ -80,6 +80,28 @@ pub trait MaxIsOracle {
     /// Computes an independent set of `graph`.
     fn independent_set(&self, graph: &Graph) -> IndependentSet;
 
+    /// Computes the set and reports the LOCAL rounds the computation
+    /// consumed. Distributed oracles (Luby) override this with their
+    /// simulator's round count; sequential oracles bill one round,
+    /// modeling a black-box call per the reduction's footnote-2
+    /// accounting.
+    fn independent_set_with_rounds(&self, graph: &Graph) -> (IndependentSet, usize) {
+        (self.independent_set(graph), 1)
+    }
+
+    /// Simulated steps the most recent [`independent_set`]
+    /// (or [`independent_set_with_rounds`]) call stalled for before
+    /// answering — `0` for well-behaved oracles. Fault-injection
+    /// wrappers ([`FaultyOracle`](crate::FaultyOracle)) override this
+    /// so resilient drivers can bill stalls against a step budget and
+    /// time out calls that exceed it.
+    ///
+    /// [`independent_set`]: Self::independent_set
+    /// [`independent_set_with_rounds`]: Self::independent_set_with_rounds
+    fn stalled_steps(&self) -> usize {
+        0
+    }
+
     /// The guarantee this oracle's theory provides.
     fn guarantee(&self) -> ApproxGuarantee;
 

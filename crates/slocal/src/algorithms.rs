@@ -209,11 +209,9 @@ mod tests {
     #[test]
     fn empty_graph_cases() {
         let g = pslocal_graph::Graph::empty(3);
-        let mis =
-            GreedyMis::members(&run(&g, &GreedyMis, &orders::identity(3)).states);
+        let mis = GreedyMis::members(&run(&g, &GreedyMis, &orders::identity(3)).states);
         assert_eq!(mis.len(), 3);
-        let colors =
-            GreedyColoring::colors(&run(&g, &GreedyColoring, &orders::identity(3)).states);
+        let colors = GreedyColoring::colors(&run(&g, &GreedyColoring, &orders::identity(3)).states);
         assert!(colors.iter().all(|&c| c == Color::new(0)));
     }
 }

@@ -137,8 +137,7 @@ mod tests {
         for _ in 0..3 {
             let g = gnp(&mut rng, 50, 0.1);
             let outcome = run(&g, &GreedyMis, &orders::identity(50));
-            let labels: Vec<bool> =
-                outcome.states.iter().map(|s| s.expect("processed")).collect();
+            let labels: Vec<bool> = outcome.states.iter().map(|s| s.expect("processed")).collect();
             assert!(locally_verify(&g, &MisLabeling, &labels).is_ok());
         }
     }

@@ -230,10 +230,7 @@ pub fn carve_decomposition(graph: &Graph) -> NetworkDecomposition {
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of the vertex set.
-pub fn carve_decomposition_with_order(
-    graph: &Graph,
-    order: &[NodeId],
-) -> NetworkDecomposition {
+pub fn carve_decomposition_with_order(graph: &Graph, order: &[NodeId]) -> NetworkDecomposition {
     let n = graph.node_count();
     assert_eq!(order.len(), n, "order must list every vertex exactly once");
 
@@ -430,10 +427,7 @@ mod tests {
             cluster_radii: vec![1, 1],
             colors: 1,
         };
-        assert!(matches!(
-            bad.verify(&g),
-            Err(DecompositionError::AdjacentSameColor { .. })
-        ));
+        assert!(matches!(bad.verify(&g), Err(DecompositionError::AdjacentSameColor { .. })));
         // Radius violation: one cluster claiming radius 1 spanning the
         // whole path of diameter 3.
         let bad = NetworkDecomposition {

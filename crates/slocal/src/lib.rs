@@ -48,15 +48,12 @@ pub mod view;
 
 pub use checkable::{locally_verify, ColoringLabeling, LocallyCheckable, MisLabeling};
 pub use decomposition::{
-    carve_decomposition, carve_decomposition_with_order, DecompositionError,
-    NetworkDecomposition,
+    carve_decomposition, carve_decomposition_with_order, DecompositionError, NetworkDecomposition,
 };
 pub use problems::{
     ColoringProblem, GraphProblem, LocalityBudget, MaxIsApproxProblem, MisProblem,
     NetworkDecompositionProblem, Violation,
 };
 pub use runtime::{orders, run, SlocalAlgorithm, SlocalRun, SlocalTrace};
-pub use simulate::{
-    interleaving_is_irrelevant, simulate_in_local, SimulatedRun, SimulationBill,
-};
+pub use simulate::{interleaving_is_irrelevant, simulate_in_local, SimulatedRun, SimulationBill};
 pub use view::View;

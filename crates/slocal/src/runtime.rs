@@ -80,7 +80,11 @@ pub struct SlocalRun<S> {
 /// assert!(g.is_maximal_independent_set(&mis));
 /// assert_eq!(outcome.trace.realized_locality, 1);
 /// ```
-pub fn run<A: SlocalAlgorithm>(graph: &Graph, algorithm: &A, order: &[NodeId]) -> SlocalRun<A::State> {
+pub fn run<A: SlocalAlgorithm>(
+    graph: &Graph,
+    algorithm: &A,
+    order: &[NodeId],
+) -> SlocalRun<A::State> {
     let n = graph.node_count();
     assert_eq!(order.len(), n, "order must list every vertex exactly once");
     let mut seen = vec![false; n];
@@ -90,8 +94,7 @@ pub fn run<A: SlocalAlgorithm>(graph: &Graph, algorithm: &A, order: &[NodeId]) -
     }
 
     let r = algorithm.locality(n);
-    let mut states: Vec<A::State> =
-        graph.nodes().map(|v| algorithm.initial_state(v)).collect();
+    let mut states: Vec<A::State> = graph.nodes().map(|v| algorithm.initial_state(v)).collect();
     let mut processed = vec![false; n];
     let mut extractor = BallExtractor::new(n);
     let mut position = vec![0u32; n];

@@ -79,12 +79,11 @@ pub fn simulate_in_local<A: SlocalAlgorithm>(
     let cluster_sets = decomposition.cluster_vertex_sets();
     let mut induced_order: Vec<NodeId> = Vec::with_capacity(n);
     let mut per_class_radius: Vec<usize> = vec![0; decomposition.color_count()];
-    for color in 0..decomposition.color_count() {
+    for (color, radius) in per_class_radius.iter_mut().enumerate() {
         for (c, set) in cluster_sets.iter().enumerate() {
             if decomposition.color_of_cluster(c) == color {
                 induced_order.extend(set.iter().copied());
-                per_class_radius[color] =
-                    per_class_radius[color].max(decomposition.radius_of_cluster(c));
+                *radius = (*radius).max(decomposition.radius_of_cluster(c));
             }
         }
     }
@@ -94,8 +93,7 @@ pub fn simulate_in_local<A: SlocalAlgorithm>(
 
     // LOCAL bill: per class, gather + scatter over the cluster radius
     // (in G-hops: one G^{2r}-hop ≤ 2r G-hops) plus the r-ball fringe.
-    let local_rounds: usize =
-        per_class_radius.iter().map(|&d| 2 * (d * 2 * r + r)).sum();
+    let local_rounds: usize = per_class_radius.iter().map(|&d| 2 * (d * 2 * r + r)).sum();
 
     SimulatedRun {
         states,

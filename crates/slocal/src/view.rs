@@ -182,17 +182,12 @@ impl<'a, S> View<'a, S> {
     /// ball-internal index.
     #[inline]
     fn require(&self, v: NodeId) -> usize {
-        let p = self
-            .position
-            .get(v.index())
-            .copied()
-            .filter(|&p| p != 0)
-            .unwrap_or_else(|| {
-                panic!(
-                    "SLOCAL violation: node {v} is outside the radius-{} view of {}",
-                    self.ball.radius, self.ball.center
-                )
-            }) as usize
+        let p = self.position.get(v.index()).copied().filter(|&p| p != 0).unwrap_or_else(|| {
+            panic!(
+                "SLOCAL violation: node {v} is outside the radius-{} view of {}",
+                self.ball.radius, self.ball.center
+            )
+        }) as usize
             - 1;
         let d = self.ball.distances[p];
         if d > self.max_access_radius.get() {

@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(60, 25, 3));
     let n = inst.hypergraph.node_count();
-    println!(
-        "instance: n = {n}, m = {}, planted k = {}",
-        inst.hypergraph.edge_count(),
-        inst.k
-    );
+    println!("instance: n = {n}, m = {}, planted k = {}", inst.hypergraph.edge_count(), inst.k);
 
     let oracle = DecompositionOracle::default();
     println!("oracle: {} — the P-SLOCAL MaxIS approximation itself", oracle.name());

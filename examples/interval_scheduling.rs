@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{} slots, {} windows, e.g. [{}..{}], [{}..{}], [{}..{}]",
         summary.points,
         summary.intervals,
-        bounds[0].0, bounds[0].1, bounds[1].0, bounds[1].1, bounds[2].0, bounds[2].1,
+        bounds[0].0,
+        bounds[0].1,
+        bounds[1].0,
+        bounds[1].1,
+        bounds[2].0,
+        bounds[2].1,
     );
 
     // The dyadic ruler coloring: optimal O(log n) for ALL intervals at

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &out.records {
         println!(
             "  phase {}: |E_i| = {:3} → |E_(i+1)| = {:3}   (G_k: {} nodes, {} edges, |I| = {})",
-            r.phase, r.edges_before, r.edges_after, r.conflict_nodes, r.conflict_edges,
+            r.phase,
+            r.edges_before,
+            r.edges_after,
+            r.conflict_nodes,
+            r.conflict_edges,
             r.independent_set_size
         );
     }

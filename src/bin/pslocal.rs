@@ -50,9 +50,7 @@ impl Args {
         let mut iter = raw.peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                let value = iter.next().ok_or_else(|| format!("option --{key} needs a value"))?;
                 options.push((key.to_string(), value));
             } else {
                 positional.push(a);
@@ -68,10 +66,9 @@ impl Args {
     fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         match self.get(key) {
             None => Ok(None),
-            Some(v) => v
-                .parse::<T>()
-                .map(Some)
-                .map_err(|_| format!("cannot parse --{key} value {v:?}")),
+            Some(v) => {
+                v.parse::<T>().map(Some).map_err(|_| format!("cannot parse --{key} value {v:?}"))
+            }
         }
     }
 
@@ -93,9 +90,7 @@ fn oracle_by_name(name: &str, seed: u64) -> Result<Box<dyn MaxIsOracle>, String>
 
 fn read_stdin() -> Result<String, String> {
     let mut text = String::new();
-    std::io::stdin()
-        .read_to_string(&mut text)
-        .map_err(|e| format!("cannot read stdin: {e}"))?;
+    std::io::stdin().read_to_string(&mut text).map_err(|e| format!("cannot read stdin: {e}"))?;
     Ok(text)
 }
 
@@ -109,7 +104,9 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
             let k = args.required("k")?;
             let epsilon: f64 = args.parsed("epsilon")?.unwrap_or(0.5);
             let inst = planted_cf_instance(&mut rng, PlantedCfParams { n, m, k, epsilon });
-            println!("c planted conflict-free instance: k = {k}, epsilon = {epsilon}, seed = {seed}");
+            println!(
+                "c planted conflict-free instance: k = {k}, epsilon = {epsilon}, seed = {seed}"
+            );
             print!("{}", write_hypergraph(&inst.hypergraph));
             Ok(())
         }
@@ -178,12 +175,8 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     }
     for v in 0..h.node_count() {
         let node = pslocal::graph::NodeId::new(v);
-        let colors: Vec<String> = out
-            .coloring
-            .colors_of(node)
-            .iter()
-            .map(|c| c.to_string())
-            .collect();
+        let colors: Vec<String> =
+            out.coloring.colors_of(node).iter().map(|c| c.to_string()).collect();
         println!("v {v} {}", colors.join(" "));
     }
     Ok(())

@@ -1,0 +1,218 @@
+//! Chaos tests: the resilient reduction driver against randomized
+//! fault schedules.
+//!
+//! The invariant under test (see `pslocal::core::resilient`):
+//!
+//! > For **every** fault schedule, `reduce_cf_resilient` either returns
+//! > a verified conflict-free multicoloring or a typed error with a
+//! > salvageable partial outcome. It never panics and never returns an
+//! > invalid coloring.
+//!
+//! Plus two determinism obligations: identical seeds produce identical
+//! fault logs and outcomes, and a fault rate of 0 reproduces the
+//! trusting driver `reduce_cf_to_maxis` byte-for-byte (`PhaseRecord`s
+//! and coloring).
+
+// `ResilientFailure` is deliberately large: it carries the salvaged
+// partial outcome, which these tests inspect.
+#![allow(clippy::result_large_err)]
+
+use proptest::prelude::*;
+use pslocal::cfcolor::checker;
+use pslocal::core::{
+    reduce_cf_resilient, reduce_cf_to_maxis, ReductionConfig, ReductionError, ResilientConfig,
+    ResilientFailure, ResilientOutcome,
+};
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfInstance, PlantedCfParams};
+use pslocal::graph::Hypergraph;
+use pslocal::maxis::{FaultPlan, FaultyOracle, GreedyOracle, MaxIsOracle};
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn planted() -> impl Strategy<Value = PlantedCfInstance> {
+    (0u64..5000, 2usize..4, 4usize..12).prop_map(|(seed, k, m)| {
+        let n = 8 * k + (seed as usize % 9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k))
+    })
+}
+
+/// The fault rates the robustness experiment sweeps; index 0 is the
+/// clean baseline.
+const RATES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+
+/// Runs the resilient driver under a seeded fault plan and asserts the
+/// full chaos invariant on whatever comes back.
+fn assert_invariant(
+    h: &Hypergraph,
+    k: usize,
+    fault_seed: u64,
+    rate: f64,
+    with_fallback: bool,
+) -> Result<ResilientOutcome, ResilientFailure> {
+    let faulty = FaultyOracle::new(GreedyOracle, FaultPlan::seeded(fault_seed, rate));
+    let chain: Vec<&dyn MaxIsOracle> =
+        if with_fallback { vec![&faulty, &GreedyOracle] } else { vec![&faulty] };
+    let config = ResilientConfig::new(k);
+
+    // Never a panic — injected oracle panics must be isolated inside
+    // the driver, not escape to the caller.
+    let result = catch_unwind(AssertUnwindSafe(|| reduce_cf_resilient(h, &chain, config)))
+        .unwrap_or_else(|_| {
+            panic!("driver panicked (seed {fault_seed}, rate {rate}) — invariant broken")
+        });
+
+    match &result {
+        Ok(out) => {
+            // Never an invalid coloring.
+            assert!(
+                checker::is_conflict_free(h, &out.reduction.coloring),
+                "driver returned a non-conflict-free coloring (seed {fault_seed}, rate {rate})"
+            );
+            assert!(out.reduction.phases_used <= out.reduction.rho);
+            assert!(
+                out.reduction.total_colors <= k * out.reduction.phases_used.max(1),
+                "color bound k·phases violated"
+            );
+            // Records chain down to zero residual edges.
+            let mut prev = h.edge_count();
+            for r in &out.reduction.records {
+                assert_eq!(r.edges_before, prev);
+                assert_eq!(r.edges_before - r.edges_removed, r.edges_after);
+                prev = r.edges_after;
+            }
+            assert_eq!(prev, 0);
+        }
+        Err(fail) => {
+            // Typed error...
+            assert!(matches!(
+                fail.error,
+                ReductionError::RetriesExhausted { .. }
+                    | ReductionError::PhaseBudgetExhausted { .. }
+                    | ReductionError::DecayViolated { .. }
+                    | ReductionError::NoLambdaAvailable
+            ));
+            // ...with salvageable, *verified* partial progress: every
+            // edge outside the residual is happy under the partial
+            // coloring, every residual edge is not.
+            for e in h.edge_ids() {
+                let happy = checker::is_edge_happy(h, &fail.partial.coloring, e);
+                let residual = fail.partial.residual_edges.contains(&e);
+                assert_eq!(happy, !residual, "salvage misclassifies edge {e:?}");
+            }
+            for (i, r) in fail.partial.records.iter().enumerate() {
+                assert_eq!(r.phase, i, "one record per committed phase, in order");
+            }
+        }
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The chaos invariant across 256+ randomized (instance, seed,
+    /// rate, chain-shape) cases.
+    #[test]
+    fn resilient_driver_survives_every_fault_schedule(
+        inst in planted(),
+        fault_seed in 0u64..1_000_000,
+        rate_idx in 0usize..RATES.len(),
+        fallback_bit in 0usize..2,
+    ) {
+        let _ = assert_invariant(
+            &inst.hypergraph,
+            inst.k,
+            fault_seed,
+            RATES[rate_idx],
+            fallback_bit == 1,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With a clean fallback in the chain, the run always succeeds —
+    /// the fallback rescues any primary misbehavior.
+    #[test]
+    fn clean_fallback_always_rescues(
+        inst in planted(),
+        fault_seed in 0u64..1_000_000,
+        rate_idx in 0usize..RATES.len(),
+    ) {
+        let out = assert_invariant(
+            &inst.hypergraph,
+            inst.k,
+            fault_seed,
+            RATES[rate_idx],
+            true,
+        );
+        prop_assert!(out.is_ok(), "clean greedy fallback must carry every run");
+    }
+
+    /// Determinism: the same (instance, fault seed, rate) twice gives
+    /// identical outcomes AND identical fault logs, both the driver's
+    /// `FaultEvent` log and the wrapper's `InjectedFault` log.
+    #[test]
+    fn fault_schedules_are_deterministic(
+        inst in planted(),
+        fault_seed in 0u64..1_000_000,
+        rate_idx in 1usize..RATES.len(), // nonzero rates: logs non-trivial
+    ) {
+        let rate = RATES[rate_idx];
+        let config = ResilientConfig::new(inst.k);
+        let run = || {
+            let faulty = FaultyOracle::new(GreedyOracle, FaultPlan::seeded(fault_seed, rate));
+            let result = reduce_cf_resilient(&inst.hypergraph, &[&faulty], config);
+            (result, faulty.fault_log(), faulty.calls())
+        };
+        let (a, log_a, calls_a) = run();
+        let (b, log_b, calls_b) = run();
+        prop_assert_eq!(log_a, log_b, "injected-fault logs must be identical");
+        prop_assert_eq!(calls_a, calls_b);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.reduction.coloring, y.reduction.coloring);
+                prop_assert_eq!(x.reduction.records, y.reduction.records);
+                prop_assert_eq!(x.fault_log, y.fault_log);
+                prop_assert_eq!(x.retries, y.retries);
+                prop_assert_eq!(x.fallbacks_engaged, y.fallbacks_engaged);
+            }
+            (Err(x), Err(y)) => {
+                prop_assert_eq!(x.error, y.error);
+                prop_assert_eq!(x.fault_log, y.fault_log);
+                prop_assert_eq!(x.partial.coloring, y.partial.coloring);
+                prop_assert_eq!(x.partial.residual_edges, y.partial.residual_edges);
+            }
+            _ => prop_assert!(false, "one run succeeded, the other failed"),
+        }
+    }
+
+    /// Fault rate 0 is byte-identical to the trusting driver: same
+    /// `PhaseRecord`s, same coloring, same budget, empty fault log.
+    #[test]
+    fn rate_zero_reproduces_trusting_driver(inst in planted(), fault_seed in 0u64..1_000_000) {
+        let base = reduce_cf_to_maxis(
+            &inst.hypergraph,
+            &GreedyOracle,
+            ReductionConfig::new(inst.k),
+        ).expect("greedy completes on planted instances");
+        let faulty = FaultyOracle::new(GreedyOracle, FaultPlan::seeded(fault_seed, 0.0));
+        let out = reduce_cf_resilient(
+            &inst.hypergraph,
+            &[&faulty],
+            ResilientConfig::new(inst.k),
+        ).expect("rate 0 behaves exactly like the trusting driver");
+        prop_assert_eq!(out.reduction.records, base.records);
+        prop_assert_eq!(out.reduction.coloring, base.coloring);
+        prop_assert_eq!(out.reduction.lambda, base.lambda);
+        prop_assert_eq!(out.reduction.rho, base.rho);
+        prop_assert_eq!(out.reduction.phases_used, base.phases_used);
+        prop_assert_eq!(out.reduction.total_colors, base.total_colors);
+        prop_assert!(out.fault_log.is_empty());
+        prop_assert_eq!(out.retries, 0);
+        prop_assert_eq!(out.fallbacks_engaged, 0);
+        prop_assert!(faulty.fault_log().is_empty());
+    }
+}

@@ -72,7 +72,7 @@ fn gen_gnp_then_maxis_with_each_oracle() {
         let out = run(&["maxis", "--oracle", oracle], Some(&graph));
         assert!(out.status.success(), "oracle {oracle}");
         let text = stdout(&out);
-        assert!(text.contains(&format!("oracle = ")), "oracle {oracle}");
+        assert!(text.contains("oracle = "), "oracle {oracle}");
         assert!(text.lines().any(|l| l.starts_with("i ")), "oracle {oracle} found nothing");
     }
 }

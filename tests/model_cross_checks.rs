@@ -86,11 +86,7 @@ fn oracle_ratios_never_beat_one() {
         for oracle in standard_oracles(3) {
             let m = measure_ratio(oracle.as_ref(), g);
             let lambda = m.realized_lambda.expect("nonempty instances");
-            assert!(
-                lambda >= 1.0 - 1e-9,
-                "oracle {} claims ratio {lambda} < 1",
-                oracle.name()
-            );
+            assert!(lambda >= 1.0 - 1e-9, "oracle {} claims ratio {lambda} < 1", oracle.name());
         }
     }
 }

@@ -9,8 +9,7 @@ use pslocal::graph::generators::classic::{
 use pslocal::graph::generators::random::{gnp, random_regular, random_tree};
 use pslocal::graph::Graph;
 use pslocal::maxis::{
-    standard_oracles, ExactOracle, GreedyOracle, LocalSearchOracle, MaxIsOracle,
-    PrecisionOracle,
+    standard_oracles, ExactOracle, GreedyOracle, LocalSearchOracle, MaxIsOracle, PrecisionOracle,
 };
 use rand::SeedableRng;
 
@@ -36,11 +35,7 @@ fn every_oracle_returns_an_independent_set_on_every_family() {
     for (family, g) in small_families() {
         for oracle in standard_oracles(4) {
             let set = oracle.independent_set(&g);
-            assert!(
-                g.is_independent_set(set.vertices()),
-                "{} on {family}",
-                oracle.name()
-            );
+            assert!(g.is_independent_set(set.vertices()), "{} on {family}", oracle.name());
         }
         let ls = LocalSearchOracle::new(GreedyOracle);
         assert!(g.is_independent_set(ls.independent_set(&g).vertices()), "ls on {family}");

@@ -13,16 +13,14 @@ use pslocal::slocal::{
 use rand::SeedableRng;
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (0u64..5000, 10usize..60, prop_oneof![Just(true), Just(false)]).prop_map(
-        |(seed, n, tree)| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            if tree {
-                random_tree(&mut rng, n)
-            } else {
-                gnp(&mut rng, n, 6.0 / n as f64)
-            }
-        },
-    )
+    (0u64..5000, 10usize..60, prop_oneof![Just(true), Just(false)]).prop_map(|(seed, n, tree)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        if tree {
+            random_tree(&mut rng, n)
+        } else {
+            gnp(&mut rng, n, 6.0 / n as f64)
+        }
+    })
 }
 
 proptest! {

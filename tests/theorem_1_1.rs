@@ -2,14 +2,10 @@
 //! families, and palette sizes.
 
 use pslocal::cfcolor::{checker, CfMulticoloringProblem};
-use pslocal::core::{
-    completeness_on_instance, reduce_cf_to_maxis, ConflictGraph, ReductionConfig,
-};
+use pslocal::core::{completeness_on_instance, reduce_cf_to_maxis, ConflictGraph, ReductionConfig};
 use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
 use pslocal::graph::Palette;
-use pslocal::maxis::{
-    standard_oracles, DecompositionOracle, ExactOracle, GreedyOracle,
-};
+use pslocal::maxis::{standard_oracles, DecompositionOracle, ExactOracle, GreedyOracle};
 use rand::SeedableRng;
 
 fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -39,12 +35,10 @@ fn reduction_across_palette_sizes() {
         let n = (8 * k).max(12);
         let inst = planted_cf_instance(&mut rng(k as u64), PlantedCfParams::new(n, 10, k));
         let out =
-            reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, ReductionConfig::new(k))
-                .unwrap();
+            reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, ReductionConfig::new(k)).unwrap();
         assert!(checker::is_conflict_free(&inst.hypergraph, &out.coloring), "k = {k}");
         // Palette discipline across phases.
-        let palettes: Vec<Palette> =
-            (0..out.phases_used).map(|i| Palette::phase(k, i)).collect();
+        let palettes: Vec<Palette> = (0..out.phases_used).map(|i| Palette::phase(k, i)).collect();
         assert!(out.coloring.uses_only_palettes(&palettes));
     }
 }
@@ -91,16 +85,19 @@ fn reduction_with_oversized_k_still_works() {
     // Promising a larger palette than planted is sound (a CF k-coloring
     // exists a fortiori); colors grow but correctness holds.
     let inst = planted_cf_instance(&mut rng(9), PlantedCfParams::new(40, 12, 3));
-    let out = reduce_cf_to_maxis(&inst.hypergraph, &ExactOracle, ReductionConfig::new(5))
-        .unwrap();
+    let out = reduce_cf_to_maxis(&inst.hypergraph, &ExactOracle, ReductionConfig::new(5)).unwrap();
     assert!(checker::is_conflict_free(&inst.hypergraph, &out.coloring));
 }
 
 #[test]
 fn verifier_accepts_reduction_output_and_rejects_damage() {
     let inst = planted_cf_instance(&mut rng(4), PlantedCfParams::new(30, 12, 3));
-    let out = reduce_cf_to_maxis(&inst.hypergraph, &DecompositionOracle::default(),
-        ReductionConfig::new(3)).unwrap();
+    let out = reduce_cf_to_maxis(
+        &inst.hypergraph,
+        &DecompositionOracle::default(),
+        ReductionConfig::new(3),
+    )
+    .unwrap();
     let problem = CfMulticoloringProblem { max_colors: 3 * out.rho, epsilon: 0.5 };
     problem.verify(&inst.hypergraph, &out.coloring).unwrap();
     // Damage: wipe the coloring — must now fail.

@@ -1,0 +1,286 @@
+//! Vendored mini property-testing harness.
+//!
+//! The build container cannot reach crates-io, so this crate supplies
+//! the `proptest` API subset the workspace's property suites use:
+//! [`Strategy`] with `prop_map`, integer-range and tuple strategies,
+//! [`Just`], `prop_oneof!`, [`ProptestConfig`], and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed (reproducible by construction, overridable with
+//! `PROPTEST_SEED`), and failing cases are **not shrunk** — the panic
+//! message carries the failing case index instead, which together with
+//! the deterministic stream is enough to replay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Runner configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value. Deterministic in the state of `rng`.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// The seed each property's deterministic case stream starts from;
+/// override with the `PROPTEST_SEED` environment variable.
+pub fn run_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CA5E_5EED_CA5E)
+}
+
+/// Uniform-choice strategy macro, upstream-compatible for unweighted
+/// alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($strategy)),+];
+        $crate::Union::new(options)
+    }};
+}
+
+/// Assertion usable inside `proptest!` bodies; aborts the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ..)`
+/// runs `config.cases` deterministic cases of its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                $crate::run_seed(),
+            );
+            for case in 0..config.cases {
+                let run = || {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} failed (seed {}); re-run with \
+                         PROPTEST_SEED to reproduce",
+                        config.cases,
+                        $crate::run_seed(),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_compose() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = (0u64..10, 5usize..6).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((5..15).contains(&v));
+        }
+        let u = prop_oneof![Just(1u8), Just(2u8)];
+        for _ in 0..50 {
+            assert!([1u8, 2].contains(&Strategy::generate(&u, &mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_binds(x in 0u32..100, (a, b) in (0u8..4, 1u8..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 4 && (1..5).contains(&b));
+            prop_assert_eq!(a as u16 + b as u16, (a + b) as u16);
+        }
+    }
+}
