@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-b01e412257299b1c.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-b01e412257299b1c: tests/chaos.rs
+
+tests/chaos.rs:

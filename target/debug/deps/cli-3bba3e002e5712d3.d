@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-3bba3e002e5712d3.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-3bba3e002e5712d3: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pslocal=/root/repo/target/debug/pslocal

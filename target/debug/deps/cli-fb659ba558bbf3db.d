@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-fb659ba558bbf3db.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-fb659ba558bbf3db.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pslocal=placeholder:pslocal
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

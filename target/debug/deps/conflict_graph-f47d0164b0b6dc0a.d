@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conflict_graph-f47d0164b0b6dc0a.d: crates/bench/benches/conflict_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconflict_graph-f47d0164b0b6dc0a.rmeta: crates/bench/benches/conflict_graph.rs Cargo.toml
+
+crates/bench/benches/conflict_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_a1_palette_ablation-3a84557df33f04de.d: crates/bench/src/bin/exp_a1_palette_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_a1_palette_ablation-3a84557df33f04de.rmeta: crates/bench/src/bin/exp_a1_palette_ablation.rs Cargo.toml
+
+crates/bench/src/bin/exp_a1_palette_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

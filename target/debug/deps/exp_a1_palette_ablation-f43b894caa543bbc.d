@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a1_palette_ablation-f43b894caa543bbc.d: crates/bench/src/bin/exp_a1_palette_ablation.rs
+
+/root/repo/target/debug/deps/exp_a1_palette_ablation-f43b894caa543bbc: crates/bench/src/bin/exp_a1_palette_ablation.rs
+
+crates/bench/src/bin/exp_a1_palette_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_a2_ecolor_literal-a9dc565c4d06f59c.d: crates/bench/src/bin/exp_a2_ecolor_literal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_a2_ecolor_literal-a9dc565c4d06f59c.rmeta: crates/bench/src/bin/exp_a2_ecolor_literal.rs Cargo.toml
+
+crates/bench/src/bin/exp_a2_ecolor_literal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a2_ecolor_literal-cd85cdeb47aac44a.d: crates/bench/src/bin/exp_a2_ecolor_literal.rs
+
+/root/repo/target/debug/deps/exp_a2_ecolor_literal-cd85cdeb47aac44a: crates/bench/src/bin/exp_a2_ecolor_literal.rs
+
+crates/bench/src/bin/exp_a2_ecolor_literal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a3_removal_policy-cfc65d3e18cd0c51.d: crates/bench/src/bin/exp_a3_removal_policy.rs
+
+/root/repo/target/debug/deps/exp_a3_removal_policy-cfc65d3e18cd0c51: crates/bench/src/bin/exp_a3_removal_policy.rs
+
+crates/bench/src/bin/exp_a3_removal_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_a3_removal_policy-eed09a6b5e3623ec.d: crates/bench/src/bin/exp_a3_removal_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_a3_removal_policy-eed09a6b5e3623ec.rmeta: crates/bench/src/bin/exp_a3_removal_policy.rs Cargo.toml
+
+crates/bench/src/bin/exp_a3_removal_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

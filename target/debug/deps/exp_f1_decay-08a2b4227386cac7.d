@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_f1_decay-08a2b4227386cac7.d: crates/bench/src/bin/exp_f1_decay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_f1_decay-08a2b4227386cac7.rmeta: crates/bench/src/bin/exp_f1_decay.rs Cargo.toml
+
+crates/bench/src/bin/exp_f1_decay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

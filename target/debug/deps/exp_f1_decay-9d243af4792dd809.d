@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_f1_decay-9d243af4792dd809.d: crates/bench/src/bin/exp_f1_decay.rs
+
+/root/repo/target/debug/deps/exp_f1_decay-9d243af4792dd809: crates/bench/src/bin/exp_f1_decay.rs
+
+crates/bench/src/bin/exp_f1_decay.rs:

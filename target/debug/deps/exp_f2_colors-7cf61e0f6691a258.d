@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_f2_colors-7cf61e0f6691a258.d: crates/bench/src/bin/exp_f2_colors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_f2_colors-7cf61e0f6691a258.rmeta: crates/bench/src/bin/exp_f2_colors.rs Cargo.toml
+
+crates/bench/src/bin/exp_f2_colors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_f2_colors-9536b3532a29a433.d: crates/bench/src/bin/exp_f2_colors.rs
+
+/root/repo/target/debug/deps/exp_f2_colors-9536b3532a29a433: crates/bench/src/bin/exp_f2_colors.rs
+
+crates/bench/src/bin/exp_f2_colors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_f3_luby_rounds-b221717b9a40eb44.d: crates/bench/src/bin/exp_f3_luby_rounds.rs
+
+/root/repo/target/debug/deps/exp_f3_luby_rounds-b221717b9a40eb44: crates/bench/src/bin/exp_f3_luby_rounds.rs
+
+crates/bench/src/bin/exp_f3_luby_rounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_f3_luby_rounds-e59ceb6f4ebe90c1.d: crates/bench/src/bin/exp_f3_luby_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_f3_luby_rounds-e59ceb6f4ebe90c1.rmeta: crates/bench/src/bin/exp_f3_luby_rounds.rs Cargo.toml
+
+crates/bench/src/bin/exp_f3_luby_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_f4_interval-557c10dd43cc4ab3.d: crates/bench/src/bin/exp_f4_interval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_f4_interval-557c10dd43cc4ab3.rmeta: crates/bench/src/bin/exp_f4_interval.rs Cargo.toml
+
+crates/bench/src/bin/exp_f4_interval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

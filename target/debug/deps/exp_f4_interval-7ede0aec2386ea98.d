@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_f4_interval-7ede0aec2386ea98.d: crates/bench/src/bin/exp_f4_interval.rs
+
+/root/repo/target/debug/deps/exp_f4_interval-7ede0aec2386ea98: crates/bench/src/bin/exp_f4_interval.rs
+
+crates/bench/src/bin/exp_f4_interval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_f5_distributed-9bfebad14b6b0a89.d: crates/bench/src/bin/exp_f5_distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_f5_distributed-9bfebad14b6b0a89.rmeta: crates/bench/src/bin/exp_f5_distributed.rs Cargo.toml
+
+crates/bench/src/bin/exp_f5_distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

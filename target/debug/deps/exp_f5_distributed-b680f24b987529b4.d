@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_f5_distributed-b680f24b987529b4.d: crates/bench/src/bin/exp_f5_distributed.rs
+
+/root/repo/target/debug/deps/exp_f5_distributed-b680f24b987529b4: crates/bench/src/bin/exp_f5_distributed.rs
+
+crates/bench/src/bin/exp_f5_distributed.rs:

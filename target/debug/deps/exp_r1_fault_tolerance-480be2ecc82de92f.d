@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_r1_fault_tolerance-480be2ecc82de92f.d: crates/bench/src/bin/exp_r1_fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_r1_fault_tolerance-480be2ecc82de92f.rmeta: crates/bench/src/bin/exp_r1_fault_tolerance.rs Cargo.toml
+
+crates/bench/src/bin/exp_r1_fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

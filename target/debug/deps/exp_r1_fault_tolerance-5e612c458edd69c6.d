@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_r1_fault_tolerance-5e612c458edd69c6.d: crates/bench/src/bin/exp_r1_fault_tolerance.rs
+
+/root/repo/target/debug/deps/exp_r1_fault_tolerance-5e612c458edd69c6: crates/bench/src/bin/exp_r1_fault_tolerance.rs
+
+crates/bench/src/bin/exp_r1_fault_tolerance.rs:

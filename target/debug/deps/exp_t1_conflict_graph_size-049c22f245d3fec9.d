@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t1_conflict_graph_size-049c22f245d3fec9.d: crates/bench/src/bin/exp_t1_conflict_graph_size.rs
+
+/root/repo/target/debug/deps/exp_t1_conflict_graph_size-049c22f245d3fec9: crates/bench/src/bin/exp_t1_conflict_graph_size.rs
+
+crates/bench/src/bin/exp_t1_conflict_graph_size.rs:

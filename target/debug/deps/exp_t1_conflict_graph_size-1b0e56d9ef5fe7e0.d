@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t1_conflict_graph_size-1b0e56d9ef5fe7e0.d: crates/bench/src/bin/exp_t1_conflict_graph_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t1_conflict_graph_size-1b0e56d9ef5fe7e0.rmeta: crates/bench/src/bin/exp_t1_conflict_graph_size.rs Cargo.toml
+
+crates/bench/src/bin/exp_t1_conflict_graph_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t2_lemma21a-6b7dd9063016ecac.d: crates/bench/src/bin/exp_t2_lemma21a.rs
+
+/root/repo/target/debug/deps/exp_t2_lemma21a-6b7dd9063016ecac: crates/bench/src/bin/exp_t2_lemma21a.rs
+
+crates/bench/src/bin/exp_t2_lemma21a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t2_lemma21a-c8d67290c3007873.d: crates/bench/src/bin/exp_t2_lemma21a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t2_lemma21a-c8d67290c3007873.rmeta: crates/bench/src/bin/exp_t2_lemma21a.rs Cargo.toml
+
+crates/bench/src/bin/exp_t2_lemma21a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t2_lemma21a-eedd3c3a955b0037.d: crates/bench/src/bin/exp_t2_lemma21a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t2_lemma21a-eedd3c3a955b0037.rmeta: crates/bench/src/bin/exp_t2_lemma21a.rs Cargo.toml
+
+crates/bench/src/bin/exp_t2_lemma21a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t3_lemma21b-8925f1a92e2b7545.d: crates/bench/src/bin/exp_t3_lemma21b.rs
+
+/root/repo/target/debug/deps/exp_t3_lemma21b-8925f1a92e2b7545: crates/bench/src/bin/exp_t3_lemma21b.rs
+
+crates/bench/src/bin/exp_t3_lemma21b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t3_lemma21b-ff27d7d7208e4285.d: crates/bench/src/bin/exp_t3_lemma21b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t3_lemma21b-ff27d7d7208e4285.rmeta: crates/bench/src/bin/exp_t3_lemma21b.rs Cargo.toml
+
+crates/bench/src/bin/exp_t3_lemma21b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t4_phase_bound-abb7ec6d7a37cbaa.d: crates/bench/src/bin/exp_t4_phase_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t4_phase_bound-abb7ec6d7a37cbaa.rmeta: crates/bench/src/bin/exp_t4_phase_bound.rs Cargo.toml
+
+crates/bench/src/bin/exp_t4_phase_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

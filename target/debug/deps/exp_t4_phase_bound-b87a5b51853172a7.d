@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t4_phase_bound-b87a5b51853172a7.d: crates/bench/src/bin/exp_t4_phase_bound.rs
+
+/root/repo/target/debug/deps/exp_t4_phase_bound-b87a5b51853172a7: crates/bench/src/bin/exp_t4_phase_bound.rs
+
+crates/bench/src/bin/exp_t4_phase_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t5_oracles-3e04904f5cfbbef2.d: crates/bench/src/bin/exp_t5_oracles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t5_oracles-3e04904f5cfbbef2.rmeta: crates/bench/src/bin/exp_t5_oracles.rs Cargo.toml
+
+crates/bench/src/bin/exp_t5_oracles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t5_oracles-7c1804ceb91249ea.d: crates/bench/src/bin/exp_t5_oracles.rs
+
+/root/repo/target/debug/deps/exp_t5_oracles-7c1804ceb91249ea: crates/bench/src/bin/exp_t5_oracles.rs
+
+crates/bench/src/bin/exp_t5_oracles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t6_slocal_locality-5e933c59f188dc6d.d: crates/bench/src/bin/exp_t6_slocal_locality.rs
+
+/root/repo/target/debug/deps/exp_t6_slocal_locality-5e933c59f188dc6d: crates/bench/src/bin/exp_t6_slocal_locality.rs
+
+crates/bench/src/bin/exp_t6_slocal_locality.rs:

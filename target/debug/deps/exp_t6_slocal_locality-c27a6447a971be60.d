@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t6_slocal_locality-c27a6447a971be60.d: crates/bench/src/bin/exp_t6_slocal_locality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t6_slocal_locality-c27a6447a971be60.rmeta: crates/bench/src/bin/exp_t6_slocal_locality.rs Cargo.toml
+
+crates/bench/src/bin/exp_t6_slocal_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t7_containment-1c9a5cfe304ffbe7.d: crates/bench/src/bin/exp_t7_containment.rs
+
+/root/repo/target/debug/deps/exp_t7_containment-1c9a5cfe304ffbe7: crates/bench/src/bin/exp_t7_containment.rs
+
+crates/bench/src/bin/exp_t7_containment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t7_containment-7281ad12619f7a1f.d: crates/bench/src/bin/exp_t7_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t7_containment-7281ad12619f7a1f.rmeta: crates/bench/src/bin/exp_t7_containment.rs Cargo.toml
+
+crates/bench/src/bin/exp_t7_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t8_scaling-0dee76ea6a0c8d69.d: crates/bench/src/bin/exp_t8_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t8_scaling-0dee76ea6a0c8d69.rmeta: crates/bench/src/bin/exp_t8_scaling.rs Cargo.toml
+
+crates/bench/src/bin/exp_t8_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_t8_scaling-212e057b538bfea9.d: crates/bench/src/bin/exp_t8_scaling.rs
+
+/root/repo/target/debug/deps/exp_t8_scaling-212e057b538bfea9: crates/bench/src/bin/exp_t8_scaling.rs
+
+crates/bench/src/bin/exp_t8_scaling.rs:

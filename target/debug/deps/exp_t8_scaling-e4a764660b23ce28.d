@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_t8_scaling-e4a764660b23ce28.d: crates/bench/src/bin/exp_t8_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_t8_scaling-e4a764660b23ce28.rmeta: crates/bench/src/bin/exp_t8_scaling.rs Cargo.toml
+
+crates/bench/src/bin/exp_t8_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

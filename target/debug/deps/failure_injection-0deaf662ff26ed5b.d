@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-0deaf662ff26ed5b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-0deaf662ff26ed5b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

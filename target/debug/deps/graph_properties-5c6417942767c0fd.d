@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_properties-5c6417942767c0fd.d: tests/graph_properties.rs
+
+/root/repo/target/debug/deps/graph_properties-5c6417942767c0fd: tests/graph_properties.rs
+
+tests/graph_properties.rs:

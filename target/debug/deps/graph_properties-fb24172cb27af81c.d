@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_properties-fb24172cb27af81c.d: tests/graph_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_properties-fb24172cb27af81c.rmeta: tests/graph_properties.rs Cargo.toml
+
+tests/graph_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemma_2_1_properties-05935ff03c394f38.d: tests/lemma_2_1_properties.rs
+
+/root/repo/target/debug/deps/lemma_2_1_properties-05935ff03c394f38: tests/lemma_2_1_properties.rs
+
+tests/lemma_2_1_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lemma_2_1_properties-4c2d186f1cd6bd72.d: tests/lemma_2_1_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblemma_2_1_properties-4c2d186f1cd6bd72.rmeta: tests/lemma_2_1_properties.rs Cargo.toml
+
+tests/lemma_2_1_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

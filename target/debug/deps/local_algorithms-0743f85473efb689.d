@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/local_algorithms-0743f85473efb689.d: crates/bench/benches/local_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocal_algorithms-0743f85473efb689.rmeta: crates/bench/benches/local_algorithms.rs Cargo.toml
+
+crates/bench/benches/local_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

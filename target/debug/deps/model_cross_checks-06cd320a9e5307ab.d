@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_cross_checks-06cd320a9e5307ab.d: tests/model_cross_checks.rs
+
+/root/repo/target/debug/deps/model_cross_checks-06cd320a9e5307ab: tests/model_cross_checks.rs
+
+tests/model_cross_checks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_cross_checks-251a795e7004cb7c.d: tests/model_cross_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_cross_checks-251a795e7004cb7c.rmeta: tests/model_cross_checks.rs Cargo.toml
+
+tests/model_cross_checks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_contracts-c8f177241f504c86.d: tests/oracle_contracts.rs
+
+/root/repo/target/debug/deps/oracle_contracts-c8f177241f504c86: tests/oracle_contracts.rs
+
+tests/oracle_contracts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_contracts-ef69e10d8c435bcc.d: tests/oracle_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_contracts-ef69e10d8c435bcc.rmeta: tests/oracle_contracts.rs Cargo.toml
+
+tests/oracle_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

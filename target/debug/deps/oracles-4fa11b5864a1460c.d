@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracles-4fa11b5864a1460c.d: crates/bench/benches/oracles.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracles-4fa11b5864a1460c.rmeta: crates/bench/benches/oracles.rs Cargo.toml
+
+crates/bench/benches/oracles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2de56e3eb96b68b2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-2de56e3eb96b68b2: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

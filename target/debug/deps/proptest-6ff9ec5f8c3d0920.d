@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6ff9ec5f8c3d0920.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6ff9ec5f8c3d0920.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6ff9ec5f8c3d0920.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

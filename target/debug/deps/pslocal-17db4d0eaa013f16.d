@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pslocal-17db4d0eaa013f16.d: src/lib.rs
+
+/root/repo/target/debug/deps/pslocal-17db4d0eaa013f16: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pslocal-5bb7df524e6cf2ce.d: src/bin/pslocal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal-5bb7df524e6cf2ce.rmeta: src/bin/pslocal.rs Cargo.toml
+
+src/bin/pslocal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

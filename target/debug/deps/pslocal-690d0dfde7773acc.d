@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pslocal-690d0dfde7773acc.d: src/bin/pslocal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal-690d0dfde7773acc.rmeta: src/bin/pslocal.rs Cargo.toml
+
+src/bin/pslocal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pslocal-75a7efd6bd12879b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpslocal-75a7efd6bd12879b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpslocal-75a7efd6bd12879b.rmeta: src/lib.rs
+
+src/lib.rs:

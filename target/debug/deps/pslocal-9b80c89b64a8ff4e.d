@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pslocal-9b80c89b64a8ff4e.d: src/bin/pslocal.rs
+
+/root/repo/target/debug/deps/pslocal-9b80c89b64a8ff4e: src/bin/pslocal.rs
+
+src/bin/pslocal.rs:

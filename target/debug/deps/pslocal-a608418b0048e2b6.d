@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pslocal-a608418b0048e2b6.d: src/bin/pslocal.rs
+
+/root/repo/target/debug/deps/pslocal-a608418b0048e2b6: src/bin/pslocal.rs
+
+src/bin/pslocal.rs:

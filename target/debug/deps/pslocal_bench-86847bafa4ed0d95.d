@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pslocal_bench-86847bafa4ed0d95.d: crates/bench/src/lib.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal_bench-86847bafa4ed0d95.rmeta: crates/bench/src/lib.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pslocal_bench-b3ac7243b0cce49f.d: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/pslocal_bench-b3ac7243b0cce49f: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/table.rs:

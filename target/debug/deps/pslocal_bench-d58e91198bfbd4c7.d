@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pslocal_bench-d58e91198bfbd4c7.d: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpslocal_bench-d58e91198bfbd4c7.rlib: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpslocal_bench-d58e91198bfbd4c7.rmeta: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/table.rs:

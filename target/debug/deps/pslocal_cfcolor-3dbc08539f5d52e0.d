@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pslocal_cfcolor-3dbc08539f5d52e0.d: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal_cfcolor-3dbc08539f5d52e0.rmeta: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs Cargo.toml
+
+crates/cfcolor/src/lib.rs:
+crates/cfcolor/src/checker.rs:
+crates/cfcolor/src/greedy.rs:
+crates/cfcolor/src/interval.rs:
+crates/cfcolor/src/multicoloring.rs:
+crates/cfcolor/src/problem.rs:
+crates/cfcolor/src/slocal_cf.rs:
+crates/cfcolor/src/unique_max.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

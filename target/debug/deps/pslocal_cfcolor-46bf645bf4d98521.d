@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pslocal_cfcolor-46bf645bf4d98521.d: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+/root/repo/target/debug/deps/libpslocal_cfcolor-46bf645bf4d98521.rlib: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+/root/repo/target/debug/deps/libpslocal_cfcolor-46bf645bf4d98521.rmeta: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+crates/cfcolor/src/lib.rs:
+crates/cfcolor/src/checker.rs:
+crates/cfcolor/src/greedy.rs:
+crates/cfcolor/src/interval.rs:
+crates/cfcolor/src/multicoloring.rs:
+crates/cfcolor/src/problem.rs:
+crates/cfcolor/src/slocal_cf.rs:
+crates/cfcolor/src/unique_max.rs:

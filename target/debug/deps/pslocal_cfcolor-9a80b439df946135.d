@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pslocal_cfcolor-9a80b439df946135.d: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+/root/repo/target/debug/deps/pslocal_cfcolor-9a80b439df946135: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+crates/cfcolor/src/lib.rs:
+crates/cfcolor/src/checker.rs:
+crates/cfcolor/src/greedy.rs:
+crates/cfcolor/src/interval.rs:
+crates/cfcolor/src/multicoloring.rs:
+crates/cfcolor/src/problem.rs:
+crates/cfcolor/src/slocal_cf.rs:
+crates/cfcolor/src/unique_max.rs:

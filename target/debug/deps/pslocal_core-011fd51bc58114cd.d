@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pslocal_core-011fd51bc58114cd.d: crates/core/src/lib.rs crates/core/src/completeness.rs crates/core/src/conflict_graph.rs crates/core/src/containment.rs crates/core/src/correspondence.rs crates/core/src/distributed.rs crates/core/src/reduction.rs crates/core/src/resilient.rs crates/core/src/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal_core-011fd51bc58114cd.rmeta: crates/core/src/lib.rs crates/core/src/completeness.rs crates/core/src/conflict_graph.rs crates/core/src/containment.rs crates/core/src/correspondence.rs crates/core/src/distributed.rs crates/core/src/reduction.rs crates/core/src/resilient.rs crates/core/src/simulation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/completeness.rs:
+crates/core/src/conflict_graph.rs:
+crates/core/src/containment.rs:
+crates/core/src/correspondence.rs:
+crates/core/src/distributed.rs:
+crates/core/src/reduction.rs:
+crates/core/src/resilient.rs:
+crates/core/src/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pslocal_core-15957e7f3905cc45.d: crates/core/src/lib.rs crates/core/src/completeness.rs crates/core/src/conflict_graph.rs crates/core/src/containment.rs crates/core/src/correspondence.rs crates/core/src/distributed.rs crates/core/src/reduction.rs crates/core/src/resilient.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/pslocal_core-15957e7f3905cc45: crates/core/src/lib.rs crates/core/src/completeness.rs crates/core/src/conflict_graph.rs crates/core/src/containment.rs crates/core/src/correspondence.rs crates/core/src/distributed.rs crates/core/src/reduction.rs crates/core/src/resilient.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/completeness.rs:
+crates/core/src/conflict_graph.rs:
+crates/core/src/containment.rs:
+crates/core/src/correspondence.rs:
+crates/core/src/distributed.rs:
+crates/core/src/reduction.rs:
+crates/core/src/resilient.rs:
+crates/core/src/simulation.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/pslocal_graph-baaffcc2d67018c4.d: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/cliques.rs crates/graph/src/algo/coloring.rs crates/graph/src/algo/traversal.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/hyper.rs crates/graph/src/generators/random.rs crates/graph/src/graph.rs crates/graph/src/hypergraph.rs crates/graph/src/ids.rs crates/graph/src/independent.rs crates/graph/src/io.rs crates/graph/src/ops.rs crates/graph/src/palette.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/pslocal_graph-baaffcc2d67018c4: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/cliques.rs crates/graph/src/algo/coloring.rs crates/graph/src/algo/traversal.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/hyper.rs crates/graph/src/generators/random.rs crates/graph/src/graph.rs crates/graph/src/hypergraph.rs crates/graph/src/ids.rs crates/graph/src/independent.rs crates/graph/src/io.rs crates/graph/src/ops.rs crates/graph/src/palette.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo/mod.rs:
+crates/graph/src/algo/cliques.rs:
+crates/graph/src/algo/coloring.rs:
+crates/graph/src/algo/traversal.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/classic.rs:
+crates/graph/src/generators/hyper.rs:
+crates/graph/src/generators/random.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/hypergraph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/independent.rs:
+crates/graph/src/io.rs:
+crates/graph/src/ops.rs:
+crates/graph/src/palette.rs:
+crates/graph/src/stats.rs:

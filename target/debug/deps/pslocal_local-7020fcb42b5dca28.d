@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pslocal_local-7020fcb42b5dca28.d: crates/local/src/lib.rs crates/local/src/algorithms/mod.rs crates/local/src/algorithms/bfs.rs crates/local/src/algorithms/cole_vishkin.rs crates/local/src/algorithms/coloring.rs crates/local/src/algorithms/luby.rs crates/local/src/algorithms/matching.rs crates/local/src/algorithms/reduce.rs crates/local/src/algorithms/ruling.rs crates/local/src/network.rs crates/local/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal_local-7020fcb42b5dca28.rmeta: crates/local/src/lib.rs crates/local/src/algorithms/mod.rs crates/local/src/algorithms/bfs.rs crates/local/src/algorithms/cole_vishkin.rs crates/local/src/algorithms/coloring.rs crates/local/src/algorithms/luby.rs crates/local/src/algorithms/matching.rs crates/local/src/algorithms/reduce.rs crates/local/src/algorithms/ruling.rs crates/local/src/network.rs crates/local/src/runtime.rs Cargo.toml
+
+crates/local/src/lib.rs:
+crates/local/src/algorithms/mod.rs:
+crates/local/src/algorithms/bfs.rs:
+crates/local/src/algorithms/cole_vishkin.rs:
+crates/local/src/algorithms/coloring.rs:
+crates/local/src/algorithms/luby.rs:
+crates/local/src/algorithms/matching.rs:
+crates/local/src/algorithms/reduce.rs:
+crates/local/src/algorithms/ruling.rs:
+crates/local/src/network.rs:
+crates/local/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pslocal_maxis-1a26a7066ceca92d.d: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal_maxis-1a26a7066ceca92d.rmeta: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs Cargo.toml
+
+crates/maxis/src/lib.rs:
+crates/maxis/src/adversarial.rs:
+crates/maxis/src/bounds.rs:
+crates/maxis/src/clique_removal.rs:
+crates/maxis/src/decomposition.rs:
+crates/maxis/src/exact.rs:
+crates/maxis/src/faulty.rs:
+crates/maxis/src/greedy.rs:
+crates/maxis/src/local_search.rs:
+crates/maxis/src/luby.rs:
+crates/maxis/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

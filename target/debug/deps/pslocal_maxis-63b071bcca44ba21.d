@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pslocal_maxis-63b071bcca44ba21.d: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs
+
+/root/repo/target/debug/deps/libpslocal_maxis-63b071bcca44ba21.rlib: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs
+
+/root/repo/target/debug/deps/libpslocal_maxis-63b071bcca44ba21.rmeta: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs
+
+crates/maxis/src/lib.rs:
+crates/maxis/src/adversarial.rs:
+crates/maxis/src/bounds.rs:
+crates/maxis/src/clique_removal.rs:
+crates/maxis/src/decomposition.rs:
+crates/maxis/src/exact.rs:
+crates/maxis/src/faulty.rs:
+crates/maxis/src/greedy.rs:
+crates/maxis/src/local_search.rs:
+crates/maxis/src/luby.rs:
+crates/maxis/src/oracle.rs:

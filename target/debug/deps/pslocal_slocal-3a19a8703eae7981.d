@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pslocal_slocal-3a19a8703eae7981.d: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpslocal_slocal-3a19a8703eae7981.rmeta: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs Cargo.toml
+
+crates/slocal/src/lib.rs:
+crates/slocal/src/algorithms.rs:
+crates/slocal/src/checkable.rs:
+crates/slocal/src/decomposition.rs:
+crates/slocal/src/problems.rs:
+crates/slocal/src/runtime.rs:
+crates/slocal/src/simulate.rs:
+crates/slocal/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pslocal_slocal-e0b0286cdea19460.d: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+/root/repo/target/debug/deps/libpslocal_slocal-e0b0286cdea19460.rlib: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+/root/repo/target/debug/deps/libpslocal_slocal-e0b0286cdea19460.rmeta: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+crates/slocal/src/lib.rs:
+crates/slocal/src/algorithms.rs:
+crates/slocal/src/checkable.rs:
+crates/slocal/src/decomposition.rs:
+crates/slocal/src/problems.rs:
+crates/slocal/src/runtime.rs:
+crates/slocal/src/simulate.rs:
+crates/slocal/src/view.rs:

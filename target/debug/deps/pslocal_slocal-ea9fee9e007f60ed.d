@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pslocal_slocal-ea9fee9e007f60ed.d: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+/root/repo/target/debug/deps/pslocal_slocal-ea9fee9e007f60ed: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+crates/slocal/src/lib.rs:
+crates/slocal/src/algorithms.rs:
+crates/slocal/src/checkable.rs:
+crates/slocal/src/decomposition.rs:
+crates/slocal/src/problems.rs:
+crates/slocal/src/runtime.rs:
+crates/slocal/src/simulate.rs:
+crates/slocal/src/view.rs:

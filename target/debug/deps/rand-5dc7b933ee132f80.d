@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-5dc7b933ee132f80.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/rand-5dc7b933ee132f80: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

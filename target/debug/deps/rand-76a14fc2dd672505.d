@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rand-76a14fc2dd672505.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-76a14fc2dd672505.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduction-b3a30349e24fdb22.d: crates/bench/benches/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction-b3a30349e24fdb22.rmeta: crates/bench/benches/reduction.rs Cargo.toml
+
+crates/bench/benches/reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction_properties-440d710236b9faea.d: tests/reduction_properties.rs
+
+/root/repo/target/debug/deps/reduction_properties-440d710236b9faea: tests/reduction_properties.rs
+
+tests/reduction_properties.rs:

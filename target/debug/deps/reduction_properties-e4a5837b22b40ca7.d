@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduction_properties-e4a5837b22b40ca7.d: tests/reduction_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction_properties-e4a5837b22b40ca7.rmeta: tests/reduction_properties.rs Cargo.toml
+
+tests/reduction_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_properties-0858a1948f463923.d: tests/simulation_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_properties-0858a1948f463923.rmeta: tests/simulation_properties.rs Cargo.toml
+
+tests/simulation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_properties-8ad58df5196f09a3.d: tests/simulation_properties.rs
+
+/root/repo/target/debug/deps/simulation_properties-8ad58df5196f09a3: tests/simulation_properties.rs
+
+tests/simulation_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slocal_algorithms-7f7b11b824374384.d: crates/bench/benches/slocal_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslocal_algorithms-7f7b11b824374384.rmeta: crates/bench/benches/slocal_algorithms.rs Cargo.toml
+
+crates/bench/benches/slocal_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

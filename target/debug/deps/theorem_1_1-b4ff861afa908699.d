@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_1_1-b4ff861afa908699.d: tests/theorem_1_1.rs
+
+/root/repo/target/debug/deps/theorem_1_1-b4ff861afa908699: tests/theorem_1_1.rs
+
+tests/theorem_1_1.rs:

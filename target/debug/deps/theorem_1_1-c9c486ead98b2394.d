@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem_1_1-c9c486ead98b2394.d: tests/theorem_1_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem_1_1-c9c486ead98b2394.rmeta: tests/theorem_1_1.rs Cargo.toml
+
+tests/theorem_1_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/derandomization_pipeline-64ae243fcd7de971.d: examples/derandomization_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libderandomization_pipeline-64ae243fcd7de971.rmeta: examples/derandomization_pipeline.rs Cargo.toml
+
+examples/derandomization_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/derandomization_pipeline-bf24e51aa2f8c834.d: examples/derandomization_pipeline.rs
+
+/root/repo/target/debug/examples/derandomization_pipeline-bf24e51aa2f8c834: examples/derandomization_pipeline.rs
+
+examples/derandomization_pipeline.rs:

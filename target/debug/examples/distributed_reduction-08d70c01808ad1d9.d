@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_reduction-08d70c01808ad1d9.d: examples/distributed_reduction.rs
+
+/root/repo/target/debug/examples/distributed_reduction-08d70c01808ad1d9: examples/distributed_reduction.rs
+
+examples/distributed_reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_reduction-e4f7dc28e0b3c741.d: examples/distributed_reduction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_reduction-e4f7dc28e0b3c741.rmeta: examples/distributed_reduction.rs Cargo.toml
+
+examples/distributed_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

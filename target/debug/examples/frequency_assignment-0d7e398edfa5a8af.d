@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/frequency_assignment-0d7e398edfa5a8af.d: examples/frequency_assignment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfrequency_assignment-0d7e398edfa5a8af.rmeta: examples/frequency_assignment.rs Cargo.toml
+
+examples/frequency_assignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

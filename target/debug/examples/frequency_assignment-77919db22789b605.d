@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frequency_assignment-77919db22789b605.d: examples/frequency_assignment.rs
+
+/root/repo/target/debug/examples/frequency_assignment-77919db22789b605: examples/frequency_assignment.rs
+
+examples/frequency_assignment.rs:

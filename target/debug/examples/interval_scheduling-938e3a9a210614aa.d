@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interval_scheduling-938e3a9a210614aa.d: examples/interval_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterval_scheduling-938e3a9a210614aa.rmeta: examples/interval_scheduling.rs Cargo.toml
+
+examples/interval_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interval_scheduling-946fd2f8c6d6c2cb.d: examples/interval_scheduling.rs
+
+/root/repo/target/debug/examples/interval_scheduling-946fd2f8c6d6c2cb: examples/interval_scheduling.rs
+
+examples/interval_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/local_vs_slocal-6c212465aff00b8f.d: examples/local_vs_slocal.rs
+
+/root/repo/target/debug/examples/local_vs_slocal-6c212465aff00b8f: examples/local_vs_slocal.rs
+
+examples/local_vs_slocal.rs:

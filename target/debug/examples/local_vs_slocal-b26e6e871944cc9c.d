@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/local_vs_slocal-b26e6e871944cc9c.d: examples/local_vs_slocal.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocal_vs_slocal-b26e6e871944cc9c.rmeta: examples/local_vs_slocal.rs Cargo.toml
+
+examples/local_vs_slocal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

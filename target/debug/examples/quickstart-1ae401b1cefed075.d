@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1ae401b1cefed075.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1ae401b1cefed075: examples/quickstart.rs
+
+examples/quickstart.rs:

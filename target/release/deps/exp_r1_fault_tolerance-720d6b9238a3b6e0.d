@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_r1_fault_tolerance-720d6b9238a3b6e0.d: crates/bench/src/bin/exp_r1_fault_tolerance.rs
+
+/root/repo/target/release/deps/exp_r1_fault_tolerance-720d6b9238a3b6e0: crates/bench/src/bin/exp_r1_fault_tolerance.rs
+
+crates/bench/src/bin/exp_r1_fault_tolerance.rs:

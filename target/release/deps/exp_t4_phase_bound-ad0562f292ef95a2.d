@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_t4_phase_bound-ad0562f292ef95a2.d: crates/bench/src/bin/exp_t4_phase_bound.rs
+
+/root/repo/target/release/deps/exp_t4_phase_bound-ad0562f292ef95a2: crates/bench/src/bin/exp_t4_phase_bound.rs
+
+crates/bench/src/bin/exp_t4_phase_bound.rs:

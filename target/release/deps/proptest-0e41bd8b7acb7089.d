@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0e41bd8b7acb7089.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0e41bd8b7acb7089.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0e41bd8b7acb7089.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pslocal-1c35edb1e84a1d8d.d: src/lib.rs
+
+/root/repo/target/release/deps/libpslocal-1c35edb1e84a1d8d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpslocal-1c35edb1e84a1d8d.rmeta: src/lib.rs
+
+src/lib.rs:

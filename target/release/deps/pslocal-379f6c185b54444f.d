@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pslocal-379f6c185b54444f.d: src/bin/pslocal.rs
+
+/root/repo/target/release/deps/pslocal-379f6c185b54444f: src/bin/pslocal.rs
+
+src/bin/pslocal.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pslocal_bench-73684c61a2290bf0.d: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpslocal_bench-73684c61a2290bf0.rlib: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpslocal_bench-73684c61a2290bf0.rmeta: crates/bench/src/lib.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pslocal_cfcolor-703caeab0296ed3b.d: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+/root/repo/target/release/deps/libpslocal_cfcolor-703caeab0296ed3b.rlib: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+/root/repo/target/release/deps/libpslocal_cfcolor-703caeab0296ed3b.rmeta: crates/cfcolor/src/lib.rs crates/cfcolor/src/checker.rs crates/cfcolor/src/greedy.rs crates/cfcolor/src/interval.rs crates/cfcolor/src/multicoloring.rs crates/cfcolor/src/problem.rs crates/cfcolor/src/slocal_cf.rs crates/cfcolor/src/unique_max.rs
+
+crates/cfcolor/src/lib.rs:
+crates/cfcolor/src/checker.rs:
+crates/cfcolor/src/greedy.rs:
+crates/cfcolor/src/interval.rs:
+crates/cfcolor/src/multicoloring.rs:
+crates/cfcolor/src/problem.rs:
+crates/cfcolor/src/slocal_cf.rs:
+crates/cfcolor/src/unique_max.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pslocal_core-42c196f23d1e29e5.d: crates/core/src/lib.rs crates/core/src/completeness.rs crates/core/src/conflict_graph.rs crates/core/src/containment.rs crates/core/src/correspondence.rs crates/core/src/distributed.rs crates/core/src/reduction.rs crates/core/src/resilient.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/libpslocal_core-42c196f23d1e29e5.rlib: crates/core/src/lib.rs crates/core/src/completeness.rs crates/core/src/conflict_graph.rs crates/core/src/containment.rs crates/core/src/correspondence.rs crates/core/src/distributed.rs crates/core/src/reduction.rs crates/core/src/resilient.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/libpslocal_core-42c196f23d1e29e5.rmeta: crates/core/src/lib.rs crates/core/src/completeness.rs crates/core/src/conflict_graph.rs crates/core/src/containment.rs crates/core/src/correspondence.rs crates/core/src/distributed.rs crates/core/src/reduction.rs crates/core/src/resilient.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/completeness.rs:
+crates/core/src/conflict_graph.rs:
+crates/core/src/containment.rs:
+crates/core/src/correspondence.rs:
+crates/core/src/distributed.rs:
+crates/core/src/reduction.rs:
+crates/core/src/resilient.rs:
+crates/core/src/simulation.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/pslocal_graph-a3798d041ef877cc.d: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/cliques.rs crates/graph/src/algo/coloring.rs crates/graph/src/algo/traversal.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/hyper.rs crates/graph/src/generators/random.rs crates/graph/src/graph.rs crates/graph/src/hypergraph.rs crates/graph/src/ids.rs crates/graph/src/independent.rs crates/graph/src/io.rs crates/graph/src/ops.rs crates/graph/src/palette.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libpslocal_graph-a3798d041ef877cc.rlib: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/cliques.rs crates/graph/src/algo/coloring.rs crates/graph/src/algo/traversal.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/hyper.rs crates/graph/src/generators/random.rs crates/graph/src/graph.rs crates/graph/src/hypergraph.rs crates/graph/src/ids.rs crates/graph/src/independent.rs crates/graph/src/io.rs crates/graph/src/ops.rs crates/graph/src/palette.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libpslocal_graph-a3798d041ef877cc.rmeta: crates/graph/src/lib.rs crates/graph/src/algo/mod.rs crates/graph/src/algo/cliques.rs crates/graph/src/algo/coloring.rs crates/graph/src/algo/traversal.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/classic.rs crates/graph/src/generators/hyper.rs crates/graph/src/generators/random.rs crates/graph/src/graph.rs crates/graph/src/hypergraph.rs crates/graph/src/ids.rs crates/graph/src/independent.rs crates/graph/src/io.rs crates/graph/src/ops.rs crates/graph/src/palette.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo/mod.rs:
+crates/graph/src/algo/cliques.rs:
+crates/graph/src/algo/coloring.rs:
+crates/graph/src/algo/traversal.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/classic.rs:
+crates/graph/src/generators/hyper.rs:
+crates/graph/src/generators/random.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/hypergraph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/independent.rs:
+crates/graph/src/io.rs:
+crates/graph/src/ops.rs:
+crates/graph/src/palette.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pslocal_local-9c0e82aee3355f9a.d: crates/local/src/lib.rs crates/local/src/algorithms/mod.rs crates/local/src/algorithms/bfs.rs crates/local/src/algorithms/cole_vishkin.rs crates/local/src/algorithms/coloring.rs crates/local/src/algorithms/luby.rs crates/local/src/algorithms/matching.rs crates/local/src/algorithms/reduce.rs crates/local/src/algorithms/ruling.rs crates/local/src/network.rs crates/local/src/runtime.rs
+
+/root/repo/target/release/deps/libpslocal_local-9c0e82aee3355f9a.rlib: crates/local/src/lib.rs crates/local/src/algorithms/mod.rs crates/local/src/algorithms/bfs.rs crates/local/src/algorithms/cole_vishkin.rs crates/local/src/algorithms/coloring.rs crates/local/src/algorithms/luby.rs crates/local/src/algorithms/matching.rs crates/local/src/algorithms/reduce.rs crates/local/src/algorithms/ruling.rs crates/local/src/network.rs crates/local/src/runtime.rs
+
+/root/repo/target/release/deps/libpslocal_local-9c0e82aee3355f9a.rmeta: crates/local/src/lib.rs crates/local/src/algorithms/mod.rs crates/local/src/algorithms/bfs.rs crates/local/src/algorithms/cole_vishkin.rs crates/local/src/algorithms/coloring.rs crates/local/src/algorithms/luby.rs crates/local/src/algorithms/matching.rs crates/local/src/algorithms/reduce.rs crates/local/src/algorithms/ruling.rs crates/local/src/network.rs crates/local/src/runtime.rs
+
+crates/local/src/lib.rs:
+crates/local/src/algorithms/mod.rs:
+crates/local/src/algorithms/bfs.rs:
+crates/local/src/algorithms/cole_vishkin.rs:
+crates/local/src/algorithms/coloring.rs:
+crates/local/src/algorithms/luby.rs:
+crates/local/src/algorithms/matching.rs:
+crates/local/src/algorithms/reduce.rs:
+crates/local/src/algorithms/ruling.rs:
+crates/local/src/network.rs:
+crates/local/src/runtime.rs:

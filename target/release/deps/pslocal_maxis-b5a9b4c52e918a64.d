@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pslocal_maxis-b5a9b4c52e918a64.d: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs
+
+/root/repo/target/release/deps/libpslocal_maxis-b5a9b4c52e918a64.rlib: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs
+
+/root/repo/target/release/deps/libpslocal_maxis-b5a9b4c52e918a64.rmeta: crates/maxis/src/lib.rs crates/maxis/src/adversarial.rs crates/maxis/src/bounds.rs crates/maxis/src/clique_removal.rs crates/maxis/src/decomposition.rs crates/maxis/src/exact.rs crates/maxis/src/faulty.rs crates/maxis/src/greedy.rs crates/maxis/src/local_search.rs crates/maxis/src/luby.rs crates/maxis/src/oracle.rs
+
+crates/maxis/src/lib.rs:
+crates/maxis/src/adversarial.rs:
+crates/maxis/src/bounds.rs:
+crates/maxis/src/clique_removal.rs:
+crates/maxis/src/decomposition.rs:
+crates/maxis/src/exact.rs:
+crates/maxis/src/faulty.rs:
+crates/maxis/src/greedy.rs:
+crates/maxis/src/local_search.rs:
+crates/maxis/src/luby.rs:
+crates/maxis/src/oracle.rs:

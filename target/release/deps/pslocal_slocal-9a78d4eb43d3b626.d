@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pslocal_slocal-9a78d4eb43d3b626.d: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+/root/repo/target/release/deps/libpslocal_slocal-9a78d4eb43d3b626.rlib: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+/root/repo/target/release/deps/libpslocal_slocal-9a78d4eb43d3b626.rmeta: crates/slocal/src/lib.rs crates/slocal/src/algorithms.rs crates/slocal/src/checkable.rs crates/slocal/src/decomposition.rs crates/slocal/src/problems.rs crates/slocal/src/runtime.rs crates/slocal/src/simulate.rs crates/slocal/src/view.rs
+
+crates/slocal/src/lib.rs:
+crates/slocal/src/algorithms.rs:
+crates/slocal/src/checkable.rs:
+crates/slocal/src/decomposition.rs:
+crates/slocal/src/problems.rs:
+crates/slocal/src/runtime.rs:
+crates/slocal/src/simulate.rs:
+crates/slocal/src/view.rs:

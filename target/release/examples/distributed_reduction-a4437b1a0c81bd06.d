@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_reduction-a4437b1a0c81bd06.d: examples/distributed_reduction.rs
+
+/root/repo/target/release/examples/distributed_reduction-a4437b1a0c81bd06: examples/distributed_reduction.rs
+
+examples/distributed_reduction.rs:

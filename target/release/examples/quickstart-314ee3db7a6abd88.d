@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-314ee3db7a6abd88.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-314ee3db7a6abd88: examples/quickstart.rs
+
+examples/quickstart.rs:
