@@ -44,8 +44,7 @@ fn main() {
         let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
         let h = &inst.hypergraph;
         let strict = ConflictGraph::build(h, k);
-        let literal =
-            ConflictGraph::build_with_options(h, k, ConflictGraphOptions { literal_ecolor: true });
+        let literal = ConflictGraph::build_with_options(h, k, ConflictGraphOptions::literal());
 
         // Construct I_f by the paper's recipe (one uniquely-colored
         // witness per edge, smallest vertex first) in raw form so we

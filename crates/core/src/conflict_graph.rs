@@ -30,8 +30,27 @@
 //! (`O(1)`/`O(log |e|)` conversions both ways), retains the source
 //! hypergraph, and reports the per-family edge counts that experiment
 //! T1 tabulates.
+//!
+//! # Construction kernel
+//!
+//! The default builder is **output-sensitive**: instead of testing the
+//! family predicates over pairs of triples, it streams each triple
+//! node's neighbor row directly from hypergraph structure — the row of
+//! `(e, v, c)` decomposes by the other endpoint's hyperedge block, and
+//! every block's contribution is closed-form (the `E_edge` clique for
+//! `e` itself, a position sweep for blocks containing `v`, the `e ∩ g`
+//! wedge positions otherwise). Rows come out sorted, in node order, so
+//! the kernel writes the CSR directly: total work `O(|E(G_k)| + W)`
+//! with `W = Σ_v deg(v)²` the wedge count, and nothing is ever sorted,
+//! deduplicated, or post-processed. Above a work threshold — or on
+//! request via [`BuildStrategy::Parallel`] — contiguous block ranges
+//! are sharded across `std::thread::scope` workers whose outputs
+//! concatenate (row order equals node order, so concatenation *is* the
+//! merge). [`BuildStrategy::Reference`] keeps the predicate-driven
+//! all-pairs builder alive as the machine-checkable specification the
+//! equivalence property tests compare against.
 
-use pslocal_graph::{Graph, GraphBuilder, HyperedgeId, Hypergraph, NodeId};
+use pslocal_graph::{csr, Graph, HyperedgeId, Hypergraph, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// A triple `(e, v, c)`: hyperedge, member vertex, 0-based color index.
@@ -60,8 +79,31 @@ pub struct FamilyCounts {
     pub color_family: usize,
 }
 
+/// How [`ConflictGraph::build_with_options`] materializes the edge set.
+///
+/// Every strategy produces the **identical** [`Graph`] (same CSR bytes)
+/// — the equivalence property suite proves it; they differ only in
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildStrategy {
+    /// Output-sensitive kernel; shards across threads when the
+    /// estimated edge count clears a threshold.
+    #[default]
+    Auto,
+    /// Output-sensitive kernel, single-threaded.
+    Serial,
+    /// Output-sensitive kernel, always sharded across
+    /// `std::thread::scope` workers.
+    Parallel,
+    /// Predicate-driven all-pairs reference: tests every pair of
+    /// triples against the three family predicates. `Θ((Σ|e|·k)²)` —
+    /// the executable specification, retained for equivalence tests
+    /// and ablation cross-checks, far too slow for real instances.
+    Reference,
+}
+
 /// Construction options for [`ConflictGraph`] — used by ablation
-/// experiments.
+/// experiments and the builder-equivalence tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ConflictGraphOptions {
     /// Read the paper's `E_color` set-builder **literally**, i.e. allow
@@ -71,6 +113,23 @@ pub struct ConflictGraphOptions {
     /// experiment A2 measures exactly how often. The default (`false`)
     /// follows the lemma's proof and requires `u ≠ v`.
     pub literal_ecolor: bool,
+    /// Which construction kernel to run (identical output, different
+    /// cost — see [`BuildStrategy`]).
+    pub strategy: BuildStrategy,
+}
+
+impl ConflictGraphOptions {
+    /// Options selecting the paper-literal `E_color` reading with the
+    /// default (auto) build strategy.
+    pub fn literal() -> Self {
+        ConflictGraphOptions { literal_ecolor: true, ..Self::default() }
+    }
+
+    /// Options selecting a build strategy with the proof-faithful
+    /// `E_color` reading.
+    pub fn with_strategy(strategy: BuildStrategy) -> Self {
+        ConflictGraphOptions { strategy, ..Self::default() }
+    }
 }
 
 /// The conflict graph `G_k` of conflict-free `k`-coloring `H`.
@@ -122,81 +181,56 @@ impl ConflictGraph {
         for e in 0..m {
             base[e + 1] = base[e] + (h.edge_size(HyperedgeId::new(e)) * k) as u32;
         }
-        let node_count = base[m] as usize;
-        let mut builder = GraphBuilder::new(node_count);
-
-        let triple = |e: HyperedgeId, pos: usize, c: usize| -> NodeId {
-            NodeId::new(base[e.index()] as usize + pos * k + c)
+        let graph = match options.strategy {
+            BuildStrategy::Reference => kernel::build_reference(h, k, options, &base),
+            BuildStrategy::Serial => kernel::build_fast(h, k, options, &base, 1),
+            BuildStrategy::Parallel => {
+                kernel::build_fast(h, k, options, &base, kernel::worker_count().max(2))
+            }
+            BuildStrategy::Auto => {
+                let workers = if kernel::estimated_edges(h, k) >= kernel::PARALLEL_THRESHOLD {
+                    kernel::worker_count()
+                } else {
+                    1
+                };
+                kernel::build_fast(h, k, options, &base, workers)
+            }
         };
+        ConflictGraph { graph, hypergraph: h.clone(), k, options, base }
+    }
 
-        // E_vertex: same vertex, different colors, any edge pair.
-        // For each vertex v, enumerate its (edge, position) slots.
-        for v in h.nodes() {
-            let slots: Vec<(HyperedgeId, usize)> = h
-                .edges_of(v)
-                .iter()
-                .map(|&e| {
-                    // Invariant, not a fallible path: `edges_of(v)`
-                    // lists exactly the edges whose sorted member list
-                    // contains v, so the search always hits.
-                    let pos = h.edge(e).binary_search(&v).expect("incidence is consistent");
-                    (e, pos)
-                })
-                .collect();
-            for (i, &(e, pe)) in slots.iter().enumerate() {
-                for &(g, pg) in &slots[i..] {
-                    for c in 0..k {
-                        for d in 0..k {
-                            if c == d {
-                                continue;
-                            }
-                            let a = triple(e, pe, c);
-                            let b = triple(g, pg, d);
-                            if a != b {
-                                builder.add_edge(a, b);
-                            }
-                        }
-                    }
-                }
-            }
+    /// The conflict graph of the residual hypergraph obtained by keeping
+    /// only the hyperedges `keep` (ids of **this** graph's hypergraph,
+    /// strictly increasing) — the phase-incremental step of the
+    /// Theorem 1.1 reduction pipeline.
+    ///
+    /// Removing hyperedges removes their triple blocks and cannot
+    /// create new conflicts (every family predicate depends only on the
+    /// two triples' own hyperedges), so `G_k(H_i)` is exactly the
+    /// induced subgraph of `G_k(H)` on the surviving blocks. The
+    /// construction therefore filters the retained CSR rows in
+    /// `O(Σ_{surviving} deg + |V(G_k)|)` — no predicate is re-evaluated
+    /// — and produces a graph byte-identical to
+    /// `ConflictGraph::build_with_options(&restricted, k, options)`,
+    /// which the equivalence property suite verifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is not strictly increasing or contains an
+    /// out-of-range hyperedge.
+    pub fn restrict_to_edges(&self, keep: &[HyperedgeId]) -> Self {
+        assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep set must be strictly increasing");
+        let k = self.k;
+        let mut base = vec![0u32; keep.len() + 1];
+        let mut nodes = Vec::with_capacity(self.graph.node_count());
+        for (new_e, &old_e) in keep.iter().enumerate() {
+            let (lo, hi) = (self.base[old_e.index()], self.base[old_e.index() + 1]);
+            base[new_e + 1] = base[new_e] + (hi - lo);
+            nodes.extend((lo..hi).map(|i| NodeId::new(i as usize)));
         }
-
-        // E_edge: all pairs of triples within one hyperedge's block.
-        for e in h.edge_ids() {
-            let block = h.edge_size(e) * k;
-            let start = base[e.index()] as usize;
-            for i in 0..block {
-                for j in (i + 1)..block {
-                    builder.add_edge(NodeId::new(start + i), NodeId::new(start + j));
-                }
-            }
-        }
-
-        // E_color: (e,v,c) ~ (g,u,c) when u ∈ e and u ≠ v (the v ∈ g
-        // case follows by symmetry of the enumeration).
-        for e in h.edge_ids() {
-            let members = h.edge(e);
-            for (pv, &v) in members.iter().enumerate() {
-                for &u in members {
-                    if u == v && !options.literal_ecolor {
-                        continue;
-                    }
-                    for &g in h.edges_of(u) {
-                        // Invariant: u ∈ g by definition of `edges_of`.
-                        let pu_in_g = h.edge(g).binary_search(&u).expect("incidence is consistent");
-                        for c in 0..k {
-                            let a = triple(e, pv, c);
-                            let b = triple(g, pu_in_g, c);
-                            if a != b {
-                                builder.add_edge(a, b);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        ConflictGraph { graph: builder.build(), hypergraph: h.clone(), k, options, base }
+        let graph = csr::induced_sorted(&self.graph, &nodes);
+        let (hypergraph, _) = self.hypergraph.restrict_edges(keep);
+        ConflictGraph { graph, hypergraph, k, options: self.options, base }
     }
 
     /// The options the graph was built with.
@@ -305,6 +339,404 @@ impl ConflictGraph {
     /// The closed-form vertex count `k · Σ_e |e|`.
     pub fn expected_node_count(h: &Hypergraph, k: usize) -> usize {
         k * h.incidence_size()
+    }
+}
+
+/// The construction kernels behind [`ConflictGraph::build_with_options`].
+///
+/// The fast kernel writes the CSR **directly, row by row, already
+/// sorted** — it never materializes an unordered pair list, so nothing
+/// is ever sorted or deduplicated. The key observation: the neighbors
+/// of a triple `a = (e, v, c)` decompose by the *other* triple's
+/// hyperedge `g`, and within each block the pattern is closed-form:
+///
+/// * `g == e` — the whole block except `a` itself (`E_edge` clique),
+///   two contiguous index ranges;
+/// * `g ∋ v` — vertex `v`'s slot in `g` contributes colors `d ≠ c`
+///   (`E_vertex`; all `d` under `literal_ecolor`), and every other
+///   member slot contributes color `c` (`E_color` via `v ∈ g`) — one
+///   ascending sweep over `g`'s positions;
+/// * `g ∌ v` — exactly the members of `e ∩ g` contribute color `c`
+///   (`E_color` via `u ∈ e`), read off a per-hyperedge *wedge list*
+///   (the `(g, pos)` slots of `e`'s members, sorted once per `e`).
+///
+/// Blocks are visited in ascending `g` by merging the (sorted) slot
+/// list of `v` with the (sorted) wedge list of `e`, so each row comes
+/// out sorted and rows are emitted in node order — the shard *is* a
+/// finished CSR fragment. Total work is `O(|E(G_k)| + W)` where
+/// `W = Σ_v deg(v)²` is the wedge count. Workers shard contiguous
+/// block ranges under `std::thread::scope` and the shards concatenate
+/// (no merge pass: row order equals node order).
+mod kernel {
+    use super::ConflictGraphOptions;
+    use pslocal_graph::{csr, Graph, HyperedgeId, Hypergraph, NodeId};
+    use std::ops::Range;
+
+    /// Estimated `|E(G_k)|` above which [`super::BuildStrategy::Auto`]
+    /// shards the emission across threads. Below it, thread spawn and
+    /// shard-merge bookkeeping cost more than they save.
+    pub(super) const PARALLEL_THRESHOLD: usize = 1 << 17;
+
+    pub(super) fn worker_count() -> usize {
+        std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(1)
+    }
+
+    /// Cheap upper estimate of `|E(G_k)|` in `O(Σ|e|)`: the `E_edge`
+    /// cliques exactly, plus a per-edge incidence bound on `E_color`
+    /// (which also dominates `E_vertex`, whose pairs embed into the
+    /// same slot walks).
+    pub(super) fn estimated_edges(h: &Hypergraph, k: usize) -> usize {
+        let mut est = 0usize;
+        for e in h.edge_ids() {
+            let members = h.edge(e);
+            let block = members.len() * k;
+            est += block * (block - 1) / 2;
+            let incidence: usize = members.iter().map(|&u| h.edges_of(u).len()).sum();
+            est = est.saturating_add(members.len() * incidence * k);
+        }
+        est
+    }
+
+    /// Flat per-vertex incidence slots: for vertex `v`,
+    /// `edge[offsets[v]..offsets[v+1]]` lists the hyperedges containing
+    /// `v` (ascending, because edges are scattered in id order) and
+    /// `pos[..]` the position of `v` inside each — everything triple
+    /// emission needs, with no per-slot binary search.
+    struct SlotIndex {
+        offsets: Vec<u32>,
+        edge: Vec<u32>,
+        pos: Vec<u32>,
+    }
+
+    impl SlotIndex {
+        fn build(h: &Hypergraph) -> Self {
+            let n = h.node_count();
+            let mut offsets = vec![0u32; n + 1];
+            for e in h.edge_ids() {
+                for &v in h.edge(e) {
+                    offsets[v.index() + 1] += 1;
+                }
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let total = offsets[n] as usize;
+            let mut cursor: Vec<u32> = offsets[..n].to_vec();
+            let mut edge = vec![0u32; total];
+            let mut pos = vec![0u32; total];
+            for e in h.edge_ids() {
+                for (p, &v) in h.edge(e).iter().enumerate() {
+                    let slot = cursor[v.index()] as usize;
+                    cursor[v.index()] += 1;
+                    edge[slot] = e.index() as u32;
+                    pos[slot] = p as u32;
+                }
+            }
+            SlotIndex { offsets, edge, pos }
+        }
+
+        /// The (hyperedge, position) slot arrays of vertex `v`.
+        #[inline]
+        fn slots(&self, v: usize) -> (&[u32], &[u32]) {
+            let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+            (&self.edge[lo..hi], &self.pos[lo..hi])
+        }
+    }
+
+    /// One shard of the streamed CSR: the rows of a contiguous range of
+    /// triple blocks, in node order.
+    struct RowShard {
+        /// Cumulative row ends, local to the shard (one entry per row).
+        row_ends: Vec<u32>,
+        /// Concatenated sorted neighbor lists (absolute node ids).
+        targets: Vec<NodeId>,
+    }
+
+    /// Streams the rows of the triple blocks of hyperedges in `range`.
+    ///
+    /// For each hyperedge `e` the *wedge list* — the `(g, pos-in-g)`
+    /// slots of `e`'s members with `g ≠ e`, sorted — is built once, and
+    /// every row of `e`'s block merges it with the slot list of the
+    /// row's vertex, emitting each neighbor block's closed-form pattern
+    /// in ascending order (see the module docs). Rows come out sorted
+    /// and in node order, so the shard *is* a finished CSR fragment —
+    /// nothing is ever sorted, deduplicated, or post-processed.
+    fn emit_blocks(
+        h: &Hypergraph,
+        k: usize,
+        options: ConflictGraphOptions,
+        base: &[u32],
+        idx: &SlotIndex,
+        range: Range<usize>,
+    ) -> RowShard {
+        let first = base[range.start] as usize;
+        let row_count = base[range.end] as usize - first;
+        let mut row_ends: Vec<u32> = Vec::with_capacity(row_count);
+        let mut wedges: Vec<(u32, u32)> = Vec::new();
+        // Exact-capacity count pass: one mini-merge per (e, v) — every
+        // block's contribution to a row is closed-form, and the k rows
+        // of a (e, v) slot all have the same length — so `targets`
+        // never reallocates during emission.
+        let mut total = 0usize;
+        for e in range.clone() {
+            build_wedges(h, idx, e, &mut wedges);
+            let members = h.edge(HyperedgeId::new(e));
+            for &v in members {
+                total += k * row_len(
+                    e,
+                    k,
+                    options.literal_ecolor,
+                    base,
+                    idx.slots(v.index()).0,
+                    &wedges,
+                );
+            }
+        }
+        let mut targets: Vec<NodeId> = Vec::with_capacity(total);
+        let kw = k as u32;
+        for e in range {
+            build_wedges(h, idx, e, &mut wedges);
+            let members = h.edge(HyperedgeId::new(e));
+            for (pv, &v) in members.iter().enumerate() {
+                let vslots = idx.slots(v.index());
+                for c in 0..kw {
+                    let a = base[e] + pv as u32 * kw + c;
+                    emit_row(
+                        a,
+                        e,
+                        c,
+                        kw,
+                        options.literal_ecolor,
+                        base,
+                        vslots,
+                        &wedges,
+                        &mut targets,
+                    );
+                    row_ends.push(targets.len() as u32);
+                }
+            }
+        }
+        debug_assert_eq!(targets.len(), total);
+        RowShard { row_ends, targets }
+    }
+
+    /// Collects hyperedge `e`'s wedge list: the `(g, pos-in-g)` slots of
+    /// its members with `g ≠ e`, sorted (so entries group by `g`, with
+    /// positions ascending within each group).
+    fn build_wedges(h: &Hypergraph, idx: &SlotIndex, e: usize, wedges: &mut Vec<(u32, u32)>) {
+        wedges.clear();
+        for &u in h.edge(HyperedgeId::new(e)) {
+            let (g_edges, g_pos) = idx.slots(u.index());
+            for (s, &g) in g_edges.iter().enumerate() {
+                if g as usize != e {
+                    wedges.push((g, g_pos[s]));
+                }
+            }
+        }
+        wedges.sort_unstable();
+    }
+
+    /// The length of each of the `k` rows of slot `(e, v)` — the same
+    /// closed-form merge as [`emit_row`], summing block contributions
+    /// instead of writing them.
+    fn row_len(
+        e: usize,
+        k: usize,
+        literal: bool,
+        base: &[u32],
+        vg: &[u32],
+        wedges: &[(u32, u32)],
+    ) -> usize {
+        let mut len = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < vg.len() || j < wedges.len() {
+            let gi = if i < vg.len() { vg[i] } else { u32::MAX };
+            let gj = if j < wedges.len() { wedges[j].0 } else { u32::MAX };
+            if gi <= gj {
+                while j < wedges.len() && wedges[j].0 == gi {
+                    j += 1;
+                }
+                let g = gi as usize;
+                let block = (base[g + 1] - base[g]) as usize;
+                len += if g == e { block - 1 } else { block / k + k - 2 + literal as usize };
+                i += 1;
+            } else {
+                while j < wedges.len() && wedges[j].0 == gj {
+                    len += 1;
+                    j += 1;
+                }
+            }
+        }
+        len
+    }
+
+    /// Writes the sorted neighbor row of triple node `a = (e, ·, c)` to
+    /// `targets`. Every emission arm is an exact-length `extend` over a
+    /// range or slice in pure `u32` arithmetic, so the row streams out
+    /// without per-element capacity or range checks.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_row(
+        a: u32,
+        e: usize,
+        c: u32,
+        k: u32,
+        literal: bool,
+        base: &[u32],
+        (vg, vp): (&[u32], &[u32]),
+        wedges: &[(u32, u32)],
+        targets: &mut Vec<NodeId>,
+    ) {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < vg.len() || j < wedges.len() {
+            let gi = if i < vg.len() { vg[i] } else { u32::MAX };
+            let gj = if j < wedges.len() { wedges[j].0 } else { u32::MAX };
+            if gi <= gj {
+                // A block containing the row's vertex (possibly e
+                // itself). Its wedge entries, if any, are subsumed:
+                // v ∈ g satisfies the E_color predicate for *every*
+                // member of g.
+                while j < wedges.len() && wedges[j].0 == gi {
+                    j += 1;
+                }
+                let g = gi as usize;
+                let gbase = base[g];
+                if g == e {
+                    targets.extend((gbase..a).map(NodeId::from));
+                    targets.extend((a + 1..base[g + 1]).map(NodeId::from));
+                } else {
+                    let pos = vp[i];
+                    let slot = gbase + pos * k;
+                    targets.extend((0..pos).map(|pu| NodeId::from(gbase + pu * k + c)));
+                    if literal {
+                        targets.extend((slot..slot + k).map(NodeId::from));
+                    } else {
+                        targets.extend((slot..slot + c).map(NodeId::from));
+                        targets.extend((slot + c + 1..slot + k).map(NodeId::from));
+                    }
+                    let size = (base[g + 1] - gbase) / k;
+                    targets.extend((pos + 1..size).map(|pu| NodeId::from(gbase + pu * k + c)));
+                }
+                i += 1;
+            } else {
+                // A block not containing the row's vertex: only the
+                // members of e ∩ g conflict, at the row's own color.
+                let gbase = base[gj as usize];
+                let run = j;
+                while j < wedges.len() && wedges[j].0 == gj {
+                    j += 1;
+                }
+                targets
+                    .extend(wedges[run..j].iter().map(|&(_, pu)| NodeId::from(gbase + pu * k + c)));
+            }
+        }
+    }
+
+    /// Splits `0..m` into at most `parts` contiguous ranges of roughly
+    /// equal squared-block-size weight (the clique term dominates each
+    /// block's emission cost).
+    fn balanced_ranges(base: &[u32], m: usize, parts: usize) -> Vec<Range<usize>> {
+        let weight = |e: usize| {
+            let b = (base[e + 1] - base[e]) as u64;
+            b * b
+        };
+        let total: u64 = (0..m).map(weight).sum();
+        let mut ranges = Vec::with_capacity(parts);
+        let (mut start, mut acc) = (0usize, 0u64);
+        for e in 0..m {
+            acc += weight(e);
+            if acc * parts as u64 >= total * (ranges.len() as u64 + 1) {
+                ranges.push(start..e + 1);
+                start = e + 1;
+            }
+        }
+        if start < m {
+            ranges.push(start..m);
+        }
+        ranges
+    }
+
+    /// The output-sensitive kernel: slot-index once, stream every block
+    /// row in sorted node order, concatenate. With `workers > 1`,
+    /// contiguous block ranges run under `std::thread::scope`; because
+    /// rows are emitted in node order, shard concatenation **is** the
+    /// merge — identical output regardless of `workers`.
+    pub(super) fn build_fast(
+        h: &Hypergraph,
+        k: usize,
+        options: ConflictGraphOptions,
+        base: &[u32],
+        workers: usize,
+    ) -> Graph {
+        let idx = SlotIndex::build(h);
+        let m = h.edge_count();
+        let node_count = base[m] as usize;
+        let workers = workers.clamp(1, m.max(1));
+        if workers == 1 {
+            // Single shard: the streamed arrays *are* the CSR — move
+            // them, prepending the zero offset.
+            let shard = emit_blocks(h, k, options, base, &idx, 0..m);
+            let mut offsets = Vec::with_capacity(node_count + 1);
+            offsets.push(0u32);
+            offsets.extend_from_slice(&shard.row_ends);
+            return csr::from_raw_parts(offsets, shard.targets);
+        }
+        let shards: Vec<RowShard> = {
+            let idx = &idx;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = balanced_ranges(base, m, workers)
+                    .into_iter()
+                    .map(|range| s.spawn(move || emit_blocks(h, k, options, base, idx, range)))
+                    .collect();
+                handles.into_iter().map(|j| j.join().expect("kernel worker panicked")).collect()
+            })
+        };
+        let total_targets: usize = shards.iter().map(|s| s.targets.len()).sum();
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::with_capacity(total_targets);
+        for shard in shards {
+            let shift = targets.len() as u32;
+            offsets.extend(shard.row_ends.iter().map(|&end| end + shift));
+            targets.extend_from_slice(&shard.targets);
+        }
+        debug_assert_eq!(offsets.len(), node_count + 1);
+        csr::from_raw_parts(offsets, targets)
+    }
+
+    /// The all-pairs reference: materialize every triple, test every
+    /// pair against the three family predicates verbatim. This is the
+    /// executable form of the paper's set-builder definitions and the
+    /// ground truth of the equivalence property suite.
+    pub(super) fn build_reference(
+        h: &Hypergraph,
+        k: usize,
+        options: ConflictGraphOptions,
+        base: &[u32],
+    ) -> Graph {
+        let node_count = base[h.edge_count()] as usize;
+        let mut triples = Vec::with_capacity(node_count);
+        for e in h.edge_ids() {
+            for &v in h.edge(e) {
+                for c in 0..k {
+                    triples.push((e, v, c));
+                }
+            }
+        }
+        let mut pairs = Vec::new();
+        for i in 0..node_count {
+            let (e, v, c) = triples[i];
+            for (j, &(g, u, d)) in triples.iter().enumerate().skip(i + 1) {
+                let vertex_family = v == u && c != d;
+                let edge_family = e == g;
+                let color_family = c == d
+                    && (options.literal_ecolor || v != u)
+                    && (h.edge_contains(e, u) || h.edge_contains(g, v));
+                if vertex_family || edge_family || color_family {
+                    pairs.push((NodeId::new(i), NodeId::new(j)));
+                }
+            }
+        }
+        csr::from_pairs(node_count, pairs)
     }
 }
 
@@ -467,8 +899,7 @@ mod tests {
     fn literal_ecolor_option_adds_same_vertex_edges() {
         let h = Hypergraph::from_edges(3, [vec![0, 1], vec![0, 2]]).unwrap();
         let strict = ConflictGraph::build(&h, 2);
-        let literal =
-            ConflictGraph::build_with_options(&h, 2, ConflictGraphOptions { literal_ecolor: true });
+        let literal = ConflictGraph::build_with_options(&h, 2, ConflictGraphOptions::literal());
         assert!(!strict.options().literal_ecolor);
         assert!(literal.options().literal_ecolor);
         let a = literal.node_for(HyperedgeId::new(0), NodeId::new(0), 0).unwrap();

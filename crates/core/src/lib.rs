@@ -52,7 +52,9 @@ pub mod resilient;
 pub mod simulation;
 
 pub use completeness::{completeness_on_instance, CompletenessReport};
-pub use conflict_graph::{ConflictGraph, ConflictGraphOptions, FamilyCounts, Triple};
+pub use conflict_graph::{
+    BuildStrategy, ConflictGraph, ConflictGraphOptions, FamilyCounts, Triple,
+};
 pub use containment::{containment_certificate, ContainmentReport};
 pub use correspondence::{
     apply_palette, coloring_to_independent_set, independent_set_to_coloring, lemma_2_1a,

@@ -196,18 +196,13 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
 
     let mut records = Vec::new();
     let mut phase = 0usize;
-    let mut first_cg = Some(first_cg);
+    // Phase-incremental pipeline: `G_k^{i+1}` is the induced subgraph
+    // of `G_k^i` on the surviving hyperedges' triple blocks (removing
+    // edges never creates conflicts), so each later phase filters the
+    // retained CSR rows of the previous graph instead of re-running the
+    // construction kernel — see `ConflictGraph::restrict_to_edges`.
+    let mut cg = first_cg;
     while !residual.is_empty() && phase < budget {
-        // Build H_i and G_k^i (reuse the phase-0 graph).
-        let cg = if phase == 0 {
-            // Invariant, not a fallible path: `first_cg` is seeded with
-            // `Some` above and taken only here, in the first iteration.
-            first_cg.take().expect("present in phase 0")
-        } else {
-            let (h_i, _) = h.restrict_edges(&residual);
-            ConflictGraph::build(&h_i, k)
-        };
-
         let edges_before = residual.len();
         let set = oracle.independent_set(cg.graph());
         // Lemma 2.1 b): decode the partial coloring f_{I_i}.
@@ -219,8 +214,19 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
 
         // Remove happy edges (at least |I_i| of them by the lemma; new
         // colors never un-happy an edge, so checking the cumulative
-        // coloring is sound).
-        residual.retain(|&e| !checker::is_edge_happy(h, &coloring, e));
+        // coloring is sound). `keep_pos` records the survivors'
+        // positions *within the current residual*, i.e. their hyperedge
+        // ids inside `cg`'s hypergraph — the input the incremental
+        // restriction needs.
+        let mut keep_pos: Vec<HyperedgeId> = Vec::new();
+        let mut survivors: Vec<HyperedgeId> = Vec::new();
+        for (pos, &e) in residual.iter().enumerate() {
+            if !checker::is_edge_happy(h, &coloring, e) {
+                keep_pos.push(HyperedgeId::new(pos));
+                survivors.push(e);
+            }
+        }
+        residual = survivors;
         let edges_after = residual.len();
 
         records.push(PhaseRecord {
@@ -255,6 +261,9 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
             }
         }
         phase += 1;
+        if !residual.is_empty() && phase < budget {
+            cg = cg.restrict_to_edges(&keep_pos);
+        }
     }
 
     if !residual.is_empty() {

@@ -266,15 +266,13 @@ pub fn reduce_cf_resilient(
     let mut retries = 0usize;
     let mut fallbacks_engaged = 0usize;
     let mut phase = 0usize;
-    let mut first_cg = Some(first_cg);
+    // Phase-incremental pipeline, identical to `reduce_cf_to_maxis`:
+    // later phases filter the previous conflict graph's retained CSR
+    // rows (`ConflictGraph::restrict_to_edges`) instead of re-running
+    // the construction kernel, which also keeps the two drivers'
+    // per-phase graphs — and hence their records — byte-identical.
+    let mut cg = first_cg;
     while !residual.is_empty() && phase < budget {
-        let cg = match first_cg.take() {
-            Some(cg) => cg,
-            None => {
-                let (h_i, _) = h.restrict_edges(&residual);
-                ConflictGraph::build(&h_i, k)
-            }
-        };
         let edges_before = residual.len();
 
         // Acquire an acceptable independent set: walk the chain, retry
@@ -377,7 +375,18 @@ pub fn reduce_cf_resilient(
         let phase_colors =
             correspondence::apply_palette(&decoded.coloring, Palette::phase(k, phase));
         coloring.merge(&phase_colors);
-        residual.retain(|&e| !checker::is_edge_happy(h, &coloring, e));
+        // Survivor positions within the current residual are their
+        // hyperedge ids inside `cg`'s hypergraph — what the incremental
+        // restriction consumes.
+        let mut keep_pos: Vec<HyperedgeId> = Vec::new();
+        let mut survivors: Vec<HyperedgeId> = Vec::new();
+        for (pos, &e) in residual.iter().enumerate() {
+            if !checker::is_edge_happy(h, &coloring, e) {
+                keep_pos.push(HyperedgeId::new(pos));
+                survivors.push(e);
+            }
+        }
+        residual = survivors;
         let edges_after = residual.len();
 
         records.push(PhaseRecord {
@@ -413,6 +422,9 @@ pub fn reduce_cf_resilient(
             }
         }
         phase += 1;
+        if !residual.is_empty() && phase < budget {
+            cg = cg.restrict_to_edges(&keep_pos);
+        }
     }
 
     if !residual.is_empty() {

@@ -38,8 +38,6 @@ pub struct Graph {
     offsets: Vec<u32>,
     /// Concatenated sorted neighbor lists; `targets.len() == 2m`.
     targets: Vec<NodeId>,
-    /// Canonical edge list, each `(u, v)` with `u < v`, sorted.
-    edges: Vec<(NodeId, NodeId)>,
 }
 
 impl Graph {
@@ -54,7 +52,7 @@ impl Graph {
     /// assert_eq!(g.edge_count(), 0);
     /// ```
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], targets: Vec::new(), edges: Vec::new() }
+        Graph { offsets: vec![0; n + 1], targets: Vec::new() }
     }
 
     /// Builds a graph on `n` vertices from an edge list.
@@ -85,7 +83,7 @@ impl Graph {
     /// Number of (undirected) edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.targets.len() / 2
     }
 
     /// Returns `true` when the graph has no vertices.
@@ -151,22 +149,29 @@ impl Graph {
 
     /// Iterator over the canonical edge list; each edge appears once as
     /// `(u, v)` with `u < v`, in lexicographic order.
-    pub fn edges(&self) -> impl ExactSizeIterator<Item = (NodeId, NodeId)> + '_ {
-        self.edges.iter().copied()
+    ///
+    /// The list is not stored: because every neighbor row is sorted, the
+    /// `v > u` partners of `u` form a contiguous row suffix, and the
+    /// iterator streams those suffixes in row order — which *is*
+    /// lexicographic order. One `partition_point` per row, `O(1)` per
+    /// edge thereafter.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { graph: self, node: 0, idx: 0, row_end: 0, remaining: self.edge_count() }
     }
 
     /// The canonical endpoints of edge `e`.
     ///
     /// Edge identifiers index the lexicographically sorted canonical edge
     /// list, i.e. `edge_endpoints(EdgeId::new(i))` is the `i`-th element
-    /// of [`edges`](Self::edges).
+    /// of [`edges`](Self::edges). Linear in the position (the list is
+    /// streamed, not stored); intended for diagnostics and tests.
     ///
     /// # Panics
     ///
     /// Panics if `e` is out of range.
     #[inline]
     pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
-        self.edges[e.index()]
+        self.edges().nth(e.index()).expect("edge id out of range")
     }
 
     /// The induced subgraph on `keep`, together with the mapping from new
@@ -179,6 +184,12 @@ impl Graph {
     ///
     /// Panics if `keep` contains an out-of-range or duplicate vertex.
     pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        // Strictly increasing keep sets (the common case: reduction
+        // residuals, conflict-graph restrictions) take the sort-free
+        // CSR path.
+        if keep.windows(2).all(|w| w[0] < w[1]) {
+            return (crate::csr::induced_sorted(self, keep), keep.to_vec());
+        }
         let n = self.node_count();
         let mut position = vec![u32::MAX; n];
         for (new, &old) in keep.iter().enumerate() {
@@ -271,7 +282,64 @@ impl Graph {
     pub fn degree_sum(&self) -> usize {
         self.targets.len()
     }
+
+    /// Assembles a graph from finished CSR parts. The `csr` module is
+    /// the only producer; it guarantees the invariants (offsets
+    /// monotone, rows sorted and loop-free, every edge present in both
+    /// orientations), which debug builds re-check.
+    pub(crate) fn from_csr_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert_eq!(targets.len() % 2, 0);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let graph = Graph { offsets, targets };
+        debug_assert!(graph.nodes().all(|v| graph.neighbors(v).windows(2).all(|w| w[0] < w[1])));
+        debug_assert!(graph.nodes().all(|v| !graph.neighbors(v).contains(&v)));
+        graph
+    }
 }
+
+/// Streaming iterator over a graph's canonical edge list; see
+/// [`Graph::edges`].
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    /// Current row (vertex `u`); `node_count` once exhausted.
+    node: usize,
+    /// Cursor into `targets`, positioned inside the current row's
+    /// `v > u` suffix.
+    idx: usize,
+    /// End of the current row in `targets`.
+    row_end: usize,
+    remaining: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        while self.idx >= self.row_end {
+            let row = self.graph.neighbors(NodeId::new(self.node));
+            let start = self.graph.offsets[self.node] as usize;
+            self.idx = start + row.partition_point(|&b| b.index() <= self.node);
+            self.row_end = self.graph.offsets[self.node + 1] as usize;
+            self.node += 1;
+        }
+        let u = NodeId::new(self.node - 1);
+        let v = self.graph.targets[self.idx];
+        self.idx += 1;
+        self.remaining -= 1;
+        Some((u, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Edges<'_> {}
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -378,36 +446,10 @@ impl GraphBuilder {
     /// Finalizes the builder into an immutable [`Graph`].
     ///
     /// Duplicate edges are merged; neighbor lists come out sorted.
-    pub fn build(mut self) -> Graph {
-        self.pairs.sort_unstable();
-        self.pairs.dedup();
-        let edges = self.pairs;
-        let n = self.n;
-
-        let mut degree = vec![0u32; n];
-        for &(u, v) in &edges {
-            degree[u.index()] += 1;
-            degree[v.index()] += 1;
-        }
-        let mut offsets = vec![0u32; n + 1];
-        for i in 0..n {
-            offsets[i + 1] = offsets[i] + degree[i];
-        }
-        let mut cursor: Vec<u32> = offsets[..n].to_vec();
-        let mut targets = vec![NodeId::new(0); 2 * edges.len()];
-        for &(u, v) in &edges {
-            targets[cursor[u.index()] as usize] = v;
-            cursor[u.index()] += 1;
-            targets[cursor[v.index()] as usize] = u;
-            cursor[v.index()] += 1;
-        }
-        // Sorting the canonical edge list first guarantees each neighbor
-        // run is built in increasing order of the *other* endpoint only
-        // for one direction; sort each run to make both directions sorted.
-        for i in 0..n {
-            targets[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
-        }
-        Graph { offsets, targets, edges }
+    /// Assembly is the counting-sort CSR path of [`crate::csr`]
+    /// (`O(pairs + n)`, no comparison sorts).
+    pub fn build(self) -> Graph {
+        crate::csr::from_pairs(self.n, self.pairs)
     }
 }
 

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod csr;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -51,7 +52,7 @@ pub mod palette;
 pub mod stats;
 
 pub use error::GraphError;
-pub use graph::{Graph, GraphBuilder};
+pub use graph::{Edges, Graph, GraphBuilder};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
 pub use ids::{Color, EdgeId, HyperedgeId, NodeId};
 pub use independent::{IndependentSet, NotIndependentError};

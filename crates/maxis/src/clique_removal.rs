@@ -65,23 +65,57 @@ impl MaxIsOracle for CliqueRemovalOracle {
 /// The constructive Ramsey routine: returns `(independent set, clique)`
 /// within the vertex subset `s` (which must be sorted).
 fn ramsey(graph: &Graph, s: Vec<NodeId>) -> (Vec<NodeId>, Vec<NodeId>) {
+    // Epoch marks shared by the whole recursion: `marks[u] == epoch`
+    // means `u` is a neighbor of the current pivot, giving O(1)
+    // adjacency tests without clearing the array between pivots.
+    let mut marks = vec![0u32; graph.node_count()];
+    let mut epoch = 0u32;
+    ramsey_inner(graph, s, &mut marks, &mut epoch)
+}
+
+fn ramsey_inner(
+    graph: &Graph,
+    s: Vec<NodeId>,
+    marks: &mut [u32],
+    epoch: &mut u32,
+) -> (Vec<NodeId>, Vec<NodeId>) {
     // Chain of (pivot, is-from-neighbors, clique-from-neighbors) along
     // the iterated non-neighbor branch.
     let mut chain: Vec<(NodeId, Vec<NodeId>, Vec<NodeId>)> = Vec::new();
     let mut current = s;
     while let Some((&v, rest)) = current.split_first() {
         // Split rest into neighbors and non-neighbors of v. Both lists
-        // stay sorted because `rest` is sorted.
+        // stay sorted because `rest` is sorted. Mark-and-test when the
+        // pivot's adjacency list is in the same league as `rest` (cost
+        // deg(v) + |rest|); per-element binary search when `rest` is
+        // much smaller, so deep recursions on tiny sets never pay a
+        // full neighborhood scan.
+        let nbrs = graph.neighbors(v);
         let mut neighbors = Vec::new();
         let mut non_neighbors = Vec::with_capacity(rest.len());
-        for &u in rest {
-            if graph.has_edge(u, v) {
-                neighbors.push(u);
-            } else {
-                non_neighbors.push(u);
+        if nbrs.len() <= rest.len().saturating_mul(8) {
+            *epoch += 1;
+            let e = *epoch;
+            for &u in nbrs {
+                marks[u.index()] = e;
+            }
+            for &u in rest {
+                if marks[u.index()] == e {
+                    neighbors.push(u);
+                } else {
+                    non_neighbors.push(u);
+                }
+            }
+        } else {
+            for &u in rest {
+                if nbrs.binary_search(&u).is_ok() {
+                    neighbors.push(u);
+                } else {
+                    non_neighbors.push(u);
+                }
             }
         }
-        let (i_n, c_n) = ramsey(graph, neighbors);
+        let (i_n, c_n) = ramsey_inner(graph, neighbors, marks, epoch);
         chain.push((v, i_n, c_n));
         current = non_neighbors;
     }

@@ -10,8 +10,6 @@
 
 use crate::oracle::{ApproxGuarantee, MaxIsOracle};
 use pslocal_graph::{Graph, IndependentSet, NodeId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Minimum-degree greedy oracle (λ = Δ + 1).
 ///
@@ -37,11 +35,25 @@ impl MaxIsOracle for GreedyOracle {
         let n = graph.node_count();
         let mut alive = vec![true; n];
         let mut degree: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
-        let mut heap: BinaryHeap<Reverse<(usize, NodeId)>> =
-            graph.nodes().map(|v| Reverse((degree[v.index()], v))).collect();
+        // Degree-bucket queue: `buckets[d]` holds vertices last seen at
+        // degree `d`; an entry is stale once the vertex's degree moved
+        // on (or it died) and is skipped at pop. Each degree decrement
+        // pushes one entry and the min-degree cursor only moves down
+        // when such a push undercuts it, so the whole scan is
+        // O(n + m) — no comparison heap.
+        let mut buckets: Vec<Vec<NodeId>> =
+            vec![Vec::new(); degree.iter().copied().max().unwrap_or(0) + 1];
+        for v in graph.nodes() {
+            buckets[degree[v.index()]].push(v);
+        }
         let mut chosen = Vec::new();
-        while let Some(Reverse((d, v))) = heap.pop() {
-            if !alive[v.index()] || d != degree[v.index()] {
+        let mut cursor = 0usize;
+        while cursor < buckets.len() {
+            let Some(v) = buckets[cursor].pop() else {
+                cursor += 1;
+                continue;
+            };
+            if !alive[v.index()] || degree[v.index()] != cursor {
                 continue; // stale entry
             }
             chosen.push(v);
@@ -52,7 +64,9 @@ impl MaxIsOracle for GreedyOracle {
                     for &w in graph.neighbors(u) {
                         if alive[w.index()] {
                             degree[w.index()] -= 1;
-                            heap.push(Reverse((degree[w.index()], w)));
+                            let d = degree[w.index()];
+                            buckets[d].push(w);
+                            cursor = cursor.min(d);
                         }
                     }
                 }

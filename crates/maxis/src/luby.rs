@@ -8,9 +8,10 @@
 //! reduction run on the LOCAL simulator.
 
 use crate::oracle::{ApproxGuarantee, MaxIsOracle};
-use pslocal_graph::{Graph, IndependentSet};
+use pslocal_graph::{Graph, IndependentSet, NodeId};
 use pslocal_local::algorithms::LubyMis;
 use pslocal_local::{Engine, Network};
+use rand::{Rng, SeedableRng};
 
 /// MIS-as-approximation oracle backed by the LOCAL-model Luby
 /// algorithm.
@@ -49,7 +50,56 @@ impl MaxIsOracle for LubyOracle {
     }
 
     fn independent_set(&self, graph: &Graph) -> IndependentSet {
-        self.independent_set_with_rounds(graph).0
+        // Direct centralized execution of Luby's algorithm — same
+        // per-round rule as the LOCAL version (draw priorities; strict
+        // local maxima join, their neighborhoods drop out) without
+        // cloning the graph into a simulated network or exchanging
+        // messages. Each round costs O(Σ residual degree). The
+        // round-reporting path below keeps the simulator, which is the
+        // object experiment F3 measures.
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            Undecided,
+            In,
+            Out,
+        }
+        let n = graph.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut state = vec![State::Undecided; n];
+        let mut priority = vec![0u64; n];
+        let mut undecided: Vec<NodeId> = graph.nodes().collect();
+        let mut joined: Vec<NodeId> = Vec::new();
+        while !undecided.is_empty() {
+            for &v in &undecided {
+                priority[v.index()] = rng.gen();
+            }
+            joined.clear();
+            for &v in &undecided {
+                let pv = (priority[v.index()], v);
+                // (priority, id) is a total order, so adjacent undecided
+                // vertices can never both win their neighborhoods.
+                let wins = graph.neighbors(v).iter().all(|&u| {
+                    state[u.index()] != State::Undecided || (priority[u.index()], u) < pv
+                });
+                if wins {
+                    joined.push(v);
+                }
+            }
+            for &v in &joined {
+                state[v.index()] = State::In;
+                for &u in graph.neighbors(v) {
+                    if state[u.index()] == State::Undecided {
+                        state[u.index()] = State::Out;
+                    }
+                }
+            }
+            undecided.retain(|&v| state[v.index()] == State::Undecided);
+        }
+        let members: Vec<NodeId> =
+            graph.nodes().filter(|&v| state[v.index()] == State::In).collect();
+        // Invariant, not a fallible path: joiners are strict local
+        // maxima and exclude their entire neighborhoods.
+        IndependentSet::new(graph, members).expect("Luby returns an independent set")
     }
 
     /// Runs the oracle on the LOCAL simulator and reports the round

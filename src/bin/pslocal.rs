@@ -12,7 +12,7 @@
 //! Inputs use the text formats of `pslocal_graph::io`.
 
 use pslocal::cfcolor::checker;
-use pslocal::core::{reduce_cf_to_maxis, ReductionConfig};
+use pslocal::core::{reduce_cf_to_maxis, ConflictGraph, ReductionConfig};
 use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
 use pslocal::graph::generators::random::gnp;
 use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
@@ -33,6 +33,8 @@ USAGE:
   pslocal stats                 (reads a graph or hypergraph on stdin)
   pslocal maxis [--oracle O] [--seed S]         (graph on stdin)
   pslocal reduce --k K [--oracle O] [--seed S]  (hypergraph on stdin)
+  pslocal bench-report [--oracle O] [--seed S] [--iters I] [--out FILE]
+                                (perf baseline -> BENCH_reduction.json)
 
 ORACLES: exact | greedy | luby | clique-removal | decomposition
 FORMATS: see pslocal_graph::io (p graph / p hypergraph headers)";
@@ -182,6 +184,132 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One sized measurement of `bench-report`.
+struct BenchEntry {
+    n: usize,
+    m: usize,
+    k: usize,
+    conflict_nodes: usize,
+    conflict_edges: usize,
+    build_ns: u128,
+    oracle_ns: u128,
+    reduction_ns: u128,
+    phases: usize,
+}
+
+impl BenchEntry {
+    fn build_ns_per_edge(&self) -> f64 {
+        if self.conflict_edges == 0 {
+            0.0
+        } else {
+            self.build_ns as f64 / self.conflict_edges as f64
+        }
+    }
+}
+
+/// Median of `iters` timings of `f` (best-effort; `iters ≥ 1`).
+fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn cmd_bench_report(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
+    let iters: usize = args.parsed("iters")?.unwrap_or(3);
+    let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
+    let out_path = args.get("out").unwrap_or("BENCH_reduction.json").to_string();
+
+    let grid: &[(usize, usize, usize)] =
+        &[(64, 32, 4), (128, 64, 4), (128, 64, 8), (256, 128, 4), (384, 192, 4)];
+    let mut entries = Vec::new();
+    for &(n, m, k) in grid {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
+        let h = &inst.hypergraph;
+        let cg = ConflictGraph::build(h, k);
+        let build_ns = median_ns(iters, || {
+            std::hint::black_box(ConflictGraph::build(std::hint::black_box(h), k));
+        });
+        let oracle_ns = median_ns(iters, || {
+            std::hint::black_box(oracle.independent_set(std::hint::black_box(cg.graph())));
+        });
+        let mut phases = 0usize;
+        let reduction_ns = median_ns(iters, || {
+            let out = reduce_cf_to_maxis(h, oracle.as_ref(), ReductionConfig::new(k))
+                .expect("certified oracle completes on planted instances");
+            phases = out.phases_used;
+            std::hint::black_box(out);
+        });
+        entries.push(BenchEntry {
+            n,
+            m,
+            k,
+            conflict_nodes: cg.graph().node_count(),
+            conflict_edges: cg.edge_count(),
+            build_ns,
+            oracle_ns,
+            reduction_ns,
+            phases,
+        });
+    }
+
+    // Hand-rolled JSON: the vendored serde stub has no serializer and
+    // the container has no serde_json; the schema below is frozen so
+    // future PRs can diff perf trajectories mechanically.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"pslocal-bench-reduction/v1\",\n");
+    json.push_str(&format!("  \"oracle\": \"{}\",\n", oracle.name()));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"m\": {}, \"k\": {}, \"conflict_nodes\": {}, \
+             \"conflict_edges\": {}, \"phases\": {}, \"build_ns\": {}, \
+             \"oracle_ns\": {}, \"reduction_ns\": {}, \"build_ns_per_edge\": {:.2}}}{}\n",
+            e.n,
+            e.m,
+            e.k,
+            e.conflict_nodes,
+            e.conflict_edges,
+            e.phases,
+            e.build_ns,
+            e.oracle_ns,
+            e.reduction_ns,
+            e.build_ns_per_edge(),
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    println!("wrote {out_path}");
+    for e in &entries {
+        println!(
+            "n={} m={} k={}: |V|={} |E|={} build={}us oracle={}us reduce={}us ({} phases, {:.1} ns/edge)",
+            e.n,
+            e.m,
+            e.k,
+            e.conflict_nodes,
+            e.conflict_edges,
+            e.build_ns / 1000,
+            e.oracle_ns / 1000,
+            e.reduction_ns / 1000,
+            e.phases,
+            e.build_ns_per_edge(),
+        );
+    }
+    Ok(())
+}
+
 fn dispatch() -> Result<(), String> {
     let args = Args::parse(std::env::args().skip(1))?;
     match args.positional.first().map(String::as_str) {
@@ -189,6 +317,7 @@ fn dispatch() -> Result<(), String> {
         Some("stats") => cmd_stats(),
         Some("maxis") => cmd_maxis(&args),
         Some("reduce") => cmd_reduce(&args),
+        Some("bench-report") => cmd_bench_report(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -38,6 +38,17 @@ impl BenchmarkId {
     }
 }
 
+/// The configured sample count, unless the `CRITERION_SAMPLE_SIZE`
+/// environment variable overrides it (CI smoke runs set it to `1` so
+/// every bench executes once without paying for statistics).
+fn effective_samples(configured: usize) -> usize {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+}
+
 /// Timing loop handle passed to benchmark closures.
 #[derive(Debug)]
 pub struct Bencher {
@@ -77,7 +88,7 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher, &I),
     {
         println!("bench: {}/{}", self.name, id.id);
-        let mut b = Bencher { samples: self.sample_size };
+        let mut b = Bencher { samples: effective_samples(self.sample_size) };
         f(&mut b, input);
         self.criterion.ran += 1;
     }
@@ -88,7 +99,7 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher),
     {
         println!("bench: {}/{}", self.name, id.id);
-        let mut b = Bencher { samples: self.sample_size };
+        let mut b = Bencher { samples: effective_samples(self.sample_size) };
         f(&mut b);
         self.criterion.ran += 1;
     }
@@ -124,7 +135,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         println!("bench: {name}");
-        let mut b = Bencher { samples: self.sample_size };
+        let mut b = Bencher { samples: effective_samples(self.sample_size) };
         f(&mut b);
         self.ran += 1;
         self
