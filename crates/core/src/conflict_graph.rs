@@ -51,6 +51,7 @@
 //! equivalence property tests compare against.
 
 use pslocal_graph::{csr, Graph, HyperedgeId, Hypergraph, NodeId};
+use pslocal_telemetry::{names, Counter, Instrument, Sink, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// A triple `(e, v, c)`: hyperedge, member vertex, 0-based color index.
@@ -175,7 +176,27 @@ impl ConflictGraph {
     ///
     /// Panics if `k == 0`.
     pub fn build_with_options(h: &Hypergraph, k: usize, options: ConflictGraphOptions) -> Self {
+        Self::build_traced(h, k, options, &Telemetry::disabled())
+    }
+
+    /// Builds `G_k` under a telemetry pipeline: a `conflict-graph` span
+    /// wraps the construction, every kernel shard gets a child `shard`
+    /// span with a `shard_build_ns` sample, and the finished CSR's byte
+    /// footprint is attributed as `csr_bytes`. With a disabled pipeline
+    /// this is exactly [`ConflictGraph::build_with_options`] — static
+    /// dispatch to the null sink erases every emission site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn build_traced<S: Sink>(
+        h: &Hypergraph,
+        k: usize,
+        options: ConflictGraphOptions,
+        parent: &impl Instrument<S>,
+    ) -> Self {
         assert!(k >= 1, "palette size k must be positive");
+        let span = parent.span(names::CONFLICT_GRAPH);
         let m = h.edge_count();
         let mut base = vec![0u32; m + 1];
         for e in 0..m {
@@ -183,9 +204,9 @@ impl ConflictGraph {
         }
         let graph = match options.strategy {
             BuildStrategy::Reference => kernel::build_reference(h, k, options, &base),
-            BuildStrategy::Serial => kernel::build_fast(h, k, options, &base, 1),
+            BuildStrategy::Serial => kernel::build_fast(h, k, options, &base, 1, &span),
             BuildStrategy::Parallel => {
-                kernel::build_fast(h, k, options, &base, kernel::worker_count().max(2))
+                kernel::build_fast(h, k, options, &base, kernel::worker_count().max(2), &span)
             }
             BuildStrategy::Auto => {
                 let workers = if kernel::estimated_edges(h, k) >= kernel::PARALLEL_THRESHOLD {
@@ -193,9 +214,10 @@ impl ConflictGraph {
                 } else {
                     1
                 };
-                kernel::build_fast(h, k, options, &base, workers)
+                kernel::build_fast(h, k, options, &base, workers, &span)
             }
         };
+        span.add(Counter::CsrBytes, csr_bytes(&graph));
         ConflictGraph { graph, hypergraph: h.clone(), k, options, base }
     }
 
@@ -342,6 +364,13 @@ impl ConflictGraph {
     }
 }
 
+/// The CSR byte footprint of a graph: `u32` offsets (one per node plus
+/// the sentinel) and `u32` targets (both endpoints of every edge) — the
+/// quantity the `csr_bytes` telemetry counter reports.
+pub(crate) fn csr_bytes(g: &Graph) -> u64 {
+    4 * (g.node_count() as u64 + 1 + 2 * g.edge_count() as u64)
+}
+
 /// The construction kernels behind [`ConflictGraph::build_with_options`].
 ///
 /// The fast kernel writes the CSR **directly, row by row, already
@@ -370,7 +399,9 @@ impl ConflictGraph {
 mod kernel {
     use super::ConflictGraphOptions;
     use pslocal_graph::{csr, Graph, HyperedgeId, Hypergraph, NodeId};
+    use pslocal_telemetry::{names, span, Histogram, Sink, Span};
     use std::ops::Range;
+    use std::time::Instant;
 
     /// Estimated `|E(G_k)|` above which [`super::BuildStrategy::Auto`]
     /// shards the emission across threads. Below it, thread spawn and
@@ -660,12 +691,13 @@ mod kernel {
     /// contiguous block ranges run under `std::thread::scope`; because
     /// rows are emitted in node order, shard concatenation **is** the
     /// merge — identical output regardless of `workers`.
-    pub(super) fn build_fast(
+    pub(super) fn build_fast<S: Sink>(
         h: &Hypergraph,
         k: usize,
         options: ConflictGraphOptions,
         base: &[u32],
         workers: usize,
+        parent: &Span<'_, S>,
     ) -> Graph {
         let idx = SlotIndex::build(h);
         let m = h.edge_count();
@@ -674,7 +706,7 @@ mod kernel {
         if workers == 1 {
             // Single shard: the streamed arrays *are* the CSR — move
             // them, prepending the zero offset.
-            let shard = emit_blocks(h, k, options, base, &idx, 0..m);
+            let shard = timed_shard(h, k, options, base, &idx, 0..m, parent, 0);
             let mut offsets = Vec::with_capacity(node_count + 1);
             offsets.push(0u32);
             offsets.extend_from_slice(&shard.row_ends);
@@ -685,7 +717,10 @@ mod kernel {
             std::thread::scope(|s| {
                 let handles: Vec<_> = balanced_ranges(base, m, workers)
                     .into_iter()
-                    .map(|range| s.spawn(move || emit_blocks(h, k, options, base, idx, range)))
+                    .enumerate()
+                    .map(|(i, range)| {
+                        s.spawn(move || timed_shard(h, k, options, base, idx, range, parent, i))
+                    })
                     .collect();
                 handles.into_iter().map(|j| j.join().expect("kernel worker panicked")).collect()
             })
@@ -701,6 +736,30 @@ mod kernel {
         }
         debug_assert_eq!(offsets.len(), node_count + 1);
         csr::from_raw_parts(offsets, targets)
+    }
+
+    /// Runs [`emit_blocks`] for one shard under a `shard` span (child
+    /// of the build span), sampling its wall time as `shard_build_ns`.
+    /// The timing probe is gated on `S::ENABLED`, so the disabled
+    /// pipeline never touches the clock.
+    #[allow(clippy::too_many_arguments)]
+    fn timed_shard<S: Sink>(
+        h: &Hypergraph,
+        k: usize,
+        options: ConflictGraphOptions,
+        base: &[u32],
+        idx: &SlotIndex,
+        range: Range<usize>,
+        parent: &Span<'_, S>,
+        shard_index: usize,
+    ) -> RowShard {
+        let shard_span = span!(parent, names::SHARD, shard_index);
+        let t0 = S::ENABLED.then(Instant::now);
+        let shard = emit_blocks(h, k, options, base, idx, range);
+        if let Some(t0) = t0 {
+            shard_span.sample(Histogram::ShardBuildNs, t0.elapsed().as_nanos() as u64);
+        }
+        shard
     }
 
     /// The all-pairs reference: materialize every triple, test every

@@ -64,10 +64,11 @@ pub use distributed::{
     distributed_reduction, distributed_reduction_with, DistributedPhase, DistributedReduction,
 };
 pub use reduction::{
-    reduce_cf_to_maxis, PhaseRecord, ReductionConfig, ReductionError, ReductionOutcome,
+    lemma_2_1_quota, oracle_locality, reduce_cf_to_maxis, reduce_cf_to_maxis_traced, PhaseRecord,
+    ReductionConfig, ReductionError, ReductionOutcome,
 };
 pub use resilient::{
-    reduce_cf_resilient, FaultEvent, FaultEventKind, PartialOutcome, ResilientConfig,
-    ResilientFailure, ResilientOutcome,
+    reduce_cf_resilient, reduce_cf_resilient_traced, stall_budget, FaultEvent, FaultEventKind,
+    PartialOutcome, ResilientConfig, ResilientFailure, ResilientOutcome,
 };
 pub use simulation::{host_of, simulate_in_hypergraph, SimulationReport};

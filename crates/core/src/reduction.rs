@@ -17,15 +17,45 @@
 //! the [`LocalityBudget`] that certifies the reduction's
 //! polylogarithmic overhead.
 
-use crate::conflict_graph::ConflictGraph;
+use crate::conflict_graph::{csr_bytes, ConflictGraph};
 use crate::correspondence;
 use pslocal_cfcolor::{checker, Multicoloring};
 use pslocal_graph::{HyperedgeId, Hypergraph, Palette};
 use pslocal_maxis::MaxIsOracle;
 use pslocal_slocal::LocalityBudget;
+use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+
+/// The locality charged to one oracle invocation in the reduction's
+/// [`LocalityBudget`]: `⌈log₂(max(n, 2))⌉` for an `n`-vertex input —
+/// the polylogarithmic view radius footnote 2 grants the P-SLOCAL
+/// oracle. Shared by the trusting and resilient drivers so their
+/// accounting cannot drift.
+pub fn oracle_locality(n: usize) -> usize {
+    ((n.max(2) as f64).log2().ceil()) as usize
+}
+
+/// The Lemma 2.1 delivery quota `⌈edges / λ⌉`, computed exactly.
+///
+/// For integral λ (every certified oracle: λ = 1, Δ+1, or a color
+/// count) the quotient is pure integer `div_ceil`; only genuinely
+/// fractional λ takes the float path. This replaces an epsilon-fudged
+/// float ceiling that mis-rounded near `f64` precision.
+///
+/// # Panics
+///
+/// Panics if `lambda < 1.0` (no λ-approximation is better than exact).
+pub fn lemma_2_1_quota(edges: usize, lambda: f64) -> usize {
+    assert!(lambda >= 1.0, "approximation factor λ must be ≥ 1, got {lambda}");
+    let integral = lambda.fract() == 0.0 && lambda <= usize::MAX as f64;
+    if integral {
+        edges.div_ceil(lambda as usize)
+    } else {
+        (edges as f64 / lambda).ceil() as usize
+    }
+}
 
 /// Configuration of the reduction.
 #[derive(Debug, Clone, Copy)]
@@ -175,6 +205,26 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
     oracle: &O,
     config: ReductionConfig,
 ) -> Result<ReductionOutcome, ReductionError> {
+    reduce_cf_to_maxis_traced(h, oracle, config, &Telemetry::disabled())
+}
+
+/// [`reduce_cf_to_maxis`] under a telemetry pipeline: a `reduction`
+/// root span contains the initial `conflict-graph` build and one
+/// `phase i` span per phase, each with `oracle`/`commit`/`restrict`
+/// children and `edges_removed`/`oracle_calls` counters — the span tree
+/// [`PhaseTimeline`](pslocal_telemetry::PhaseTimeline) aggregates.
+/// With a disabled pipeline this is exactly `reduce_cf_to_maxis`.
+///
+/// # Errors
+///
+/// See [`ReductionError`].
+pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
+    h: &Hypergraph,
+    oracle: &O,
+    config: ReductionConfig,
+    tel: &Telemetry<S>,
+) -> Result<ReductionOutcome, ReductionError> {
+    let root = span!(tel, names::REDUCTION);
     let m = h.edge_count();
     let k = config.k;
     let mut coloring = Multicoloring::new(h.node_count());
@@ -183,7 +233,7 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
     // The phase budget needs λ before the first oracle call; use the
     // oracle's guarantee on the first-phase conflict graph (the largest
     // one — λ for Δ+1-type guarantees only shrinks as edges vanish).
-    let first_cg = ConflictGraph::build(h, k);
+    let first_cg = ConflictGraph::build_traced(h, k, Default::default(), &root);
     let lambda = match config.lambda_override {
         Some(l) => l,
         None => match oracle.lambda_for(first_cg.graph()) {
@@ -203,8 +253,14 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
     // construction kernel — see `ConflictGraph::restrict_to_edges`.
     let mut cg = first_cg;
     while !residual.is_empty() && phase < budget {
+        let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
+        let oracle_span = span!(phase_span, names::ORACLE, 0);
         let set = oracle.independent_set(cg.graph());
+        oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
+        oracle_span.close();
+        phase_span.add(Counter::OracleCalls, 1);
+        let commit_span = span!(phase_span, names::COMMIT);
         // Lemma 2.1 b): decode the partial coloring f_{I_i}.
         let decoded = correspondence::lemma_2_1b(&cg, &set);
         // Fresh palette per phase.
@@ -228,6 +284,10 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
         }
         residual = survivors;
         let edges_after = residual.len();
+        commit_span.add(Counter::HappyEdges, (edges_before - edges_after) as u64);
+        commit_span.close();
+        phase_span.add(Counter::EdgesRemoved, (edges_before - edges_after) as u64);
+        root.add(Counter::Phases, 1);
 
         records.push(PhaseRecord {
             phase,
@@ -262,7 +322,9 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
         }
         phase += 1;
         if !residual.is_empty() && phase < budget {
+            let restrict_span = span!(phase_span, names::RESTRICT);
             cg = cg.restrict_to_edges(&keep_pos);
+            restrict_span.add(Counter::CsrBytes, csr_bytes(cg.graph()));
         }
     }
 
@@ -285,7 +347,7 @@ pub fn reduce_cf_to_maxis<O: MaxIsOracle + ?Sized>(
         locality: LocalityBudget {
             own_locality: 1,
             oracle_calls: phase,
-            oracle_locality: ((h.node_count().max(2) as f64).log2().ceil()) as usize,
+            oracle_locality: oracle_locality(h.node_count()),
         },
     })
 }
@@ -417,6 +479,86 @@ mod tests {
         let out = reduce_cf_to_maxis(&h, &ExactOracle, ReductionConfig::new(k)).unwrap();
         // 1 phase · log-locality oracle + 1: comfortably polylog.
         assert!(out.locality.is_polylog(h.node_count(), 4.0, 2));
+    }
+
+    #[test]
+    fn quota_is_exact_at_integral_boundaries() {
+        // ⌈edges/λ⌉ at edges = k·λ and k·λ ± 1 for integral λ.
+        for lambda in [1usize, 2, 3, 7, 64] {
+            let l = lambda as f64;
+            for k in [0usize, 1, 5, 1000] {
+                assert_eq!(lemma_2_1_quota(k * lambda, l), k, "edges = {k}·{lambda}");
+                assert_eq!(lemma_2_1_quota(k * lambda + 1, l), k + 1, "edges = {k}·{lambda}+1");
+                if k >= 1 {
+                    let expect = if lambda == 1 { k - 1 } else { k };
+                    assert_eq!(
+                        lemma_2_1_quota(k * lambda - 1, l),
+                        expect,
+                        "edges = {k}·{lambda}-1"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quota_survives_f64_precision_loss() {
+        // 2^53 + 1 is not representable in f64: the old epsilon-fudged
+        // float ceiling rounded it down and under-demanded by one. The
+        // integer path is exact.
+        let edges = (1usize << 53) + 1;
+        assert_eq!(lemma_2_1_quota(edges, 1.0), edges);
+        assert_eq!(lemma_2_1_quota(edges, 2.0), edges.div_ceil(2));
+    }
+
+    #[test]
+    fn quota_fractional_lambda_uses_float_ceiling() {
+        assert_eq!(lemma_2_1_quota(10, 2.5), 4);
+        assert_eq!(lemma_2_1_quota(7, 2.5), 3); // ⌈2.8⌉
+        assert_eq!(lemma_2_1_quota(0, 2.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn quota_rejects_sub_unit_lambda() {
+        let _ = lemma_2_1_quota(10, 0.5);
+    }
+
+    #[test]
+    fn oracle_locality_is_ceil_log2() {
+        assert_eq!(oracle_locality(0), 1);
+        assert_eq!(oracle_locality(1), 1);
+        assert_eq!(oracle_locality(2), 1);
+        assert_eq!(oracle_locality(3), 2);
+        assert_eq!(oracle_locality(1024), 10);
+        assert_eq!(oracle_locality(1025), 11);
+    }
+
+    #[test]
+    fn traced_run_produces_a_consistent_span_tree() {
+        use pslocal_telemetry::{MemorySink, PhaseTimeline};
+        let k = 3;
+        let h = planted(9, 36, 16, k);
+        let tel = Telemetry::new(MemorySink::new());
+        let out = reduce_cf_to_maxis_traced(&h, &GreedyOracle, ReductionConfig::new(k), &tel)
+            .expect("clean run");
+        let sink = tel.into_sink();
+        assert!(sink.open_spans().is_empty(), "all spans closed");
+        let spans = sink.spans();
+        let timeline = PhaseTimeline::from_spans(&spans).expect("reduction root");
+        assert_eq!(timeline.phases.len(), out.phases_used);
+        assert_eq!(sink.counter_total(Counter::Phases), out.phases_used as u64);
+        assert_eq!(sink.counter_total(Counter::OracleCalls), out.phases_used as u64);
+        assert_eq!(sink.counter_total(Counter::EdgesRemoved), h.edge_count() as u64);
+        // Each phase's span-side edges_removed matches its record.
+        for (timing, record) in timeline.phases.iter().zip(&out.records) {
+            assert_eq!(timing.phase as usize, record.phase);
+            assert_eq!(timing.edges_removed as usize, record.edges_removed);
+            assert_eq!(timing.oracle_attempts, 1);
+        }
+        // The untraced entry point yields the identical outcome.
+        let base = reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k)).unwrap();
+        assert_eq!(base.records, out.records);
     }
 
     #[test]

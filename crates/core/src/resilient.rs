@@ -33,17 +33,45 @@
 //! > [`reduce_cf_to_maxis`](crate::reduce_cf_to_maxis) exactly
 //! > (byte-identical [`PhaseRecord`]s).
 
-use crate::conflict_graph::ConflictGraph;
+use crate::conflict_graph::{csr_bytes, ConflictGraph};
 use crate::correspondence;
-use crate::reduction::{PhaseRecord, ReductionConfig, ReductionError, ReductionOutcome};
+use crate::reduction::{
+    lemma_2_1_quota, oracle_locality, PhaseRecord, ReductionConfig, ReductionError,
+    ReductionOutcome,
+};
 use pslocal_cfcolor::{checker, Multicoloring};
 use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, Palette};
 use pslocal_maxis::{ApproxGuarantee, MaxIsOracle};
 use pslocal_slocal::LocalityBudget;
+use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The stall budget of attempt `retry` under exponential backoff:
+/// `base · 2^retry`, **saturating at `usize::MAX`** once the doubling
+/// would overflow. The naive `base << retry` wraps (to 0 in release
+/// builds once the set bits shift out), after which every oracle call
+/// is falsely rejected as stalled and the fallback chain is burned for
+/// nothing; saturation keeps the budget monotone non-decreasing in
+/// `retry`, which is what backoff means.
+pub fn stall_budget(base: usize, retry: usize) -> usize {
+    if base == 0 {
+        // Zero tolerance stays zero: backoff multiplies the budget, and
+        // 0 · 2^retry = 0.
+        return 0;
+    }
+    // `base << retry` is lossless iff every set bit survives, i.e. the
+    // shift fits within `base`'s leading zeros; `checked_shl` alone is
+    // not enough (it only rejects shifts ≥ the bit width, not shifts
+    // that discard set bits).
+    if retry <= base.leading_zeros() as usize {
+        base << retry
+    } else {
+        usize::MAX
+    }
+}
 
 /// Why the resilient driver rejected (or routed around) an oracle call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -229,6 +257,28 @@ pub fn reduce_cf_resilient(
     chain: &[&dyn MaxIsOracle],
     config: ResilientConfig,
 ) -> Result<ResilientOutcome, ResilientFailure> {
+    reduce_cf_resilient_traced(h, chain, config, &Telemetry::disabled())
+}
+
+/// [`reduce_cf_resilient`] under a telemetry pipeline: the same
+/// `reduction` / `phase` / `oracle` / `commit` / `restrict` span tree
+/// as the trusting driver's traced variant, except each phase carries
+/// one `oracle` span **per attempt** (indexed by attempt number), and
+/// the `retries` / `fallbacks` / `stalled_steps` / `fault_events`
+/// counters mirror the fault log. With a disabled pipeline this is
+/// exactly `reduce_cf_resilient`.
+///
+/// # Errors
+///
+/// See [`reduce_cf_resilient`].
+#[allow(clippy::result_large_err)]
+pub fn reduce_cf_resilient_traced<S: Sink>(
+    h: &Hypergraph,
+    chain: &[&dyn MaxIsOracle],
+    config: ResilientConfig,
+    tel: &Telemetry<S>,
+) -> Result<ResilientOutcome, ResilientFailure> {
+    let root = span!(tel, names::REDUCTION);
     let m = h.edge_count();
     let k = config.base.k;
     let mut coloring = Multicoloring::new(h.node_count());
@@ -245,6 +295,14 @@ pub fn reduce_cf_resilient(
             })
         };
     }
+    // Every fault-log entry is mirrored as a `fault_events` tick so a
+    // sink can cross-check the log length without seeing the log.
+    macro_rules! fault {
+        ($event:expr) => {{
+            root.add(Counter::FaultEvents, 1);
+            fault_log.push($event);
+        }};
+    }
 
     if chain.is_empty() {
         fail!(ReductionError::RetriesExhausted { phase: 0, attempts: 0 });
@@ -252,7 +310,7 @@ pub fn reduce_cf_resilient(
 
     // λ and budget exactly as the trusting driver computes them, from
     // the primary oracle.
-    let first_cg = ConflictGraph::build(h, k);
+    let first_cg = ConflictGraph::build_traced(h, k, Default::default(), &root);
     let lambda = match config.base.lambda_override {
         Some(l) => l,
         None => match chain[0].lambda_for(first_cg.graph()) {
@@ -273,6 +331,7 @@ pub fn reduce_cf_resilient(
     // per-phase graphs — and hence their records — byte-identical.
     let mut cg = first_cg;
     while !residual.is_empty() && phase < budget {
+        let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
 
         // Acquire an acceptable independent set: walk the chain, retry
@@ -283,7 +342,8 @@ pub fn reduce_cf_resilient(
         'chain: for (idx, oracle) in chain.iter().enumerate() {
             if idx > 0 {
                 fallbacks_engaged += 1;
-                fault_log.push(FaultEvent {
+                phase_span.add(Counter::Fallbacks, 1);
+                fault!(FaultEvent {
                     phase,
                     attempt,
                     oracle: oracle.name(),
@@ -293,11 +353,14 @@ pub fn reduce_cf_resilient(
             for retry in 0..=config.max_retries {
                 let this_attempt = attempt;
                 attempt += 1;
-                let tolerance = config.stall_tolerance << retry.min(usize::BITS as usize - 1);
+                let tolerance = stall_budget(config.stall_tolerance, retry);
+                let oracle_span = span!(phase_span, names::ORACLE, this_attempt);
+                phase_span.add(Counter::OracleCalls, 1);
                 let answer = catch_unwind(AssertUnwindSafe(|| oracle.independent_set(cg.graph())));
                 let set = match answer {
                     Err(_) => {
-                        fault_log.push(FaultEvent {
+                        drop(oracle_span);
+                        fault!(FaultEvent {
                             phase,
                             attempt: this_attempt,
                             oracle: oracle.name(),
@@ -308,8 +371,11 @@ pub fn reduce_cf_resilient(
                     Ok(set) => set,
                 };
                 let stalled = oracle.stalled_steps();
+                oracle_span.add(Counter::StalledSteps, stalled as u64);
+                oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
+                drop(oracle_span);
                 if stalled > tolerance {
-                    fault_log.push(FaultEvent {
+                    fault!(FaultEvent {
                         phase,
                         attempt: this_attempt,
                         oracle: oracle.name(),
@@ -318,7 +384,7 @@ pub fn reduce_cf_resilient(
                     continue;
                 }
                 if !validates_independence(&cg, &set) {
-                    fault_log.push(FaultEvent {
+                    fault!(FaultEvent {
                         phase,
                         attempt: this_attempt,
                         oracle: oracle.name(),
@@ -337,10 +403,9 @@ pub fn reduce_cf_resilient(
                 if certified {
                     if let Some(l) = oracle.lambda_for(cg.graph()) {
                         if l >= 1.0 {
-                            let required =
-                                ((edges_before as f64 / l) - 1e-9).ceil().max(0.0) as usize;
+                            let required = lemma_2_1_quota(edges_before, l);
                             if set.len() < required {
-                                fault_log.push(FaultEvent {
+                                fault!(FaultEvent {
                                     phase,
                                     attempt: this_attempt,
                                     oracle: oracle.name(),
@@ -359,9 +424,10 @@ pub fn reduce_cf_resilient(
             }
         }
         retries += attempt.saturating_sub(1);
+        phase_span.add(Counter::Retries, attempt.saturating_sub(1) as u64);
 
         let Some((set, accepted_idx)) = accepted else {
-            fault_log.push(FaultEvent {
+            fault!(FaultEvent {
                 phase,
                 attempt: attempt.saturating_sub(1),
                 oracle: chain.last().map_or("", |o| o.name()),
@@ -371,6 +437,7 @@ pub fn reduce_cf_resilient(
         };
 
         // Commit the phase exactly as the trusting driver does.
+        let commit_span = span!(phase_span, names::COMMIT);
         let decoded = correspondence::lemma_2_1b(&cg, &set);
         let phase_colors =
             correspondence::apply_palette(&decoded.coloring, Palette::phase(k, phase));
@@ -388,6 +455,10 @@ pub fn reduce_cf_resilient(
         }
         residual = survivors;
         let edges_after = residual.len();
+        commit_span.add(Counter::HappyEdges, (edges_before - edges_after) as u64);
+        commit_span.close();
+        phase_span.add(Counter::EdgesRemoved, (edges_before - edges_after) as u64);
+        root.add(Counter::Phases, 1);
 
         records.push(PhaseRecord {
             phase,
@@ -423,7 +494,9 @@ pub fn reduce_cf_resilient(
         }
         phase += 1;
         if !residual.is_empty() && phase < budget {
+            let restrict_span = span!(phase_span, names::RESTRICT);
             cg = cg.restrict_to_edges(&keep_pos);
+            restrict_span.add(Counter::CsrBytes, csr_bytes(cg.graph()));
         }
     }
 
@@ -447,7 +520,7 @@ pub fn reduce_cf_resilient(
             locality: LocalityBudget {
                 own_locality: 1,
                 oracle_calls: phase,
-                oracle_locality: ((h.node_count().max(2) as f64).log2().ceil()) as usize,
+                oracle_locality: oracle_locality(h.node_count()),
             },
         },
         fault_log,
@@ -483,6 +556,9 @@ mod tests {
         assert_eq!(res.reduction.lambda, base.lambda);
         assert_eq!(res.reduction.rho, base.rho);
         assert_eq!(res.reduction.total_colors, base.total_colors);
+        // Both drivers charge the oracle the same ⌈log₂ n⌉ view radius
+        // — the shared `oracle_locality` helper cannot drift.
+        assert_eq!(res.reduction.locality, base.locality);
         assert!(res.fault_log.is_empty());
         assert_eq!(res.retries, 0);
         assert_eq!(res.fallbacks_engaged, 0);
@@ -606,6 +682,84 @@ mod tests {
             .fault_log
             .iter()
             .any(|e| matches!(e.kind, FaultEventKind::OracleStalled { .. })));
+    }
+
+    #[test]
+    fn stall_budget_saturates_instead_of_wrapping() {
+        // The regression: `base << retry` wraps once the set bits shift
+        // out — for base = 2^62 the old code handed retry 2 a budget of
+        // 0 and rejected every call as stalled. Saturation must keep
+        // the budget monotone non-decreasing across retries.
+        for base in [1usize, 8, usize::MAX / 3, 1 << 62, usize::MAX] {
+            let mut prev = 0usize;
+            for retry in 0..=300 {
+                let budget = stall_budget(base, retry);
+                assert!(
+                    budget >= prev,
+                    "budget wrapped: base={base} retry={retry}: {budget} < {prev}"
+                );
+                assert!(budget >= base, "backoff may never shrink below the base");
+                prev = budget;
+            }
+            assert_eq!(stall_budget(base, 300), usize::MAX, "large retries saturate");
+        }
+        // Exact doubling while it fits…
+        assert_eq!(stall_budget(8, 0), 8);
+        assert_eq!(stall_budget(8, 3), 64);
+        assert_eq!(stall_budget(1, 63), 1 << 63);
+        // …saturation exactly at the first lossy shift…
+        assert_eq!(stall_budget(1, 64), usize::MAX);
+        assert_eq!(stall_budget(1 << 62, 2), usize::MAX);
+        // …and zero tolerance stays zero (0 · 2^retry = 0).
+        assert_eq!(stall_budget(0, 100), 0);
+    }
+
+    #[test]
+    fn huge_stall_tolerance_never_false_rejects() {
+        // Driver-level regression: with stall_tolerance = 2^62 and many
+        // retries, the pre-fix budget wrapped to 0 from retry 2 on, so
+        // a clean oracle whose simulated stall fits the *base* budget
+        // was falsely rejected forever. Post-fix the saturated budget
+        // admits it on every attempt.
+        let k = 2;
+        let h = planted(9, 24, 8, k);
+        let script = vec![Some(FaultKind::Stall(usize::MAX)); 64];
+        let faulty = FaultyOracle::new(GreedyOracle, FaultPlan::scripted(script));
+        let cfg =
+            ResilientConfig { stall_tolerance: 1 << 62, max_retries: 8, ..ResilientConfig::new(k) };
+        // A stall of usize::MAX steps exceeds tolerance 2^62 on attempt
+        // 0, but retry 1's budget is 2^63 — still short — and retry 2
+        // saturates at usize::MAX, admitting the call. Pre-fix, retry 2
+        // wrapped to 0 and the run died with RetriesExhausted.
+        let out = reduce_cf_resilient(&h, &[&faulty], cfg).unwrap();
+        assert!(checker::is_conflict_free(&h, &out.reduction.coloring));
+        assert!(out
+            .fault_log
+            .iter()
+            .all(|e| !matches!(e.kind, FaultEventKind::RetriesExhausted { .. })));
+    }
+
+    #[test]
+    fn traced_resilient_run_attributes_attempts_and_faults() {
+        use pslocal_telemetry::{Counter, MemorySink, Telemetry};
+        let k = 2;
+        let h = planted(10, 28, 10, k);
+        let plan = FaultPlan::scripted(vec![Some(FaultKind::Panic), Some(FaultKind::Stall(50))]);
+        let faulty = FaultyOracle::new(GreedyOracle, plan);
+        let tel = Telemetry::new(MemorySink::new());
+        let out =
+            reduce_cf_resilient_traced(&h, &[&faulty], ResilientConfig::new(k), &tel).unwrap();
+        let sink = tel.into_sink();
+        assert!(sink.open_spans().is_empty(), "caught panic must not orphan the oracle span");
+        assert_eq!(sink.counter_total(Counter::FaultEvents), out.fault_log.len() as u64);
+        assert_eq!(sink.counter_total(Counter::Retries), out.retries as u64);
+        let spans = sink.spans();
+        let oracle_spans =
+            spans.iter().filter(|s| s.name == pslocal_telemetry::names::ORACLE).count();
+        // Every committed phase spends one accepted attempt, plus one
+        // span per rejected attempt (= retries).
+        let attempts = out.reduction.phases_used + out.retries;
+        assert_eq!(oracle_spans, attempts, "one oracle span per attempt");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::Network;
 use pslocal_graph::NodeId;
+use pslocal_telemetry::{Counter, Sink, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -275,6 +276,29 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// [`Engine::run`] under a telemetry pipeline: the execution is
+    /// wrapped in a `local-run` span carrying the round and message
+    /// totals as `local_rounds` / `local_messages` counters. With a
+    /// disabled pipeline this is exactly `run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoundLimitExceeded`] if some node is still running
+    /// after the round budget (the span still closes, uncounted).
+    pub fn run_traced<A: LocalAlgorithm, S: Sink>(
+        &self,
+        algorithm: &A,
+        tel: &Telemetry<S>,
+    ) -> Result<Execution<A::State>, RoundLimitExceeded> {
+        let span = pslocal_telemetry::span!(tel, pslocal_telemetry::names::LOCAL_RUN);
+        let result = self.run(algorithm);
+        if let Ok(exec) = &result {
+            span.add(Counter::LocalRounds, exec.trace.rounds as u64);
+            span.add(Counter::LocalMessages, exec.trace.messages as u64);
+        }
+        result
+    }
+
     fn validate_outbox<M>(out: &Outbox<M>, degree: usize) {
         if let Outbox::PerPort(slots) = out {
             assert_eq!(
@@ -463,6 +487,21 @@ mod tests {
         assert_eq!(exec.states[0].received, vec![(0, 1)]);
         // Node 2 receives nothing (node 1 sent only on its port 0).
         assert!(exec.states[2].received.is_empty());
+    }
+
+    #[test]
+    fn traced_run_reports_rounds_and_messages() {
+        use pslocal_telemetry::MemorySink;
+        let net = Network::with_identity_ids(cycle(5));
+        let tel = Telemetry::new(MemorySink::new());
+        let exec = Engine::new(&net).run_traced(&FloodMin { rounds: 2 }, &tel).unwrap();
+        let sink = tel.into_sink();
+        assert!(sink.open_spans().is_empty());
+        assert_eq!(sink.counter_total(Counter::LocalRounds), exec.trace.rounds as u64);
+        assert_eq!(sink.counter_total(Counter::LocalMessages), exec.trace.messages as u64);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, pslocal_telemetry::names::LOCAL_RUN);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Telemetry wrapping at the oracle trait boundary.
+//!
+//! [`TracedOracle`] decorates any [`MaxIsOracle`] so that every
+//! `independent_set` call opens an `oracle` span on a shared
+//! [`Telemetry`] pipeline, ticks the `oracle_calls` counter, and
+//! samples the returned set's size — without the callee knowing it is
+//! observed. Drivers that already own a span tree (the reduction
+//! drivers in `pslocal-core`) instrument their call sites directly;
+//! this wrapper serves standalone oracle invocations (the `pslocal
+//! maxis` command, benchmarks, experiments) where the oracle call *is*
+//! the top-level unit of work.
+
+use crate::{ApproxGuarantee, MaxIsOracle};
+use pslocal_graph::{Graph, IndependentSet};
+use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Telemetry};
+
+/// A [`MaxIsOracle`] decorator that reports every call to a
+/// [`Telemetry`] pipeline. With a disabled pipeline
+/// (`Telemetry::disabled()`) the wrapper compiles down to plain
+/// delegation.
+pub struct TracedOracle<'t, O: ?Sized, S: Sink> {
+    inner: &'t O,
+    tel: &'t Telemetry<S>,
+}
+
+impl<'t, O: MaxIsOracle + ?Sized, S: Sink> TracedOracle<'t, O, S> {
+    /// Wraps `inner` so its calls report to `tel`.
+    pub fn new(inner: &'t O, tel: &'t Telemetry<S>) -> Self {
+        TracedOracle { inner, tel }
+    }
+}
+
+impl<O: MaxIsOracle + ?Sized, S: Sink> MaxIsOracle for TracedOracle<'_, O, S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        let call = span!(self.tel, names::ORACLE);
+        call.add(Counter::OracleCalls, 1);
+        let set = self.inner.independent_set(graph);
+        call.add(Counter::StalledSteps, self.inner.stalled_steps() as u64);
+        call.sample(Histogram::IndependentSetSize, set.len() as u64);
+        set
+    }
+
+    fn independent_set_with_rounds(&self, graph: &Graph) -> (IndependentSet, usize) {
+        let call = span!(self.tel, names::ORACLE);
+        call.add(Counter::OracleCalls, 1);
+        let (set, rounds) = self.inner.independent_set_with_rounds(graph);
+        call.add(Counter::LocalRounds, rounds as u64);
+        call.add(Counter::StalledSteps, self.inner.stalled_steps() as u64);
+        call.sample(Histogram::IndependentSetSize, set.len() as u64);
+        (set, rounds)
+    }
+
+    fn stalled_steps(&self) -> usize {
+        self.inner.stalled_steps()
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        self.inner.guarantee()
+    }
+
+    fn lambda_for(&self, graph: &Graph) -> Option<f64> {
+        self.inner.lambda_for(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GreedyOracle;
+    use pslocal_graph::generators::classic::cycle;
+    use pslocal_telemetry::MemorySink;
+
+    #[test]
+    fn traced_oracle_delegates_and_records() {
+        let g = cycle(12);
+        let tel = Telemetry::new(MemorySink::new());
+        let traced = TracedOracle::new(&GreedyOracle, &tel);
+        assert_eq!(traced.name(), GreedyOracle.name());
+        assert_eq!(traced.guarantee(), GreedyOracle.guarantee());
+        assert_eq!(traced.lambda_for(&g), GreedyOracle.lambda_for(&g));
+        let set = traced.independent_set(&g);
+        assert_eq!(set.vertices(), GreedyOracle.independent_set(&g).vertices());
+        let (set2, rounds) = traced.independent_set_with_rounds(&g);
+        assert_eq!(set2.vertices(), set.vertices());
+        assert!(rounds >= 1);
+        let sink = tel.into_sink();
+        assert_eq!(sink.counter_total(Counter::OracleCalls), 2);
+        assert_eq!(sink.counter_total(Counter::LocalRounds), rounds as u64);
+        let spans = sink.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == names::ORACLE).count(), 2);
+        assert!(sink.open_spans().is_empty());
+        assert_eq!(
+            sink.samples(Histogram::IndependentSetSize),
+            vec![set.len() as u64, set.len() as u64]
+        );
+    }
+
+    #[test]
+    fn disabled_pipeline_records_nothing_and_changes_nothing() {
+        let g = cycle(9);
+        let tel = Telemetry::disabled();
+        let traced = TracedOracle::new(&GreedyOracle, &tel);
+        let set = traced.independent_set(&g);
+        assert_eq!(set.vertices(), GreedyOracle.independent_set(&g).vertices());
+    }
+}

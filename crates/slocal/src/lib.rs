@@ -54,6 +54,6 @@ pub use problems::{
     ColoringProblem, GraphProblem, LocalityBudget, MaxIsApproxProblem, MisProblem,
     NetworkDecompositionProblem, Violation,
 };
-pub use runtime::{orders, run, SlocalAlgorithm, SlocalRun, SlocalTrace};
+pub use runtime::{orders, run, run_traced, SlocalAlgorithm, SlocalRun, SlocalTrace};
 pub use simulate::{interleaving_is_irrelevant, simulate_in_local, SimulatedRun, SimulationBill};
 pub use view::View;

@@ -10,6 +10,7 @@
 use crate::view::View;
 use pslocal_graph::algo::BallExtractor;
 use pslocal_graph::{Graph, NodeId};
+use pslocal_telemetry::{Counter, Histogram, Sink, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -81,6 +82,37 @@ pub struct SlocalRun<S> {
 /// assert_eq!(outcome.trace.realized_locality, 1);
 /// ```
 pub fn run<A: SlocalAlgorithm>(
+    graph: &Graph,
+    algorithm: &A,
+    order: &[NodeId],
+) -> SlocalRun<A::State> {
+    run_traced(graph, algorithm, order, &Telemetry::disabled())
+}
+
+/// [`run`] under a telemetry pipeline: the execution is wrapped in an
+/// `slocal-run` span carrying the processed-node count and view volume
+/// as `slocal_views` / `slocal_view_volume` counters, plus a
+/// `realized_locality` sample. With a disabled pipeline this is exactly
+/// `run`.
+///
+/// # Panics
+///
+/// Same contract as [`run`].
+pub fn run_traced<A: SlocalAlgorithm, S: Sink>(
+    graph: &Graph,
+    algorithm: &A,
+    order: &[NodeId],
+    tel: &Telemetry<S>,
+) -> SlocalRun<A::State> {
+    let span = pslocal_telemetry::span!(tel, pslocal_telemetry::names::SLOCAL_RUN);
+    let outcome = run_inner(graph, algorithm, order);
+    span.add(Counter::SlocalViews, outcome.trace.processed as u64);
+    span.add(Counter::SlocalViewVolume, outcome.trace.total_view_volume as u64);
+    span.sample(Histogram::RealizedLocality, outcome.trace.realized_locality as u64);
+    outcome
+}
+
+fn run_inner<A: SlocalAlgorithm>(
     graph: &Graph,
     algorithm: &A,
     order: &[NodeId],
@@ -221,6 +253,26 @@ mod tests {
         assert_eq!(outcome.trace.max_view_size, 3);
         assert_eq!(outcome.trace.total_view_volume, 18);
         assert_eq!(outcome.trace.processed, 6);
+    }
+
+    #[test]
+    fn traced_run_reports_views_and_locality() {
+        use pslocal_telemetry::MemorySink;
+        let g = cycle(6);
+        let tel = Telemetry::new(MemorySink::new());
+        let outcome = run_traced(&g, &CountProcessed, &orders::identity(6), &tel);
+        let sink = tel.into_sink();
+        assert!(sink.open_spans().is_empty());
+        assert_eq!(sink.counter_total(Counter::SlocalViews), outcome.trace.processed as u64);
+        assert_eq!(
+            sink.counter_total(Counter::SlocalViewVolume),
+            outcome.trace.total_view_volume as u64
+        );
+        assert_eq!(
+            sink.samples(Histogram::RealizedLocality),
+            vec![outcome.trace.realized_locality as u64]
+        );
+        assert_eq!(sink.spans()[0].name, pslocal_telemetry::names::SLOCAL_RUN);
     }
 
     #[test]

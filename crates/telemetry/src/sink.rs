@@ -1,0 +1,555 @@
+//! Telemetry events and the pluggable [`Sink`]s that receive them.
+//!
+//! Everything the instrumented code emits is one of four [`Event`]s:
+//! a span starts, a span ends, a typed [`Counter`] is incremented, or a
+//! [`Histogram`] sample is recorded. A [`Sink`] is the consumer:
+//!
+//! * [`NullSink`] — the disabled path. Its [`Sink::ENABLED`] is
+//!   `false`, which every instrumentation site checks **at compile
+//!   time** (it is an associated `const`), so the monomorphized
+//!   null-telemetry code contains no clock reads and no event
+//!   construction at all;
+//! * [`MemorySink`] — buffers every event behind a mutex and can
+//!   reconstruct the span tree ([`SpanRecord`]) — the sink tests and
+//!   `trace-report` use;
+//! * [`JsonlSink`] — serializes each event as one JSON object per line
+//!   to any writer (the `--metrics-out` artifact format).
+//!
+//! Sinks compose structurally: `&S`, `Option<S>`, and `(A, B)` are all
+//! sinks, so "memory plus optional JSONL file" is just a tuple.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Identifier of one span within a [`Telemetry`](crate::Telemetry)
+/// pipeline's lifetime. Ids are allocated from 1; they are unique per
+/// pipeline, not globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The typed counters the workspace's instrumentation increments.
+///
+/// A closed enum (rather than free-form string keys) so that sites and
+/// consumers cannot drift: adding a metric is a compile-visible change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Counter {
+    /// Hyperedges removed from the residual set (reduction drivers).
+    EdgesRemoved,
+    /// Edges found happy during a phase commit's residual scan.
+    HappyEdges,
+    /// Oracle attempts beyond the first within a phase (resilient
+    /// driver).
+    Retries,
+    /// Simulated steps oracle calls stalled for (resilient driver).
+    StalledSteps,
+    /// Oracle invocations.
+    OracleCalls,
+    /// Bytes of CSR storage materialized (conflict-graph builder).
+    CsrBytes,
+    /// Times a resilient driver fell back to a later oracle in its
+    /// chain.
+    Fallbacks,
+    /// Fault events the resilient driver recorded.
+    FaultEvents,
+    /// Reduction phases committed.
+    Phases,
+    /// Rounds a LOCAL execution ran for.
+    LocalRounds,
+    /// Messages a LOCAL execution delivered.
+    LocalMessages,
+    /// Nodes an SLOCAL run processed (views extracted).
+    SlocalViews,
+    /// Total vertices across all SLOCAL views (the run's volume).
+    SlocalViewVolume,
+}
+
+impl Counter {
+    /// Stable snake_case name used by the JSONL schema and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EdgesRemoved => "edges_removed",
+            Counter::HappyEdges => "happy_edges",
+            Counter::Retries => "retries",
+            Counter::StalledSteps => "stalled_steps",
+            Counter::OracleCalls => "oracle_calls",
+            Counter::CsrBytes => "csr_bytes",
+            Counter::Fallbacks => "fallbacks",
+            Counter::FaultEvents => "fault_events",
+            Counter::Phases => "phases",
+            Counter::LocalRounds => "local_rounds",
+            Counter::LocalMessages => "local_messages",
+            Counter::SlocalViews => "slocal_views",
+            Counter::SlocalViewVolume => "slocal_view_volume",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The typed value distributions the instrumentation samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Histogram {
+    /// Wall time one conflict-graph builder shard spent emitting, ns.
+    ShardBuildNs,
+    /// Size of an oracle's returned independent set.
+    IndependentSetSize,
+    /// Realized locality of an SLOCAL run.
+    RealizedLocality,
+}
+
+impl Histogram {
+    /// Stable snake_case name used by the JSONL schema and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Histogram::ShardBuildNs => "shard_build_ns",
+            Histogram::IndependentSetSize => "independent_set_size",
+            Histogram::RealizedLocality => "realized_locality",
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One telemetry event. Timestamps are nanoseconds since the owning
+/// [`Telemetry`](crate::Telemetry) pipeline's construction (monotonic,
+/// from [`std::time::Instant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A span began.
+    SpanStart {
+        /// The span's id.
+        id: SpanId,
+        /// The enclosing span, if any.
+        parent: Option<SpanId>,
+        /// Static span name (see [`crate::names`]).
+        name: &'static str,
+        /// Optional index distinguishing repeated spans (phase number,
+        /// attempt number, shard number).
+        index: Option<u64>,
+        /// Start time, ns since pipeline construction.
+        start_ns: u64,
+    },
+    /// A span ended.
+    SpanEnd {
+        /// The span that ended.
+        id: SpanId,
+        /// End time, ns since pipeline construction.
+        end_ns: u64,
+    },
+    /// A counter was incremented.
+    CounterAdd {
+        /// Which counter.
+        counter: Counter,
+        /// The (positive) increment.
+        delta: u64,
+        /// The span the increment is attributed to, if any.
+        span: Option<SpanId>,
+    },
+    /// A histogram sample was recorded.
+    Sample {
+        /// Which histogram.
+        histogram: Histogram,
+        /// The sampled value.
+        value: u64,
+        /// The span the sample is attributed to, if any.
+        span: Option<SpanId>,
+    },
+}
+
+/// A consumer of telemetry [`Event`]s.
+///
+/// `Sync` is a supertrait because the conflict-graph builder records
+/// per-shard timings from scoped worker threads through a shared
+/// reference.
+pub trait Sink: Sync {
+    /// Compile-time enable flag. Instrumentation sites branch on this
+    /// `const`, so with [`NullSink`] (`ENABLED = false`) the whole
+    /// telemetry path — including clock reads — monomorphizes away.
+    const ENABLED: bool = true;
+
+    /// Receives one event. Must not panic.
+    fn record(&self, event: Event);
+}
+
+/// The disabled sink: receives nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&self, _event: Event) {}
+}
+
+/// Forwarding through a shared reference.
+impl<S: Sink> Sink for &S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn record(&self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// `None` drops events at runtime; the compile-time flag follows the
+/// inner sink (an `Option` is for runtime-optional outputs like
+/// `--metrics-out`, not for disabling telemetry — use [`NullSink`]).
+impl<S: Sink> Sink for Option<S> {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn record(&self, event: Event) {
+        if let Some(sink) = self {
+            sink.record(event);
+        }
+    }
+}
+
+/// Fan-out to two sinks (build bigger fans by nesting tuples).
+impl<A: Sink, B: Sink> Sink for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn record(&self, event: Event) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+}
+
+/// One reconstructed span, as [`MemorySink::spans`] reports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's id.
+    pub id: SpanId,
+    /// The enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Static span name.
+    pub name: &'static str,
+    /// Optional repetition index (phase/attempt/shard number).
+    pub index: Option<u64>,
+    /// Start time, ns since pipeline construction.
+    pub start_ns: u64,
+    /// End time; `None` for a span that never closed (an orphan —
+    /// indicates an instrumentation bug, since guards close on drop
+    /// even during unwinding).
+    pub end_ns: Option<u64>,
+    /// Counter increments attributed to this span, in order.
+    pub counters: Vec<(Counter, u64)>,
+    /// Histogram samples attributed to this span, in order.
+    pub samples: Vec<(Histogram, u64)>,
+}
+
+impl SpanRecord {
+    /// The span's duration, ns (0 for an orphan).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.map_or(0, |end| end.saturating_sub(self.start_ns))
+    }
+
+    /// Total of the increments of `counter` attributed to this span.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.iter().filter(|(c, _)| *c == counter).map(|(_, d)| d).sum()
+    }
+}
+
+/// An in-memory sink buffering every event, able to reconstruct the
+/// span tree — the sink tests assert against and `trace-report` renders.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every event received so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("telemetry buffer poisoned").clone()
+    }
+
+    /// Discards all buffered events.
+    pub fn clear(&self) {
+        self.events.lock().expect("telemetry buffer poisoned").clear();
+    }
+
+    /// Reconstructs every span (closed or not) in start order, with its
+    /// attributed counters and samples.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let events = self.events.lock().expect("telemetry buffer poisoned");
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for event in events.iter() {
+            match *event {
+                Event::SpanStart { id, parent, name, index, start_ns } => {
+                    spans.push(SpanRecord {
+                        id,
+                        parent,
+                        name,
+                        index,
+                        start_ns,
+                        end_ns: None,
+                        counters: Vec::new(),
+                        samples: Vec::new(),
+                    });
+                }
+                Event::SpanEnd { id, end_ns } => {
+                    if let Some(span) = spans.iter_mut().rev().find(|s| s.id == id) {
+                        span.end_ns = Some(end_ns);
+                    }
+                }
+                Event::CounterAdd { counter, delta, span: Some(id) } => {
+                    if let Some(span) = spans.iter_mut().rev().find(|s| s.id == id) {
+                        span.counters.push((counter, delta));
+                    }
+                }
+                Event::Sample { histogram, value, span: Some(id) } => {
+                    if let Some(span) = spans.iter_mut().rev().find(|s| s.id == id) {
+                        span.samples.push((histogram, value));
+                    }
+                }
+                Event::CounterAdd { span: None, .. } | Event::Sample { span: None, .. } => {}
+            }
+        }
+        spans
+    }
+
+    /// The spans that started but never ended. Always empty after a
+    /// correctly instrumented run — span guards close on drop, even
+    /// during a caught panic.
+    pub fn open_spans(&self) -> Vec<SpanRecord> {
+        self.spans().into_iter().filter(|s| s.end_ns.is_none()).collect()
+    }
+
+    /// Total of every increment of `counter`, span-attributed or not.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.events
+            .lock()
+            .expect("telemetry buffer poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                Event::CounterAdd { counter: c, delta, .. } if *c == counter => Some(*delta),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// All samples of `histogram`, in arrival order.
+    pub fn samples(&self, histogram: Histogram) -> Vec<u64> {
+        self.events
+            .lock()
+            .expect("telemetry buffer poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                Event::Sample { histogram: h, value, .. } if *h == histogram => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("telemetry buffer poisoned").push(event);
+    }
+}
+
+/// Serializes `event` as one JSON object (no trailing newline). Span
+/// names and metric names are workspace-internal identifiers and are
+/// emitted verbatim (they contain no characters needing JSON escaping).
+pub fn event_to_json(event: &Event) -> String {
+    fn opt(v: Option<u64>) -> String {
+        v.map_or_else(|| "null".to_string(), |x| x.to_string())
+    }
+    match *event {
+        Event::SpanStart { id, parent, name, index, start_ns } => format!(
+            "{{\"event\":\"span_start\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"index\":{},\"t_ns\":{}}}",
+            id.0,
+            opt(parent.map(|p| p.0)),
+            name,
+            opt(index),
+            start_ns,
+        ),
+        Event::SpanEnd { id, end_ns } => {
+            format!("{{\"event\":\"span_end\",\"id\":{},\"t_ns\":{}}}", id.0, end_ns)
+        }
+        Event::CounterAdd { counter, delta, span } => format!(
+            "{{\"event\":\"counter\",\"counter\":\"{}\",\"delta\":{},\"span\":{}}}",
+            counter.name(),
+            delta,
+            opt(span.map(|s| s.0)),
+        ),
+        Event::Sample { histogram, value, span } => format!(
+            "{{\"event\":\"sample\",\"histogram\":\"{}\",\"value\":{},\"span\":{}}}",
+            histogram.name(),
+            value,
+            opt(span.map(|s| s.0)),
+        ),
+    }
+}
+
+/// A sink writing one JSON object per event per line — the
+/// `--metrics-out` artifact format (schema `pslocal-telemetry/v1`).
+///
+/// Write errors are deliberately swallowed: telemetry must never take
+/// down the pipeline it observes.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().expect("telemetry writer poisoned");
+        let _ = w.flush();
+        w
+    }
+
+    /// Flushes the inner writer.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().expect("telemetry writer poisoned").flush();
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: Event) {
+        let mut w = self.writer.lock().expect("telemetry writer poisoned");
+        let _ = writeln!(w, "{}", event_to_json(&event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(id: u64, parent: Option<u64>, name: &'static str, t: u64) -> Event {
+        Event::SpanStart {
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name,
+            index: None,
+            start_ns: t,
+        }
+    }
+
+    #[test]
+    fn memory_sink_reconstructs_the_span_tree() {
+        let sink = MemorySink::new();
+        sink.record(start(1, None, "root", 0));
+        sink.record(start(2, Some(1), "child", 10));
+        sink.record(Event::CounterAdd {
+            counter: Counter::EdgesRemoved,
+            delta: 5,
+            span: Some(SpanId(2)),
+        });
+        sink.record(Event::Sample {
+            histogram: Histogram::IndependentSetSize,
+            value: 7,
+            span: Some(SpanId(2)),
+        });
+        sink.record(Event::SpanEnd { id: SpanId(2), end_ns: 40 });
+        sink.record(Event::SpanEnd { id: SpanId(1), end_ns: 100 });
+
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[0].duration_ns(), 100);
+        assert_eq!(spans[1].parent, Some(SpanId(1)));
+        assert_eq!(spans[1].duration_ns(), 30);
+        assert_eq!(spans[1].counter(Counter::EdgesRemoved), 5);
+        assert_eq!(spans[1].samples, vec![(Histogram::IndependentSetSize, 7)]);
+        assert!(sink.open_spans().is_empty());
+        assert_eq!(sink.counter_total(Counter::EdgesRemoved), 5);
+        assert_eq!(sink.samples(Histogram::IndependentSetSize), vec![7]);
+    }
+
+    #[test]
+    fn open_spans_are_reported_as_orphans() {
+        let sink = MemorySink::new();
+        sink.record(start(1, None, "root", 0));
+        assert_eq!(sink.open_spans().len(), 1);
+        sink.record(Event::SpanEnd { id: SpanId(1), end_ns: 5 });
+        assert!(sink.open_spans().is_empty());
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn composite_sinks_forward_to_every_member() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let both = (&a, Some(&b));
+        both.record(start(1, None, "x", 0));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        let none: Option<&MemorySink> = None;
+        none.record(start(2, None, "y", 0));
+    }
+
+    #[test]
+    fn null_sink_is_compile_time_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(MemorySink::ENABLED) };
+        const { assert!(<(NullSink, MemorySink)>::ENABLED) };
+        const { assert!(!<(NullSink, NullSink)>::ENABLED) };
+        NullSink.record(start(1, None, "ignored", 0));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(Event::SpanStart {
+            id: SpanId(1),
+            parent: None,
+            name: "reduction",
+            index: Some(3),
+            start_ns: 42,
+        });
+        sink.record(Event::CounterAdd { counter: Counter::Retries, delta: 2, span: None });
+        sink.record(Event::SpanEnd { id: SpanId(1), end_ns: 99 });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"span_start\",\"id\":1,\"parent\":null,\"name\":\"reduction\",\"index\":3,\"t_ns\":42}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"counter\",\"counter\":\"retries\",\"delta\":2,\"span\":null}"
+        );
+        assert_eq!(lines[2], "{\"event\":\"span_end\",\"id\":1,\"t_ns\":99}");
+    }
+
+    #[test]
+    fn counter_and_histogram_names_are_stable() {
+        assert_eq!(Counter::CsrBytes.name(), "csr_bytes");
+        assert_eq!(Counter::StalledSteps.to_string(), "stalled_steps");
+        assert_eq!(Histogram::ShardBuildNs.name(), "shard_build_ns");
+        assert_eq!(Histogram::RealizedLocality.to_string(), "realized_locality");
+    }
+}

@@ -12,14 +12,18 @@
 //! Inputs use the text formats of `pslocal_graph::io`.
 
 use pslocal::cfcolor::checker;
-use pslocal::core::{reduce_cf_to_maxis, ConflictGraph, ReductionConfig};
+use pslocal::core::{
+    reduce_cf_to_maxis, reduce_cf_to_maxis_traced, ConflictGraph, ReductionConfig,
+};
 use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
 use pslocal::graph::generators::random::gnp;
 use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
 use pslocal::graph::{GraphStats, HypergraphStats};
 use pslocal::maxis::{
     CliqueRemovalOracle, DecompositionOracle, ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle,
+    TracedOracle,
 };
+use pslocal::telemetry::{event_to_json, render_tree, MemorySink, PhaseTimeline, Telemetry};
 use rand::SeedableRng;
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -33,13 +37,23 @@ USAGE:
   pslocal stats                 (reads a graph or hypergraph on stdin)
   pslocal maxis [--oracle O] [--seed S]         (graph on stdin)
   pslocal reduce --k K [--oracle O] [--seed S]  (hypergraph on stdin)
+  pslocal trace-report [--n N] [--m M] [--k K] [--oracle O] [--seed S]
+                                (run a planted reduction, render the
+                                 span tree + per-phase timeline)
   pslocal bench-report [--oracle O] [--seed S] [--iters I] [--out FILE]
                                 (perf baseline -> BENCH_reduction.json)
+
+TELEMETRY (maxis / reduce / trace-report / bench-report):
+  --trace               render the span tree to stdout after the run
+  --metrics-out FILE    append every telemetry event as JSONL to FILE
 
 ORACLES: exact | greedy | luby | clique-removal | decomposition
 FORMATS: see pslocal_graph::io (p graph / p hypergraph headers)";
 
-/// Minimal `--key value` argument map.
+/// Options that are flags (no value argument follows them).
+const BOOLEAN_FLAGS: &[&str] = &["trace"];
+
+/// Minimal `--key value` argument map (with a few `--flag` booleans).
 struct Args {
     positional: Vec<String>,
     options: Vec<(String, String)>,
@@ -52,6 +66,10 @@ impl Args {
         let mut iter = raw.peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&key) {
+                    options.push((key.to_string(), "true".to_string()));
+                    continue;
+                }
                 let value = iter.next().ok_or_else(|| format!("option --{key} needs a value"))?;
                 options.push((key.to_string(), value));
             } else {
@@ -63,6 +81,10 @@ impl Args {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.options.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
@@ -94,6 +116,60 @@ fn read_stdin() -> Result<String, String> {
     let mut text = String::new();
     std::io::stdin().read_to_string(&mut text).map_err(|e| format!("cannot read stdin: {e}"))?;
     Ok(text)
+}
+
+/// The CLI's telemetry switches: `--trace` (render the span tree) and
+/// `--metrics-out FILE` (append raw events as JSONL). When neither is
+/// given, commands take their untraced path — static dispatch to the
+/// null sink, zero overhead.
+struct TraceOpts {
+    trace: bool,
+    metrics_out: Option<String>,
+}
+
+impl TraceOpts {
+    fn from(args: &Args) -> Self {
+        TraceOpts {
+            trace: args.flag("trace"),
+            metrics_out: args.get("metrics-out").map(String::from),
+        }
+    }
+
+    fn wanted(&self) -> bool {
+        self.trace || self.metrics_out.is_some()
+    }
+
+    /// Renders and/or persists what `sink` captured.
+    fn emit(&self, sink: &MemorySink) -> Result<(), String> {
+        if self.trace {
+            print!("{}", render_tree(&sink.spans()));
+        }
+        if let Some(path) = &self.metrics_out {
+            append_events_jsonl(path, sink, &[])?;
+        }
+        Ok(())
+    }
+}
+
+/// Appends `sink`'s events to `path` as JSON Lines, preceded by the
+/// given metadata line entries (already-serialized JSON objects).
+fn append_events_jsonl(path: &str, sink: &MemorySink, meta: &[String]) -> Result<(), String> {
+    use std::io::Write as _;
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut write =
+        |line: &str| writeln!(w, "{line}").map_err(|e| format!("cannot write {path}: {e}"));
+    for line in meta {
+        write(line)?;
+    }
+    for event in sink.events() {
+        write(&event_to_json(&event))?;
+    }
+    Ok(())
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -138,9 +214,17 @@ fn cmd_stats() -> Result<(), String> {
 
 fn cmd_maxis(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
+    let opts = TraceOpts::from(args);
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
     let g = read_graph(&read_stdin()?).map_err(|e| e.to_string())?;
-    let set = oracle.independent_set(&g);
+    let set = if opts.wanted() {
+        let tel = Telemetry::new(MemorySink::new());
+        let set = TracedOracle::new(oracle.as_ref(), &tel).independent_set(&g);
+        opts.emit(tel.sink())?;
+        set
+    } else {
+        oracle.independent_set(&g)
+    };
     println!(
         "c oracle = {}, |I| = {}, guarantee = {}",
         oracle.name(),
@@ -156,10 +240,19 @@ fn cmd_maxis(args: &Args) -> Result<(), String> {
 fn cmd_reduce(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let k: usize = args.required("k")?;
+    let opts = TraceOpts::from(args);
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
     let h = read_hypergraph(&read_stdin()?).map_err(|e| e.to_string())?;
-    let out = reduce_cf_to_maxis(&h, oracle.as_ref(), ReductionConfig::new(k))
-        .map_err(|e| format!("reduction failed: {e}"))?;
+    let out = if opts.wanted() {
+        let tel = Telemetry::new(MemorySink::new());
+        let out = reduce_cf_to_maxis_traced(&h, oracle.as_ref(), ReductionConfig::new(k), &tel)
+            .map_err(|e| format!("reduction failed: {e}"))?;
+        opts.emit(tel.sink())?;
+        out
+    } else {
+        reduce_cf_to_maxis(&h, oracle.as_ref(), ReductionConfig::new(k))
+            .map_err(|e| format!("reduction failed: {e}"))?
+    };
     assert!(checker::is_conflict_free(&h, &out.coloring));
     println!(
         "c oracle = {}, lambda = {:.2}, rho = {}, phases = {}, colors = {}",
@@ -184,6 +277,42 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace_report(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
+    let n: usize = args.parsed("n")?.unwrap_or(128);
+    let m: usize = args.parsed("m")?.unwrap_or(n / 2);
+    let k: usize = args.parsed("k")?.unwrap_or(4);
+    let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
+    let opts = TraceOpts::from(args);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k));
+    let tel = Telemetry::new(MemorySink::new());
+    let out =
+        reduce_cf_to_maxis_traced(&inst.hypergraph, oracle.as_ref(), ReductionConfig::new(k), &tel)
+            .map_err(|e| format!("reduction failed: {e}"))?;
+    assert!(checker::is_conflict_free(&inst.hypergraph, &out.coloring));
+    let sink = tel.into_sink();
+
+    println!("trace-report: planted n={n} m={m} k={k} oracle={} seed={:#x}", oracle.name(), seed);
+    println!(
+        "reduction: lambda = {:.2}, rho = {}, phases = {}, colors = {}, {}",
+        out.lambda, out.rho, out.phases_used, out.total_colors, out.locality
+    );
+    let spans = sink.spans();
+    let timeline = PhaseTimeline::from_spans(&spans)
+        .ok_or("no reduction span recorded (telemetry pipeline broken?)")?;
+    println!();
+    print!("{}", timeline.render());
+    println!();
+    print!("{}", render_tree(&spans));
+    if let Some(path) = &opts.metrics_out {
+        append_events_jsonl(path, &sink, &[])?;
+        eprintln!("appended telemetry events to {path}");
+    }
+    Ok(())
+}
+
 /// One sized measurement of `bench-report`.
 struct BenchEntry {
     n: usize,
@@ -195,6 +324,13 @@ struct BenchEntry {
     oracle_ns: u128,
     reduction_ns: u128,
     phases: usize,
+    /// Telemetry-derived split of one instrumented reduction run:
+    /// conflict-graph construction (initial build + per-phase restricts),
+    /// oracle time, commit time, and the whole reduction span.
+    tel_build_ns: u64,
+    tel_oracle_ns: u64,
+    tel_commit_ns: u64,
+    tel_reduction_ns: u64,
 }
 
 impl BenchEntry {
@@ -225,6 +361,7 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
     let iters: usize = args.parsed("iters")?.unwrap_or(3);
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
     let out_path = args.get("out").unwrap_or("BENCH_reduction.json").to_string();
+    let metrics_out = args.get("metrics-out").map(String::from);
 
     let grid: &[(usize, usize, usize)] =
         &[(64, 32, 4), (128, 64, 4), (128, 64, 8), (256, 128, 4), (384, 192, 4)];
@@ -247,6 +384,31 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             phases = out.phases_used;
             std::hint::black_box(out);
         });
+        // Instrumented runs per grid point: the span tree attributes
+        // the wall clock to build / oracle / commit, which the median
+        // timings above cannot separate inside `reduce_cf_to_maxis`.
+        // Best-of-`iters` keeps one-shot scheduling outliers (thread
+        // spawn on the sharded build) out of the published split.
+        let mut best: Option<(PhaseTimeline, MemorySink)> = None;
+        for _ in 0..iters.max(1) {
+            let tel = Telemetry::new(MemorySink::new());
+            reduce_cf_to_maxis_traced(h, oracle.as_ref(), ReductionConfig::new(k), &tel)
+                .expect("certified oracle completes on planted instances");
+            let sink = tel.into_sink();
+            let timeline = PhaseTimeline::from_spans(&sink.spans())
+                .ok_or("no reduction span recorded (telemetry pipeline broken?)")?;
+            if best.as_ref().is_none_or(|(t, _)| timeline.total_ns < t.total_ns) {
+                best = Some((timeline, sink));
+            }
+        }
+        let (timeline, sink) = best.expect("iters >= 1 always produces a run");
+        if let Some(path) = &metrics_out {
+            let meta = format!(
+                "{{\"meta\":\"bench-entry\",\"n\":{n},\"m\":{m},\"k\":{k},\"oracle\":\"{}\",\"seed\":{seed}}}",
+                oracle.name()
+            );
+            append_events_jsonl(path, &sink, &[meta])?;
+        }
         entries.push(BenchEntry {
             n,
             m,
@@ -257,6 +419,10 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             oracle_ns,
             reduction_ns,
             phases,
+            tel_build_ns: timeline.build_ns,
+            tel_oracle_ns: timeline.oracle_ns,
+            tel_commit_ns: timeline.commit_ns,
+            tel_reduction_ns: timeline.total_ns,
         });
     }
 
@@ -265,7 +431,7 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
     // future PRs can diff perf trajectories mechanically.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"pslocal-bench-reduction/v1\",\n");
+    json.push_str("  \"schema\": \"pslocal-bench-reduction/v2\",\n");
     json.push_str(&format!("  \"oracle\": \"{}\",\n", oracle.name()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
@@ -274,7 +440,9 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         json.push_str(&format!(
             "    {{\"n\": {}, \"m\": {}, \"k\": {}, \"conflict_nodes\": {}, \
              \"conflict_edges\": {}, \"phases\": {}, \"build_ns\": {}, \
-             \"oracle_ns\": {}, \"reduction_ns\": {}, \"build_ns_per_edge\": {:.2}}}{}\n",
+             \"oracle_ns\": {}, \"reduction_ns\": {}, \"build_ns_per_edge\": {:.2}, \
+             \"tel_build_ns\": {}, \"tel_oracle_ns\": {}, \"tel_commit_ns\": {}, \
+             \"tel_reduction_ns\": {}}}{}\n",
             e.n,
             e.m,
             e.k,
@@ -285,6 +453,10 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             e.oracle_ns,
             e.reduction_ns,
             e.build_ns_per_edge(),
+            e.tel_build_ns,
+            e.tel_oracle_ns,
+            e.tel_commit_ns,
+            e.tel_reduction_ns,
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }
@@ -306,6 +478,16 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             e.phases,
             e.build_ns_per_edge(),
         );
+        println!(
+            "    telemetry split: build={}us oracle={}us commit={}us total={}us",
+            e.tel_build_ns / 1000,
+            e.tel_oracle_ns / 1000,
+            e.tel_commit_ns / 1000,
+            e.tel_reduction_ns / 1000,
+        );
+    }
+    if let Some(path) = &metrics_out {
+        println!("appended telemetry events to {path}");
     }
     Ok(())
 }
@@ -317,6 +499,7 @@ fn dispatch() -> Result<(), String> {
         Some("stats") => cmd_stats(),
         Some("maxis") => cmd_maxis(&args),
         Some("reduce") => cmd_reduce(&args),
+        Some("trace-report") => cmd_trace_report(&args),
         Some("bench-report") => cmd_bench_report(&args),
         Some("help") | None => {
             println!("{USAGE}");

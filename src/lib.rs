@@ -13,6 +13,8 @@
 //! * [`cfcolor`] — conflict-free multicoloring ([`pslocal_cfcolor`])
 //! * [`core`] — the paper's constructions and Theorem 1.1
 //!   ([`pslocal_core`])
+//! * [`telemetry`] — spans, counters, phase timelines
+//!   ([`pslocal_telemetry`])
 //!
 //! See the `examples/` directory for runnable walkthroughs, starting
 //! with `quickstart.rs`.
@@ -43,3 +45,4 @@ pub use pslocal_graph as graph;
 pub use pslocal_local as local;
 pub use pslocal_maxis as maxis;
 pub use pslocal_slocal as slocal;
+pub use pslocal_telemetry as telemetry;

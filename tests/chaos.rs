@@ -12,6 +12,11 @@
 //! fault logs and outcomes, and a fault rate of 0 reproduces the
 //! trusting driver `reduce_cf_to_maxis` byte-for-byte (`PhaseRecord`s
 //! and coloring).
+//!
+//! Every schedule runs with telemetry enabled (an in-memory sink), and
+//! the recorded span tree is cross-checked against the `FaultEvent`
+//! log: one `oracle` span per attempt, phase indices matching the
+//! records, no orphaned spans even after a caught oracle panic.
 
 // `ResilientFailure` is deliberately large: it carries the salvaged
 // partial outcome, which these tests inspect.
@@ -20,12 +25,14 @@
 use proptest::prelude::*;
 use pslocal::cfcolor::checker;
 use pslocal::core::{
-    reduce_cf_resilient, reduce_cf_to_maxis, ReductionConfig, ReductionError, ResilientConfig,
-    ResilientFailure, ResilientOutcome,
+    reduce_cf_resilient, reduce_cf_resilient_traced, reduce_cf_to_maxis, FaultEvent,
+    FaultEventKind, ReductionConfig, ReductionError, ResilientConfig, ResilientFailure,
+    ResilientOutcome,
 };
 use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfInstance, PlantedCfParams};
 use pslocal::graph::Hypergraph;
 use pslocal::maxis::{FaultPlan, FaultyOracle, GreedyOracle, MaxIsOracle};
+use pslocal::telemetry::{names, Counter, MemorySink, Telemetry};
 use rand::SeedableRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -41,8 +48,70 @@ fn planted() -> impl Strategy<Value = PlantedCfInstance> {
 /// clean baseline.
 const RATES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
 
-/// Runs the resilient driver under a seeded fault plan and asserts the
-/// full chaos invariant on whatever comes back.
+/// Is this fault-log entry one rejected oracle attempt? (`Fallback
+/// Engaged` / `RetriesExhausted` are bookkeeping, not attempts.)
+fn is_rejected_attempt(event: &FaultEvent) -> bool {
+    matches!(
+        event.kind,
+        FaultEventKind::OraclePanicked
+            | FaultEventKind::OracleInvalidOutput
+            | FaultEventKind::OracleUnderDelivered { .. }
+            | FaultEventKind::OracleStalled { .. }
+    )
+}
+
+/// Cross-checks the recorded span tree against the driver's fault log:
+///
+/// * no orphaned spans (guards close even across a caught panic);
+/// * the `fault_events` counter equals the log length;
+/// * phase spans are indexed `0..p` contiguously, all under one
+///   `reduction` root, where `p` is `committed` or `committed + 1`
+///   (a final phase that failed before committing);
+/// * each phase holds exactly one `oracle` span per attempt — the
+///   rejected ones logged as faults, plus the accepted one iff the
+///   phase committed — indexed `0..attempts` in order.
+fn assert_telemetry_consistent(sink: &MemorySink, fault_log: &[FaultEvent], committed: usize) {
+    assert!(sink.open_spans().is_empty(), "orphaned spans after the run");
+    assert_eq!(
+        sink.counter_total(Counter::FaultEvents),
+        fault_log.len() as u64,
+        "fault_events counter must mirror the fault log"
+    );
+    let spans = sink.spans();
+    let roots: Vec<_> = spans.iter().filter(|s| s.name == names::REDUCTION).collect();
+    assert_eq!(roots.len(), 1, "exactly one reduction root span");
+    let root_id = roots[0].id;
+
+    let phase_spans: Vec<_> = spans.iter().filter(|s| s.name == names::PHASE).collect();
+    for (i, p) in phase_spans.iter().enumerate() {
+        assert_eq!(p.parent, Some(root_id), "phase spans hang off the root");
+        assert_eq!(p.index, Some(i as u64), "phase spans indexed 0..p in order");
+    }
+    assert!(
+        phase_spans.len() == committed || phase_spans.len() == committed + 1,
+        "{} phase spans for {committed} committed phases",
+        phase_spans.len()
+    );
+
+    for (i, p) in phase_spans.iter().enumerate() {
+        let oracle_indices: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.name == names::ORACLE && s.parent == Some(p.id))
+            .map(|s| s.index.expect("oracle spans are attempt-indexed"))
+            .collect();
+        let rejected = fault_log.iter().filter(|e| e.phase == i && is_rejected_attempt(e)).count();
+        let attempts = rejected + usize::from(i < committed);
+        assert_eq!(
+            oracle_indices,
+            (0..attempts as u64).collect::<Vec<_>>(),
+            "phase {i}: one oracle span per attempt, in order"
+        );
+    }
+}
+
+/// Runs the resilient driver under a seeded fault plan — telemetry
+/// enabled on every run — and asserts the full chaos invariant on
+/// whatever comes back, including span-tree/fault-log consistency.
 fn assert_invariant(
     h: &Hypergraph,
     k: usize,
@@ -57,10 +126,18 @@ fn assert_invariant(
 
     // Never a panic — injected oracle panics must be isolated inside
     // the driver, not escape to the caller.
-    let result = catch_unwind(AssertUnwindSafe(|| reduce_cf_resilient(h, &chain, config)))
-        .unwrap_or_else(|_| {
-            panic!("driver panicked (seed {fault_seed}, rate {rate}) — invariant broken")
-        });
+    let tel = Telemetry::new(MemorySink::new());
+    let result =
+        catch_unwind(AssertUnwindSafe(|| reduce_cf_resilient_traced(h, &chain, config, &tel)))
+            .unwrap_or_else(|_| {
+                panic!("driver panicked (seed {fault_seed}, rate {rate}) — invariant broken")
+            });
+
+    let (fault_log, committed) = match &result {
+        Ok(out) => (&out.fault_log, out.reduction.phases_used),
+        Err(fail) => (&fail.fault_log, fail.partial.records.len()),
+    };
+    assert_telemetry_consistent(tel.sink(), fault_log, committed);
 
     match &result {
         Ok(out) => {

@@ -90,6 +90,52 @@ fn reduce_requires_k_and_valid_oracle() {
 }
 
 #[test]
+fn trace_report_renders_timeline_and_span_tree() {
+    let out = run(&["trace-report", "--n", "128", "--seed", "7"], None);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("trace-report: planted n=128 m=64 k=4"));
+    assert!(text.contains("reduction: lambda = "));
+    // The per-phase timeline table…
+    assert!(text.contains("phase"));
+    assert!(text.contains("restrict"));
+    assert!(text.contains("total"));
+    // …and the flamegraph-style tree with its span names.
+    assert!(text.contains("reduction "));
+    assert!(text.contains("conflict-graph"));
+    assert!(text.contains("oracle"));
+    assert!(text.contains("commit"));
+}
+
+#[test]
+fn reduce_with_trace_and_metrics_out_emits_both() {
+    let dir = std::env::temp_dir().join(format!("pslocal-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("metrics.jsonl");
+    let metrics_path = metrics.to_str().unwrap();
+
+    let gen = run(&["gen", "planted", "--n", "36", "--m", "15", "--k", "3", "--seed", "1"], None);
+    let instance = stdout(&gen);
+    let reduce =
+        run(&["reduce", "--k", "3", "--trace", "--metrics-out", metrics_path], Some(&instance));
+    assert!(reduce.status.success(), "stderr: {}", String::from_utf8_lossy(&reduce.stderr));
+    let text = stdout(&reduce);
+    // Span tree precedes the normal reduce output, which is intact.
+    assert!(text.contains("reduction "));
+    assert!(text.contains("phase 0"));
+    assert_eq!(text.lines().filter(|l| l.starts_with("v ")).count(), 36);
+
+    let jsonl = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+    }
+    assert!(jsonl.contains("\"event\":\"span_start\""));
+    assert!(jsonl.contains("\"name\":\"reduction\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stats_rejects_garbage() {
     let out = run(&["stats"], Some("not a graph at all"));
     assert!(!out.status.success());
