@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pslocal_core::{reduce_cf_to_maxis, ReductionConfig};
-use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal_graph::generators::hyper::{
+    multi_component_cf_instance, planted_cf_instance, PlantedCfParams,
+};
 use pslocal_maxis::{ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle};
 use rand::SeedableRng;
 
@@ -48,9 +50,37 @@ fn bench_reduction_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Component-parallel phase execution: the same multi-component
+/// reduction (8 vertex-disjoint planted copies, so `G_k` has ≥ 8
+/// components) at 1, 2, and 4 worker threads. The executor is
+/// thread-count-invariant, so every configuration computes the
+/// identical coloring — only the phase wall clock moves. Speedup is
+/// bounded by the host's CPU count; on a single-CPU machine the
+/// parallel configurations measure pure decomposition overhead.
+fn bench_reduction_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_parallel_greedy");
+    group.sample_size(10);
+    let k = 8usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let inst = multi_component_cf_instance(&mut rng, PlantedCfParams::new(128, 64, k), 8);
+    for &threads in &[1usize, 2, 4] {
+        let config = ReductionConfig::new(k).with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads{threads}")),
+            &inst.hypergraph,
+            |b, h| {
+                b.iter(|| {
+                    reduce_cf_to_maxis(h, &GreedyOracle, config).expect("reduction completes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_reduction, bench_reduction_scaling
+    targets = bench_reduction, bench_reduction_scaling, bench_reduction_parallel
 }
 criterion_main!(benches);

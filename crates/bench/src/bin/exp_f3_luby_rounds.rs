@@ -1,7 +1,7 @@
 //! F3 — Luby's MIS uses O(log n) LOCAL rounds.
 //!
 //! The paper's framing depends on this contrast: MIS is easy for
-//! *randomized* LOCAL ([Lub86], O(log n) rounds w.h.p.) yet open for
+//! *randomized* LOCAL (\[Lub86\], O(log n) rounds w.h.p.) yet open for
 //! deterministic LOCAL. This series doubles n on two families and
 //! reports measured rounds (median of 5 seeds) against log₂ n.
 

@@ -1,7 +1,7 @@
-//! F4 — Interval hypergraphs ([DN18]): dyadic baseline vs the generic
+//! F4 — Interval hypergraphs (\[DN18\]): dyadic baseline vs the generic
 //! MaxIS reduction.
 //!
-//! The paper adapts the [DN18] MaxIS technique from interval
+//! The paper adapts the \[DN18\] MaxIS technique from interval
 //! hypergraphs to the general hardness reduction. This series runs
 //! both on the same random interval instances: the specialized dyadic
 //! coloring (provably ⌊log₂ n⌋ + 1 colors, conflict-free for *all*

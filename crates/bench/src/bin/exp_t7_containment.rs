@@ -1,4 +1,4 @@
-//! T7 — Containment direction ([GKM17, Thm 7.1] via this workspace):
+//! T7 — Containment direction (\[GKM17, Thm 7.1\] via this workspace):
 //! the decomposition-based SLOCAL MaxIS approximation achieves
 //! λ ≤ #decomposition-colors with polylog locality.
 //!

@@ -1,4 +1,4 @@
-//! Conflict-free coloring of **interval hypergraphs** — the [DN18]
+//! Conflict-free coloring of **interval hypergraphs** — the \[DN18\]
 //! setting whose MaxIS technique the paper adapts for its hardness
 //! proof.
 //!

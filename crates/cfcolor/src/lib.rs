@@ -5,7 +5,7 @@
 //! Approximation"* (Maus, PODC 2019).
 //!
 //! Conflict-free multicoloring of almost-uniform hypergraphs is the
-//! P-SLOCAL-complete problem (the paper's Theorem 1.2, from [GKM17])
+//! P-SLOCAL-complete problem (the paper's Theorem 1.2, from \[GKM17\])
 //! that the hardness proof of Theorem 1.1 reduces *from*. This crate
 //! provides:
 //!
@@ -17,7 +17,7 @@
 //! * [`greedy`] — direct baselines (primal-graph coloring, phase
 //!   greedy) that the reduction is compared against;
 //! * [`interval`] — the dyadic `O(log n)` coloring of interval
-//!   hypergraphs, the [DN18] setting the paper adapts;
+//!   hypergraphs, the \[DN18\] setting the paper adapts;
 //! * [`CfMulticoloringProblem`] — the problem verifier with color
 //!   budget.
 //!

@@ -6,7 +6,7 @@
 //! Every UM coloring is conflict-free (the max color is a witness), and
 //! the classic interval colorings — including the dyadic ruler coloring
 //! in [`interval`](crate::interval) — are UM. The distinction matters
-//! for lower bounds ([DN18] treats both notions); this module provides
+//! for lower bounds (\[DN18\] treats both notions); this module provides
 //! the checker and a sequential UM heuristic so experiments can compare
 //! budgets across the two notions.
 

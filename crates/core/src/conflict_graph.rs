@@ -26,7 +26,7 @@
 //!   this implementation follows the proof.
 //!
 //! [`ConflictGraph`] materializes `G_k` as a
-//! [`Graph`](pslocal_graph::Graph) with a dense triple indexing
+//! [`Graph`] with a dense triple indexing
 //! (`O(1)`/`O(log |e|)` conversions both ways), retains the source
 //! hypergraph, and reports the per-family edge counts that experiment
 //! T1 tabulates.
@@ -259,6 +259,24 @@ impl ConflictGraph {
     #[inline]
     pub fn options(&self) -> ConflictGraphOptions {
         self.options
+    }
+
+    /// The first triple node of hyperedge `e`'s block (the block spans
+    /// `block_start(e) .. block_start(e) + |e|·k` contiguously).
+    ///
+    /// Because every block is an `E_edge` clique, a block never splits
+    /// across connected components of `G_k`; the component of
+    /// `block_start(e)` is therefore *the* component owning hyperedge
+    /// `e` — the fact the component-parallel executor
+    /// ([`crate::components`]) uses to apply the Lemma 2.1 delivery
+    /// quota per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn block_start(&self, e: HyperedgeId) -> NodeId {
+        NodeId::new(self.base[e.index()] as usize)
     }
 
     /// The materialized simple graph.

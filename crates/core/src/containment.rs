@@ -1,11 +1,11 @@
 //! The containment direction of Theorem 1.1: polylogarithmic MaxIS
 //! approximation **is in P-SLOCAL**.
 //!
-//! The paper inherits this from [GKM17, Theorem 7.1]; the executable
+//! The paper inherits this from \[GKM17, Theorem 7.1\]; the executable
 //! version assembles it from the pieces this workspace built: the
 //! ball-carving network decomposition of `pslocal-slocal` (polylog
 //! locality, `⌈log₂ n⌉ + 1` colors) feeds the
-//! [`DecompositionOracle`](pslocal_maxis::DecompositionOracle), whose
+//! [`DecompositionOracle`], whose
 //! best color class is a `c`-approximation with `c` = color count —
 //! polylogarithmic, hence membership. [`containment_certificate`]
 //! produces the verified record experiment T7 tabulates.

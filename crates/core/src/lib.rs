@@ -12,7 +12,7 @@
 //!   multicoloring through any λ-approximate MaxIS oracle in
 //!   `ρ = λ·ln m + 1` phases and `k·ρ` colors;
 //! * [`containment`] — the containment half via network decomposition
-//!   ([GKM17, Thm 7.1]);
+//!   (\[GKM17, Thm 7.1\]);
 //! * [`completeness`] — both halves composed and machine-checked;
 //! * [`simulation`] — the paper's "G_k can be efficiently simulated in
 //!   H in the LOCAL model" claim, measured (dilation ≤ 1).
@@ -38,11 +38,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Component-parallel phase execution ([`components`]) is an execution
+//! knob, never a semantic one — any thread count reproduces the serial
+//! run byte-for-byte:
+//!
+//! ```
+//! use pslocal_core::{reduce_cf_to_maxis, ReductionConfig};
+//! use pslocal_graph::generators::hyper::{multi_component_cf_instance, PlantedCfParams};
+//! use pslocal_maxis::GreedyOracle;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! // 4 vertex-disjoint planted copies: G_k has ≥ 4 components.
+//! let inst = multi_component_cf_instance(&mut rng, PlantedCfParams::new(24, 8, 3), 4);
+//! let serial = reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, ReductionConfig::new(3))?;
+//! let parallel = reduce_cf_to_maxis(
+//!     &inst.hypergraph,
+//!     &GreedyOracle,
+//!     ReductionConfig::new(3).with_threads(4),
+//! )?;
+//! assert_eq!(parallel.coloring, serial.coloring);
+//! assert_eq!(parallel.records, serial.records);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod completeness;
+pub mod components;
 pub mod conflict_graph;
 pub mod containment;
 pub mod correspondence;
@@ -52,6 +79,9 @@ pub mod resilient;
 pub mod simulation;
 
 pub use completeness::{completeness_on_instance, CompletenessReport};
+pub use components::{
+    parallel_independent_set, ComponentExecutor, ComponentPartition, ParallelismOptions,
+};
 pub use conflict_graph::{
     BuildStrategy, ConflictGraph, ConflictGraphOptions, FamilyCounts, Triple,
 };

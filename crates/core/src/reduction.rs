@@ -17,13 +17,14 @@
 //! the [`LocalityBudget`] that certifies the reduction's
 //! polylogarithmic overhead.
 
+use crate::components::{ComponentExecutor, ParallelismOptions};
 use crate::conflict_graph::{csr_bytes, ConflictGraph};
 use crate::correspondence;
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_graph::{HyperedgeId, Hypergraph, Palette};
+use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, Palette};
 use pslocal_maxis::MaxIsOracle;
 use pslocal_slocal::LocalityBudget;
-use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Telemetry};
+use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Span, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -71,12 +72,35 @@ pub struct ReductionConfig {
     /// Hard cap on phases regardless of the computed `ρ` (safety for
     /// heuristic oracles); `None` = exactly `ρ`.
     pub max_phases: Option<usize>,
+    /// Component-parallel phase execution (see [`crate::components`]).
+    /// The serial default keeps the driver on its historical one-call-
+    /// per-phase path; with `threads > 1`, phases whose conflict graph
+    /// is disconnected solve each component concurrently and merge —
+    /// sound because Lemma 2.1 applies per component and the phase
+    /// budget `ρ` is unaffected.
+    pub parallelism: ParallelismOptions,
 }
 
 impl ReductionConfig {
     /// Default configuration for a promised palette size `k`.
     pub fn new(k: usize) -> Self {
-        ReductionConfig { k, lambda_override: None, max_phases: None }
+        ReductionConfig {
+            k,
+            lambda_override: None,
+            max_phases: None,
+            parallelism: ParallelismOptions::serial(),
+        }
+    }
+
+    /// Returns the configuration with component-parallel phase
+    /// execution on up to `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallelism = ParallelismOptions::with_threads(threads);
+        self
     }
 
     /// Computes the paper's phase budget `ρ = ⌈λ·ln m⌉ + 1`.
@@ -255,11 +279,7 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
     while !residual.is_empty() && phase < budget {
         let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
-        let oracle_span = span!(phase_span, names::ORACLE, 0);
-        let set = oracle.independent_set(cg.graph());
-        oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
-        oracle_span.close();
-        phase_span.add(Counter::OracleCalls, 1);
+        let set = phase_independent_set(&cg, oracle, config.parallelism, &phase_span);
         let commit_span = span!(phase_span, names::COMMIT);
         // Lemma 2.1 b): decode the partial coloring f_{I_i}.
         let decoded = correspondence::lemma_2_1b(&cg, &set);
@@ -352,6 +372,49 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
     })
 }
 
+/// Obtains one phase's independent set. The serial path (one thread,
+/// or a connected/empty conflict graph) is a single whole-graph oracle
+/// call with the drivers' historical span shape: an `oracle` span
+/// directly under the phase span, indexed 0. With `threads > 1` and a
+/// disconnected conflict graph, each component is solved concurrently
+/// on the [`ComponentExecutor`] — the phase span gains `components` /
+/// `largest_component` counters and one `component` span per component
+/// (each holding its own `oracle` child), and the per-component sets
+/// are merged under the machine-checked disjointness invariant.
+/// `Counter::OracleCalls` counts every oracle invocation either way.
+fn phase_independent_set<O: MaxIsOracle + ?Sized, S: Sink>(
+    cg: &ConflictGraph,
+    oracle: &O,
+    parallelism: ParallelismOptions,
+    phase_span: &Span<'_, S>,
+) -> IndependentSet {
+    if parallelism.is_parallel() {
+        let exec = ComponentExecutor::new(cg.graph(), parallelism);
+        if exec.should_decompose() {
+            let parts = exec.partition().len();
+            phase_span.add(Counter::Components, parts as u64);
+            phase_span.add(Counter::LargestComponent, exec.partition().largest_size() as u64);
+            let locals = exec.run(|c, sub| {
+                let comp_span = span!(phase_span, names::COMPONENT, c);
+                let oracle_span = span!(comp_span, names::ORACLE, 0);
+                let set = oracle.independent_set(sub);
+                oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
+                oracle_span.close();
+                comp_span.add(Counter::ParallelOracleCalls, 1);
+                set
+            });
+            phase_span.add(Counter::OracleCalls, parts as u64);
+            return exec.merge(locals);
+        }
+    }
+    let oracle_span = span!(phase_span, names::ORACLE, 0);
+    let set = oracle.independent_set(cg.graph());
+    oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
+    oracle_span.close();
+    phase_span.add(Counter::OracleCalls, 1);
+    set
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,7 +504,7 @@ mod tests {
     fn lambda_override_controls_budget() {
         let k = 2;
         let h = planted(5, 20, 6, k);
-        let config = ReductionConfig { k, lambda_override: Some(1.0), max_phases: None };
+        let config = ReductionConfig { lambda_override: Some(1.0), ..ReductionConfig::new(k) };
         // Exact oracle with λ = 1: budget ρ = ln 6 + 1 ≈ 3; exact
         // finishes in 1.
         let out = reduce_cf_to_maxis(&h, &ExactOracle, config).unwrap();
@@ -454,9 +517,9 @@ mod tests {
         let k = 3;
         let h = planted(6, 36, 20, k);
         let config = ReductionConfig {
-            k,
             lambda_override: Some(1000.0), // huge ρ, but…
             max_phases: Some(0),           // …no phases allowed
+            ..ReductionConfig::new(k)
         };
         let err = reduce_cf_to_maxis(&h, &ExactOracle, config).unwrap_err();
         assert!(matches!(err, ReductionError::PhaseBudgetExhausted { remaining_edges: 20, .. }));
@@ -559,6 +622,22 @@ mod tests {
         // The untraced entry point yields the identical outcome.
         let base = reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k)).unwrap();
         assert_eq!(base.records, out.records);
+    }
+
+    #[test]
+    fn parallel_config_reproduces_the_serial_run() {
+        // Greedy decomposes over components (its global pick sequence
+        // restricted to a component equals the local sequence), so the
+        // parallel driver must reproduce the serial run verbatim —
+        // whether a phase takes the fast path or actually decomposes.
+        let k = 3;
+        let h = planted(11, 36, 16, k);
+        let serial = reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k)).unwrap();
+        let par =
+            reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k).with_threads(4)).unwrap();
+        assert_eq!(serial.records, par.records);
+        assert_eq!(serial.coloring, par.coloring);
+        assert_eq!(serial.total_colors, par.total_colors);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! > [`reduce_cf_to_maxis`](crate::reduce_cf_to_maxis) exactly
 //! > (byte-identical [`PhaseRecord`]s).
 
+use crate::components::ComponentExecutor;
 use crate::conflict_graph::{csr_bytes, ConflictGraph};
 use crate::correspondence;
 use crate::reduction::{
@@ -40,7 +41,7 @@ use crate::reduction::{
     ReductionOutcome,
 };
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, Palette};
+use pslocal_graph::{Graph, HyperedgeId, Hypergraph, IndependentSet, Palette};
 use pslocal_maxis::{ApproxGuarantee, MaxIsOracle};
 use pslocal_slocal::LocalityBudget;
 use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Telemetry};
@@ -131,17 +132,25 @@ impl fmt::Display for FaultEventKind {
 pub struct FaultEvent {
     /// Phase the event occurred in.
     pub phase: usize,
-    /// 0-based attempt index within the phase.
+    /// 0-based attempt index within the phase (on the parallel path,
+    /// within the component).
     pub attempt: usize,
     /// Name of the oracle involved.
     pub oracle: &'static str,
+    /// The conflict-graph component the event occurred in, when the
+    /// phase ran component-parallel; `None` on the serial path.
+    pub component: Option<usize>,
     /// What happened.
     pub kind: FaultEventKind,
 }
 
 impl fmt::Display for FaultEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "phase {} attempt {} [{}]: {}", self.phase, self.attempt, self.oracle, self.kind)
+        write!(f, "phase {}", self.phase)?;
+        if let Some(c) = self.component {
+            write!(f, " component {c}")?;
+        }
+        write!(f, " attempt {} [{}]: {}", self.attempt, self.oracle, self.kind)
     }
 }
 
@@ -225,12 +234,14 @@ impl Error for ResilientFailure {
     }
 }
 
-/// Validates a claimed independent set against the phase's conflict
-/// graph. The range check must come first: `is_independent_set` panics
-/// on out-of-range vertices.
-fn validates_independence(cg: &ConflictGraph, set: &IndependentSet) -> bool {
-    let n = cg.graph().node_count();
-    set.vertices().iter().all(|v| v.index() < n) && cg.graph().is_independent_set(set.vertices())
+/// Validates a claimed independent set against the graph the oracle
+/// was called on — the whole conflict graph on the serial path, one
+/// component's induced subgraph on the parallel path. The range check
+/// must come first: `is_independent_set` panics on out-of-range
+/// vertices.
+fn validates_independence(graph: &Graph, set: &IndependentSet) -> bool {
+    let n = graph.node_count();
+    set.vertices().iter().all(|v| v.index() < n) && graph.is_independent_set(set.vertices())
 }
 
 /// Runs the Theorem 1.1 reduction against an untrusted oracle
@@ -334,106 +345,296 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
         let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
 
-        // Acquire an acceptable independent set: walk the chain, retry
-        // each oracle up to max_retries times with a doubling stall
-        // budget per attempt.
-        let mut accepted: Option<(IndependentSet, usize)> = None;
-        let mut attempt = 0usize;
-        'chain: for (idx, oracle) in chain.iter().enumerate() {
-            if idx > 0 {
-                fallbacks_engaged += 1;
-                phase_span.add(Counter::Fallbacks, 1);
-                fault!(FaultEvent {
-                    phase,
-                    attempt,
-                    oracle: oracle.name(),
-                    kind: FaultEventKind::FallbackEngaged,
-                });
+        // Acquire an acceptable independent set. With `threads > 1`
+        // and a disconnected conflict graph, each component runs its
+        // own chain walk concurrently (a fault retries only its
+        // component, never its siblings) and the verified local sets
+        // merge; otherwise the historical serial chain walk runs on
+        // the whole graph. Either way the phase commits atomically.
+        let (set, accepted_primary) = 'acquire: {
+            if config.base.parallelism.is_parallel() {
+                let exec = ComponentExecutor::new(cg.graph(), config.base.parallelism);
+                if exec.should_decompose() {
+                    let parts = exec.partition().len();
+                    phase_span.add(Counter::Components, parts as u64);
+                    phase_span
+                        .add(Counter::LargestComponent, exec.partition().largest_size() as u64);
+                    // Every hyperedge's triple block is an E_edge
+                    // clique, so blocks never split across components
+                    // and the residual hyperedges *partition* over
+                    // them: the Lemma 2.1 quota each component must
+                    // meet is ⌈m_c/λ_c⌉ on its own hyperedge count.
+                    let mut comp_edges = vec![0usize; parts];
+                    for e in cg.hypergraph().edge_ids() {
+                        comp_edges[exec.partition().component_of(cg.block_start(e))] += 1;
+                    }
+                    struct ComponentAttempt {
+                        set: Option<(IndependentSet, usize)>,
+                        attempts: usize,
+                        fallbacks: usize,
+                        events: Vec<FaultEvent>,
+                    }
+                    let results = exec.run(|c, sub| {
+                        let comp_span = span!(phase_span, names::COMPONENT, c);
+                        let mut events = Vec::new();
+                        let mut accepted = None;
+                        let mut attempt = 0usize;
+                        let mut fallbacks = 0usize;
+                        'chain: for (idx, oracle) in chain.iter().enumerate() {
+                            if idx > 0 {
+                                fallbacks += 1;
+                                events.push(FaultEvent {
+                                    phase,
+                                    attempt,
+                                    oracle: oracle.name(),
+                                    component: Some(c),
+                                    kind: FaultEventKind::FallbackEngaged,
+                                });
+                            }
+                            for retry in 0..=config.max_retries {
+                                let this_attempt = attempt;
+                                attempt += 1;
+                                let tolerance = stall_budget(config.stall_tolerance, retry);
+                                let oracle_span = span!(comp_span, names::ORACLE, this_attempt);
+                                comp_span.add(Counter::ParallelOracleCalls, 1);
+                                let answer =
+                                    catch_unwind(AssertUnwindSafe(|| oracle.independent_set(sub)));
+                                let set = match answer {
+                                    Err(_) => {
+                                        drop(oracle_span);
+                                        events.push(FaultEvent {
+                                            phase,
+                                            attempt: this_attempt,
+                                            oracle: oracle.name(),
+                                            component: Some(c),
+                                            kind: FaultEventKind::OraclePanicked,
+                                        });
+                                        continue;
+                                    }
+                                    Ok(set) => set,
+                                };
+                                // A single *stateful* oracle is shared
+                                // by all workers, so stall readings may
+                                // interleave across components; the
+                                // budget still bounds every reading it
+                                // acts on.
+                                let stalled = oracle.stalled_steps();
+                                oracle_span.add(Counter::StalledSteps, stalled as u64);
+                                oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
+                                drop(oracle_span);
+                                if stalled > tolerance {
+                                    events.push(FaultEvent {
+                                        phase,
+                                        attempt: this_attempt,
+                                        oracle: oracle.name(),
+                                        component: Some(c),
+                                        kind: FaultEventKind::OracleStalled {
+                                            steps: stalled,
+                                            tolerance,
+                                        },
+                                    });
+                                    continue;
+                                }
+                                if !validates_independence(sub, &set) {
+                                    events.push(FaultEvent {
+                                        phase,
+                                        attempt: this_attempt,
+                                        oracle: oracle.name(),
+                                        component: Some(c),
+                                        kind: FaultEventKind::OracleInvalidOutput,
+                                    });
+                                    continue;
+                                }
+                                let certified = matches!(
+                                    oracle.guarantee(),
+                                    ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
+                                );
+                                if certified {
+                                    if let Some(l) = oracle.lambda_for(sub) {
+                                        if l >= 1.0 {
+                                            let required = lemma_2_1_quota(comp_edges[c], l);
+                                            if set.len() < required {
+                                                events.push(FaultEvent {
+                                                    phase,
+                                                    attempt: this_attempt,
+                                                    oracle: oracle.name(),
+                                                    component: Some(c),
+                                                    kind: FaultEventKind::OracleUnderDelivered {
+                                                        delivered: set.len(),
+                                                        required,
+                                                    },
+                                                });
+                                                continue;
+                                            }
+                                        }
+                                    }
+                                }
+                                accepted = Some((set, idx));
+                                break 'chain;
+                            }
+                        }
+                        ComponentAttempt { set: accepted, attempts: attempt, fallbacks, events }
+                    });
+                    // Aggregate in component-id order: the fault log,
+                    // counters, and merge result are deterministic
+                    // regardless of how workers interleaved.
+                    let mut total_attempts = 0usize;
+                    let mut accepted_count = 0usize;
+                    let mut all_primary = true;
+                    let mut first_failed: Option<usize> = None;
+                    let mut locals = Vec::with_capacity(parts);
+                    for (c, r) in results.into_iter().enumerate() {
+                        total_attempts += r.attempts;
+                        fallbacks_engaged += r.fallbacks;
+                        phase_span.add(Counter::Fallbacks, r.fallbacks as u64);
+                        for ev in r.events {
+                            fault!(ev);
+                        }
+                        match r.set {
+                            Some((set, idx)) => {
+                                accepted_count += 1;
+                                if idx != 0 {
+                                    all_primary = false;
+                                }
+                                locals.push(set);
+                            }
+                            None => {
+                                first_failed.get_or_insert(c);
+                                locals.push(IndependentSet::empty());
+                            }
+                        }
+                    }
+                    phase_span.add(Counter::OracleCalls, total_attempts as u64);
+                    let phase_retries = total_attempts - accepted_count;
+                    retries += phase_retries;
+                    phase_span.add(Counter::Retries, phase_retries as u64);
+                    if let Some(c) = first_failed {
+                        // No partial commit: one exhausted component
+                        // fails the whole phase, keeping salvage a
+                        // whole-phase boundary exactly as on the
+                        // serial path.
+                        fault!(FaultEvent {
+                            phase,
+                            attempt: total_attempts.saturating_sub(1),
+                            oracle: chain.last().map_or("", |o| o.name()),
+                            component: Some(c),
+                            kind: FaultEventKind::RetriesExhausted { attempts: total_attempts },
+                        });
+                        fail!(ReductionError::RetriesExhausted { phase, attempts: total_attempts });
+                    }
+                    break 'acquire (exec.merge(locals), all_primary);
+                }
             }
-            for retry in 0..=config.max_retries {
-                let this_attempt = attempt;
-                attempt += 1;
-                let tolerance = stall_budget(config.stall_tolerance, retry);
-                let oracle_span = span!(phase_span, names::ORACLE, this_attempt);
-                phase_span.add(Counter::OracleCalls, 1);
-                let answer = catch_unwind(AssertUnwindSafe(|| oracle.independent_set(cg.graph())));
-                let set = match answer {
-                    Err(_) => {
-                        drop(oracle_span);
+            // Serial path: walk the chain, retry each oracle up to
+            // max_retries times with a doubling stall budget per
+            // attempt.
+            let mut accepted: Option<(IndependentSet, usize)> = None;
+            let mut attempt = 0usize;
+            'chain: for (idx, oracle) in chain.iter().enumerate() {
+                if idx > 0 {
+                    fallbacks_engaged += 1;
+                    phase_span.add(Counter::Fallbacks, 1);
+                    fault!(FaultEvent {
+                        phase,
+                        attempt,
+                        oracle: oracle.name(),
+                        component: None,
+                        kind: FaultEventKind::FallbackEngaged,
+                    });
+                }
+                for retry in 0..=config.max_retries {
+                    let this_attempt = attempt;
+                    attempt += 1;
+                    let tolerance = stall_budget(config.stall_tolerance, retry);
+                    let oracle_span = span!(phase_span, names::ORACLE, this_attempt);
+                    phase_span.add(Counter::OracleCalls, 1);
+                    let answer =
+                        catch_unwind(AssertUnwindSafe(|| oracle.independent_set(cg.graph())));
+                    let set = match answer {
+                        Err(_) => {
+                            drop(oracle_span);
+                            fault!(FaultEvent {
+                                phase,
+                                attempt: this_attempt,
+                                oracle: oracle.name(),
+                                component: None,
+                                kind: FaultEventKind::OraclePanicked,
+                            });
+                            continue;
+                        }
+                        Ok(set) => set,
+                    };
+                    let stalled = oracle.stalled_steps();
+                    oracle_span.add(Counter::StalledSteps, stalled as u64);
+                    oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
+                    drop(oracle_span);
+                    if stalled > tolerance {
                         fault!(FaultEvent {
                             phase,
                             attempt: this_attempt,
                             oracle: oracle.name(),
-                            kind: FaultEventKind::OraclePanicked,
+                            component: None,
+                            kind: FaultEventKind::OracleStalled { steps: stalled, tolerance },
                         });
                         continue;
                     }
-                    Ok(set) => set,
-                };
-                let stalled = oracle.stalled_steps();
-                oracle_span.add(Counter::StalledSteps, stalled as u64);
-                oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
-                drop(oracle_span);
-                if stalled > tolerance {
-                    fault!(FaultEvent {
-                        phase,
-                        attempt: this_attempt,
-                        oracle: oracle.name(),
-                        kind: FaultEventKind::OracleStalled { steps: stalled, tolerance },
-                    });
-                    continue;
-                }
-                if !validates_independence(&cg, &set) {
-                    fault!(FaultEvent {
-                        phase,
-                        attempt: this_attempt,
-                        oracle: oracle.name(),
-                        kind: FaultEventKind::OracleInvalidOutput,
-                    });
-                    continue;
-                }
-                // Delivery quota per Lemma 2.1, against the calling
-                // oracle's own certified λ on this phase's conflict
-                // graph; heuristic and asymptotic guarantees promise no
-                // per-instance quota, so only certified ones gate.
-                let certified = matches!(
-                    oracle.guarantee(),
-                    ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
-                );
-                if certified {
-                    if let Some(l) = oracle.lambda_for(cg.graph()) {
-                        if l >= 1.0 {
-                            let required = lemma_2_1_quota(edges_before, l);
-                            if set.len() < required {
-                                fault!(FaultEvent {
-                                    phase,
-                                    attempt: this_attempt,
-                                    oracle: oracle.name(),
-                                    kind: FaultEventKind::OracleUnderDelivered {
-                                        delivered: set.len(),
-                                        required,
-                                    },
-                                });
-                                continue;
+                    if !validates_independence(cg.graph(), &set) {
+                        fault!(FaultEvent {
+                            phase,
+                            attempt: this_attempt,
+                            oracle: oracle.name(),
+                            component: None,
+                            kind: FaultEventKind::OracleInvalidOutput,
+                        });
+                        continue;
+                    }
+                    // Delivery quota per Lemma 2.1, against the calling
+                    // oracle's own certified λ on this phase's conflict
+                    // graph; heuristic and asymptotic guarantees promise
+                    // no per-instance quota, so only certified ones
+                    // gate.
+                    let certified = matches!(
+                        oracle.guarantee(),
+                        ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
+                    );
+                    if certified {
+                        if let Some(l) = oracle.lambda_for(cg.graph()) {
+                            if l >= 1.0 {
+                                let required = lemma_2_1_quota(edges_before, l);
+                                if set.len() < required {
+                                    fault!(FaultEvent {
+                                        phase,
+                                        attempt: this_attempt,
+                                        oracle: oracle.name(),
+                                        component: None,
+                                        kind: FaultEventKind::OracleUnderDelivered {
+                                            delivered: set.len(),
+                                            required,
+                                        },
+                                    });
+                                    continue;
+                                }
                             }
                         }
                     }
+                    accepted = Some((set, idx));
+                    break 'chain;
                 }
-                accepted = Some((set, idx));
-                break 'chain;
             }
-        }
-        retries += attempt.saturating_sub(1);
-        phase_span.add(Counter::Retries, attempt.saturating_sub(1) as u64);
+            retries += attempt.saturating_sub(1);
+            phase_span.add(Counter::Retries, attempt.saturating_sub(1) as u64);
 
-        let Some((set, accepted_idx)) = accepted else {
-            fault!(FaultEvent {
-                phase,
-                attempt: attempt.saturating_sub(1),
-                oracle: chain.last().map_or("", |o| o.name()),
-                kind: FaultEventKind::RetriesExhausted { attempts: attempt },
-            });
-            fail!(ReductionError::RetriesExhausted { phase, attempts: attempt });
+            let Some((set, accepted_idx)) = accepted else {
+                fault!(FaultEvent {
+                    phase,
+                    attempt: attempt.saturating_sub(1),
+                    oracle: chain.last().map_or("", |o| o.name()),
+                    component: None,
+                    kind: FaultEventKind::RetriesExhausted { attempts: attempt },
+                });
+                fail!(ReductionError::RetriesExhausted { phase, attempts: attempt });
+            };
+            break 'acquire (set, accepted_idx == 0);
         };
 
         // Commit the phase exactly as the trusting driver does.
@@ -477,7 +678,7 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
             chain[0].guarantee(),
             ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
         );
-        if accepted_idx == 0
+        if accepted_primary
             && primary_certified
             && config.base.lambda_override.is_none()
             && lambda >= 1.0
@@ -768,11 +969,15 @@ mod tests {
             phase: 2,
             attempt: 1,
             oracle: "greedy",
+            component: None,
             kind: FaultEventKind::OracleUnderDelivered { delivered: 1, required: 4 },
         };
         let s = e.to_string();
         assert!(s.contains("phase 2"));
         assert!(s.contains("greedy"));
         assert!(s.contains("under-delivered"));
+        assert!(!s.contains("component"), "serial events stay component-free");
+        let p = FaultEvent { component: Some(3), ..e };
+        assert!(p.to_string().contains("component 3"));
     }
 }

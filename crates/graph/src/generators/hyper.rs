@@ -5,7 +5,7 @@
 //! multicoloring on hypergraphs that "admit a conflict-free k-coloring
 //! where each node only has a single color and k = polylog n". The
 //! paper never constructs such hypergraphs (it inherits them from
-//! [GKM17]); experiments need concrete ones with a *known* k, so
+//! \[GKM17\]); experiments need concrete ones with a *known* k, so
 //! [`planted_cf_instance`] plants a hidden coloring `f : V → {0..k-1}`
 //! and only emits hyperedges that `f` makes happy. Because `f` is
 //! conflict-free for the whole edge set, it is conflict-free for every
@@ -127,6 +127,41 @@ pub fn planted_cf_instance<R: Rng + ?Sized>(
     PlantedCfInstance { hypergraph: builder.build(), planted_coloring: coloring, k, epsilon }
 }
 
+/// A disjoint union of `copies` independent planted instances: copy
+/// `j` occupies vertices `j·n .. (j+1)·n` and contributes `m`
+/// hyperedges drawn only from its own vertex block. The union is again
+/// a planted conflict-free instance (the concatenated colorings
+/// witness it), but hyperedges of different copies share no vertex, so
+/// the Section 2 conflict graph `G_k` splits into **at least `copies`
+/// connected components** (`E_vertex`/`E_edge`/`E_color` edges all
+/// stay within one hyperedge's copy) — the workload the
+/// component-parallel reduction drivers scale on.
+///
+/// # Panics
+///
+/// Panics if `copies == 0` or `params` are infeasible for a single
+/// copy (see [`planted_cf_instance`]).
+pub fn multi_component_cf_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: PlantedCfParams,
+    copies: usize,
+) -> PlantedCfInstance {
+    assert!(copies >= 1, "need at least one planted copy");
+    let PlantedCfParams { n, k, epsilon, .. } = params;
+    let mut builder = HypergraphBuilder::new(n * copies);
+    let mut coloring = Vec::with_capacity(n * copies);
+    for j in 0..copies {
+        let inst = planted_cf_instance(rng, params);
+        let offset = j * n;
+        for e in inst.hypergraph.edge_ids() {
+            builder
+                .add_edge(inst.hypergraph.edge(e).iter().map(|v| NodeId::new(v.index() + offset)));
+        }
+        coloring.extend(inst.planted_coloring);
+    }
+    PlantedCfInstance { hypergraph: builder.build(), planted_coloring: coloring, k, epsilon }
+}
+
 /// A random `s`-uniform hypergraph: `m` hyperedges, each a uniform
 /// `s`-subset of the vertices.
 ///
@@ -156,7 +191,7 @@ pub fn random_uniform_hypergraph<R: Rng + ?Sized>(
 ///
 /// Returns the hypergraph and the interval bounds `(a, b)` (inclusive)
 /// per hyperedge, in hyperedge-id order. Interval hypergraphs are the
-/// [DN18] setting whose MaxIS-based conflict-free coloring the paper
+/// \[DN18\] setting whose MaxIS-based conflict-free coloring the paper
 /// adapts.
 ///
 /// # Panics
@@ -264,6 +299,38 @@ mod tests {
         // k = 3 only 4 vertices lie outside the largest color class.
         let _ =
             planted_cf_instance(&mut rng(0), PlantedCfParams { n: 6, m: 1, k: 3, epsilon: 1.0 });
+    }
+
+    #[test]
+    fn multi_component_instance_is_a_vertex_disjoint_union() {
+        let params = PlantedCfParams::new(20, 8, 3);
+        let inst = multi_component_cf_instance(&mut rng(7), params, 4);
+        assert_eq!(inst.hypergraph.node_count(), 80);
+        assert_eq!(inst.hypergraph.edge_count(), 32);
+        assert!(is_conflict_free_single_coloring(&inst.hypergraph, &inst.planted_coloring));
+        // Edge j·8 + i belongs to copy j: all members in its block.
+        for (i, e) in inst.hypergraph.edge_ids().enumerate() {
+            let copy = i / 8;
+            assert!(
+                inst.hypergraph.edge(e).iter().all(|v| (v.index() / 20) == copy),
+                "edge {i} leaks out of copy {copy}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_component_generation_is_seed_deterministic() {
+        let params = PlantedCfParams::new(16, 6, 2);
+        let a = multi_component_cf_instance(&mut rng(13), params, 3);
+        let b = multi_component_cf_instance(&mut rng(13), params, 3);
+        assert_eq!(a.hypergraph, b.hypergraph);
+        assert_eq!(a.planted_coloring, b.planted_coloring);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one planted copy")]
+    fn multi_component_rejects_zero_copies() {
+        let _ = multi_component_cf_instance(&mut rng(0), PlantedCfParams::new(16, 6, 2), 0);
     }
 
     #[test]

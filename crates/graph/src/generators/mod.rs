@@ -5,7 +5,7 @@
 //! * [`random`] — seeded random families (`G(n,p)`, `G(n,m)`, random
 //!   trees, near-regular graphs, bipartite).
 //! * [`hyper`] — hypergraph families, headlined by
-//!   [`planted_cf_instance`](hyper::planted_cf_instance): almost-uniform
+//!   [`planted_cf_instance`]: almost-uniform
 //!   hypergraphs with a *planted* conflict-free `k`-coloring, the input
 //!   family of the Theorem 1.1 reduction experiments.
 

@@ -1,7 +1,7 @@
 //! Randomized `(Δ+1)`-vertex-coloring in the LOCAL model.
 //!
 //! The paper names `(Δ+1)`-coloring alongside MIS as the flagship
-//! problem with a fast randomized algorithm [Lub86] and no known
+//! problem with a fast randomized algorithm \[Lub86\] and no known
 //! polylog deterministic one. This module implements the classic
 //! *random color trial*: every uncolored node repeatedly proposes a
 //! uniformly random color from its remaining palette `{0..deg(v)}` minus

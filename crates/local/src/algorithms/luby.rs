@@ -1,4 +1,4 @@
-//! Luby's randomized maximal independent set algorithm [Lub86].
+//! Luby's randomized maximal independent set algorithm \[Lub86\].
 //!
 //! The paper cites this as *the* fast randomized algorithm whose missing
 //! deterministic counterpart motivates the whole P-SLOCAL programme: MIS

@@ -1,7 +1,7 @@
 //! Classic LOCAL-model algorithms, implemented as
 //! [`LocalAlgorithm`](crate::LocalAlgorithm) state machines.
 //!
-//! * [`LubyMis`] — randomized MIS in `O(log n)` rounds w.h.p. [Lub86].
+//! * [`LubyMis`] — randomized MIS in `O(log n)` rounds w.h.p. \[Lub86\].
 //! * [`RandomColorTrial`] — randomized `(Δ+1)`-coloring in `O(log n)`
 //!   rounds w.h.p.
 //! * [`MisFromColoring`] / [`ColorReduction`] — deterministic reductions

@@ -1,7 +1,7 @@
 //! # pslocal-local
 //!
 //! A synchronous simulator of the **LOCAL model** of distributed
-//! computing [Lin92], the ambient machine model of *"P-SLOCAL-
+//! computing \[Lin92\], the ambient machine model of *"P-SLOCAL-
 //! Completeness of Maximum Independent Set Approximation"* (Maus,
 //! PODC 2019).
 //!

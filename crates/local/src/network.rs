@@ -4,7 +4,7 @@
 //! vertices are processors with unique identifiers, edges are
 //! bidirectional links, and a node refers to its incident links by
 //! *port numbers* `0..deg(v)`. [`Network`] wraps a
-//! [`Graph`](pslocal_graph::Graph) with an identifier assignment and the
+//! [`Graph`] with an identifier assignment and the
 //! port <-> neighbor correspondence.
 
 use pslocal_graph::{Graph, NodeId};

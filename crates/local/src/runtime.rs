@@ -3,7 +3,7 @@
 //! Per round, every node (1) reads the messages its neighbors sent in
 //! the previous round, (2) updates its local state, and (3) emits at
 //! most one message per incident link — message size is unbounded, time
-//! is measured purely in rounds, exactly as in [Lin92]. The engine
+//! is measured purely in rounds, exactly as in \[Lin92\]. The engine
 //! enforces the model: a node's `round` function receives only its own
 //! state and inbox, so after `r` rounds information has provably
 //! travelled at most `r` hops.

@@ -1,5 +1,5 @@
 //! The containment-direction oracle: MaxIS approximation **in
-//! P-SLOCAL** via network decomposition ([GKM17, Theorem 7.1], which
+//! P-SLOCAL** via network decomposition (\[GKM17, Theorem 7.1\], which
 //! the paper invokes verbatim for the containment half of Theorem 1.1).
 //!
 //! Given a `(c, d)`-network decomposition, consider each color class

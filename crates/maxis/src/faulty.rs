@@ -19,8 +19,9 @@ use pslocal_graph::{Graph, IndependentSet, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One way an oracle call can misbehave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,13 +184,21 @@ pub struct InjectedFault {
 /// assert!(oracle.independent_set(&cycle(9)).is_empty());
 /// assert_eq!(oracle.fault_log().len(), 1);
 /// ```
+/// State is synchronized (atomics + a mutex-guarded log) rather than
+/// `Cell`-based so the wrapper satisfies the [`MaxIsOracle`] trait's
+/// `Sync` bound: the component-parallel executor may call one shared
+/// wrapper from several worker threads. Under single-threaded use the
+/// call sequence — and hence the log — is exactly as deterministic as
+/// before; under concurrent use each call still atomically claims a
+/// unique call index, so the *multiset* of injected faults is still a
+/// pure function of the plan and the call count.
 #[derive(Debug)]
 pub struct FaultyOracle<O> {
     inner: O,
     plan: FaultPlan,
-    calls: Cell<usize>,
-    stalled: Cell<usize>,
-    log: RefCell<Vec<InjectedFault>>,
+    calls: AtomicUsize,
+    stalled: AtomicUsize,
+    log: Mutex<Vec<InjectedFault>>,
 }
 
 impl<O: MaxIsOracle> FaultyOracle<O> {
@@ -198,9 +207,9 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
         FaultyOracle {
             inner,
             plan,
-            calls: Cell::new(0),
-            stalled: Cell::new(0),
-            log: RefCell::new(Vec::new()),
+            calls: AtomicUsize::new(0),
+            stalled: AtomicUsize::new(0),
+            log: Mutex::new(Vec::new()),
         }
     }
 
@@ -211,24 +220,24 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
 
     /// Number of calls served so far (faulty or not).
     pub fn calls(&self) -> usize {
-        self.calls.get()
+        self.calls.load(Ordering::SeqCst)
     }
 
     /// Snapshot of all faults injected so far, in call order.
     pub fn fault_log(&self) -> Vec<InjectedFault> {
-        self.log.borrow().clone()
+        self.log.lock().expect("fault log lock").clone()
     }
 
     /// Resets call counter, stall state, and fault log (the plan is
     /// kept), so one wrapper can serve several independent runs.
     pub fn reset(&self) {
-        self.calls.set(0);
-        self.stalled.set(0);
-        self.log.borrow_mut().clear();
+        self.calls.store(0, Ordering::SeqCst);
+        self.stalled.store(0, Ordering::SeqCst);
+        self.log.lock().expect("fault log lock").clear();
     }
 
     fn record(&self, call: usize, kind: FaultKind) {
-        self.log.borrow_mut().push(InjectedFault { call, kind });
+        self.log.lock().expect("fault log lock").push(InjectedFault { call, kind });
     }
 
     /// A claimed-but-not independent set: an adjacent pair where the
@@ -246,9 +255,8 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
         graph: &Graph,
         compute: impl FnOnce() -> (IndependentSet, usize),
     ) -> (IndependentSet, usize) {
-        let call = self.calls.get();
-        self.calls.set(call + 1);
-        self.stalled.set(0);
+        let call = self.calls.fetch_add(1, Ordering::SeqCst);
+        self.stalled.store(0, Ordering::SeqCst);
         match self.plan.fault_for(call) {
             None => compute(),
             Some(kind) => {
@@ -271,7 +279,7 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
                     }
                     FaultKind::Stall(steps) => {
                         let out = compute();
-                        self.stalled.set(steps);
+                        self.stalled.store(steps, Ordering::SeqCst);
                         out
                     }
                 }
@@ -294,7 +302,7 @@ impl<O: MaxIsOracle> MaxIsOracle for FaultyOracle<O> {
     }
 
     fn stalled_steps(&self) -> usize {
-        self.stalled.get()
+        self.stalled.load(Ordering::SeqCst)
     }
 
     fn guarantee(&self) -> ApproxGuarantee {

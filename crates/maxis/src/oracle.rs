@@ -73,7 +73,14 @@ impl fmt::Display for ApproxGuarantee {
 /// the [`IndependentSet`] return type re-verifies independence at
 /// construction, so a buggy oracle fails loudly instead of corrupting
 /// the reduction.
-pub trait MaxIsOracle {
+///
+/// The trait requires [`Sync`]: the component-parallel phase executor
+/// (`pslocal-core::components`) calls one shared oracle from several
+/// scoped worker threads — sound because independent sets compose
+/// across connected components (Lemma 2.1 applies per component).
+/// Oracles are overwhelmingly stateless value types; stateful wrappers
+/// ([`FaultyOracle`](crate::FaultyOracle)) synchronize internally.
+pub trait MaxIsOracle: Sync {
     /// A short stable name for reports and tables.
     fn name(&self) -> &'static str;
 

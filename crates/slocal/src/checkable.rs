@@ -1,7 +1,7 @@
 //! Locally checkable labelings — the verification side of the paper's
 //! class membership argument.
 //!
-//! The paper cites [GHK18]: P-SLOCAL "contains all problems that can be
+//! The paper cites \[GHK18\]: P-SLOCAL "contains all problems that can be
 //! solved efficiently by randomized algorithms in the LOCAL model as
 //! long as a solution of the problem can be verified efficiently".
 //! "Verified efficiently" means *locally*: there is a radius `r` such

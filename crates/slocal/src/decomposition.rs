@@ -1,7 +1,7 @@
 //! Network decomposition by sequential ball carving.
 //!
 //! `(poly log n, poly log n)`-network decomposition is one of the
-//! P-SLOCAL-complete problems the paper lists ([GKM17]), and it is the
+//! P-SLOCAL-complete problems the paper lists (\[GKM17\]), and it is the
 //! engine of the *containment* direction of Theorem 1.1: given a
 //! decomposition with `c` colors, an SLOCAL algorithm obtains a
 //! `c`-approximate maximum independent set by sweeping the color

@@ -1,6 +1,6 @@
 //! # pslocal-slocal
 //!
-//! A simulator of the **SLOCAL model** of [GKM17], the model in which
+//! A simulator of the **SLOCAL model** of \[GKM17\], the model in which
 //! *"P-SLOCAL-Completeness of Maximum Independent Set Approximation"*
 //! (Maus, PODC 2019) states its result.
 //!

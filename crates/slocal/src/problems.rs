@@ -1,7 +1,7 @@
 //! Problem definitions, verifiers, and locality accounting for local
 //! reductions.
 //!
-//! The class **P-SLOCAL** ([GKM17]) contains the problems solvable with
+//! The class **P-SLOCAL** (\[GKM17\]) contains the problems solvable with
 //! polylogarithmic locality in the SLOCAL model; a problem is
 //! P-SLOCAL-complete if it is in the class and every problem of the
 //! class locally reduces to it. This module gives the reproduction's
@@ -41,7 +41,7 @@ impl Error for Violation {}
 ///
 /// Verifiers run in time polynomial in the graph; efficiency of
 /// verification is what places randomized-LOCAL-solvable problems in
-/// P-SLOCAL ([GHK18], as cited by the paper).
+/// P-SLOCAL (\[GHK18\], as cited by the paper).
 pub trait GraphProblem {
     /// The output type a solution assigns to the graph.
     type Output;

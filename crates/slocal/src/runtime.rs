@@ -1,7 +1,7 @@
 //! The SLOCAL executor: processes nodes in an arbitrary order, handing
 //! each one a radius-`r` [`View`] of the current global state.
 //!
-//! The model ([GKM17], recalled in the paper's introduction) measures an
+//! The model (\[GKM17\], recalled in the paper's introduction) measures an
 //! algorithm solely by its *locality* `r`. The runtime therefore
 //! reports, besides the declared `r`, the **realized** locality — the
 //! largest radius any process step actually touched — plus volume

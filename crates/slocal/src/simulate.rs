@@ -5,7 +5,7 @@
 //! efficiently by a deterministic algorithm in the LOCAL model all
 //! problems in the class P-SLOCAL can be solved efficiently by
 //! deterministic algorithms."* The engine of that implication (from
-//! [GKM17]) is the classic simulation: given a `(c, d)`-network
+//! \[GKM17\]) is the classic simulation: given a `(c, d)`-network
 //! decomposition of the power graph `G^{2r}`, a locality-`r` SLOCAL
 //! algorithm runs in LOCAL by sweeping the `c` color classes; clusters
 //! of one class are pairwise at distance `≥ 2r + 1` in `G`, so their

@@ -75,6 +75,9 @@ pub mod names {
     pub const PHASE: &str = "phase";
     /// One oracle invocation (index = attempt number where retried).
     pub const ORACLE: &str = "oracle";
+    /// One connected component solved by the component-parallel
+    /// executor (index = component id; children are its oracle calls).
+    pub const COMPONENT: &str = "component";
     /// Phase commit: decode, merge palette, rescan residual edges.
     pub const COMMIT: &str = "commit";
     /// One LOCAL-model execution.

@@ -69,6 +69,17 @@ pub enum Counter {
     SlocalViews,
     /// Total vertices across all SLOCAL views (the run's volume).
     SlocalViewVolume,
+    /// Connected components a phase's conflict graph decomposed into
+    /// (component-parallel executor; only emitted on the parallel
+    /// path, so 0 means the serial fast path ran).
+    Components,
+    /// Conflict-graph nodes of the largest component of a phase
+    /// (attributed to the phase span — a gauge recorded once per
+    /// decomposed phase).
+    LargestComponent,
+    /// Oracle invocations issued through the component-parallel
+    /// executor (one per component per phase attempt).
+    ParallelOracleCalls,
 }
 
 impl Counter {
@@ -88,6 +99,9 @@ impl Counter {
             Counter::LocalMessages => "local_messages",
             Counter::SlocalViews => "slocal_views",
             Counter::SlocalViewVolume => "slocal_view_volume",
+            Counter::Components => "components",
+            Counter::LargestComponent => "largest_component",
+            Counter::ParallelOracleCalls => "parallel_oracle_calls",
         }
     }
 }

@@ -4,18 +4,24 @@
 //! pslocal gen planted --n 80 --m 40 --k 4 [--seed S] > instance.hg
 //! pslocal gen gnp --n 100 --p 0.05 [--seed S]        > graph.g
 //! pslocal stats    < instance.hg | graph.g
-//! pslocal maxis  [--oracle NAME] [--seed S]          < graph.g
-//! pslocal reduce --k 4 [--oracle NAME] [--seed S]    < instance.hg
+//! pslocal maxis  [--oracle NAME] [--threads T] [--seed S]       < graph.g
+//! pslocal reduce --k 4 [--oracle NAME] [--threads T] [--seed S] < instance.hg
 //! ```
 //!
 //! Oracles: `exact`, `greedy`, `luby`, `clique-removal`, `decomposition`.
-//! Inputs use the text formats of `pslocal_graph::io`.
+//! Inputs use the text formats of `pslocal_graph::io`. `--threads T`
+//! opts into component-parallel execution: disconnected (conflict)
+//! graphs are solved one connected component per worker, merged
+//! deterministically (see `pslocal_core::components`).
 
 use pslocal::cfcolor::checker;
 use pslocal::core::{
-    reduce_cf_to_maxis, reduce_cf_to_maxis_traced, ConflictGraph, ReductionConfig,
+    parallel_independent_set, reduce_cf_to_maxis, reduce_cf_to_maxis_traced, ConflictGraph,
+    ParallelismOptions, ReductionConfig,
 };
-use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal::graph::generators::hyper::{
+    multi_component_cf_instance, planted_cf_instance, PlantedCfParams,
+};
 use pslocal::graph::generators::random::gnp;
 use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
 use pslocal::graph::{GraphStats, HypergraphStats};
@@ -35,13 +41,19 @@ USAGE:
   pslocal gen planted --n N --m M --k K [--epsilon E] [--seed S]
   pslocal gen gnp --n N --p P [--seed S]
   pslocal stats                 (reads a graph or hypergraph on stdin)
-  pslocal maxis [--oracle O] [--seed S]         (graph on stdin)
-  pslocal reduce --k K [--oracle O] [--seed S]  (hypergraph on stdin)
+  pslocal maxis [--oracle O] [--threads T] [--seed S]        (graph on stdin)
+  pslocal reduce --k K [--oracle O] [--threads T] [--seed S] (hypergraph on stdin)
   pslocal trace-report [--n N] [--m M] [--k K] [--oracle O] [--seed S]
                                 (run a planted reduction, render the
                                  span tree + per-phase timeline)
-  pslocal bench-report [--oracle O] [--seed S] [--iters I] [--out FILE]
+  pslocal bench-report [--oracle O] [--seed S] [--iters I] [--threads T]
+                       [--out FILE]
                                 (perf baseline -> BENCH_reduction.json)
+
+PARALLELISM (maxis / reduce / bench-report):
+  --threads T           solve connected components on up to T workers
+                        (default 1 = serial; results are identical for
+                         every thread count, merged by component id)
 
 TELEMETRY (maxis / reduce / trace-report / bench-report):
   --trace               render the span tree to stdout after the run
@@ -98,6 +110,15 @@ impl Args {
 
     fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
         self.parsed(key)?.ok_or_else(|| format!("missing required option --{key}"))
+    }
+}
+
+/// Parses `--threads` (default 1 = serial) into [`ParallelismOptions`],
+/// rejecting 0 with a CLI error instead of the library's panic.
+fn threads_opt(args: &Args) -> Result<ParallelismOptions, String> {
+    match args.parsed::<usize>("threads")?.unwrap_or(1) {
+        0 => Err("--threads must be at least 1".to_string()),
+        t => Ok(ParallelismOptions::with_threads(t)),
     }
 }
 
@@ -215,15 +236,17 @@ fn cmd_stats() -> Result<(), String> {
 fn cmd_maxis(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let opts = TraceOpts::from(args);
+    let par = threads_opt(args)?;
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
     let g = read_graph(&read_stdin()?).map_err(|e| e.to_string())?;
     let set = if opts.wanted() {
         let tel = Telemetry::new(MemorySink::new());
-        let set = TracedOracle::new(oracle.as_ref(), &tel).independent_set(&g);
+        let traced = TracedOracle::new(oracle.as_ref(), &tel);
+        let set = parallel_independent_set(&g, &traced, par);
         opts.emit(tel.sink())?;
         set
     } else {
-        oracle.independent_set(&g)
+        parallel_independent_set(&g, oracle.as_ref(), par)
     };
     println!(
         "c oracle = {}, |I| = {}, guarantee = {}",
@@ -241,16 +264,17 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let k: usize = args.required("k")?;
     let opts = TraceOpts::from(args);
+    let config = ReductionConfig { parallelism: threads_opt(args)?, ..ReductionConfig::new(k) };
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
     let h = read_hypergraph(&read_stdin()?).map_err(|e| e.to_string())?;
     let out = if opts.wanted() {
         let tel = Telemetry::new(MemorySink::new());
-        let out = reduce_cf_to_maxis_traced(&h, oracle.as_ref(), ReductionConfig::new(k), &tel)
+        let out = reduce_cf_to_maxis_traced(&h, oracle.as_ref(), config, &tel)
             .map_err(|e| format!("reduction failed: {e}"))?;
         opts.emit(tel.sink())?;
         out
     } else {
-        reduce_cf_to_maxis(&h, oracle.as_ref(), ReductionConfig::new(k))
+        reduce_cf_to_maxis(&h, oracle.as_ref(), config)
             .map_err(|e| format!("reduction failed: {e}"))?
     };
     assert!(checker::is_conflict_free(&h, &out.coloring));
@@ -356,9 +380,40 @@ fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// The bench-report's component-parallel measurement: one reduction
+/// over a disjoint union of planted copies, timed serial vs. `threads`
+/// workers.
+struct ParallelBench {
+    copies: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+    threads: usize,
+    /// CPUs the host actually offers — the number that decides whether
+    /// `threads` workers can speed anything up (1 CPU cannot).
+    host_threads: usize,
+    serial_ns: u128,
+    parallel_ns: u128,
+}
+
+impl ParallelBench {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ns == 0 {
+            0.0
+        } else {
+            self.serial_ns as f64 / self.parallel_ns as f64
+        }
+    }
+}
+
 fn cmd_bench_report(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let iters: usize = args.parsed("iters")?.unwrap_or(3);
+    // The serial-vs-parallel comparison defaults to 4 workers.
+    let threads = match args.parsed::<usize>("threads")?.unwrap_or(4) {
+        0 => return Err("--threads must be at least 1".to_string()),
+        t => t,
+    };
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
     let out_path = args.get("out").unwrap_or("BENCH_reduction.json").to_string();
     let metrics_out = args.get("metrics-out").map(String::from);
@@ -426,12 +481,46 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         });
     }
 
+    // Component-parallel phase execution on a multi-component planted
+    // instance (8 vertex-disjoint copies, so the conflict graph has ≥ 8
+    // components): one full reduction, serial vs. `threads` workers.
+    // Same work, same result (the executor is thread-count-invariant);
+    // only the wall clock moves.
+    let (pn, pm, pk, copies) = (128usize, 64usize, 8usize, 8usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pinst = multi_component_cf_instance(&mut rng, PlantedCfParams::new(pn, pm, pk), copies);
+    let ph = &pinst.hypergraph;
+    let serial_cfg = ReductionConfig::new(pk);
+    let parallel_cfg = serial_cfg.with_threads(threads);
+    let serial_ns = median_ns(iters, || {
+        std::hint::black_box(
+            reduce_cf_to_maxis(ph, oracle.as_ref(), serial_cfg)
+                .expect("certified oracle completes on planted instances"),
+        );
+    });
+    let parallel_ns = median_ns(iters, || {
+        std::hint::black_box(
+            reduce_cf_to_maxis(ph, oracle.as_ref(), parallel_cfg)
+                .expect("certified oracle completes on planted instances"),
+        );
+    });
+    let parallel = ParallelBench {
+        copies,
+        n: ph.node_count(),
+        m: ph.edge_count(),
+        k: pk,
+        threads,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        serial_ns,
+        parallel_ns,
+    };
+
     // Hand-rolled JSON: the vendored serde stub has no serializer and
     // the container has no serde_json; the schema below is frozen so
     // future PRs can diff perf trajectories mechanically.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"pslocal-bench-reduction/v2\",\n");
+    json.push_str("  \"schema\": \"pslocal-bench-reduction/v3\",\n");
     json.push_str(&format!("  \"oracle\": \"{}\",\n", oracle.name()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
@@ -460,7 +549,22 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"parallel\": {{\"copies\": {}, \"n\": {}, \"m\": {}, \"k\": {}, \
+         \"threads\": {}, \"host_threads\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \
+         \"speedup\": {:.2}}}\n",
+        parallel.copies,
+        parallel.n,
+        parallel.m,
+        parallel.k,
+        parallel.threads,
+        parallel.host_threads,
+        parallel.serial_ns,
+        parallel.parallel_ns,
+        parallel.speedup(),
+    ));
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
     println!("wrote {out_path}");
@@ -486,6 +590,19 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             e.tel_reduction_ns / 1000,
         );
     }
+    println!(
+        "parallel: {} copies of (n={}, m={}, k={}): serial={}us, {} threads={}us \
+         ({:.2}x on a {}-CPU host)",
+        parallel.copies,
+        pn,
+        pm,
+        parallel.k,
+        parallel.serial_ns / 1000,
+        parallel.threads,
+        parallel.parallel_ns / 1000,
+        parallel.speedup(),
+        parallel.host_threads,
+    );
     if let Some(path) = &metrics_out {
         println!("appended telemetry events to {path}");
     }

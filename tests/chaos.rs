@@ -25,13 +25,15 @@
 use proptest::prelude::*;
 use pslocal::cfcolor::checker;
 use pslocal::core::{
-    reduce_cf_resilient, reduce_cf_resilient_traced, reduce_cf_to_maxis, FaultEvent,
-    FaultEventKind, ReductionConfig, ReductionError, ResilientConfig, ResilientFailure,
-    ResilientOutcome,
+    reduce_cf_resilient, reduce_cf_resilient_traced, reduce_cf_to_maxis, ComponentPartition,
+    ConflictGraph, FaultEvent, FaultEventKind, ReductionConfig, ReductionError, ResilientConfig,
+    ResilientFailure, ResilientOutcome,
 };
-use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfInstance, PlantedCfParams};
+use pslocal::graph::generators::hyper::{
+    multi_component_cf_instance, planted_cf_instance, PlantedCfInstance, PlantedCfParams,
+};
 use pslocal::graph::Hypergraph;
-use pslocal::maxis::{FaultPlan, FaultyOracle, GreedyOracle, MaxIsOracle};
+use pslocal::maxis::{FaultKind, FaultPlan, FaultyOracle, GreedyOracle, MaxIsOracle};
 use pslocal::telemetry::{names, Counter, MemorySink, Telemetry};
 use rand::SeedableRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -291,5 +293,160 @@ proptest! {
         prop_assert_eq!(out.retries, 0);
         prop_assert_eq!(out.fallbacks_engaged, 0);
         prop_assert!(faulty.fault_log().is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component-parallel chaos: faults on the decomposed path stay local.
+// ---------------------------------------------------------------------------
+
+/// Span-shape check for *parallel* phases (the serial
+/// [`assert_telemetry_consistent`] shape — oracle spans directly under
+/// phase spans — does not apply once phases decompose):
+///
+/// * no orphaned spans;
+/// * every `component` span hangs off a `phase` span;
+/// * every `oracle` span hangs off either a `component` span (decomposed
+///   phase) or a `phase` span (serial fast-path phase), and at least one
+///   of the former exists;
+/// * the `components` counter was emitted.
+fn assert_parallel_span_shape(sink: &MemorySink) {
+    assert!(sink.open_spans().is_empty(), "orphaned spans after the run");
+    let spans = sink.spans();
+    let phase_ids: std::collections::HashSet<_> =
+        spans.iter().filter(|s| s.name == names::PHASE).map(|s| s.id).collect();
+    let comp_spans: Vec<_> = spans.iter().filter(|s| s.name == names::COMPONENT).collect();
+    assert!(!comp_spans.is_empty(), "a decomposed run must record component spans");
+    for c in &comp_spans {
+        assert!(
+            c.parent.is_some_and(|p| phase_ids.contains(&p)),
+            "component spans hang off phase spans"
+        );
+    }
+    let comp_ids: std::collections::HashSet<_> = comp_spans.iter().map(|s| s.id).collect();
+    let mut under_component = 0usize;
+    for o in spans.iter().filter(|s| s.name == names::ORACLE) {
+        let parent = o.parent.expect("oracle spans are never roots");
+        assert!(
+            comp_ids.contains(&parent) || phase_ids.contains(&parent),
+            "oracle spans hang off component or phase spans"
+        );
+        under_component += usize::from(comp_ids.contains(&parent));
+    }
+    assert!(under_component > 0, "decomposed phases record oracle spans under components");
+    assert!(sink.counter_total(Counter::Components) > 0, "components counter emitted");
+}
+
+/// One scripted panic against a multi-component instance on the
+/// parallel resilient path: the fault is isolated to the component it
+/// hit. Exactly ONE extra oracle call happens (that component's retry —
+/// not a whole-phase redo), the fault log carries the component id, and
+/// the outcome is byte-identical to a clean parallel run.
+#[test]
+fn component_fault_retries_only_its_component() {
+    let k = 3usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let inst = multi_component_cf_instance(&mut rng, PlantedCfParams::new(24, 6, k), 4);
+    let parts = ComponentPartition::of(ConflictGraph::build(&inst.hypergraph, k).graph()).len();
+    assert!(parts >= 4, "disjoint copies must yield ≥ 4 components, got {parts}");
+
+    let mut config = ResilientConfig::new(k);
+    config.base = config.base.with_threads(2);
+
+    // Clean parallel baseline: how many oracle calls does the run make,
+    // and what does it produce?
+    let clean = FaultyOracle::new(GreedyOracle, FaultPlan::none());
+    let base = reduce_cf_resilient(&inst.hypergraph, &[&clean], config)
+        .expect("clean parallel run completes");
+    let baseline_calls = clean.calls();
+    assert!(baseline_calls >= parts, "phase 0 alone solves each component");
+
+    // Same run, but the first oracle call (whichever component's worker
+    // claims it) panics.
+    let faulty = FaultyOracle::new(GreedyOracle, FaultPlan::scripted(vec![Some(FaultKind::Panic)]));
+    let tel = Telemetry::new(MemorySink::new());
+    let out = reduce_cf_resilient_traced(&inst.hypergraph, &[&faulty], config, &tel)
+        .expect("one panicking component must not sink the run");
+
+    // Isolation: exactly one extra call — the faulted component was
+    // re-solved alone, the other components' results were kept.
+    assert_eq!(faulty.calls(), baseline_calls + 1, "only the faulted component may be retried");
+    assert_eq!(out.retries, 1, "one component retry, not a phase redo");
+    assert_eq!(out.fallbacks_engaged, 0);
+
+    // The fault log pins the event to a component.
+    assert_eq!(out.fault_log.len(), 1);
+    let event = &out.fault_log[0];
+    assert_eq!(event.kind, FaultEventKind::OraclePanicked);
+    assert_eq!(event.phase, 0);
+    assert!(event.component.is_some(), "parallel-path faults carry their component id");
+    assert!(event.component.unwrap() < parts);
+
+    // Recovery is exact: same records and coloring as the clean run.
+    assert_eq!(out.reduction.records, base.reduction.records);
+    assert_eq!(out.reduction.coloring, base.reduction.coloring);
+    assert!(checker::is_conflict_free(&inst.hypergraph, &out.reduction.coloring));
+
+    // Telemetry has the parallel shape and mirrors the fault log.
+    assert_parallel_span_shape(tel.sink());
+    assert_eq!(tel.sink().counter_total(Counter::FaultEvents), 1);
+    assert!(tel.sink().counter_total(Counter::ParallelOracleCalls) >= parts as u64);
+}
+
+/// The core chaos invariant — never a panic, never an invalid coloring,
+/// typed errors with verified salvage — restated for the *parallel*
+/// resilient driver. Scheduling races make the call order (and thus
+/// which component a seeded fault lands on) nondeterministic, so this
+/// asserts only schedule-independent properties.
+fn assert_parallel_invariant(h: &Hypergraph, k: usize, fault_seed: u64, rate: f64, threads: usize) {
+    let faulty = FaultyOracle::new(GreedyOracle, FaultPlan::seeded(fault_seed, rate));
+    let chain: Vec<&dyn MaxIsOracle> = vec![&faulty, &GreedyOracle];
+    let mut config = ResilientConfig::new(k);
+    config.base = config.base.with_threads(threads);
+
+    let result = catch_unwind(AssertUnwindSafe(|| reduce_cf_resilient(h, &chain, config)))
+        .unwrap_or_else(|_| {
+            panic!("parallel driver panicked (seed {fault_seed}, rate {rate}, {threads} threads)")
+        });
+    match result {
+        Ok(out) => {
+            assert!(
+                checker::is_conflict_free(h, &out.reduction.coloring),
+                "parallel driver returned a non-conflict-free coloring"
+            );
+            let mut prev = h.edge_count();
+            for r in &out.reduction.records {
+                assert_eq!(r.edges_before, prev);
+                prev = r.edges_after;
+            }
+            assert_eq!(prev, 0);
+        }
+        Err(fail) => {
+            for e in h.edge_ids() {
+                let happy = checker::is_edge_happy(h, &fail.partial.coloring, e);
+                assert_eq!(happy, !fail.partial.residual_edges.contains(&e));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chaos invariant on the component-parallel path: multi-component
+    /// instances, 2 worker threads, seeded fault schedules at every
+    /// experiment rate.
+    #[test]
+    fn parallel_resilient_driver_survives_fault_schedules(
+        seed in 0u64..5000,
+        copies in 2usize..5,
+        fault_seed in 0u64..1_000_000,
+        rate_idx in 0usize..RATES.len(),
+    ) {
+        let k = 3usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst =
+            multi_component_cf_instance(&mut rng, PlantedCfParams::new(24, 5, k), copies);
+        assert_parallel_invariant(&inst.hypergraph, k, fault_seed, RATES[rate_idx], 2);
     }
 }

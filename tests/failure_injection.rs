@@ -30,7 +30,7 @@ fn contract_free_oracle_with_override_can_exhaust_budget() {
     let h = planted(2);
     // One vertex per phase with λ = 1.5 budget: ρ = ⌈1.5·ln 18⌉ + 1 = 6
     // phases, but 18 edges need 18 singleton phases — exhaustion.
-    let config = ReductionConfig { k: 3, lambda_override: Some(1.5), max_phases: None };
+    let config = ReductionConfig { lambda_override: Some(1.5), ..ReductionConfig::new(3) };
     let err = reduce_cf_to_maxis(&h, &WorstWitnessOracle, config).unwrap_err();
     match err {
         ReductionError::PhaseBudgetExhausted { rho, remaining_edges } => {
@@ -110,7 +110,7 @@ fn precision_oracle_at_the_budget_envelope_uses_exactly_rho_phases() {
         (0..8).map(|i| vec![2 * i, 2 * i + 1]).collect::<Vec<_>>(),
     )
     .unwrap();
-    let config = ReductionConfig { k: 2, lambda_override: Some(3.0), max_phases: None };
+    let config = ReductionConfig { lambda_override: Some(3.0), ..ReductionConfig::new(2) };
     let out = reduce_cf_to_maxis(&h, &PrecisionOracle::new(1000.0), config).unwrap();
     assert_eq!(out.rho, 8);
     assert_eq!(out.phases_used, out.rho, "completes with zero budget slack");
@@ -123,7 +123,11 @@ fn precision_oracle_at_the_budget_envelope_uses_exactly_rho_phases() {
 fn starved_max_phases_cannot_mask_success_reporting() {
     let h = planted(5);
     for budget in 0..3 {
-        let config = ReductionConfig { k: 3, lambda_override: Some(4.0), max_phases: Some(budget) };
+        let config = ReductionConfig {
+            lambda_override: Some(4.0),
+            max_phases: Some(budget),
+            ..ReductionConfig::new(3)
+        };
         let result = reduce_cf_to_maxis(&h, &PrecisionOracle::new(4.0), config);
         match result {
             Ok(out) => assert!(out.phases_used <= budget),

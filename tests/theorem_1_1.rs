@@ -51,7 +51,7 @@ fn phase_budget_matches_paper_formula_under_weak_oracles() {
     // finish within ρ because greedy's actual performance beats λ = 2
     // on these dense conflict graphs.
     let inst = planted_cf_instance(&mut rng(5), PlantedCfParams::new(40, 20, 3));
-    let config = ReductionConfig { k: 3, lambda_override: Some(2.0), max_phases: None };
+    let config = ReductionConfig { lambda_override: Some(2.0), ..ReductionConfig::new(3) };
     let out = reduce_cf_to_maxis(&inst.hypergraph, &GreedyOracle, config).unwrap();
     assert_eq!(out.rho, ReductionConfig::rho(2.0, 20));
     assert!(out.phases_used <= out.rho);
