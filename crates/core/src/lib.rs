@@ -74,6 +74,7 @@ pub mod conflict_graph;
 pub mod containment;
 pub mod correspondence;
 pub mod distributed;
+pub mod recovery;
 pub mod reduction;
 pub mod resilient;
 pub mod simulation;
@@ -93,12 +94,18 @@ pub use correspondence::{
 pub use distributed::{
     distributed_reduction, distributed_reduction_with, DistributedPhase, DistributedReduction,
 };
+pub use recovery::{
+    crc32, fingerprint_graph, fingerprint_hypergraph, inspect_journal, Checkpointing, CrashMode,
+    CrashPlan, DriverKind, JournalError, JournalHeader, JournalInspection, JournalPhase, OpenStats,
+    PhaseJournal, RecoveryReport, StoredFaultEvent, JOURNAL_FILE_NAME,
+};
 pub use reduction::{
-    lemma_2_1_quota, oracle_locality, reduce_cf_to_maxis, reduce_cf_to_maxis_traced, PhaseRecord,
-    ReductionConfig, ReductionError, ReductionOutcome,
+    lemma_2_1_quota, oracle_locality, reduce_cf_to_maxis, reduce_cf_to_maxis_resumable,
+    reduce_cf_to_maxis_traced, PhaseRecord, ReductionConfig, ReductionError, ReductionOutcome,
 };
 pub use resilient::{
-    reduce_cf_resilient, reduce_cf_resilient_traced, stall_budget, FaultEvent, FaultEventKind,
-    PartialOutcome, ResilientConfig, ResilientFailure, ResilientOutcome,
+    reduce_cf_resilient, reduce_cf_resilient_resumable, reduce_cf_resilient_traced, stall_budget,
+    FaultEvent, FaultEventKind, PartialOutcome, ResilientConfig, ResilientFailure,
+    ResilientOutcome,
 };
 pub use simulation::{host_of, simulate_in_hypergraph, SimulationReport};

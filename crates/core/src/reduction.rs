@@ -20,9 +20,12 @@
 use crate::components::{ComponentExecutor, ParallelismOptions};
 use crate::conflict_graph::{csr_bytes, ConflictGraph};
 use crate::correspondence;
+use crate::recovery::{
+    self, Checkpointing, DriverKind, JournalPhase, PhaseJournal, RecoveryReport,
+};
 use pslocal_cfcolor::{checker, Multicoloring};
 use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, Palette};
-use pslocal_maxis::MaxIsOracle;
+use pslocal_maxis::{CrashPoint, MaxIsOracle};
 use pslocal_slocal::LocalityBudget;
 use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Span, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -56,6 +59,60 @@ pub fn lemma_2_1_quota(edges: usize, lambda: f64) -> usize {
     } else {
         (edges as f64 / lambda).ceil() as usize
     }
+}
+
+/// The largest residual edge count a phase may leave behind under the
+/// Lemma 2.1 geometric-decay invariant: `⌊(1 − 1/λ)·|E_i|⌋`. Shared by
+/// both drivers' decay checks and the recovery layer's replay
+/// re-check, so the three enforcement sites cannot drift.
+pub(crate) fn decay_allowed(edges_before: usize, lambda: f64) -> usize {
+    ((1.0 - 1.0 / lambda) * edges_before as f64).floor() as usize
+}
+
+/// One phase's commit, exactly as both drivers (and journal replay)
+/// perform it: decode the partial coloring from the accepted
+/// independent set (Lemma 2.1 b), merge it under the phase's fresh
+/// palette, and drop the edges it made happy. `keep_pos` holds the
+/// survivors' positions *within the incoming residual* — their
+/// hyperedge ids inside `cg`'s hypergraph, which is what the
+/// incremental conflict-graph restriction consumes.
+pub(crate) struct PhaseCommit {
+    pub keep_pos: Vec<HyperedgeId>,
+    pub edges_after: usize,
+}
+
+/// The single shared implementation of the phase commit. The trusting
+/// driver, the resilient driver, and journal replay all call this one
+/// function, which is what makes a resumed run byte-identical to an
+/// uninterrupted one *by construction* rather than by parallel
+/// maintenance of three copies.
+pub(crate) fn commit_phase(
+    h: &Hypergraph,
+    cg: &ConflictGraph,
+    set: &IndependentSet,
+    k: usize,
+    phase: usize,
+    coloring: &mut Multicoloring,
+    residual: &mut Vec<HyperedgeId>,
+) -> PhaseCommit {
+    // Lemma 2.1 b): decode the partial coloring f_{I_i}, under a fresh
+    // palette per phase.
+    let decoded = correspondence::lemma_2_1b(cg, set);
+    let phase_colors = correspondence::apply_palette(&decoded.coloring, Palette::phase(k, phase));
+    coloring.merge(&phase_colors);
+    // Remove happy edges (at least |I_i| of them by the lemma; new
+    // colors never un-happy an edge, so checking the cumulative
+    // coloring is sound).
+    let mut keep_pos: Vec<HyperedgeId> = Vec::new();
+    let mut survivors: Vec<HyperedgeId> = Vec::new();
+    for (pos, &e) in residual.iter().enumerate() {
+        if !checker::is_edge_happy(h, coloring, e) {
+            keep_pos.push(HyperedgeId::new(pos));
+            survivors.push(e);
+        }
+    }
+    *residual = survivors;
+    PhaseCommit { keep_pos, edges_after: residual.len() }
 }
 
 /// Configuration of the reduction.
@@ -191,6 +248,16 @@ pub enum ReductionError {
         /// Total oracle attempts spent in that phase.
         attempts: usize,
     },
+    /// A checkpointing run could not read or durably write its phase
+    /// journal, or the journal belongs to a different run
+    /// configuration. The reduction state itself is fine — this is the
+    /// recovery layer (`crate::recovery`) refusing to continue without
+    /// durability rather than silently degrading to a non-resumable
+    /// run.
+    CheckpointFailed {
+        /// The underlying journal error, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for ReductionError {
@@ -211,6 +278,9 @@ impl fmt::Display for ReductionError {
                 f,
                 "phase {phase}: no oracle produced an acceptable set in {attempts} attempts"
             ),
+            ReductionError::CheckpointFailed { message } => {
+                write!(f, "checkpointing failed: {message}")
+            }
         }
     }
 }
@@ -248,6 +318,41 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
     config: ReductionConfig,
     tel: &Telemetry<S>,
 ) -> Result<ReductionOutcome, ReductionError> {
+    reduce_trusting_inner(h, oracle, config, tel, None).map(|(outcome, _)| outcome)
+}
+
+/// [`reduce_cf_to_maxis_traced`] with crash-safe checkpointing: every
+/// committed phase is durably appended to the [`PhaseJournal`] in
+/// `checkpoint.dir`, and with [`Checkpointing::resume`] an existing
+/// journal is replayed (each record re-validated against the instance —
+/// see [`crate::recovery`]) so the run continues from the last good
+/// phase. The outcome is **byte-identical** to an uninterrupted run:
+/// replay re-commits through the same code path and
+/// [`MaxIsOracle::resume_at`] repositions per-call oracle state.
+///
+/// # Errors
+///
+/// See [`ReductionError`]; additionally
+/// [`ReductionError::CheckpointFailed`] when the journal cannot be
+/// read or durably written, or belongs to a different run
+/// configuration.
+pub fn reduce_cf_to_maxis_resumable<O: MaxIsOracle + ?Sized, S: Sink>(
+    h: &Hypergraph,
+    oracle: &O,
+    config: ReductionConfig,
+    checkpoint: &Checkpointing,
+    tel: &Telemetry<S>,
+) -> Result<(ReductionOutcome, RecoveryReport), ReductionError> {
+    reduce_trusting_inner(h, oracle, config, tel, Some(checkpoint))
+}
+
+fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
+    h: &Hypergraph,
+    oracle: &O,
+    config: ReductionConfig,
+    tel: &Telemetry<S>,
+    checkpoint: Option<&Checkpointing>,
+) -> Result<(ReductionOutcome, RecoveryReport), ReductionError> {
     let root = span!(tel, names::REDUCTION);
     let m = h.edge_count();
     let k = config.k;
@@ -268,42 +373,68 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
     let rho = ReductionConfig::rho(lambda, m);
     let budget = config.max_phases.unwrap_or(rho).min(rho);
 
-    let mut records = Vec::new();
-    let mut phase = 0usize;
+    // The decay invariant is enforced only for oracles whose λ is
+    // rigorous per instance: exact (λ = 1) and maximal-IS-based
+    // (λ = Δ+1) guarantees. Asymptotic guarantees (clique removal's
+    // O(n/log²n)) and conditional ones (decomposition with greedy
+    // fallback) are measured by the experiments instead.
+    let certified = matches!(
+        oracle.guarantee(),
+        pslocal_maxis::ApproxGuarantee::Exact | pslocal_maxis::ApproxGuarantee::MaxDegreePlusOne
+    );
+    let enforce_decay = certified && config.lambda_override.is_none() && lambda >= 1.0;
+
     // Phase-incremental pipeline: `G_k^{i+1}` is the induced subgraph
     // of `G_k^i` on the surviving hyperedges' triple blocks (removing
     // edges never creates conflicts), so each later phase filters the
     // retained CSR rows of the previous graph instead of re-running the
     // construction kernel — see `ConflictGraph::restrict_to_edges`.
     let mut cg = first_cg;
+    let mut records = Vec::new();
+    let mut phase = 0usize;
+    // Cumulative oracle calls (single chain slot): the resume position
+    // `MaxIsOracle::resume_at` needs to keep per-call state aligned.
+    let mut oracle_calls = 0u64;
+    let mut report = RecoveryReport::default();
+    let mut journal: Option<PhaseJournal> = None;
+    let crash = checkpoint.and_then(|c| c.crash.as_ref());
+
+    if let Some(ckpt) = checkpoint {
+        let ctx = recovery::ReplayCtx {
+            h,
+            driver: DriverKind::Trusting,
+            k,
+            lambda,
+            rho,
+            budget,
+            threads: config.parallelism.threads,
+            enforce_decay,
+            chain_names: vec![oracle.name()],
+        };
+        let replayed =
+            recovery::open_or_replay(&ctx, ckpt, &mut cg, &mut coloring, &mut residual, &root)
+                .map_err(|e| ReductionError::CheckpointFailed { message: e.to_string() })?;
+        phase = replayed.phase;
+        records = replayed.records;
+        oracle_calls = replayed.chain_calls[0];
+        report = replayed.report;
+        journal = Some(replayed.journal);
+        oracle.resume_at(oracle_calls as usize);
+    }
+
     while !residual.is_empty() && phase < budget {
         let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
-        let set = phase_independent_set(&cg, oracle, config.parallelism, &phase_span);
+        // The journal stores the conflict graph's fingerprint *at phase
+        // start* — the graph the set is about to be chosen on.
+        let cg_fingerprint = journal.as_ref().map(|_| recovery::fingerprint_graph(cg.graph()));
+        recovery::maybe_crash(crash, phase, CrashPoint::MidOracle);
+        let (set, calls) = phase_independent_set(&cg, oracle, config.parallelism, &phase_span);
+        oracle_calls += calls as u64;
+        recovery::maybe_crash(crash, phase, CrashPoint::AfterOracle);
         let commit_span = span!(phase_span, names::COMMIT);
-        // Lemma 2.1 b): decode the partial coloring f_{I_i}.
-        let decoded = correspondence::lemma_2_1b(&cg, &set);
-        // Fresh palette per phase.
-        let phase_colors =
-            correspondence::apply_palette(&decoded.coloring, Palette::phase(k, phase));
-        coloring.merge(&phase_colors);
-
-        // Remove happy edges (at least |I_i| of them by the lemma; new
-        // colors never un-happy an edge, so checking the cumulative
-        // coloring is sound). `keep_pos` records the survivors'
-        // positions *within the current residual*, i.e. their hyperedge
-        // ids inside `cg`'s hypergraph — the input the incremental
-        // restriction needs.
-        let mut keep_pos: Vec<HyperedgeId> = Vec::new();
-        let mut survivors: Vec<HyperedgeId> = Vec::new();
-        for (pos, &e) in residual.iter().enumerate() {
-            if !checker::is_edge_happy(h, &coloring, e) {
-                keep_pos.push(HyperedgeId::new(pos));
-                survivors.push(e);
-            }
-        }
-        residual = survivors;
-        let edges_after = residual.len();
+        let commit = commit_phase(h, &cg, &set, k, phase, &mut coloring, &mut residual);
+        let edges_after = commit.edges_after;
         commit_span.add(Counter::HappyEdges, (edges_before - edges_after) as u64);
         commit_span.close();
         phase_span.add(Counter::EdgesRemoved, (edges_before - edges_after) as u64);
@@ -319,31 +450,44 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
             edges_after,
         });
 
-        // The decay invariant is enforced only for oracles whose λ is
-        // rigorous per instance: exact (λ = 1) and maximal-IS-based
-        // (λ = Δ+1) guarantees. Asymptotic guarantees (clique removal's
-        // O(n/log²n)) and conditional ones (decomposition with greedy
-        // fallback) are measured by the experiments instead.
-        let certified = matches!(
-            oracle.guarantee(),
-            pslocal_maxis::ApproxGuarantee::Exact
-                | pslocal_maxis::ApproxGuarantee::MaxDegreePlusOne
-        );
-        if certified && config.lambda_override.is_none() && lambda >= 1.0 {
-            let allowed = ((1.0 - 1.0 / lambda) * edges_before as f64).floor() as usize;
-            if edges_after > allowed {
-                return Err(ReductionError::DecayViolated {
-                    phase,
-                    before: edges_before,
-                    after: edges_after,
-                    lambda,
-                });
-            }
+        if enforce_decay && edges_after > decay_allowed(edges_before, lambda) {
+            return Err(ReductionError::DecayViolated {
+                phase,
+                before: edges_before,
+                after: edges_after,
+                lambda,
+            });
         }
+
+        if let Some(j) = journal.as_mut() {
+            recovery::maybe_crash(crash, phase, CrashPoint::BeforeJournal);
+            let write_span = span!(phase_span, names::CHECKPOINT_WRITE);
+            let entry = JournalPhase {
+                phase,
+                cg_fingerprint: cg_fingerprint.expect("computed while journaling"),
+                set: set.vertices().iter().map(|v| v.index() as u64).collect(),
+                record: records.last().expect("just pushed").clone(),
+                // The trusting driver enforces no delivery quota.
+                quota_required: 0,
+                primary: true,
+                chain_calls: vec![oracle_calls],
+                retries: 0,
+                fallbacks: 0,
+                events: Vec::new(),
+            };
+            let bytes = j
+                .append_phase(entry)
+                .map_err(|e| ReductionError::CheckpointFailed { message: e.to_string() })?;
+            write_span.add(Counter::JournalBytes, bytes);
+            write_span.close();
+            report.journal_bytes = bytes;
+            recovery::maybe_crash(crash, phase, CrashPoint::AfterJournal);
+        }
+
         phase += 1;
         if !residual.is_empty() && phase < budget {
             let restrict_span = span!(phase_span, names::RESTRICT);
-            cg = cg.restrict_to_edges(&keep_pos);
+            cg = cg.restrict_to_edges(&commit.keep_pos);
             restrict_span.add(Counter::CsrBytes, csr_bytes(cg.graph()));
         }
     }
@@ -357,19 +501,22 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
 
     debug_assert!(checker::is_conflict_free(h, &coloring));
     let total_colors = coloring.total_color_count();
-    Ok(ReductionOutcome {
-        coloring,
-        lambda,
-        rho,
-        phases_used: phase,
-        total_colors,
-        records,
-        locality: LocalityBudget {
-            own_locality: 1,
-            oracle_calls: phase,
-            oracle_locality: oracle_locality(h.node_count()),
+    Ok((
+        ReductionOutcome {
+            coloring,
+            lambda,
+            rho,
+            phases_used: phase,
+            total_colors,
+            records,
+            locality: LocalityBudget {
+                own_locality: 1,
+                oracle_calls: phase,
+                oracle_locality: oracle_locality(h.node_count()),
+            },
         },
-    })
+        report,
+    ))
 }
 
 /// Obtains one phase's independent set. The serial path (one thread,
@@ -382,12 +529,16 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
 /// (each holding its own `oracle` child), and the per-component sets
 /// are merged under the machine-checked disjointness invariant.
 /// `Counter::OracleCalls` counts every oracle invocation either way.
+/// Returns the set alongside the number of `independent_set`
+/// invocations it consumed (1 serial, one per component parallel) —
+/// the quantity the checkpointing layer journals as the oracle's
+/// resume position.
 fn phase_independent_set<O: MaxIsOracle + ?Sized, S: Sink>(
     cg: &ConflictGraph,
     oracle: &O,
     parallelism: ParallelismOptions,
     phase_span: &Span<'_, S>,
-) -> IndependentSet {
+) -> (IndependentSet, usize) {
     if parallelism.is_parallel() {
         let exec = ComponentExecutor::new(cg.graph(), parallelism);
         if exec.should_decompose() {
@@ -404,7 +555,7 @@ fn phase_independent_set<O: MaxIsOracle + ?Sized, S: Sink>(
                 set
             });
             phase_span.add(Counter::OracleCalls, parts as u64);
-            return exec.merge(locals);
+            return (exec.merge(locals), parts);
         }
     }
     let oracle_span = span!(phase_span, names::ORACLE, 0);
@@ -412,12 +563,13 @@ fn phase_independent_set<O: MaxIsOracle + ?Sized, S: Sink>(
     oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
     oracle_span.close();
     phase_span.add(Counter::OracleCalls, 1);
-    set
+    (set, 1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::CrashPlan;
     use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
     use pslocal_maxis::{
         CliqueRemovalOracle, DecompositionOracle, ExactOracle, GreedyOracle, LubyOracle,
@@ -651,5 +803,115 @@ mod tests {
         // Re-derive cumulative unhappy counts from records.
         let final_unhappy = out.records.last().unwrap().edges_after;
         assert_eq!(final_unhappy, 0);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pslocal-reduction-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_resumes_as_noop() {
+        let k = 3;
+        let h = planted(21, 36, 15, k);
+        let base = reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k)).unwrap();
+        let dir = ckpt_dir("clean");
+        let tel = Telemetry::disabled();
+        let (out, report) = reduce_cf_to_maxis_resumable(
+            &h,
+            &GreedyOracle,
+            ReductionConfig::new(k),
+            &Checkpointing::new(&dir),
+            &tel,
+        )
+        .unwrap();
+        assert_eq!(out.records, base.records);
+        assert_eq!(out.coloring, base.coloring);
+        assert!(!report.resumed);
+        assert!(report.journal_bytes > 0);
+        // Resuming the *completed* journal replays every phase and runs
+        // zero new ones — the outcome is byte-identical.
+        let (again, report) = reduce_cf_to_maxis_resumable(
+            &h,
+            &GreedyOracle,
+            ReductionConfig::new(k),
+            &Checkpointing::new(&dir).resuming(),
+            &tel,
+        )
+        .unwrap();
+        assert!(report.resumed);
+        assert_eq!(report.phases_recovered, base.records.len());
+        assert_eq!(again.records, base.records);
+        assert_eq!(again.coloring, base.coloring);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_injected_crash_is_byte_identical() {
+        // A deliberately weak (λ = 4) oracle guarantees a multi-phase
+        // run; Greedy would finish planted instances in one phase.
+        let k = 3;
+        let h = planted(22, 40, 18, k);
+        let oracle = pslocal_maxis::PrecisionOracle::new(4.0);
+        let base = reduce_cf_to_maxis(&h, &oracle, ReductionConfig::new(k)).unwrap();
+        assert!(base.phases_used >= 2, "need a multi-phase run to interrupt");
+        let dir = ckpt_dir("crash");
+        let tel = Telemetry::disabled();
+        // Kill the run right before phase 1's journal append: phase 1's
+        // work is lost, phase 0 survives on disk.
+        let ckpt =
+            Checkpointing::new(&dir).with_crash(CrashPlan::panicking(1, CrashPoint::BeforeJournal));
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reduce_cf_to_maxis_resumable(&h, &oracle, ReductionConfig::new(k), &ckpt, &tel)
+        }))
+        .expect_err("kill point fires");
+        assert!(died.downcast_ref::<pslocal_maxis::CrashSignal>().is_some());
+        let (out, report) = reduce_cf_to_maxis_resumable(
+            &h,
+            &oracle,
+            ReductionConfig::new(k),
+            &Checkpointing::new(&dir).resuming(),
+            &tel,
+        )
+        .unwrap();
+        assert!(report.resumed);
+        assert_eq!(report.phases_recovered, 1);
+        assert_eq!(out.records, base.records);
+        assert_eq!(out.coloring, base.coloring);
+        assert_eq!(out.total_colors, base.total_colors);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_under_a_different_config_is_refused() {
+        let k = 3;
+        let h = planted(23, 36, 15, k);
+        let dir = ckpt_dir("mismatch");
+        let tel = Telemetry::disabled();
+        reduce_cf_to_maxis_resumable(
+            &h,
+            &GreedyOracle,
+            ReductionConfig::new(k),
+            &Checkpointing::new(&dir),
+            &tel,
+        )
+        .unwrap();
+        // Same journal, different oracle: the header no longer matches
+        // and the layer refuses rather than silently clobbering it.
+        let err = reduce_cf_to_maxis_resumable(
+            &h,
+            &ExactOracle,
+            ReductionConfig::new(k),
+            &Checkpointing::new(&dir).resuming(),
+            &tel,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReductionError::CheckpointFailed { .. }), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -35,20 +35,22 @@
 
 use crate::components::ComponentExecutor;
 use crate::conflict_graph::{csr_bytes, ConflictGraph};
-use crate::correspondence;
+use crate::recovery::{
+    self, Checkpointing, DriverKind, JournalPhase, PhaseJournal, RecoveryReport, StoredFaultEvent,
+};
 use crate::reduction::{
-    lemma_2_1_quota, oracle_locality, PhaseRecord, ReductionConfig, ReductionError,
-    ReductionOutcome,
+    commit_phase, decay_allowed, lemma_2_1_quota, oracle_locality, PhaseRecord, ReductionConfig,
+    ReductionError, ReductionOutcome,
 };
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_graph::{Graph, HyperedgeId, Hypergraph, IndependentSet, Palette};
-use pslocal_maxis::{ApproxGuarantee, MaxIsOracle};
+use pslocal_graph::{Graph, HyperedgeId, Hypergraph, IndependentSet};
+use pslocal_maxis::{ApproxGuarantee, CrashPoint, CrashSignal, MaxIsOracle};
 use pslocal_slocal::LocalityBudget;
 use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// The stall budget of attempt `retry` under exponential backoff:
 /// `base · 2^retry`, **saturating at `usize::MAX`** once the doubling
@@ -289,6 +291,48 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
     config: ResilientConfig,
     tel: &Telemetry<S>,
 ) -> Result<ResilientOutcome, ResilientFailure> {
+    reduce_resilient_inner(h, chain, config, tel, None).map(|(outcome, _)| outcome)
+}
+
+/// [`reduce_cf_resilient_traced`] with crash-safe checkpointing: every
+/// committed phase — including its fault events, per-slot oracle-call
+/// positions, and the quota actually enforced on the accepted set — is
+/// durably appended to the [`PhaseJournal`] in `checkpoint.dir`; with
+/// [`Checkpointing::resume`] an existing journal is replayed
+/// (corruption-tolerant, each record re-validated — see
+/// [`crate::recovery`]) and the run continues from the last good
+/// phase, with every oracle in the chain fast-forwarded through
+/// [`MaxIsOracle::resume_at`] so fault schedules stay aligned and the
+/// outcome is **byte-identical** to an uninterrupted run.
+///
+/// Injected *process* crashes (panics whose payload is a
+/// [`CrashSignal`]) are re-raised, never swallowed as retryable oracle
+/// faults — a process death must actually kill the run for the
+/// journal's durability to mean anything.
+///
+/// # Errors
+///
+/// See [`reduce_cf_resilient`]; journal I/O failures surface as
+/// [`ReductionError::CheckpointFailed`] with salvage.
+#[allow(clippy::result_large_err)]
+pub fn reduce_cf_resilient_resumable<S: Sink>(
+    h: &Hypergraph,
+    chain: &[&dyn MaxIsOracle],
+    config: ResilientConfig,
+    checkpoint: &Checkpointing,
+    tel: &Telemetry<S>,
+) -> Result<(ResilientOutcome, RecoveryReport), ResilientFailure> {
+    reduce_resilient_inner(h, chain, config, tel, Some(checkpoint))
+}
+
+#[allow(clippy::result_large_err)]
+fn reduce_resilient_inner<S: Sink>(
+    h: &Hypergraph,
+    chain: &[&dyn MaxIsOracle],
+    config: ResilientConfig,
+    tel: &Telemetry<S>,
+    checkpoint: Option<&Checkpointing>,
+) -> Result<(ResilientOutcome, RecoveryReport), ResilientFailure> {
     let root = span!(tel, names::REDUCTION);
     let m = h.edge_count();
     let k = config.base.k;
@@ -332,18 +376,74 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
     let rho = ReductionConfig::rho(lambda, m);
     let budget = config.base.max_phases.unwrap_or(rho).min(rho);
 
+    // Decay invariant applies to primary-accepted phases of a certified
+    // primary (mirrors the trusting driver); replay re-checks under the
+    // same gate.
+    let primary_certified =
+        matches!(chain[0].guarantee(), ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne);
+    let enforce_decay = primary_certified && config.base.lambda_override.is_none() && lambda >= 1.0;
+
     let mut retries = 0usize;
     let mut fallbacks_engaged = 0usize;
     let mut phase = 0usize;
+    // Cumulative `independent_set` invocations per chain slot: the
+    // resume positions `MaxIsOracle::resume_at` restores on resume.
+    let mut chain_calls: Vec<u64> = vec![0; chain.len()];
+    let mut report = RecoveryReport::default();
+    let mut journal: Option<PhaseJournal> = None;
+    let crash = checkpoint.and_then(|c| c.crash.as_ref());
     // Phase-incremental pipeline, identical to `reduce_cf_to_maxis`:
     // later phases filter the previous conflict graph's retained CSR
     // rows (`ConflictGraph::restrict_to_edges`) instead of re-running
     // the construction kernel, which also keeps the two drivers'
     // per-phase graphs — and hence their records — byte-identical.
     let mut cg = first_cg;
+
+    if let Some(ckpt) = checkpoint {
+        let ctx = recovery::ReplayCtx {
+            h,
+            driver: DriverKind::Resilient,
+            k,
+            lambda,
+            rho,
+            budget,
+            threads: config.base.parallelism.threads,
+            enforce_decay,
+            chain_names: chain.iter().map(|o| o.name()).collect(),
+        };
+        let replayed = match recovery::open_or_replay(
+            &ctx,
+            ckpt,
+            &mut cg,
+            &mut coloring,
+            &mut residual,
+            &root,
+        ) {
+            Ok(replayed) => replayed,
+            Err(e) => fail!(ReductionError::CheckpointFailed { message: e.to_string() }),
+        };
+        phase = replayed.phase;
+        records = replayed.records;
+        chain_calls = replayed.chain_calls;
+        retries = replayed.retries as usize;
+        fallbacks_engaged = replayed.fallbacks as usize;
+        // Replayed events re-enter the log (and the mirror counter, so
+        // `fault_events == fault_log.len()` still holds on resume).
+        root.add(Counter::FaultEvents, replayed.fault_log.len() as u64);
+        fault_log = replayed.fault_log;
+        report = replayed.report;
+        journal = Some(replayed.journal);
+        for (slot, oracle) in chain.iter().enumerate() {
+            oracle.resume_at(chain_calls[slot] as usize);
+        }
+    }
+
     while !residual.is_empty() && phase < budget {
         let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
+        let phase_log_start = fault_log.len();
+        let cg_fingerprint = journal.as_ref().map(|_| recovery::fingerprint_graph(cg.graph()));
+        recovery::maybe_crash(crash, phase, CrashPoint::MidOracle);
 
         // Acquire an acceptable independent set. With `threads > 1`
         // and a disconnected conflict graph, each component runs its
@@ -351,7 +451,12 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
         // component, never its siblings) and the verified local sets
         // merge; otherwise the historical serial chain walk runs on
         // the whole graph. Either way the phase commits atomically.
-        let (set, accepted_primary) = 'acquire: {
+        // `quota_required` is the Lemma 2.1 quota actually enforced on
+        // the accepted set (0 = none: heuristic oracle, or the
+        // parallel path whose per-component quotas do not reduce to
+        // one whole-graph number) — journaled so replay re-demands
+        // exactly what the original run demanded.
+        let (set, accepted_primary, quota_required) = 'acquire: {
             if config.base.parallelism.is_parallel() {
                 let exec = ComponentExecutor::new(cg.graph(), config.base.parallelism);
                 if exec.should_decompose() {
@@ -373,6 +478,9 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                         attempts: usize,
                         fallbacks: usize,
                         events: Vec<FaultEvent>,
+                        /// `independent_set` invocations per chain slot
+                        /// within this component (resume accounting).
+                        per_slot: Vec<u64>,
                     }
                     let results = exec.run(|c, sub| {
                         let comp_span = span!(phase_span, names::COMPONENT, c);
@@ -380,6 +488,7 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                         let mut accepted = None;
                         let mut attempt = 0usize;
                         let mut fallbacks = 0usize;
+                        let mut per_slot = vec![0u64; chain.len()];
                         'chain: for (idx, oracle) in chain.iter().enumerate() {
                             if idx > 0 {
                                 fallbacks += 1;
@@ -397,10 +506,17 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                                 let tolerance = stall_budget(config.stall_tolerance, retry);
                                 let oracle_span = span!(comp_span, names::ORACLE, this_attempt);
                                 comp_span.add(Counter::ParallelOracleCalls, 1);
+                                per_slot[idx] += 1;
                                 let answer =
                                     catch_unwind(AssertUnwindSafe(|| oracle.independent_set(sub)));
                                 let set = match answer {
-                                    Err(_) => {
+                                    Err(payload) => {
+                                        // An injected *process* crash is
+                                        // not an oracle fault: re-raise
+                                        // so it kills the run.
+                                        if payload.downcast_ref::<CrashSignal>().is_some() {
+                                            resume_unwind(payload);
+                                        }
                                         drop(oracle_span);
                                         events.push(FaultEvent {
                                             phase,
@@ -473,7 +589,13 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                                 break 'chain;
                             }
                         }
-                        ComponentAttempt { set: accepted, attempts: attempt, fallbacks, events }
+                        ComponentAttempt {
+                            set: accepted,
+                            attempts: attempt,
+                            fallbacks,
+                            events,
+                            per_slot,
+                        }
                     });
                     // Aggregate in component-id order: the fault log,
                     // counters, and merge result are deterministic
@@ -487,6 +609,9 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                         total_attempts += r.attempts;
                         fallbacks_engaged += r.fallbacks;
                         phase_span.add(Counter::Fallbacks, r.fallbacks as u64);
+                        for (slot, calls) in r.per_slot.iter().enumerate() {
+                            chain_calls[slot] += calls;
+                        }
                         for ev in r.events {
                             fault!(ev);
                         }
@@ -522,13 +647,16 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                         });
                         fail!(ReductionError::RetriesExhausted { phase, attempts: total_attempts });
                     }
-                    break 'acquire (exec.merge(locals), all_primary);
+                    // Per-component quotas (⌈m_c/λ_c⌉, possibly met by
+                    // fallback slots) do not reduce to one whole-graph
+                    // number, so the journal records no quota here.
+                    break 'acquire (exec.merge(locals), all_primary, 0);
                 }
             }
             // Serial path: walk the chain, retry each oracle up to
             // max_retries times with a doubling stall budget per
             // attempt.
-            let mut accepted: Option<(IndependentSet, usize)> = None;
+            let mut accepted: Option<(IndependentSet, usize, usize)> = None;
             let mut attempt = 0usize;
             'chain: for (idx, oracle) in chain.iter().enumerate() {
                 if idx > 0 {
@@ -548,10 +676,17 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                     let tolerance = stall_budget(config.stall_tolerance, retry);
                     let oracle_span = span!(phase_span, names::ORACLE, this_attempt);
                     phase_span.add(Counter::OracleCalls, 1);
+                    chain_calls[idx] += 1;
                     let answer =
                         catch_unwind(AssertUnwindSafe(|| oracle.independent_set(cg.graph())));
                     let set = match answer {
-                        Err(_) => {
+                        Err(payload) => {
+                            // An injected *process* crash is not an
+                            // oracle fault: re-raise so it kills the
+                            // run instead of burning a retry.
+                            if payload.downcast_ref::<CrashSignal>().is_some() {
+                                resume_unwind(payload);
+                            }
                             drop(oracle_span);
                             fault!(FaultEvent {
                                 phase,
@@ -597,10 +732,11 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                         oracle.guarantee(),
                         ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
                     );
+                    let mut required = 0usize;
                     if certified {
                         if let Some(l) = oracle.lambda_for(cg.graph()) {
                             if l >= 1.0 {
-                                let required = lemma_2_1_quota(edges_before, l);
+                                required = lemma_2_1_quota(edges_before, l);
                                 if set.len() < required {
                                     fault!(FaultEvent {
                                         phase,
@@ -617,14 +753,14 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                             }
                         }
                     }
-                    accepted = Some((set, idx));
+                    accepted = Some((set, idx, required));
                     break 'chain;
                 }
             }
             retries += attempt.saturating_sub(1);
             phase_span.add(Counter::Retries, attempt.saturating_sub(1) as u64);
 
-            let Some((set, accepted_idx)) = accepted else {
+            let Some((set, accepted_idx, quota_required)) = accepted else {
                 fault!(FaultEvent {
                     phase,
                     attempt: attempt.saturating_sub(1),
@@ -634,28 +770,17 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
                 });
                 fail!(ReductionError::RetriesExhausted { phase, attempts: attempt });
             };
-            break 'acquire (set, accepted_idx == 0);
+            break 'acquire (set, accepted_idx == 0, quota_required);
         };
 
-        // Commit the phase exactly as the trusting driver does.
+        recovery::maybe_crash(crash, phase, CrashPoint::AfterOracle);
+
+        // Commit the phase exactly as the trusting driver does — the
+        // shared `commit_phase` kernel is what keeps the two drivers
+        // (and journal replay) byte-identical.
         let commit_span = span!(phase_span, names::COMMIT);
-        let decoded = correspondence::lemma_2_1b(&cg, &set);
-        let phase_colors =
-            correspondence::apply_palette(&decoded.coloring, Palette::phase(k, phase));
-        coloring.merge(&phase_colors);
-        // Survivor positions within the current residual are their
-        // hyperedge ids inside `cg`'s hypergraph — what the incremental
-        // restriction consumes.
-        let mut keep_pos: Vec<HyperedgeId> = Vec::new();
-        let mut survivors: Vec<HyperedgeId> = Vec::new();
-        for (pos, &e) in residual.iter().enumerate() {
-            if !checker::is_edge_happy(h, &coloring, e) {
-                keep_pos.push(HyperedgeId::new(pos));
-                survivors.push(e);
-            }
-        }
-        residual = survivors;
-        let edges_after = residual.len();
+        let commit = commit_phase(h, &cg, &set, k, phase, &mut coloring, &mut residual);
+        let edges_after = commit.edges_after;
         commit_span.add(Counter::HappyEdges, (edges_before - edges_after) as u64);
         commit_span.close();
         phase_span.add(Counter::EdgesRemoved, (edges_before - edges_after) as u64);
@@ -672,31 +797,49 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
         });
 
         // Decay invariant, mirroring the trusting driver: enforced only
-        // for the primary oracle's certified λ (fallback commits are
-        // already annotated in the fault log).
-        let primary_certified = matches!(
-            chain[0].guarantee(),
-            ApproxGuarantee::Exact | ApproxGuarantee::MaxDegreePlusOne
-        );
-        if accepted_primary
-            && primary_certified
-            && config.base.lambda_override.is_none()
-            && lambda >= 1.0
-        {
-            let allowed = ((1.0 - 1.0 / lambda) * edges_before as f64).floor() as usize;
-            if edges_after > allowed {
-                fail!(ReductionError::DecayViolated {
-                    phase,
-                    before: edges_before,
-                    after: edges_after,
-                    lambda,
-                });
-            }
+        // for primary-accepted phases of a certified primary (fallback
+        // commits are already annotated in the fault log).
+        if accepted_primary && enforce_decay && edges_after > decay_allowed(edges_before, lambda) {
+            fail!(ReductionError::DecayViolated {
+                phase,
+                before: edges_before,
+                after: edges_after,
+                lambda,
+            });
         }
+
+        if let Some(j) = journal.as_mut() {
+            recovery::maybe_crash(crash, phase, CrashPoint::BeforeJournal);
+            let write_span = span!(phase_span, names::CHECKPOINT_WRITE);
+            let entry = JournalPhase {
+                phase,
+                cg_fingerprint: cg_fingerprint.expect("computed while journaling"),
+                set: set.vertices().iter().map(|v| v.index() as u64).collect(),
+                record: records.last().expect("just pushed").clone(),
+                quota_required,
+                primary: accepted_primary,
+                chain_calls: chain_calls.clone(),
+                retries: retries as u64,
+                fallbacks: fallbacks_engaged as u64,
+                events: fault_log[phase_log_start..]
+                    .iter()
+                    .map(StoredFaultEvent::from_event)
+                    .collect(),
+            };
+            let bytes = match j.append_phase(entry) {
+                Ok(bytes) => bytes,
+                Err(e) => fail!(ReductionError::CheckpointFailed { message: e.to_string() }),
+            };
+            write_span.add(Counter::JournalBytes, bytes);
+            write_span.close();
+            report.journal_bytes = bytes;
+            recovery::maybe_crash(crash, phase, CrashPoint::AfterJournal);
+        }
+
         phase += 1;
         if !residual.is_empty() && phase < budget {
             let restrict_span = span!(phase_span, names::RESTRICT);
-            cg = cg.restrict_to_edges(&keep_pos);
+            cg = cg.restrict_to_edges(&commit.keep_pos);
             restrict_span.add(Counter::CsrBytes, csr_bytes(cg.graph()));
         }
     }
@@ -710,29 +853,33 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
 
     debug_assert!(checker::is_conflict_free(h, &coloring));
     let total_colors = coloring.total_color_count();
-    Ok(ResilientOutcome {
-        reduction: ReductionOutcome {
-            coloring,
-            lambda,
-            rho,
-            phases_used: phase,
-            total_colors,
-            records,
-            locality: LocalityBudget {
-                own_locality: 1,
-                oracle_calls: phase,
-                oracle_locality: oracle_locality(h.node_count()),
+    Ok((
+        ResilientOutcome {
+            reduction: ReductionOutcome {
+                coloring,
+                lambda,
+                rho,
+                phases_used: phase,
+                total_colors,
+                records,
+                locality: LocalityBudget {
+                    own_locality: 1,
+                    oracle_calls: phase,
+                    oracle_locality: oracle_locality(h.node_count()),
+                },
             },
+            fault_log,
+            retries,
+            fallbacks_engaged,
         },
-        fault_log,
-        retries,
-        fallbacks_engaged,
-    })
+        report,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::CrashPlan;
     use crate::reduction::reduce_cf_to_maxis;
     use pslocal_graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
     use pslocal_maxis::{
@@ -979,5 +1126,90 @@ mod tests {
         assert!(!s.contains("component"), "serial events stay component-free");
         let p = FaultEvent { component: Some(3), ..e };
         assert!(p.to_string().contains("component 3"));
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pslocal-resilient-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn resumable_clean_run_matches_the_plain_resilient_run() {
+        let k = 3;
+        let h = planted(31, 36, 15, k);
+        let base = reduce_cf_resilient(&h, &[&GreedyOracle], ResilientConfig::new(k)).unwrap();
+        let dir = ckpt_dir("clean");
+        let tel = Telemetry::disabled();
+        let (out, report) = reduce_cf_resilient_resumable(
+            &h,
+            &[&GreedyOracle],
+            ResilientConfig::new(k),
+            &Checkpointing::new(&dir),
+            &tel,
+        )
+        .unwrap();
+        assert_eq!(out.reduction.records, base.reduction.records);
+        assert_eq!(out.reduction.coloring, base.reduction.coloring);
+        assert!(!report.resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_crash_replays_faults_and_stays_byte_identical() {
+        // A flaky primary (panics on its 2nd call) forces retries, so
+        // the journal must carry both the fault events and the oracle's
+        // cumulative call count for the resumed run to realign the
+        // schedule. Fresh FaultyOracle instances before each run keep
+        // the schedule itself deterministic.
+        let k = 3;
+        let h = planted(32, 40, 18, k);
+        // λ = 4 keeps the run multi-phase (Greedy would finish planted
+        // instances in one).
+        let plan = || {
+            FaultPlan::scripted(vec![None, Some(FaultKind::Panic), None, None, None, None, None])
+        };
+        let cfg = || ResilientConfig { max_retries: 2, ..ResilientConfig::new(k) };
+        let baseline = {
+            let flaky = FaultyOracle::new(PrecisionOracle::new(4.0), plan());
+            reduce_cf_resilient(&h, &[&flaky], cfg()).unwrap()
+        };
+        assert!(baseline.reduction.phases_used >= 2, "need phases to interrupt");
+        assert_eq!(baseline.retries, 1, "the scripted panic must actually fire");
+        let dir = ckpt_dir("crash");
+        let tel = Telemetry::disabled();
+        {
+            let flaky = FaultyOracle::new(PrecisionOracle::new(4.0), plan());
+            let ckpt = Checkpointing::new(&dir)
+                .with_crash(CrashPlan::panicking(1, CrashPoint::BeforeJournal));
+            let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                drop(reduce_cf_resilient_resumable(&h, &[&flaky], cfg(), &ckpt, &tel));
+            }))
+            .expect_err("kill point fires");
+            assert!(
+                died.downcast_ref::<CrashSignal>().is_some(),
+                "process crashes must escape as CrashSignal, not be retried"
+            );
+        }
+        let flaky = FaultyOracle::new(PrecisionOracle::new(4.0), plan());
+        let (out, report) = reduce_cf_resilient_resumable(
+            &h,
+            &[&flaky],
+            cfg(),
+            &Checkpointing::new(&dir).resuming(),
+            &tel,
+        )
+        .unwrap();
+        assert!(report.resumed);
+        assert_eq!(report.phases_recovered, 1);
+        assert_eq!(out.reduction.records, baseline.reduction.records);
+        assert_eq!(out.reduction.coloring, baseline.reduction.coloring);
+        assert_eq!(out.retries, baseline.retries);
+        assert_eq!(out.fault_log, baseline.fault_log, "fault log survives the crash");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -117,6 +117,19 @@ pub trait MaxIsOracle: Sync {
     fn lambda_for(&self, graph: &Graph) -> Option<f64> {
         self.guarantee().lambda_for(graph)
     }
+
+    /// Fast-forwards any per-call internal state to the point where
+    /// `calls` invocations have already been served — the hook the
+    /// crash-recovery layer (`pslocal-core::recovery`) uses to make a
+    /// resumed run byte-identical to an uninterrupted one.
+    ///
+    /// Stateless oracles (all the certified ones: their answer is a
+    /// pure function of the input graph and a fixed seed) need nothing,
+    /// so the default is a no-op. Stateful wrappers whose behavior
+    /// depends on the call *index* — [`FaultyOracle`](crate::FaultyOracle)
+    /// consults its [`FaultPlan`](crate::FaultPlan) per call — override
+    /// this to reposition their counter after a process restart.
+    fn resume_at(&self, _calls: usize) {}
 }
 
 #[cfg(test)]

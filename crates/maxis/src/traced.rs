@@ -65,6 +65,10 @@ impl<O: MaxIsOracle + ?Sized, S: Sink> MaxIsOracle for TracedOracle<'_, O, S> {
     fn lambda_for(&self, graph: &Graph) -> Option<f64> {
         self.inner.lambda_for(graph)
     }
+
+    fn resume_at(&self, calls: usize) {
+        self.inner.resume_at(calls);
+    }
 }
 
 #[cfg(test)]

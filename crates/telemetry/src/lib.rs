@@ -84,6 +84,11 @@ pub mod names {
     pub const LOCAL_RUN: &str = "local-run";
     /// One SLOCAL-model execution.
     pub const SLOCAL_RUN: &str = "slocal-run";
+    /// One durable phase-journal append (checkpointing drivers; index =
+    /// phase number).
+    pub const CHECKPOINT_WRITE: &str = "checkpoint-write";
+    /// Journal replay at the start of a resumable run (recovery layer).
+    pub const RECOVERY_REPLAY: &str = "recovery-replay";
 }
 
 /// A telemetry pipeline: a sink plus the monotonic epoch all event

@@ -80,6 +80,13 @@ pub enum Counter {
     /// Oracle invocations issued through the component-parallel
     /// executor (one per component per phase attempt).
     ParallelOracleCalls,
+    /// Phases restored from a phase journal instead of being recomputed
+    /// (resumable drivers; attributed to the `recovery-replay` span).
+    PhasesRecovered,
+    /// Bytes of the phase journal persisted by a checkpoint write (a
+    /// gauge: each `checkpoint-write` span records the journal's size
+    /// after its append).
+    JournalBytes,
 }
 
 impl Counter {
@@ -102,6 +109,8 @@ impl Counter {
             Counter::Components => "components",
             Counter::LargestComponent => "largest_component",
             Counter::ParallelOracleCalls => "parallel_oracle_calls",
+            Counter::PhasesRecovered => "phases_recovered",
+            Counter::JournalBytes => "journal_bytes",
         }
     }
 }
@@ -425,34 +434,69 @@ pub fn event_to_json(event: &Event) -> String {
 ///
 /// Write errors are deliberately swallowed: telemetry must never take
 /// down the pipeline it observes.
+///
+/// The sink is **crash-safe**: the buffered writer is flushed on every
+/// [`Event::SpanEnd`] (span closes are the natural durability
+/// boundaries of the stream — a consumer can always reconstruct every
+/// *closed* span), on [`flush`](Self::flush), and on drop — including
+/// a drop during panic unwinding, so a panicking run loses at most the
+/// events since the last span close, never the whole buffered tail.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
-    writer: Mutex<W>,
+    // `Option` so `into_inner` can move the writer out from under the
+    // `Drop` impl; `None` only ever after `into_inner`.
+    writer: Mutex<Option<W>>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps `writer`.
     pub fn new(writer: W) -> Self {
-        JsonlSink { writer: Mutex::new(writer) }
+        JsonlSink { writer: Mutex::new(Some(writer)) }
     }
 
     /// Flushes and returns the inner writer.
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().expect("telemetry writer poisoned");
+        let mut w = self
+            .writer
+            .lock()
+            .expect("telemetry writer poisoned")
+            .take()
+            .expect("writer present until into_inner");
         let _ = w.flush();
         w
     }
 
     /// Flushes the inner writer.
     pub fn flush(&self) {
-        let _ = self.writer.lock().expect("telemetry writer poisoned").flush();
+        if let Some(w) = self.writer.lock().expect("telemetry writer poisoned").as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, event: Event) {
-        let mut w = self.writer.lock().expect("telemetry writer poisoned");
-        let _ = writeln!(w, "{}", event_to_json(&event));
+        let mut guard = self.writer.lock().expect("telemetry writer poisoned");
+        if let Some(w) = guard.as_mut() {
+            let _ = writeln!(w, "{}", event_to_json(&event));
+            // Span closes bound the stream's loss window: flush so a
+            // later panic (or abort) cannot lose a closed span.
+            if matches!(event, Event::SpanEnd { .. }) {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best-effort tail flush, also during unwinding — a panicking
+        // run must not lose the metrics written before the panic.
+        if let Ok(mut guard) = self.writer.lock() {
+            if let Some(w) = guard.as_mut() {
+                let _ = w.flush();
+            }
+        }
     }
 }
 
@@ -557,6 +601,54 @@ mod tests {
             "{\"event\":\"counter\",\"counter\":\"retries\",\"delta\":2,\"span\":null}"
         );
         assert_eq!(lines[2], "{\"event\":\"span_end\",\"id\":1,\"t_ns\":99}");
+    }
+
+    /// A writer that counts flushes and exposes what reached it.
+    #[derive(Default)]
+    struct FlushProbe {
+        bytes: Vec<u8>,
+        flushes: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Write for FlushProbe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.bytes.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_every_span_close() {
+        let flushes = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let sink = JsonlSink::new(FlushProbe { bytes: Vec::new(), flushes: flushes.clone() });
+        sink.record(start(1, None, "root", 0));
+        sink.record(Event::CounterAdd { counter: Counter::Phases, delta: 1, span: None });
+        assert_eq!(flushes.load(std::sync::atomic::Ordering::SeqCst), 0, "no close yet");
+        sink.record(Event::SpanEnd { id: SpanId(1), end_ns: 9 });
+        assert_eq!(flushes.load(std::sync::atomic::Ordering::SeqCst), 1, "span close flushes");
+        sink.flush();
+        assert_eq!(flushes.load(std::sync::atomic::Ordering::SeqCst), 2, "explicit flush");
+        drop(sink);
+        assert!(flushes.load(std::sync::atomic::Ordering::SeqCst) >= 3, "drop flushes the tail");
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_when_dropped_during_unwinding() {
+        let flushes = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let probe_flushes = flushes.clone();
+        let result = std::panic::catch_unwind(move || {
+            let sink = JsonlSink::new(FlushProbe { bytes: Vec::new(), flushes: probe_flushes });
+            sink.record(start(1, None, "doomed", 0));
+            panic!("simulated crash mid-run");
+        });
+        assert!(result.is_err());
+        assert!(
+            flushes.load(std::sync::atomic::Ordering::SeqCst) >= 1,
+            "the drop during unwinding must flush the buffered tail"
+        );
     }
 
     #[test]

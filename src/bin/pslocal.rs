@@ -16,8 +16,9 @@
 
 use pslocal::cfcolor::checker;
 use pslocal::core::{
-    parallel_independent_set, reduce_cf_to_maxis, reduce_cf_to_maxis_traced, ConflictGraph,
-    ParallelismOptions, ReductionConfig,
+    inspect_journal, parallel_independent_set, reduce_cf_to_maxis, reduce_cf_to_maxis_resumable,
+    reduce_cf_to_maxis_traced, Checkpointing, ConflictGraph, CrashPlan, ParallelismOptions,
+    ReductionConfig, ReductionOutcome,
 };
 use pslocal::graph::generators::hyper::{
     multi_component_cf_instance, planted_cf_instance, PlantedCfParams,
@@ -49,6 +50,19 @@ USAGE:
   pslocal bench-report [--oracle O] [--seed S] [--iters I] [--threads T]
                        [--out FILE]
                                 (perf baseline -> BENCH_reduction.json)
+  pslocal checkpoint-inspect --checkpoint-dir DIR
+                                (decode a phase journal: header, stats,
+                                 per-phase records)
+
+CHECKPOINTING (reduce):
+  --checkpoint-dir DIR  durably journal every committed phase into DIR
+  --resume              replay DIR's journal (corruption-tolerant) and
+                        continue from the last good phase; the outcome
+                        is byte-identical to an uninterrupted run
+  --crash-at P:POINT    abort the process at an injected kill point
+                        (phase P at mid-oracle | after-oracle |
+                         before-journal | after-journal) — for
+                        crash-recovery testing
 
 PARALLELISM (maxis / reduce / bench-report):
   --threads T           solve connected components on up to T workers
@@ -63,7 +77,7 @@ ORACLES: exact | greedy | luby | clique-removal | decomposition
 FORMATS: see pslocal_graph::io (p graph / p hypergraph headers)";
 
 /// Options that are flags (no value argument follows them).
-const BOOLEAN_FLAGS: &[&str] = &["trace"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "resume"];
 
 /// Minimal `--key value` argument map (with a few `--flag` booleans).
 struct Args {
@@ -260,24 +274,74 @@ fn cmd_maxis(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--checkpoint-dir` / `--resume` / `--crash-at` into a
+/// [`Checkpointing`] request; the latter two require the former.
+fn checkpoint_opt(args: &Args) -> Result<Option<Checkpointing>, String> {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        for dependent in ["resume", "crash-at"] {
+            if args.flag(dependent) {
+                return Err(format!("--{dependent} requires --checkpoint-dir"));
+            }
+        }
+        return Ok(None);
+    };
+    let mut ckpt = Checkpointing::new(dir);
+    if args.flag("resume") {
+        ckpt = ckpt.resuming();
+    }
+    if let Some(spec) = args.get("crash-at") {
+        let (phase, point) = CrashPlan::parse_spec(spec).ok_or_else(|| {
+            format!(
+                "cannot parse --crash-at {spec:?} (want PHASE:POINT with POINT one of \
+                 mid-oracle | after-oracle | before-journal | after-journal)"
+            )
+        })?;
+        ckpt = ckpt.with_crash(CrashPlan::aborting(phase, point));
+    }
+    Ok(Some(ckpt))
+}
+
+/// Runs the trusting reduction, checkpointed when requested. The
+/// recovery summary goes to **stderr**: stdout stays byte-diffable
+/// between interrupted-and-resumed and uninterrupted runs.
+fn run_reduce<S: pslocal::telemetry::Sink>(
+    h: &pslocal::graph::Hypergraph,
+    oracle: &dyn MaxIsOracle,
+    config: ReductionConfig,
+    ckpt: Option<&Checkpointing>,
+    tel: &Telemetry<S>,
+) -> Result<ReductionOutcome, String> {
+    match ckpt {
+        Some(c) => {
+            let (out, report) = reduce_cf_to_maxis_resumable(h, oracle, config, c, tel)
+                .map_err(|e| format!("reduction failed: {e}"))?;
+            eprintln!("checkpoint: {report}");
+            Ok(out)
+        }
+        None => reduce_cf_to_maxis_traced(h, oracle, config, tel)
+            .map_err(|e| format!("reduction failed: {e}")),
+    }
+}
+
 fn cmd_reduce(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let k: usize = args.required("k")?;
     let opts = TraceOpts::from(args);
     let config = ReductionConfig { parallelism: threads_opt(args)?, ..ReductionConfig::new(k) };
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
+    let ckpt = checkpoint_opt(args)?;
     let h = read_hypergraph(&read_stdin()?).map_err(|e| e.to_string())?;
     let out = if opts.wanted() {
         let tel = Telemetry::new(MemorySink::new());
-        let out = reduce_cf_to_maxis_traced(&h, oracle.as_ref(), config, &tel)
-            .map_err(|e| format!("reduction failed: {e}"))?;
+        let out = run_reduce(&h, oracle.as_ref(), config, ckpt.as_ref(), &tel)?;
         opts.emit(tel.sink())?;
         out
     } else {
-        reduce_cf_to_maxis(&h, oracle.as_ref(), config)
-            .map_err(|e| format!("reduction failed: {e}"))?
+        run_reduce(&h, oracle.as_ref(), config, ckpt.as_ref(), &Telemetry::disabled())?
     };
-    assert!(checker::is_conflict_free(&h, &out.coloring));
+    if !checker::is_conflict_free(&h, &out.coloring) {
+        return Err("internal error: reduction returned a non-conflict-free coloring".to_string());
+    }
     println!(
         "c oracle = {}, lambda = {:.2}, rho = {}, phases = {}, colors = {}",
         oracle.name(),
@@ -301,6 +365,52 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Decodes a phase journal without re-running anything: header, open
+/// stats (bytes kept vs. discarded) and one line per surviving phase.
+fn cmd_checkpoint_inspect(args: &Args) -> Result<(), String> {
+    let dir = args.get("checkpoint-dir").ok_or("checkpoint-inspect needs --checkpoint-dir DIR")?;
+    let insp = inspect_journal(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    let head = &insp.header;
+    println!(
+        "journal: driver = {}, k = {}, lambda = {:.4}, rho = {}, budget = {}, threads = {}",
+        head.driver.name(),
+        head.k,
+        f64::from_bits(head.lambda_bits),
+        head.rho,
+        head.budget,
+        head.threads,
+    );
+    println!("instance fingerprint: {:#018x}", head.instance_fingerprint);
+    println!("oracle chain: {}", head.oracle_names.join(" -> "));
+    println!(
+        "phases: {} ({} bytes on disk, {} bytes / {} records discarded as corrupt)",
+        insp.phases.len(),
+        insp.stats.bytes_total,
+        insp.stats.bytes_discarded,
+        insp.stats.records_discarded,
+    );
+    for p in &insp.phases {
+        println!(
+            "  phase {}: edges {} -> {}, |I| = {}, quota = {}, {}, calls = {:?}, \
+             retries = {}, fallbacks = {}, events = {}",
+            p.phase,
+            p.record.edges_before,
+            p.record.edges_after,
+            p.set.len(),
+            p.quota_required,
+            if p.primary { "primary" } else { "fallback" },
+            p.chain_calls,
+            p.retries,
+            p.fallbacks,
+            p.events.len(),
+        );
+        for e in &p.events {
+            println!("    event: attempt {} [{}]: {}", e.attempt, e.oracle, e.kind);
+        }
+    }
+    Ok(())
+}
+
 fn cmd_trace_report(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let n: usize = args.parsed("n")?.unwrap_or(128);
@@ -315,7 +425,9 @@ fn cmd_trace_report(args: &Args) -> Result<(), String> {
     let out =
         reduce_cf_to_maxis_traced(&inst.hypergraph, oracle.as_ref(), ReductionConfig::new(k), &tel)
             .map_err(|e| format!("reduction failed: {e}"))?;
-    assert!(checker::is_conflict_free(&inst.hypergraph, &out.coloring));
+    if !checker::is_conflict_free(&inst.hypergraph, &out.coloring) {
+        return Err("internal error: reduction returned a non-conflict-free coloring".to_string());
+    }
     let sink = tel.into_sink();
 
     println!("trace-report: planted n={n} m={m} k={k} oracle={} seed={:#x}", oracle.name(), seed);
@@ -433,12 +545,19 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             std::hint::black_box(oracle.independent_set(std::hint::black_box(cg.graph())));
         });
         let mut phases = 0usize;
+        let mut failed: Option<String> = None;
         let reduction_ns = median_ns(iters, || {
-            let out = reduce_cf_to_maxis(h, oracle.as_ref(), ReductionConfig::new(k))
-                .expect("certified oracle completes on planted instances");
-            phases = out.phases_used;
-            std::hint::black_box(out);
+            match reduce_cf_to_maxis(h, oracle.as_ref(), ReductionConfig::new(k)) {
+                Ok(out) => {
+                    phases = out.phases_used;
+                    std::hint::black_box(out);
+                }
+                Err(e) => failed = Some(format!("reduction failed on (n={n}, m={m}, k={k}): {e}")),
+            };
         });
+        if let Some(message) = failed {
+            return Err(message);
+        }
         // Instrumented runs per grid point: the span tree attributes
         // the wall clock to build / oracle / commit, which the median
         // timings above cannot separate inside `reduce_cf_to_maxis`.
@@ -448,7 +567,7 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         for _ in 0..iters.max(1) {
             let tel = Telemetry::new(MemorySink::new());
             reduce_cf_to_maxis_traced(h, oracle.as_ref(), ReductionConfig::new(k), &tel)
-                .expect("certified oracle completes on planted instances");
+                .map_err(|e| format!("reduction failed on (n={n}, m={m}, k={k}): {e}"))?;
             let sink = tel.into_sink();
             let timeline = PhaseTimeline::from_spans(&sink.spans())
                 .ok_or("no reduction span recorded (telemetry pipeline broken?)")?;
@@ -456,7 +575,7 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
                 best = Some((timeline, sink));
             }
         }
-        let (timeline, sink) = best.expect("iters >= 1 always produces a run");
+        let (timeline, sink) = best.ok_or("bench-report produced no instrumented run")?;
         if let Some(path) = &metrics_out {
             let meta = format!(
                 "{{\"meta\":\"bench-entry\",\"n\":{n},\"m\":{m},\"k\":{k},\"oracle\":\"{}\",\"seed\":{seed}}}",
@@ -492,18 +611,20 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
     let ph = &pinst.hypergraph;
     let serial_cfg = ReductionConfig::new(pk);
     let parallel_cfg = serial_cfg.with_threads(threads);
-    let serial_ns = median_ns(iters, || {
-        std::hint::black_box(
-            reduce_cf_to_maxis(ph, oracle.as_ref(), serial_cfg)
-                .expect("certified oracle completes on planted instances"),
-        );
-    });
-    let parallel_ns = median_ns(iters, || {
-        std::hint::black_box(
-            reduce_cf_to_maxis(ph, oracle.as_ref(), parallel_cfg)
-                .expect("certified oracle completes on planted instances"),
-        );
-    });
+    let mut failed: Option<String> = None;
+    let mut timed_reduce = |cfg: ReductionConfig| {
+        median_ns(iters, || match reduce_cf_to_maxis(ph, oracle.as_ref(), cfg) {
+            Ok(out) => {
+                std::hint::black_box(out);
+            }
+            Err(e) => failed = Some(format!("parallel bench reduction failed: {e}")),
+        })
+    };
+    let serial_ns = timed_reduce(serial_cfg);
+    let parallel_ns = timed_reduce(parallel_cfg);
+    if let Some(message) = failed {
+        return Err(message);
+    }
     let parallel = ParallelBench {
         copies,
         n: ph.node_count(),
@@ -618,6 +739,7 @@ fn dispatch() -> Result<(), String> {
         Some("reduce") => cmd_reduce(&args),
         Some("trace-report") => cmd_trace_report(&args),
         Some("bench-report") => cmd_bench_report(&args),
+        Some("checkpoint-inspect") => cmd_checkpoint_inspect(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -149,3 +149,122 @@ fn generation_is_seed_deterministic_across_invocations() {
     assert_eq!(stdout(&a), stdout(&b));
     assert_ne!(stdout(&a), stdout(&c));
 }
+
+/// A planted instance on which `luby` takes ≥ 2 reduction phases, so a
+/// phase-1 kill point is actually reachable.
+fn multi_phase_instance() -> String {
+    let gen = run(&["gen", "planted", "--n", "80", "--m", "60", "--k", "3", "--seed", "9"], None);
+    assert!(gen.status.success());
+    stdout(&gen)
+}
+
+#[test]
+fn killed_process_resumes_byte_identically() {
+    // The real subprocess-kill test: `--crash-at` aborts the whole
+    // process (SIGABRT, no unwinding, no destructors) at a journal
+    // boundary; the rerun with `--resume` must replay the journal and
+    // produce stdout byte-identical to an uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("pslocal-cli-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ckpt = dir.to_str().unwrap();
+    let instance = multi_phase_instance();
+    let reduce_args = ["reduce", "--k", "3", "--oracle", "luby", "--seed", "5"];
+
+    let base = run(&reduce_args, Some(&instance));
+    assert!(base.status.success());
+    assert!(stdout(&base).lines().filter(|l| l.starts_with("c phase")).count() >= 2);
+
+    let mut crash_args = reduce_args.to_vec();
+    crash_args.extend(["--checkpoint-dir", ckpt, "--crash-at", "1:before-journal"]);
+    let crashed = run(&crash_args, Some(&instance));
+    assert!(!crashed.status.success(), "the injected abort must kill the process");
+
+    let inspect = run(&["checkpoint-inspect", "--checkpoint-dir", ckpt], None);
+    assert!(inspect.status.success(), "stderr: {}", String::from_utf8_lossy(&inspect.stderr));
+    let text = stdout(&inspect);
+    assert!(text.contains("driver = trusting"));
+    assert!(text.contains("phase 0:"), "phase 0 must have been journaled before the kill");
+    assert!(!text.contains("phase 1:"), "the kill fired before phase 1's append");
+
+    let mut resume_args = reduce_args.to_vec();
+    resume_args.extend(["--checkpoint-dir", ckpt, "--resume"]);
+    let resumed = run(&resume_args, Some(&instance));
+    assert!(resumed.status.success(), "stderr: {}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(stdout(&resumed), stdout(&base), "resumed stdout must be byte-identical");
+    // The recovery summary goes to stderr, keeping stdout diffable.
+    assert!(String::from_utf8_lossy(&resumed.stderr).contains("resumed: 1 phase(s) recovered"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_journal_still_resumes_to_the_same_output() {
+    let dir = std::env::temp_dir().join(format!("pslocal-cli-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ckpt = dir.to_str().unwrap();
+    let instance = multi_phase_instance();
+    let reduce_args = ["reduce", "--k", "3", "--oracle", "luby", "--seed", "5"];
+
+    let mut ckpt_args = reduce_args.to_vec();
+    ckpt_args.extend(["--checkpoint-dir", ckpt]);
+    let base = run(&ckpt_args, Some(&instance));
+    assert!(base.status.success(), "stderr: {}", String::from_utf8_lossy(&base.stderr));
+
+    // Flip one byte in the journal's final record.
+    let journal = dir.join("journal.psj");
+    let mut bytes = std::fs::read(&journal).expect("journal written");
+    let last = bytes.len() - 10;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let mut resume_args = reduce_args.to_vec();
+    resume_args.extend(["--checkpoint-dir", ckpt, "--resume"]);
+    let resumed = run(&resume_args, Some(&instance));
+    assert!(resumed.status.success(), "stderr: {}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(stdout(&resumed), stdout(&base), "corruption must not change the output");
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("discarded"),
+        "the recovery summary must mention the discarded record"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_checkpoint_dir_fails_cleanly() {
+    let dir = std::env::temp_dir().join(format!("pslocal-cli-badckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A checkpoint path *under a regular file* cannot be created.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let bad = blocker.join("sub");
+    let instance = multi_phase_instance();
+    let out =
+        run(&["reduce", "--k", "3", "--checkpoint-dir", bad.to_str().unwrap()], Some(&instance));
+    assert!(!out.status.success(), "bad checkpoint dir must be a clean nonzero exit");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checkpointing failed"), "stderr: {err}");
+
+    // `--resume` / `--crash-at` without `--checkpoint-dir` are refused.
+    let orphan = run(&["reduce", "--k", "3", "--resume"], Some(&instance));
+    assert!(!orphan.status.success());
+    assert!(String::from_utf8_lossy(&orphan.stderr).contains("requires --checkpoint-dir"));
+    let bad_spec = run(
+        &["reduce", "--k", "3", "--checkpoint-dir", dir.to_str().unwrap(), "--crash-at", "zap"],
+        Some(&instance),
+    );
+    assert!(!bad_spec.status.success());
+    assert!(String::from_utf8_lossy(&bad_spec.stderr).contains("cannot parse --crash-at"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_inspect_requires_a_journal() {
+    let dir = std::env::temp_dir().join(format!("pslocal-cli-noinspect-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run(&["checkpoint-inspect", "--checkpoint-dir", dir.to_str().unwrap()], None);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no journal"));
+    let missing = run(&["checkpoint-inspect"], None);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--checkpoint-dir"));
+}
