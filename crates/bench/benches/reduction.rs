@@ -6,6 +6,7 @@ use pslocal_core::{reduce_cf_to_maxis, ReductionConfig};
 use pslocal_graph::generators::hyper::{
     multi_component_cf_instance, planted_cf_instance, PlantedCfParams,
 };
+use pslocal_graph::KernelStrategy;
 use pslocal_maxis::{ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle};
 use rand::SeedableRng;
 
@@ -50,6 +51,33 @@ fn bench_reduction_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel crossover on the dense bench instance (n128/m64/k8 → a
+/// 5136-node conflict graph with avg degree ≈ 206): the full reduction
+/// with the adjacency route pinned to CSR, pinned to bit rows, and
+/// left to `Auto` (which resolves to bit rows here). All three compute
+/// the identical output — the spread is pure kernel cost, and the
+/// `bitset`/`csr` ratio is the dense-route speedup the perf notes
+/// quote.
+fn bench_reduction_dense_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_dense_kernel");
+    group.sample_size(10);
+    let k = 8usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+    let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(128, 64, k));
+    for (name, kernel) in [
+        ("csr", KernelStrategy::Csr),
+        ("bitset", KernelStrategy::Bitset),
+        ("auto", KernelStrategy::Auto),
+    ] {
+        let mut config = ReductionConfig::new(k);
+        config.kernel = kernel;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst.hypergraph, |b, h| {
+            b.iter(|| reduce_cf_to_maxis(h, &GreedyOracle, config).expect("reduction completes"))
+        });
+    }
+    group.finish();
+}
+
 /// Component-parallel phase execution: the same multi-component
 /// reduction (8 vertex-disjoint planted copies, so `G_k` has ≥ 8
 /// components) at 1, 2, and 4 worker threads. The executor is
@@ -81,6 +109,7 @@ fn bench_reduction_parallel(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_reduction, bench_reduction_scaling, bench_reduction_parallel
+    targets = bench_reduction, bench_reduction_scaling, bench_reduction_dense_kernel,
+        bench_reduction_parallel
 }
 criterion_main!(benches);

@@ -50,9 +50,12 @@
 //! all-pairs builder alive as the machine-checkable specification the
 //! equivalence property tests compare against.
 
-use pslocal_graph::{csr, Graph, HyperedgeId, Hypergraph, NodeId};
+use pslocal_graph::{
+    csr, BitsetGraph, Graph, HyperedgeId, Hypergraph, IndependentSet, KernelStrategy, NodeId,
+};
 use pslocal_telemetry::{names, Counter, Instrument, Sink, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A triple `(e, v, c)`: hyperedge, member vertex, 0-based color index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -117,6 +120,16 @@ pub struct ConflictGraphOptions {
     /// Which construction kernel to run (identical output, different
     /// cost — see [`BuildStrategy`]).
     pub strategy: BuildStrategy,
+    /// Which adjacency representation the phase pipeline runs on:
+    /// `Auto` (default) takes the dense bit-row route when the density
+    /// heuristic says flat words beat CSR pointer chasing, `Csr` and
+    /// `Bitset` force a route. The choice applies under the default
+    /// [`BuildStrategy::Auto`]; the explicit CSR build strategies
+    /// (`Serial` / `Parallel` / `Reference`) are equivalence and
+    /// ablation knobs that pin the CSR pipeline regardless. Every route
+    /// yields identical phase outputs — the bitset equivalence suite
+    /// proves it.
+    pub kernel: KernelStrategy,
 }
 
 impl ConflictGraphOptions {
@@ -130,6 +143,13 @@ impl ConflictGraphOptions {
     /// `E_color` reading.
     pub fn with_strategy(strategy: BuildStrategy) -> Self {
         ConflictGraphOptions { strategy, ..Self::default() }
+    }
+
+    /// Options selecting an adjacency kernel (dense bitset vs CSR) with
+    /// the proof-faithful `E_color` reading and the default build
+    /// strategy.
+    pub fn with_kernel(kernel: KernelStrategy) -> Self {
+        ConflictGraphOptions { kernel, ..Self::default() }
     }
 }
 
@@ -151,7 +171,16 @@ impl ConflictGraphOptions {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ConflictGraph {
-    graph: Graph,
+    /// The CSR form. On the dense route this is **lazily** materialized
+    /// on first [`ConflictGraph::graph`] access — the per-phase hot
+    /// path (dense oracle dispatch, commit, restriction) never needs
+    /// the `u32` adjacency, so pure dense runs skip it entirely.
+    graph: OnceLock<Graph>,
+    /// The dense bit-row form; `Some` exactly when the configured
+    /// [`KernelStrategy`] resolved to the bitset route.
+    bits: Option<BitsetGraph>,
+    node_count: usize,
+    edge_count: usize,
     hypergraph: Hypergraph,
     k: usize,
     options: ConflictGraphOptions,
@@ -202,6 +231,29 @@ impl ConflictGraph {
         for e in 0..m {
             base[e + 1] = base[e] + (h.edge_size(HyperedgeId::new(e)) * k) as u32;
         }
+        let node_count = base[m] as usize;
+        // The kernel resolution reuses the parallel threshold's cheap
+        // edge estimate — the exact count exists only after the build.
+        // Explicit CSR build strategies pin the CSR pipeline (they are
+        // the equivalence/ablation knobs); the kernel choice applies
+        // under the default Auto build strategy.
+        let dense = matches!(options.strategy, BuildStrategy::Auto)
+            && options.kernel.use_bitset(node_count, kernel::estimated_edges(h, k));
+        if dense {
+            let bits = kernel::build_bitset(h, k, options, &base, &span);
+            let edge_count = bits.edge_count();
+            span.add(Counter::CsrBytes, csr_bytes_for(node_count, edge_count));
+            return ConflictGraph {
+                graph: OnceLock::new(),
+                bits: Some(bits),
+                node_count,
+                edge_count,
+                hypergraph: h.clone(),
+                k,
+                options,
+                base,
+            };
+        }
         let graph = match options.strategy {
             BuildStrategy::Reference => kernel::build_reference(h, k, options, &base),
             BuildStrategy::Serial => kernel::build_fast(h, k, options, &base, 1, &span),
@@ -218,7 +270,17 @@ impl ConflictGraph {
             }
         };
         span.add(Counter::CsrBytes, csr_bytes(&graph));
-        ConflictGraph { graph, hypergraph: h.clone(), k, options, base }
+        let edge_count = graph.edge_count();
+        ConflictGraph {
+            graph: OnceLock::from(graph),
+            bits: None,
+            node_count,
+            edge_count,
+            hypergraph: h.clone(),
+            k,
+            options,
+            base,
+        }
     }
 
     /// The conflict graph of the residual hypergraph obtained by keeping
@@ -241,18 +303,60 @@ impl ConflictGraph {
     /// Panics if `keep` is not strictly increasing or contains an
     /// out-of-range hyperedge.
     pub fn restrict_to_edges(&self, keep: &[HyperedgeId]) -> Self {
+        self.restrict_to_edges_in(keep, &mut csr::InducedArena::new(), &mut Vec::new())
+    }
+
+    /// [`restrict_to_edges`](Self::restrict_to_edges) reusing
+    /// caller-owned scratch — the phase workspace's CSR arena and node
+    /// keep-list — so the multi-phase restriction loop performs no
+    /// steady-state allocation on the CSR route.
+    ///
+    /// On the dense route the restricted instance is rebuilt through
+    /// the kernel dispatch instead: re-emitting bit rows costs about as
+    /// much as gathering scattered bit columns would, and the Auto
+    /// resolution re-applies to the (smaller) residual — falling back
+    /// to CSR once the density heuristic stops paying. Identical output
+    /// either way, by the builder equivalence.
+    pub(crate) fn restrict_to_edges_in(
+        &self,
+        keep: &[HyperedgeId],
+        arena: &mut csr::InducedArena,
+        nodes: &mut Vec<NodeId>,
+    ) -> Self {
         assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep set must be strictly increasing");
         let k = self.k;
+        let (hypergraph, _) = self.hypergraph.restrict_edges(keep);
+        if self.bits.is_some() {
+            return Self::build_with_options(&hypergraph, k, self.options);
+        }
         let mut base = vec![0u32; keep.len() + 1];
-        let mut nodes = Vec::with_capacity(self.graph.node_count());
+        nodes.clear();
+        nodes.reserve(self.node_count);
         for (new_e, &old_e) in keep.iter().enumerate() {
             let (lo, hi) = (self.base[old_e.index()], self.base[old_e.index() + 1]);
             base[new_e + 1] = base[new_e] + (hi - lo);
             nodes.extend((lo..hi).map(|i| NodeId::new(i as usize)));
         }
-        let graph = csr::induced_sorted(&self.graph, &nodes);
-        let (hypergraph, _) = self.hypergraph.restrict_edges(keep);
-        ConflictGraph { graph, hypergraph, k, options: self.options, base }
+        let graph = csr::induced_sorted_in(self.graph(), nodes, arena);
+        let node_count = graph.node_count();
+        let edge_count = graph.edge_count();
+        ConflictGraph {
+            graph: OnceLock::from(graph),
+            bits: None,
+            node_count,
+            edge_count,
+            hypergraph,
+            k,
+            options: self.options,
+            base,
+        }
+    }
+
+    /// Tears down into the materialized CSR (if any), so a driver can
+    /// recycle the retired phase graph's buffers into its workspace
+    /// arena.
+    pub(crate) fn into_graph(self) -> Option<Graph> {
+        self.graph.into_inner()
     }
 
     /// The options the graph was built with.
@@ -279,10 +383,26 @@ impl ConflictGraph {
         NodeId::new(self.base[e.index()] as usize)
     }
 
-    /// The materialized simple graph.
-    #[inline]
+    /// The simple graph `G_k` in CSR form.
+    ///
+    /// On the dense route the CSR is materialized **lazily** on first
+    /// access (serial kernel run over the retained hypergraph) and
+    /// cached; the bytes are identical to an eager build, as all build
+    /// strategies produce the same CSR. The per-phase hot path never
+    /// calls this in dense mode.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.graph.get_or_init(|| {
+            let tel = Telemetry::disabled();
+            let span = tel.span(names::CONFLICT_GRAPH);
+            kernel::build_fast(&self.hypergraph, self.k, self.options, &self.base, 1, &span)
+        })
+    }
+
+    /// The dense bit-row form of `G_k`, when the configured
+    /// [`KernelStrategy`] resolved to the bitset route.
+    #[inline]
+    pub fn bitset(&self) -> Option<&BitsetGraph> {
+        self.bits.as_ref()
     }
 
     /// The source hypergraph.
@@ -297,9 +417,47 @@ impl ConflictGraph {
         self.k
     }
 
+    /// Number of conflict-graph vertices `k·Σ|e|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
     /// Total number of edges of `G_k` (union of the three families).
     pub fn edge_count(&self) -> usize {
-        self.graph.edge_count()
+        self.edge_count
+    }
+
+    /// The structural fingerprint of `G_k` — exactly
+    /// [`Graph::fingerprint`] of the CSR form, computed from the bit
+    /// rows in dense mode (same value by construction), so journaling
+    /// and oracle memoization never force a CSR materialization.
+    pub fn fingerprint(&self) -> u64 {
+        match &self.bits {
+            Some(bits) => bits.fingerprint(),
+            None => self.graph().fingerprint(),
+        }
+    }
+
+    /// Re-validates a claimed independent set against `G_k` (range
+    /// check plus full adjacency re-check) on whichever representation
+    /// is resident — the resilient driver's acceptance check and the
+    /// oracle cache's fingerprint-collision check.
+    pub fn verify_independent(&self, set: &IndependentSet) -> bool {
+        if let Some(bits) = &self.bits {
+            return bits.is_independent_set(set.vertices()).is_none();
+        }
+        let g = self.graph();
+        let n = g.node_count();
+        set.vertices().iter().all(|v| v.index() < n) && g.is_independent_set(set.vertices())
+    }
+
+    /// The byte footprint of the phase graph's CSR form (`u32` offsets
+    /// plus both directions of every edge) — computed from the counts,
+    /// so the dense route reports the same figure without materializing
+    /// the CSR.
+    pub fn csr_bytes(&self) -> u64 {
+        csr_bytes_for(self.node_count, self.edge_count)
     }
 
     /// The conflict-graph node for `(e, v, c)`, or `None` if `v ∉ e` or
@@ -361,7 +519,7 @@ impl ConflictGraph {
     /// several) families it belongs to.
     pub fn family_counts(&self) -> FamilyCounts {
         let mut counts = FamilyCounts { vertex_family: 0, edge_family: 0, color_family: 0 };
-        for (x, y) in self.graph.edges() {
+        for (x, y) in self.graph().edges() {
             let (a, b) = (self.triple_of(x), self.triple_of(y));
             if self.in_vertex_family(a, b) {
                 counts.vertex_family += 1;
@@ -386,7 +544,13 @@ impl ConflictGraph {
 /// the sentinel) and `u32` targets (both endpoints of every edge) — the
 /// quantity the `csr_bytes` telemetry counter reports.
 pub(crate) fn csr_bytes(g: &Graph) -> u64 {
-    4 * (g.node_count() as u64 + 1 + 2 * g.edge_count() as u64)
+    csr_bytes_for(g.node_count(), g.edge_count())
+}
+
+/// [`csr_bytes`] from the counts alone — what the CSR form occupies (or
+/// would occupy, on the dense route where it may never materialize).
+pub(crate) fn csr_bytes_for(nodes: usize, edges: usize) -> u64 {
+    4 * (nodes as u64 + 1 + 2 * edges as u64)
 }
 
 /// The construction kernels behind [`ConflictGraph::build_with_options`].
@@ -416,6 +580,7 @@ pub(crate) fn csr_bytes(g: &Graph) -> u64 {
 /// (no merge pass: row order equals node order).
 mod kernel {
     use super::ConflictGraphOptions;
+    use pslocal_graph::bitset::{set_bit_range, BitsetGraph};
     use pslocal_graph::{csr, Graph, HyperedgeId, Hypergraph, NodeId};
     use pslocal_telemetry::{names, span, Histogram, Sink, Span};
     use std::ops::Range;
@@ -778,6 +943,148 @@ mod kernel {
             shard_span.sample(Histogram::ShardBuildNs, t0.elapsed().as_nanos() as u64);
         }
         shard
+    }
+
+    /// The dense-kernel twin of the streamed CSR build: the same
+    /// closed-form per-block merge as [`emit_row`], but each row is
+    /// written as a **bit row**. Contiguous neighbor ranges — the
+    /// `E_edge` clique halves and the `E_vertex` color slot runs —
+    /// become masked word fills ([`set_bit_range`]); the position
+    /// sweeps and wedge hits set single bits. The resulting
+    /// [`BitsetGraph`] is exactly `to_bitset()` of the CSR the other
+    /// kernels emit (checked by the bitset equivalence suite, and in
+    /// debug builds by `from_raw_parts`'s popcount re-check).
+    ///
+    /// Serial by design: the dense route only fires for graphs of at
+    /// most [`pslocal_graph::bitset::BITSET_MAX_NODES`] nodes, where
+    /// one pass beats thread spawn-and-join.
+    pub(super) fn build_bitset<S: Sink>(
+        h: &Hypergraph,
+        k: usize,
+        options: ConflictGraphOptions,
+        base: &[u32],
+        parent: &Span<'_, S>,
+    ) -> BitsetGraph {
+        let shard_span = span!(parent, names::SHARD, 0);
+        let t0 = S::ENABLED.then(Instant::now);
+        let idx = SlotIndex::build(h);
+        let m = h.edge_count();
+        let n = base[m] as usize;
+        let words = n.div_ceil(64);
+        let mut rows = vec![0u64; n * words];
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut wedges: Vec<(u32, u32)> = Vec::new();
+        // Color-0 template of the current (e, v) slot plus the slot
+        // bases of the other blocks containing `v` — shared by all k
+        // rows of the slot (see `fill_slot_template`).
+        let mut template = vec![0u64; words];
+        let mut self_slots: Vec<u32> = Vec::new();
+        let kw = k as u32;
+        for e in 0..m {
+            build_wedges(h, &idx, e, &mut wedges);
+            let members = h.edge(HyperedgeId::new(e));
+            for (pv, &v) in members.iter().enumerate() {
+                let vslots = idx.slots(v.index());
+                // All k rows of a (e, v) slot share one length.
+                let len = row_len(e, k, options.literal_ecolor, base, vslots.0, &wedges) as u32;
+                fill_slot_template(e, kw, base, vslots, &wedges, &mut template, &mut self_slots);
+                for c in 0..kw {
+                    let a = base[e] + pv as u32 * kw + c;
+                    let row = &mut rows[a as usize * words..(a as usize + 1) * words];
+                    // Sweep and wedge targets: the template shifted from
+                    // color 0 to color c, word by word.
+                    if c == 0 {
+                        for (rw, &tw) in row.iter_mut().zip(&template) {
+                            *rw |= tw;
+                        }
+                    } else {
+                        let mut carry = 0u64;
+                        for (rw, &tw) in row.iter_mut().zip(&template) {
+                            *rw |= (tw << c) | carry;
+                            carry = tw >> (64 - c);
+                        }
+                    }
+                    // E_edge: the block clique minus `a` itself.
+                    set_bit_range(row, base[e], a);
+                    set_bit_range(row, a + 1, base[e + 1]);
+                    // E_vertex: v's own slot in every other block
+                    // containing it — all other colors, plus color c
+                    // itself under the literal reading.
+                    for &slot in &self_slots {
+                        if options.literal_ecolor {
+                            set_bit_range(row, slot, slot + kw);
+                        } else {
+                            set_bit_range(row, slot, slot + c);
+                            set_bit_range(row, slot + c + 1, slot + kw);
+                        }
+                    }
+                    let prev = *offsets.last().expect("seeded with 0");
+                    offsets.push(prev + len);
+                }
+            }
+        }
+        if let Some(t0) = t0 {
+            shard_span.sample(Histogram::ShardBuildNs, t0.elapsed().as_nanos() as u64);
+        }
+        BitsetGraph::from_raw_parts(n, rows, offsets)
+    }
+
+    /// [`emit_row`]'s sweep and wedge arms at **color 0**, written once
+    /// per `(e, v)` slot: bit `gbase + pu·k` for every other member of
+    /// every other block containing `v`, and for every wedge position.
+    /// Adding `c` to each target is a left shift of the whole buffer,
+    /// so the k rows of a slot share this single merge — `build_bitset`
+    /// ORs `template << c` into row `c` and finishes with the masked
+    /// fills for the `E_edge` clique and `v`'s own slots (whose shapes
+    /// depend on `a` and `c`, collected here in `self_slots`).
+    fn fill_slot_template(
+        e: usize,
+        k: u32,
+        base: &[u32],
+        (vg, vp): (&[u32], &[u32]),
+        wedges: &[(u32, u32)],
+        template: &mut [u64],
+        self_slots: &mut Vec<u32>,
+    ) {
+        #[inline]
+        fn set(row: &mut [u64], b: u32) {
+            row[(b / 64) as usize] |= 1u64 << (b % 64);
+        }
+        template.fill(0);
+        self_slots.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < vg.len() || j < wedges.len() {
+            let gi = if i < vg.len() { vg[i] } else { u32::MAX };
+            let gj = if j < wedges.len() { wedges[j].0 } else { u32::MAX };
+            if gi <= gj {
+                // Wedges into a block containing `v` are subsumed by
+                // the member sweep below.
+                while j < wedges.len() && wedges[j].0 == gi {
+                    j += 1;
+                }
+                let g = gi as usize;
+                let gbase = base[g];
+                if g != e {
+                    let pos = vp[i];
+                    self_slots.push(gbase + pos * k);
+                    for pu in 0..pos {
+                        set(template, gbase + pu * k);
+                    }
+                    let size = (base[g + 1] - gbase) / k;
+                    for pu in pos + 1..size {
+                        set(template, gbase + pu * k);
+                    }
+                }
+                i += 1;
+            } else {
+                let gbase = base[gj as usize];
+                while j < wedges.len() && wedges[j].0 == gj {
+                    set(template, gbase + wedges[j].1 * k);
+                    j += 1;
+                }
+            }
+        }
     }
 
     /// The all-pairs reference: materialize every triple, test every

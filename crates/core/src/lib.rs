@@ -78,6 +78,7 @@ pub mod recovery;
 pub mod reduction;
 pub mod resilient;
 pub mod simulation;
+pub mod workspace;
 
 pub use completeness::{completeness_on_instance, CompletenessReport};
 pub use components::{
@@ -101,7 +102,8 @@ pub use recovery::{
 };
 pub use reduction::{
     lemma_2_1_quota, oracle_locality, reduce_cf_to_maxis, reduce_cf_to_maxis_resumable,
-    reduce_cf_to_maxis_traced, PhaseRecord, ReductionConfig, ReductionError, ReductionOutcome,
+    reduce_cf_to_maxis_traced, reduce_cf_to_maxis_with_workspace, PhaseRecord, ReductionConfig,
+    ReductionError, ReductionOutcome,
 };
 pub use resilient::{
     reduce_cf_resilient, reduce_cf_resilient_resumable, reduce_cf_resilient_traced, stall_budget,
@@ -109,3 +111,4 @@ pub use resilient::{
     ResilientOutcome,
 };
 pub use simulation::{host_of, simulate_in_hypergraph, SimulationReport};
+pub use workspace::PhaseWorkspace;

@@ -119,64 +119,29 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
-/// FNV-1a 64-bit running hash over `u64` words.
-#[derive(Debug, Clone, Copy)]
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-
-    fn word(&mut self, v: u64) {
-        for byte in v.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
-
 /// Order-sensitive FNV-1a fingerprint of a hypergraph instance: vertex
 /// count, edge count, and every hyperedge's members in order. Stored in
 /// the journal header so a journal can never be replayed against a
 /// different instance.
+///
+/// Delegates to the graph crate's frozen byte stream
+/// ([`pslocal_graph::fingerprint`]) — the journal format depends on
+/// these exact values, and keeping one implementation means the dense
+/// bitset kernels and the recovery layer cannot drift apart.
 pub fn fingerprint_hypergraph(h: &Hypergraph) -> u64 {
-    let mut f = Fnv1a::new();
-    f.word(h.node_count() as u64);
-    f.word(h.edge_count() as u64);
-    for e in h.edge_ids() {
-        let members = h.edge(e);
-        f.word(members.len() as u64);
-        for &v in members {
-            f.word(v.index() as u64);
-        }
-    }
-    f.finish()
+    h.fingerprint()
 }
 
 /// Order-sensitive FNV-1a fingerprint of a graph's CSR structure:
 /// vertex count, edge count, and every adjacency row in order. Stored
 /// per phase record so replay can prove the stored independent set was
 /// chosen on the conflict graph the replay cursor actually reached.
+///
+/// Delegates to [`pslocal_graph::fingerprint`]; equal to
+/// `ConflictGraph::fingerprint` of the same graph regardless of which
+/// kernel (CSR or bitset) materialized it.
 pub fn fingerprint_graph(g: &Graph) -> u64 {
-    let mut f = Fnv1a::new();
-    f.word(g.node_count() as u64);
-    f.word(g.edge_count() as u64);
-    for v in g.nodes() {
-        let row = g.neighbors(v);
-        f.word(row.len() as u64);
-        for &u in row {
-            f.word(u.index() as u64);
-        }
-    }
-    f.finish()
+    g.fingerprint()
 }
 
 // ---------------------------------------------------------------------
@@ -656,7 +621,7 @@ impl PhaseJournal {
     /// itself (`stats` then accounts the whole file as discarded).
     /// Structural validation only — CRC, bounds, decodability, and
     /// sequential phase indices; semantic validation against the
-    /// instance is [`replay_journal`]'s job.
+    /// instance is `open_or_replay`'s job.
     ///
     /// # Errors
     ///

@@ -18,13 +18,14 @@
 //! polylogarithmic overhead.
 
 use crate::components::{ComponentExecutor, ParallelismOptions};
-use crate::conflict_graph::{csr_bytes, ConflictGraph};
+use crate::conflict_graph::{ConflictGraph, ConflictGraphOptions};
 use crate::correspondence;
 use crate::recovery::{
     self, Checkpointing, DriverKind, JournalPhase, PhaseJournal, RecoveryReport,
 };
+use crate::workspace::PhaseWorkspace;
 use pslocal_cfcolor::{checker, Multicoloring};
-use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, Palette};
+use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, KernelStrategy, Palette};
 use pslocal_maxis::{CrashPoint, MaxIsOracle};
 use pslocal_slocal::LocalityBudget;
 use pslocal_telemetry::{names, span, Counter, Histogram, Sink, Span, Telemetry};
@@ -136,6 +137,21 @@ pub struct ReductionConfig {
     /// sound because Lemma 2.1 applies per component and the phase
     /// budget `ρ` is unaffected.
     pub parallelism: ParallelismOptions,
+    /// Which adjacency kernel the phase conflict graphs run on:
+    /// [`KernelStrategy::Auto`] (the default) takes the word-parallel
+    /// bit-row route when the density heuristic favors it, `Csr` and
+    /// `Bitset` force a route. Every kernel produces byte-identical
+    /// phase outputs (the bitset equivalence suite proves it); only the
+    /// cost differs.
+    pub kernel: KernelStrategy,
+    /// Memoize whole-phase oracle answers by conflict-graph
+    /// fingerprint, so a phase whose conflict graph structurally
+    /// repeats an earlier one skips the oracle call (hits re-verify
+    /// independence on the live graph before being trusted). Off by
+    /// default: with the memo on, telemetry's `oracle_calls` counts
+    /// only real invocations — cache traffic shows up as
+    /// `oracle_cache_hit` / `oracle_cache_miss` instead.
+    pub oracle_cache: bool,
 }
 
 impl ReductionConfig {
@@ -146,6 +162,8 @@ impl ReductionConfig {
             lambda_override: None,
             max_phases: None,
             parallelism: ParallelismOptions::serial(),
+            kernel: KernelStrategy::Auto,
+            oracle_cache: false,
         }
     }
 
@@ -318,7 +336,27 @@ pub fn reduce_cf_to_maxis_traced<O: MaxIsOracle + ?Sized, S: Sink>(
     config: ReductionConfig,
     tel: &Telemetry<S>,
 ) -> Result<ReductionOutcome, ReductionError> {
-    reduce_trusting_inner(h, oracle, config, tel, None).map(|(outcome, _)| outcome)
+    reduce_cf_to_maxis_with_workspace(h, oracle, config, tel, &mut PhaseWorkspace::new())
+}
+
+/// [`reduce_cf_to_maxis_traced`] running through a caller-owned
+/// [`PhaseWorkspace`], so repeated reductions (benchmark iterations,
+/// experiment sweeps) recycle the phase loop's scratch buffers instead
+/// of re-allocating them per run. The outcome is byte-identical to the
+/// workspace-less entry points — the workspace carries no semantic
+/// state (see [`crate::workspace`]).
+///
+/// # Errors
+///
+/// See [`ReductionError`].
+pub fn reduce_cf_to_maxis_with_workspace<O: MaxIsOracle + ?Sized, S: Sink>(
+    h: &Hypergraph,
+    oracle: &O,
+    config: ReductionConfig,
+    tel: &Telemetry<S>,
+    ws: &mut PhaseWorkspace,
+) -> Result<ReductionOutcome, ReductionError> {
+    reduce_trusting_inner(h, oracle, config, tel, None, ws).map(|(outcome, _)| outcome)
 }
 
 /// [`reduce_cf_to_maxis_traced`] with crash-safe checkpointing: every
@@ -343,7 +381,7 @@ pub fn reduce_cf_to_maxis_resumable<O: MaxIsOracle + ?Sized, S: Sink>(
     checkpoint: &Checkpointing,
     tel: &Telemetry<S>,
 ) -> Result<(ReductionOutcome, RecoveryReport), ReductionError> {
-    reduce_trusting_inner(h, oracle, config, tel, Some(checkpoint))
+    reduce_trusting_inner(h, oracle, config, tel, Some(checkpoint), &mut PhaseWorkspace::new())
 }
 
 fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
@@ -352,6 +390,7 @@ fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
     config: ReductionConfig,
     tel: &Telemetry<S>,
     checkpoint: Option<&Checkpointing>,
+    ws: &mut PhaseWorkspace,
 ) -> Result<(ReductionOutcome, RecoveryReport), ReductionError> {
     let root = span!(tel, names::REDUCTION);
     let m = h.edge_count();
@@ -362,10 +401,11 @@ fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
     // The phase budget needs λ before the first oracle call; use the
     // oracle's guarantee on the first-phase conflict graph (the largest
     // one — λ for Δ+1-type guarantees only shrinks as edges vanish).
-    let first_cg = ConflictGraph::build_traced(h, k, Default::default(), &root);
+    let first_cg =
+        ConflictGraph::build_traced(h, k, ConflictGraphOptions::with_kernel(config.kernel), &root);
     let lambda = match config.lambda_override {
         Some(l) => l,
-        None => match oracle.lambda_for(first_cg.graph()) {
+        None => match lambda_for_phase(&first_cg, oracle) {
             Some(l) => l,
             None => return Err(ReductionError::NoLambdaAvailable),
         },
@@ -426,10 +466,19 @@ fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
         let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
         // The journal stores the conflict graph's fingerprint *at phase
-        // start* — the graph the set is about to be chosen on.
-        let cg_fingerprint = journal.as_ref().map(|_| recovery::fingerprint_graph(cg.graph()));
+        // start* — the graph the set is about to be chosen on. The
+        // dense and CSR routes fingerprint to the same value, so the
+        // journal stays kernel-agnostic.
+        let cg_fingerprint = journal.as_ref().map(|_| cg.fingerprint());
         recovery::maybe_crash(crash, phase, CrashPoint::MidOracle);
-        let (set, calls) = phase_independent_set(&cg, oracle, config.parallelism, &phase_span);
+        let (set, calls) = phase_independent_set(
+            &cg,
+            oracle,
+            config.parallelism,
+            config.oracle_cache,
+            ws,
+            &phase_span,
+        );
         oracle_calls += calls as u64;
         recovery::maybe_crash(crash, phase, CrashPoint::AfterOracle);
         let commit_span = span!(phase_span, names::COMMIT);
@@ -443,8 +492,8 @@ fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
         records.push(PhaseRecord {
             phase,
             edges_before,
-            conflict_nodes: cg.graph().node_count(),
-            conflict_edges: cg.graph().edge_count(),
+            conflict_nodes: cg.node_count(),
+            conflict_edges: cg.edge_count(),
             independent_set_size: set.len(),
             edges_removed: edges_before - edges_after,
             edges_after,
@@ -487,8 +536,14 @@ fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
         phase += 1;
         if !residual.is_empty() && phase < budget {
             let restrict_span = span!(phase_span, names::RESTRICT);
-            cg = cg.restrict_to_edges(&commit.keep_pos);
-            restrict_span.add(Counter::CsrBytes, csr_bytes(cg.graph()));
+            let restricted =
+                cg.restrict_to_edges_in(&commit.keep_pos, &mut ws.arena, &mut ws.nodes);
+            // Recycle the retired graph's CSR buffers (if materialized)
+            // into the arena for the next phase's build.
+            if let Some(old) = std::mem::replace(&mut cg, restricted).into_graph() {
+                ws.arena.recycle(old);
+            }
+            restrict_span.add(Counter::CsrBytes, cg.csr_bytes());
         }
     }
 
@@ -519,26 +574,66 @@ fn reduce_trusting_inner<O: MaxIsOracle + ?Sized, S: Sink>(
     ))
 }
 
+/// The oracle's concrete λ on a phase conflict graph, preferring the
+/// dense route ([`MaxIsOracle::lambda_for_dense`]) when the graph was
+/// built on the bitset kernel, so the budget computation does not
+/// force a CSR materialization.
+pub(crate) fn lambda_for_phase<O: MaxIsOracle + ?Sized>(
+    cg: &ConflictGraph,
+    oracle: &O,
+) -> Option<f64> {
+    if let Some(bits) = cg.bitset() {
+        if let Some(l) = oracle.lambda_for_dense(bits) {
+            return Some(l);
+        }
+    }
+    oracle.lambda_for(cg.graph())
+}
+
 /// Obtains one phase's independent set. The serial path (one thread,
 /// or a connected/empty conflict graph) is a single whole-graph oracle
 /// call with the drivers' historical span shape: an `oracle` span
-/// directly under the phase span, indexed 0. With `threads > 1` and a
-/// disconnected conflict graph, each component is solved concurrently
-/// on the [`ComponentExecutor`] — the phase span gains `components` /
-/// `largest_component` counters and one `component` span per component
-/// (each holding its own `oracle` child), and the per-component sets
-/// are merged under the machine-checked disjointness invariant.
-/// `Counter::OracleCalls` counts every oracle invocation either way.
+/// directly under the phase span, indexed 0 — dispatched to the
+/// word-parallel dense kernel ([`MaxIsOracle::independent_set_dense`])
+/// when the graph was built on the bitset route and the oracle
+/// supports it, byte-identical by the oracle's dense contract. With
+/// `threads > 1` and a disconnected conflict graph, each component is
+/// solved concurrently on the [`ComponentExecutor`] — the phase span
+/// gains `components` / `largest_component` counters and one
+/// `component` span per component (each holding its own `oracle`
+/// child), and the per-component sets are merged under the
+/// machine-checked disjointness invariant. `Counter::OracleCalls`
+/// counts every oracle invocation either way.
+///
+/// With `use_cache`, the workspace's fingerprint-keyed memo is
+/// consulted first: a hit (re-verified independent on the live graph)
+/// answers the phase with **zero** oracle invocations and an
+/// `oracle_cache_hit` count instead of `oracle_calls`; a miss counts
+/// `oracle_cache_miss` and memoizes the serial whole-graph answer.
+///
 /// Returns the set alongside the number of `independent_set`
-/// invocations it consumed (1 serial, one per component parallel) —
-/// the quantity the checkpointing layer journals as the oracle's
-/// resume position.
+/// invocations it consumed (0 cache hit, 1 serial, one per component
+/// parallel) — the quantity the checkpointing layer journals as the
+/// oracle's resume position.
 fn phase_independent_set<O: MaxIsOracle + ?Sized, S: Sink>(
     cg: &ConflictGraph,
     oracle: &O,
     parallelism: ParallelismOptions,
+    use_cache: bool,
+    ws: &mut PhaseWorkspace,
     phase_span: &Span<'_, S>,
 ) -> (IndependentSet, usize) {
+    let fingerprint = use_cache.then(|| cg.fingerprint());
+    if let Some(fp) = fingerprint {
+        if let Some(vertices) = ws.cache.get(fp) {
+            let set = IndependentSet::new_unchecked(vertices);
+            if cg.verify_independent(&set) {
+                phase_span.add(Counter::OracleCacheHits, 1);
+                return (set, 0);
+            }
+        }
+        phase_span.add(Counter::OracleCacheMisses, 1);
+    }
     if parallelism.is_parallel() {
         let exec = ComponentExecutor::new(cg.graph(), parallelism);
         if exec.should_decompose() {
@@ -559,10 +654,18 @@ fn phase_independent_set<O: MaxIsOracle + ?Sized, S: Sink>(
         }
     }
     let oracle_span = span!(phase_span, names::ORACLE, 0);
-    let set = oracle.independent_set(cg.graph());
+    let set = match cg.bitset() {
+        Some(bits) if oracle.supports_dense() => {
+            oracle.independent_set_dense(bits, &mut ws.scratch)
+        }
+        _ => oracle.independent_set(cg.graph()),
+    };
     oracle_span.sample(Histogram::IndependentSetSize, set.len() as u64);
     oracle_span.close();
     phase_span.add(Counter::OracleCalls, 1);
+    if let Some(fp) = fingerprint {
+        ws.cache.insert(fp, set.vertices().to_vec());
+    }
     (set, 1)
 }
 
@@ -793,6 +896,22 @@ mod tests {
     }
 
     #[test]
+    fn luby_parallel_config_reproduces_the_serial_run() {
+        // Luby derives each component's RNG stream from the component's
+        // own fingerprint, so — like every other oracle — it must not
+        // care whether the executor decomposes a phase or not.
+        use pslocal_graph::generators::hyper::multi_component_cf_instance;
+        let k = 3;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let h = multi_component_cf_instance(&mut rng, PlantedCfParams::new(24, 8, k), 4).hypergraph;
+        let oracle = LubyOracle::new(5);
+        let serial = reduce_cf_to_maxis(&h, &oracle, ReductionConfig::new(k)).unwrap();
+        let par = reduce_cf_to_maxis(&h, &oracle, ReductionConfig::new(k).with_threads(4)).unwrap();
+        assert_eq!(serial.records, par.records);
+        assert_eq!(serial.coloring, par.coloring);
+    }
+
+    #[test]
     fn phase_colors_never_unhappy_previous_edges() {
         // Regression for the monotonicity argument: once an edge leaves
         // the residual set it stays happy to the end.
@@ -803,6 +922,91 @@ mod tests {
         // Re-derive cumulative unhappy counts from records.
         let final_unhappy = out.records.last().unwrap().edges_after;
         assert_eq!(final_unhappy, 0);
+    }
+
+    #[test]
+    fn forced_kernels_produce_identical_runs() {
+        // Csr and Bitset pin opposite routes; Auto picks one of them.
+        // All three runs must be byte-identical — the kernels differ in
+        // cost only.
+        let k = 3;
+        for (seed, n, m) in [(34u64, 36, 15), (35, 24, 40)] {
+            let h = planted(seed, n, m, k);
+            let run = |kernel| {
+                reduce_cf_to_maxis(
+                    &h,
+                    &GreedyOracle,
+                    ReductionConfig { kernel, ..ReductionConfig::new(k) },
+                )
+                .unwrap()
+            };
+            let csr = run(KernelStrategy::Csr);
+            let dense = run(KernelStrategy::Bitset);
+            let auto = run(KernelStrategy::Auto);
+            assert_eq!(csr.records, dense.records);
+            assert_eq!(csr.coloring, dense.coloring);
+            assert_eq!(csr.lambda, dense.lambda);
+            assert_eq!(csr.records, auto.records);
+            assert_eq!(csr.coloring, auto.coloring);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_byte_identical() {
+        // Two back-to-back reductions through ONE workspace must equal
+        // two fresh-allocation runs — the workspace carries buffers,
+        // never semantic state. PrecisionOracle(4) forces multi-phase
+        // runs so the restriction arena actually gets recycled.
+        let k = 3;
+        let h1 = planted(31, 40, 18, k);
+        let h2 = planted(32, 36, 15, k);
+        let oracle = pslocal_maxis::PrecisionOracle::new(4.0);
+        let base1 = reduce_cf_to_maxis(&h1, &oracle, ReductionConfig::new(k)).unwrap();
+        assert!(base1.phases_used >= 2, "need a multi-phase run to exercise reuse");
+        let base2 = reduce_cf_to_maxis(&h2, &oracle, ReductionConfig::new(k)).unwrap();
+        let tel = Telemetry::disabled();
+        let mut ws = PhaseWorkspace::new();
+        let out1 =
+            reduce_cf_to_maxis_with_workspace(&h1, &oracle, ReductionConfig::new(k), &tel, &mut ws)
+                .unwrap();
+        let out2 =
+            reduce_cf_to_maxis_with_workspace(&h2, &oracle, ReductionConfig::new(k), &tel, &mut ws)
+                .unwrap();
+        assert_eq!(out1.records, base1.records);
+        assert_eq!(out1.coloring, base1.coloring);
+        assert_eq!(out2.records, base2.records);
+        assert_eq!(out2.coloring, base2.coloring);
+    }
+
+    #[test]
+    fn oracle_cache_answers_repeats_without_oracle_calls() {
+        use pslocal_telemetry::MemorySink;
+        let k = 3;
+        let h = planted(33, 36, 15, k);
+        let config = ReductionConfig { oracle_cache: true, ..ReductionConfig::new(k) };
+        let base = reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k)).unwrap();
+        let mut ws = PhaseWorkspace::new();
+        // First run: every phase misses and memoizes.
+        let tel1 = Telemetry::new(MemorySink::new());
+        let out1 =
+            reduce_cf_to_maxis_with_workspace(&h, &GreedyOracle, config, &tel1, &mut ws).unwrap();
+        let sink1 = tel1.into_sink();
+        assert_eq!(sink1.counter_total(Counter::OracleCacheHits), 0);
+        assert_eq!(sink1.counter_total(Counter::OracleCacheMisses), out1.phases_used as u64);
+        assert_eq!(sink1.counter_total(Counter::OracleCalls), out1.phases_used as u64);
+        // Second identical run through the same workspace: every phase
+        // repeats a memoized conflict graph — zero oracle invocations.
+        let tel2 = Telemetry::new(MemorySink::new());
+        let out2 =
+            reduce_cf_to_maxis_with_workspace(&h, &GreedyOracle, config, &tel2, &mut ws).unwrap();
+        let sink2 = tel2.into_sink();
+        assert_eq!(sink2.counter_total(Counter::OracleCacheHits), out2.phases_used as u64);
+        assert_eq!(sink2.counter_total(Counter::OracleCalls), 0);
+        // Memoization never changes the answer.
+        assert_eq!(out1.records, base.records);
+        assert_eq!(out1.coloring, base.coloring);
+        assert_eq!(out2.records, base.records);
+        assert_eq!(out2.coloring, base.coloring);
     }
 
     fn ckpt_dir(tag: &str) -> std::path::PathBuf {

@@ -34,14 +34,15 @@
 //! > (byte-identical [`PhaseRecord`]s).
 
 use crate::components::ComponentExecutor;
-use crate::conflict_graph::{csr_bytes, ConflictGraph};
+use crate::conflict_graph::{ConflictGraph, ConflictGraphOptions};
 use crate::recovery::{
     self, Checkpointing, DriverKind, JournalPhase, PhaseJournal, RecoveryReport, StoredFaultEvent,
 };
 use crate::reduction::{
-    commit_phase, decay_allowed, lemma_2_1_quota, oracle_locality, PhaseRecord, ReductionConfig,
-    ReductionError, ReductionOutcome,
+    commit_phase, decay_allowed, lambda_for_phase, lemma_2_1_quota, oracle_locality, PhaseRecord,
+    ReductionConfig, ReductionError, ReductionOutcome,
 };
+use crate::workspace::PhaseWorkspace;
 use pslocal_cfcolor::{checker, Multicoloring};
 use pslocal_graph::{Graph, HyperedgeId, Hypergraph, IndependentSet};
 use pslocal_maxis::{ApproxGuarantee, CrashPoint, CrashSignal, MaxIsOracle};
@@ -291,7 +292,8 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
     config: ResilientConfig,
     tel: &Telemetry<S>,
 ) -> Result<ResilientOutcome, ResilientFailure> {
-    reduce_resilient_inner(h, chain, config, tel, None).map(|(outcome, _)| outcome)
+    reduce_resilient_inner(h, chain, config, tel, None, &mut PhaseWorkspace::new())
+        .map(|(outcome, _)| outcome)
 }
 
 /// [`reduce_cf_resilient_traced`] with crash-safe checkpointing: every
@@ -322,7 +324,7 @@ pub fn reduce_cf_resilient_resumable<S: Sink>(
     checkpoint: &Checkpointing,
     tel: &Telemetry<S>,
 ) -> Result<(ResilientOutcome, RecoveryReport), ResilientFailure> {
-    reduce_resilient_inner(h, chain, config, tel, Some(checkpoint))
+    reduce_resilient_inner(h, chain, config, tel, Some(checkpoint), &mut PhaseWorkspace::new())
 }
 
 #[allow(clippy::result_large_err)]
@@ -332,6 +334,7 @@ fn reduce_resilient_inner<S: Sink>(
     config: ResilientConfig,
     tel: &Telemetry<S>,
     checkpoint: Option<&Checkpointing>,
+    ws: &mut PhaseWorkspace,
 ) -> Result<(ResilientOutcome, RecoveryReport), ResilientFailure> {
     let root = span!(tel, names::REDUCTION);
     let m = h.edge_count();
@@ -365,10 +368,15 @@ fn reduce_resilient_inner<S: Sink>(
 
     // λ and budget exactly as the trusting driver computes them, from
     // the primary oracle.
-    let first_cg = ConflictGraph::build_traced(h, k, Default::default(), &root);
+    let first_cg = ConflictGraph::build_traced(
+        h,
+        k,
+        ConflictGraphOptions::with_kernel(config.base.kernel),
+        &root,
+    );
     let lambda = match config.base.lambda_override {
         Some(l) => l,
-        None => match chain[0].lambda_for(first_cg.graph()) {
+        None => match lambda_for_phase(&first_cg, chain[0]) {
             Some(l) => l,
             None => fail!(ReductionError::NoLambdaAvailable),
         },
@@ -442,7 +450,7 @@ fn reduce_resilient_inner<S: Sink>(
         let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
         let phase_log_start = fault_log.len();
-        let cg_fingerprint = journal.as_ref().map(|_| recovery::fingerprint_graph(cg.graph()));
+        let cg_fingerprint = journal.as_ref().map(|_| cg.fingerprint());
         recovery::maybe_crash(crash, phase, CrashPoint::MidOracle);
 
         // Acquire an acceptable independent set. With `threads > 1`
@@ -677,8 +685,15 @@ fn reduce_resilient_inner<S: Sink>(
                     let oracle_span = span!(phase_span, names::ORACLE, this_attempt);
                     phase_span.add(Counter::OracleCalls, 1);
                     chain_calls[idx] += 1;
-                    let answer =
-                        catch_unwind(AssertUnwindSafe(|| oracle.independent_set(cg.graph())));
+                    // Dense dispatch mirrors the trusting driver; the
+                    // workspace scratch is state-free across calls, so
+                    // a caught panic mid-kernel cannot poison retries.
+                    let answer = catch_unwind(AssertUnwindSafe(|| match cg.bitset() {
+                        Some(bits) if oracle.supports_dense() => {
+                            oracle.independent_set_dense(bits, &mut ws.scratch)
+                        }
+                        _ => oracle.independent_set(cg.graph()),
+                    }));
                     let set = match answer {
                         Err(payload) => {
                             // An injected *process* crash is not an
@@ -713,7 +728,7 @@ fn reduce_resilient_inner<S: Sink>(
                         });
                         continue;
                     }
-                    if !validates_independence(cg.graph(), &set) {
+                    if !cg.verify_independent(&set) {
                         fault!(FaultEvent {
                             phase,
                             attempt: this_attempt,
@@ -734,7 +749,7 @@ fn reduce_resilient_inner<S: Sink>(
                     );
                     let mut required = 0usize;
                     if certified {
-                        if let Some(l) = oracle.lambda_for(cg.graph()) {
+                        if let Some(l) = lambda_for_phase(&cg, *oracle) {
                             if l >= 1.0 {
                                 required = lemma_2_1_quota(edges_before, l);
                                 if set.len() < required {
@@ -789,8 +804,8 @@ fn reduce_resilient_inner<S: Sink>(
         records.push(PhaseRecord {
             phase,
             edges_before,
-            conflict_nodes: cg.graph().node_count(),
-            conflict_edges: cg.graph().edge_count(),
+            conflict_nodes: cg.node_count(),
+            conflict_edges: cg.edge_count(),
             independent_set_size: set.len(),
             edges_removed: edges_before - edges_after,
             edges_after,
@@ -839,8 +854,12 @@ fn reduce_resilient_inner<S: Sink>(
         phase += 1;
         if !residual.is_empty() && phase < budget {
             let restrict_span = span!(phase_span, names::RESTRICT);
-            cg = cg.restrict_to_edges(&commit.keep_pos);
-            restrict_span.add(Counter::CsrBytes, csr_bytes(cg.graph()));
+            let restricted =
+                cg.restrict_to_edges_in(&commit.keep_pos, &mut ws.arena, &mut ws.nodes);
+            if let Some(old) = std::mem::replace(&mut cg, restricted).into_graph() {
+                ws.arena.recycle(old);
+            }
+            restrict_span.add(Counter::CsrBytes, cg.csr_bytes());
         }
     }
 

@@ -1,0 +1,140 @@
+//! Reusable per-run scratch for the multi-phase reduction loop.
+//!
+//! Every phase of the Theorem 1.1 reduction restricts the conflict
+//! graph, runs the oracle, and commits — a loop whose steady state
+//! used to allocate a fresh CSR (offsets + targets), a fresh keep-list,
+//! and fresh oracle scratch per phase. [`PhaseWorkspace`] owns all of
+//! that once per *run*: the trusting and resilient drivers thread it
+//! through [`ConflictGraph::restrict_to_edges_in`] (CSR arena +
+//! keep-list), the dense oracle dispatch
+//! ([`MaxIsOracle::independent_set_dense`] gets the
+//! [`BitsetScratch`]), and the optional fingerprint-keyed oracle memo
+//! (`OracleCache`), so later phases recycle the earlier phases'
+//! buffers instead of hitting the allocator.
+//!
+//! A workspace carries **no semantic state**: running two reductions
+//! back-to-back through one workspace yields byte-identical outcomes
+//! to two fresh-allocation runs (the workspace-reuse tests pin this).
+//! The one deliberate exception is the oracle memo, which only ever
+//! returns a set the oracle itself produced for a graph with the same
+//! fingerprint — and is consulted only when
+//! [`ReductionConfig::oracle_cache`] is explicitly enabled.
+//!
+//! [`ConflictGraph::restrict_to_edges_in`]: crate::ConflictGraph::restrict_to_edges
+//! [`MaxIsOracle::independent_set_dense`]: pslocal_maxis::MaxIsOracle::independent_set_dense
+//! [`ReductionConfig::oracle_cache`]: crate::ReductionConfig::oracle_cache
+
+use pslocal_graph::{csr, BitsetScratch, NodeId};
+
+/// Default number of memoized phase answers `OracleCache` retains.
+/// Phases see a shrinking chain of restrictions, so a repeat — the
+/// memo's whole reason to exist — is almost always recent.
+const CACHE_CAPACITY: usize = 16;
+
+/// Per-run scratch buffers for the phase loop — see the module docs.
+///
+/// Construct once ([`PhaseWorkspace::new`] or `Default`), lend to any
+/// number of reduction runs via
+/// [`reduce_cf_to_maxis_with_workspace`](crate::reduction::reduce_cf_to_maxis_with_workspace).
+#[derive(Debug, Default)]
+pub struct PhaseWorkspace {
+    /// CSR induced-subgraph build arena: the position map and retired
+    /// offsets/targets buffers `csr::induced_sorted_in` fills the next
+    /// restricted graph into.
+    pub(crate) arena: csr::InducedArena,
+    /// The restriction keep-list (surviving triple nodes), rebuilt in
+    /// place each phase.
+    pub(crate) nodes: Vec<NodeId>,
+    /// Word-parallel scratch for the dense oracle kernels.
+    pub(crate) scratch: BitsetScratch,
+    /// Fingerprint-keyed memo of whole-phase oracle answers.
+    pub(crate) cache: OracleCache,
+}
+
+impl PhaseWorkspace {
+    /// An empty workspace; buffers grow to steady-state size during the
+    /// first run and are reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A small LRU memo of whole-phase oracle answers, keyed by the
+/// conflict graph's structural fingerprint.
+///
+/// A hit is only trusted after the driver re-verifies independence on
+/// the *current* graph (`ConflictGraph::verify_independent`) — the
+/// 64-bit fingerprint makes a collision astronomically unlikely, and
+/// the verification keeps even that case from corrupting a run.
+#[derive(Debug, Default)]
+pub(crate) struct OracleCache {
+    /// `(fingerprint, oracle answer)`, least-recently-used first.
+    entries: Vec<(u64, Vec<NodeId>)>,
+}
+
+impl OracleCache {
+    /// Looks up `fingerprint`, refreshing its LRU position on a hit.
+    pub(crate) fn get(&mut self, fingerprint: u64) -> Option<Vec<NodeId>> {
+        let pos = self.entries.iter().position(|(fp, _)| *fp == fingerprint)?;
+        let entry = self.entries.remove(pos);
+        let set = entry.1.clone();
+        self.entries.push(entry);
+        Some(set)
+    }
+
+    /// Records `set` as the oracle's answer for `fingerprint`, evicting
+    /// the least-recently-used entry beyond capacity.
+    pub(crate) fn insert(&mut self, fingerprint: u64, set: Vec<NodeId>) {
+        if let Some(pos) = self.entries.iter().position(|(fp, _)| *fp == fingerprint) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((fingerprint, set));
+        if self.entries.len() > CACHE_CAPACITY {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Number of memoized answers (tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(vs: &[usize]) -> Vec<NodeId> {
+        vs.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn cache_round_trips_and_misses() {
+        let mut c = OracleCache::default();
+        assert_eq!(c.get(1), None);
+        c.insert(1, set_of(&[0, 2]));
+        assert_eq!(c.get(1), Some(set_of(&[0, 2])));
+        assert_eq!(c.get(2), None);
+        // Re-inserting the same key replaces, not duplicates.
+        c.insert(1, set_of(&[5]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1), Some(set_of(&[5])));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut c = OracleCache::default();
+        for fp in 0..CACHE_CAPACITY as u64 {
+            c.insert(fp, set_of(&[fp as usize]));
+        }
+        assert_eq!(c.len(), CACHE_CAPACITY);
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(c.get(0).is_some());
+        c.insert(999, set_of(&[7]));
+        assert_eq!(c.len(), CACHE_CAPACITY);
+        assert!(c.get(0).is_some(), "recently-touched entry survives");
+        assert_eq!(c.get(1), None, "LRU entry was evicted");
+        assert!(c.get(999).is_some());
+    }
+}

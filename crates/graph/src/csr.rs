@@ -181,19 +181,63 @@ pub fn from_raw_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Graph {
 /// Panics if `keep` is not strictly increasing or contains an
 /// out-of-range vertex.
 pub fn induced_sorted(graph: &Graph, keep: &[NodeId]) -> Graph {
+    induced_sorted_in(graph, keep, &mut InducedArena::new())
+}
+
+/// Reusable buffers for [`induced_sorted_in`]: the vertex-renumbering
+/// scratch plus a recycled pair of CSR output buffers, so a loop that
+/// repeatedly restricts graphs (the per-phase reduction pipeline) does
+/// no steady-state allocation — each finished graph's buffers are
+/// [`recycle`](InducedArena::recycle)d and reused for the next build.
+#[derive(Debug, Default, Clone)]
+pub struct InducedArena {
+    position: Vec<u32>,
+    offsets_pool: Vec<u32>,
+    targets_pool: Vec<NodeId>,
+}
+
+impl InducedArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a no-longer-needed graph's CSR buffers to the pool; the
+    /// next [`induced_sorted_in`] through this arena builds into them.
+    pub fn recycle(&mut self, graph: Graph) {
+        let (offsets, targets) = graph.into_csr_parts();
+        self.offsets_pool = offsets;
+        self.targets_pool = targets;
+    }
+}
+
+/// [`induced_sorted`] through caller-owned buffers — identical output,
+/// zero allocation once the arena's pools are warm.
+///
+/// # Panics
+///
+/// Panics if `keep` is not strictly increasing or contains an
+/// out-of-range vertex.
+pub fn induced_sorted_in(graph: &Graph, keep: &[NodeId], arena: &mut InducedArena) -> Graph {
     assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep set must be strictly increasing");
     let n = graph.node_count();
-    let mut position = vec![u32::MAX; n];
+    let position = &mut arena.position;
+    position.clear();
+    position.resize(n, u32::MAX);
     for (new, &old) in keep.iter().enumerate() {
         assert!(old.index() < n, "vertex {old} out of range");
         position[old.index()] = new as u32;
     }
-    let mut offsets = vec![0u32; keep.len() + 1];
+    let mut offsets = std::mem::take(&mut arena.offsets_pool);
+    offsets.clear();
+    offsets.resize(keep.len() + 1, 0);
     for (new, &old) in keep.iter().enumerate() {
         let kept = graph.neighbors(old).iter().filter(|u| position[u.index()] != u32::MAX).count();
         offsets[new + 1] = offsets[new] + kept as u32;
     }
-    let mut targets = vec![NodeId::new(0); offsets[keep.len()] as usize];
+    let mut targets = std::mem::take(&mut arena.targets_pool);
+    targets.clear();
+    targets.resize(offsets[keep.len()] as usize, NodeId::new(0));
     let mut write = 0usize;
     for &old in keep {
         for &u in graph.neighbors(old) {

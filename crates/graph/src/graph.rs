@@ -297,6 +297,12 @@ impl Graph {
         debug_assert!(graph.nodes().all(|v| !graph.neighbors(v).contains(&v)));
         graph
     }
+
+    /// Disassembles the graph into its CSR parts so the buffers can be
+    /// recycled (see `csr::InducedArena`).
+    pub(crate) fn into_csr_parts(self) -> (Vec<u32>, Vec<NodeId>) {
+        (self.offsets, self.targets)
+    }
 }
 
 /// Streaming iterator over a graph's canonical edge list; see

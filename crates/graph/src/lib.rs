@@ -39,8 +39,10 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod bitset;
 pub mod csr;
 pub mod error;
+pub mod fingerprint;
 pub mod generators;
 pub mod graph;
 pub mod hypergraph;
@@ -51,6 +53,7 @@ pub mod ops;
 pub mod palette;
 pub mod stats;
 
+pub use bitset::{BitsetGraph, BitsetScratch, KernelStrategy};
 pub use error::GraphError;
 pub use graph::{Edges, Graph, GraphBuilder};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};

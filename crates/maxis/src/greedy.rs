@@ -9,7 +9,7 @@
 //!   tests check explicitly.
 
 use crate::oracle::{ApproxGuarantee, MaxIsOracle};
-use pslocal_graph::{Graph, IndependentSet, NodeId};
+use pslocal_graph::{BitsetGraph, BitsetScratch, Graph, IndependentSet, NodeId};
 
 /// Minimum-degree greedy oracle (λ = Δ + 1).
 ///
@@ -34,19 +34,32 @@ impl MaxIsOracle for GreedyOracle {
     fn independent_set(&self, graph: &Graph) -> IndependentSet {
         let n = graph.node_count();
         let mut alive = vec![true; n];
-        let mut degree: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+        // One pass over the adjacency builds the degree table and its
+        // maximum together; a histogram over the (cheap, flat) degree
+        // vec then sizes every bucket exactly for the initial fill.
+        let mut degree = Vec::with_capacity(n);
+        let mut maxdeg = 0usize;
+        for v in graph.nodes() {
+            let d = graph.degree(v);
+            maxdeg = maxdeg.max(d);
+            degree.push(d);
+        }
+        let mut counts = vec![0usize; maxdeg + 1];
+        for &d in &degree {
+            counts[d] += 1;
+        }
         // Degree-bucket queue: `buckets[d]` holds vertices last seen at
         // degree `d`; an entry is stale once the vertex's degree moved
         // on (or it died) and is skipped at pop. Each degree decrement
         // pushes one entry and the min-degree cursor only moves down
         // when such a push undercuts it, so the whole scan is
         // O(n + m) — no comparison heap.
-        let mut buckets: Vec<Vec<NodeId>> =
-            vec![Vec::new(); degree.iter().copied().max().unwrap_or(0) + 1];
+        let mut buckets: Vec<Vec<NodeId>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for v in graph.nodes() {
             buckets[degree[v.index()]].push(v);
         }
-        let mut chosen = Vec::new();
+        // Maximality guarantees at least the Turán-style `n / (Δ+1)`.
+        let mut chosen = Vec::with_capacity(n.div_ceil(maxdeg + 1));
         let mut cursor = 0usize;
         while cursor < buckets.len() {
             let Some(v) = buckets[cursor].pop() else {
@@ -75,6 +88,30 @@ impl MaxIsOracle for GreedyOracle {
         // Invariant, not a fallible path: a vertex is chosen only while
         // alive, and choosing it kills its whole neighborhood.
         IndependentSet::new(graph, chosen).expect("greedy output is independent")
+    }
+
+    fn supports_dense(&self) -> bool {
+        true
+    }
+
+    fn independent_set_dense(
+        &self,
+        bits: &BitsetGraph,
+        scratch: &mut BitsetScratch,
+    ) -> IndependentSet {
+        let mut chosen = Vec::with_capacity(bits.node_count().div_ceil(bits.max_degree() + 1));
+        bits.min_degree_greedy_into(scratch, &mut chosen);
+        // The CSR route re-verifies through `IndependentSet::new`; here
+        // the word-parallel checker plays that role before the unchecked
+        // constructor takes ownership.
+        if let Some((u, v)) = bits.is_independent_set(&chosen) {
+            panic!("greedy output is not independent: {u:?} conflicts with {v:?}");
+        }
+        IndependentSet::new_unchecked(chosen)
+    }
+
+    fn lambda_for_dense(&self, bits: &BitsetGraph) -> Option<f64> {
+        Some(bits.max_degree() as f64 + 1.0)
     }
 
     fn guarantee(&self) -> ApproxGuarantee {
@@ -166,5 +203,25 @@ mod tests {
         assert_eq!(GreedyOracle.name(), "greedy-min-degree");
         let g = cycle(5);
         assert_eq!(GreedyOracle.lambda_for(&g), Some(3.0));
+    }
+
+    #[test]
+    fn dense_route_matches_csr_route_exactly() {
+        assert!(GreedyOracle.supports_dense());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut scratch = BitsetScratch::default();
+        for trial in 0..20 {
+            let n = 1 + (trial * 7) % 50;
+            let g = gnp(&mut rng, n, 0.3);
+            let bits = g.to_bitset();
+            let csr = GreedyOracle.independent_set(&g);
+            let dense = GreedyOracle.independent_set_dense(&bits, &mut scratch);
+            assert_eq!(dense.vertices(), csr.vertices(), "diverged on trial {trial}");
+            assert_eq!(
+                GreedyOracle.lambda_for_dense(&bits),
+                GreedyOracle.lambda_for(&g),
+                "λ diverged on trial {trial}"
+            );
+        }
     }
 }

@@ -8,13 +8,22 @@
 //! reduction run on the LOCAL simulator.
 
 use crate::oracle::{ApproxGuarantee, MaxIsOracle};
-use pslocal_graph::{Graph, IndependentSet, NodeId};
+use pslocal_graph::algo::traversal::component_vertex_sets;
+use pslocal_graph::{csr, Graph, IndependentSet, NodeId};
 use pslocal_local::algorithms::LubyMis;
 use pslocal_local::{Engine, Network};
 use rand::{Rng, SeedableRng};
 
 /// MIS-as-approximation oracle backed by the LOCAL-model Luby
 /// algorithm.
+///
+/// The centralized fast path ([`MaxIsOracle::independent_set`]) is
+/// *component-local*: each connected component is solved with its own
+/// RNG stream seeded by `seed ^ component.fingerprint()`. Because the
+/// stream depends only on the component's own structure, solving the
+/// whole graph at once and solving its components separately (as the
+/// component-parallel phase executor does) produce the identical set —
+/// Luby is thread-invariant like every other oracle.
 ///
 /// # Examples
 ///
@@ -36,27 +45,19 @@ impl LubyOracle {
     pub fn new(seed: u64) -> Self {
         LubyOracle { seed }
     }
-}
 
-impl Default for LubyOracle {
-    fn default() -> Self {
-        LubyOracle::new(0xC0FFEE)
-    }
-}
-
-impl MaxIsOracle for LubyOracle {
-    fn name(&self) -> &'static str {
-        "luby-local-mis"
-    }
-
-    fn independent_set(&self, graph: &Graph) -> IndependentSet {
-        // Direct centralized execution of Luby's algorithm — same
-        // per-round rule as the LOCAL version (draw priorities; strict
-        // local maxima join, their neighborhoods drop out) without
-        // cloning the graph into a simulated network or exchanging
-        // messages. Each round costs O(Σ residual degree). The
-        // round-reporting path below keeps the simulator, which is the
-        // object experiment F3 measures.
+    /// Centralized Luby on one (component of a) graph.
+    ///
+    /// Direct execution of the same per-round rule as the LOCAL version
+    /// (draw priorities; strict local maxima join, their neighborhoods
+    /// drop out) without cloning the graph into a simulated network or
+    /// exchanging messages. Each round costs O(Σ residual degree). The
+    /// round-reporting path keeps the simulator, which is the object
+    /// experiment F3 measures.
+    ///
+    /// The RNG stream is `seed ^ graph.fingerprint()`: a function of the
+    /// component alone, never of the ambient graph it was cut from.
+    fn solve_connected(&self, graph: &Graph) -> Vec<NodeId> {
         #[derive(Clone, Copy, PartialEq)]
         enum State {
             Undecided,
@@ -64,7 +65,7 @@ impl MaxIsOracle for LubyOracle {
             Out,
         }
         let n = graph.node_count();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ graph.fingerprint());
         let mut state = vec![State::Undecided; n];
         let mut priority = vec![0u64; n];
         let mut undecided: Vec<NodeId> = graph.nodes().collect();
@@ -95,8 +96,42 @@ impl MaxIsOracle for LubyOracle {
             }
             undecided.retain(|&v| state[v.index()] == State::Undecided);
         }
-        let members: Vec<NodeId> =
-            graph.nodes().filter(|&v| state[v.index()] == State::In).collect();
+        graph.nodes().filter(|&v| state[v.index()] == State::In).collect()
+    }
+}
+
+impl Default for LubyOracle {
+    fn default() -> Self {
+        LubyOracle::new(0xC0FFEE)
+    }
+}
+
+impl MaxIsOracle for LubyOracle {
+    fn name(&self) -> &'static str {
+        "luby-local-mis"
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        // Solve per connected component with a structure-derived seed so
+        // the answer does not depend on whether components are fed to
+        // the oracle together or separately (thread invariance; see the
+        // type-level docs). The component order and within-component
+        // vertex order match `csr::induced_sorted`, i.e. exactly the
+        // renumbering the component-parallel executor uses.
+        let components = component_vertex_sets(graph);
+        let members: Vec<NodeId> = if components.len() <= 1 {
+            // Connected (or empty): the induced subgraph on all vertices
+            // is the graph itself, so solve in place. `Graph::fingerprint`
+            // equals the fingerprint of that full induced copy.
+            self.solve_connected(graph)
+        } else {
+            let mut picked = Vec::new();
+            for comp in &components {
+                let sub = csr::induced_sorted(graph, comp);
+                picked.extend(self.solve_connected(&sub).into_iter().map(|v| comp[v.index()]));
+            }
+            picked
+        };
         // Invariant, not a fallible path: joiners are strict local
         // maxima and exclude their entire neighborhoods.
         IndependentSet::new(graph, members).expect("Luby returns an independent set")
@@ -176,5 +211,41 @@ mod tests {
         let a = LubyOracle::new(42).independent_set(&g);
         let b = LubyOracle::new(42).independent_set(&g);
         assert_eq!(a, b);
+    }
+
+    /// The property the component-parallel phase executor relies on:
+    /// solving the whole graph at once equals the union of solving each
+    /// connected component separately (under the executor's canonical
+    /// renumbering).
+    #[test]
+    fn whole_graph_equals_per_component_union() {
+        use pslocal_graph::GraphBuilder;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for trial in 0..6 {
+            // Disjoint union of three random blocks (some of which may
+            // themselves be disconnected).
+            let blocks = [gnp(&mut rng, 18, 0.15), gnp(&mut rng, 25, 0.1), gnp(&mut rng, 9, 0.3)];
+            let n: usize = blocks.iter().map(|g| g.node_count()).sum();
+            let mut b = GraphBuilder::new(n);
+            let mut base = 0;
+            for g in &blocks {
+                for (u, v) in g.edges() {
+                    b.add_edge(NodeId::new(base + u.index()), NodeId::new(base + v.index()));
+                }
+                base += g.node_count();
+            }
+            let whole = b.build();
+            let oracle = LubyOracle::new(trial);
+            let at_once = oracle.independent_set(&whole);
+            let mut union: Vec<NodeId> = Vec::new();
+            for comp in component_vertex_sets(&whole) {
+                let sub = csr::induced_sorted(&whole, &comp);
+                union.extend(
+                    oracle.independent_set(&sub).vertices().iter().map(|v| comp[v.index()]),
+                );
+            }
+            union.sort_unstable();
+            assert_eq!(at_once.vertices(), &union[..], "trial {trial}");
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! the guarantee its theory provides, so the reduction can compute the
 //! phase budget `ρ = λ·ln m + 1` from the oracle actually plugged in.
 
-use pslocal_graph::{Graph, IndependentSet};
+use pslocal_graph::{BitsetGraph, BitsetScratch, Graph, IndependentSet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -94,6 +94,48 @@ pub trait MaxIsOracle: Sync {
     /// accounting.
     fn independent_set_with_rounds(&self, graph: &Graph) -> (IndependentSet, usize) {
         (self.independent_set(graph), 1)
+    }
+
+    /// Whether this oracle can consume the word-parallel bit-row
+    /// representation directly via
+    /// [`independent_set_dense`](Self::independent_set_dense).
+    ///
+    /// Defaults to `false`, so wrappers ([`TracedOracle`](crate::TracedOracle),
+    /// [`FaultyOracle`](crate::FaultyOracle)) and oracles without a dense
+    /// kernel transparently fall back to the CSR route — the driver
+    /// materializes the CSR form and calls [`independent_set`] as before.
+    ///
+    /// [`independent_set`]: Self::independent_set
+    fn supports_dense(&self) -> bool {
+        false
+    }
+
+    /// Computes an independent set from the dense bit-row form, using
+    /// caller-owned scratch so the multi-phase reduction loop allocates
+    /// nothing in steady state.
+    ///
+    /// Called only when [`supports_dense`](Self::supports_dense) returns
+    /// `true`. Implementations MUST return exactly the set
+    /// [`independent_set`](Self::independent_set) would return on the
+    /// CSR form of the same graph — the reduction's replay and recovery
+    /// layers rely on the two routes being byte-identical.
+    fn independent_set_dense(
+        &self,
+        bits: &BitsetGraph,
+        scratch: &mut BitsetScratch,
+    ) -> IndependentSet {
+        let _ = (bits, scratch);
+        panic!("{}: oracle does not support dense input", self.name())
+    }
+
+    /// The concrete λ on the dense form, when computable without
+    /// materializing the CSR graph. `None` (the default) tells the
+    /// caller to fall back to [`lambda_for`](Self::lambda_for) on the
+    /// CSR form; dense-capable oracles override this so the fast path
+    /// never touches adjacency lists.
+    fn lambda_for_dense(&self, bits: &BitsetGraph) -> Option<f64> {
+        let _ = bits;
+        None
     }
 
     /// Simulated steps the most recent [`independent_set`]

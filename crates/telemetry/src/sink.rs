@@ -87,6 +87,13 @@ pub enum Counter {
     /// gauge: each `checkpoint-write` span records the journal's size
     /// after its append).
     JournalBytes,
+    /// Phase oracle calls answered from the fingerprint-keyed memo
+    /// cache instead of invoking the oracle (drivers with
+    /// `oracle_cache` enabled).
+    OracleCacheHits,
+    /// Phase oracle lookups that missed the memo cache and fell through
+    /// to a real oracle call (drivers with `oracle_cache` enabled).
+    OracleCacheMisses,
 }
 
 impl Counter {
@@ -111,6 +118,8 @@ impl Counter {
             Counter::ParallelOracleCalls => "parallel_oracle_calls",
             Counter::PhasesRecovered => "phases_recovered",
             Counter::JournalBytes => "journal_bytes",
+            Counter::OracleCacheHits => "oracle_cache_hit",
+            Counter::OracleCacheMisses => "oracle_cache_miss",
         }
     }
 }
@@ -655,6 +664,8 @@ mod tests {
     fn counter_and_histogram_names_are_stable() {
         assert_eq!(Counter::CsrBytes.name(), "csr_bytes");
         assert_eq!(Counter::StalledSteps.to_string(), "stalled_steps");
+        assert_eq!(Counter::OracleCacheHits.name(), "oracle_cache_hit");
+        assert_eq!(Counter::OracleCacheMisses.name(), "oracle_cache_miss");
         assert_eq!(Histogram::ShardBuildNs.name(), "shard_build_ns");
         assert_eq!(Histogram::RealizedLocality.to_string(), "realized_locality");
     }

@@ -25,12 +25,14 @@ use pslocal::graph::generators::hyper::{
 };
 use pslocal::graph::generators::random::gnp;
 use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
-use pslocal::graph::{GraphStats, HypergraphStats};
+use pslocal::graph::{GraphStats, HypergraphStats, KernelStrategy};
 use pslocal::maxis::{
     CliqueRemovalOracle, DecompositionOracle, ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle,
     TracedOracle,
 };
-use pslocal::telemetry::{event_to_json, render_tree, MemorySink, PhaseTimeline, Telemetry};
+use pslocal::telemetry::{
+    event_to_json, render_tree, Counter, MemorySink, PhaseTimeline, Telemetry,
+};
 use rand::SeedableRng;
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -43,7 +45,8 @@ USAGE:
   pslocal gen gnp --n N --p P [--seed S]
   pslocal stats                 (reads a graph or hypergraph on stdin)
   pslocal maxis [--oracle O] [--threads T] [--seed S]        (graph on stdin)
-  pslocal reduce --k K [--oracle O] [--threads T] [--seed S] (hypergraph on stdin)
+  pslocal reduce --k K [--oracle O] [--threads T] [--seed S]
+                 [--kernel auto|csr|bitset] [--oracle-cache] (hypergraph on stdin)
   pslocal trace-report [--n N] [--m M] [--k K] [--oracle O] [--seed S]
                                 (run a planted reduction, render the
                                  span tree + per-phase timeline)
@@ -69,6 +72,15 @@ PARALLELISM (maxis / reduce / bench-report):
                         (default 1 = serial; results are identical for
                          every thread count, merged by component id)
 
+KERNEL (reduce):
+  --kernel K            adjacency kernel for the phase conflict graphs:
+                        auto (default; density heuristic), csr, bitset.
+                        Identical output on every route, only the cost
+                        differs
+  --oracle-cache        memoize whole-phase oracle answers by conflict-
+                        graph fingerprint (hits re-verified, counted as
+                        oracle_cache_hit instead of oracle_calls)
+
 TELEMETRY (maxis / reduce / trace-report / bench-report):
   --trace               render the span tree to stdout after the run
   --metrics-out FILE    append every telemetry event as JSONL to FILE
@@ -77,7 +89,7 @@ ORACLES: exact | greedy | luby | clique-removal | decomposition
 FORMATS: see pslocal_graph::io (p graph / p hypergraph headers)";
 
 /// Options that are flags (no value argument follows them).
-const BOOLEAN_FLAGS: &[&str] = &["trace", "resume"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "resume", "oracle-cache"];
 
 /// Minimal `--key value` argument map (with a few `--flag` booleans).
 struct Args {
@@ -134,6 +146,16 @@ fn threads_opt(args: &Args) -> Result<ParallelismOptions, String> {
         0 => Err("--threads must be at least 1".to_string()),
         t => Ok(ParallelismOptions::with_threads(t)),
     }
+}
+
+/// Parses `--kernel` (default auto) into a [`KernelStrategy`].
+fn kernel_opt(args: &Args) -> Result<KernelStrategy, String> {
+    Ok(match args.get("kernel").unwrap_or("auto") {
+        "auto" => KernelStrategy::Auto,
+        "csr" => KernelStrategy::Csr,
+        "bitset" => KernelStrategy::Bitset,
+        other => return Err(format!("unknown kernel {other:?} (auto | csr | bitset)")),
+    })
 }
 
 fn oracle_by_name(name: &str, seed: u64) -> Result<Box<dyn MaxIsOracle>, String> {
@@ -327,7 +349,12 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let k: usize = args.required("k")?;
     let opts = TraceOpts::from(args);
-    let config = ReductionConfig { parallelism: threads_opt(args)?, ..ReductionConfig::new(k) };
+    let config = ReductionConfig {
+        parallelism: threads_opt(args)?,
+        kernel: kernel_opt(args)?,
+        oracle_cache: args.flag("oracle-cache"),
+        ..ReductionConfig::new(k)
+    };
     let oracle = oracle_by_name(args.get("oracle").unwrap_or("greedy"), seed)?;
     let ckpt = checkpoint_opt(args)?;
     let h = read_hypergraph(&read_stdin()?).map_err(|e| e.to_string())?;
@@ -456,10 +483,22 @@ struct BenchEntry {
     k: usize,
     conflict_nodes: usize,
     conflict_edges: usize,
+    /// Adjacency route `KernelStrategy::Auto` resolves to on this
+    /// instance's first-phase conflict graph (`"bitset"` or `"csr"`).
+    kernel: &'static str,
     build_ns: u128,
     oracle_ns: u128,
+    /// End-to-end reduction under the default `Auto` kernel.
     reduction_ns: u128,
+    /// Same reduction with the kernel pinned to `Csr` — the same-host
+    /// baseline the dense-route speedup claim is measured against.
+    csr_reduction_ns: u128,
     phases: usize,
+    /// Oracle-memoization counters from the instrumented run (cache
+    /// enabled there so the columns are live; phase graphs within one
+    /// reduction are all distinct, so expect `misses == phases`).
+    oracle_cache_hits: u64,
+    oracle_cache_misses: u64,
     /// Telemetry-derived split of one instrumented reduction run:
     /// conflict-graph construction (initial build + per-phase restricts),
     /// oracle time, commit time, and the whole reduction span.
@@ -475,6 +514,15 @@ impl BenchEntry {
             0.0
         } else {
             self.build_ns as f64 / self.conflict_edges as f64
+        }
+    }
+
+    /// Csr-baseline over Auto speedup of the end-to-end reduction.
+    fn kernel_speedup(&self) -> f64 {
+        if self.reduction_ns == 0 {
+            0.0
+        } else {
+            self.csr_reduction_ns as f64 / self.reduction_ns as f64
         }
     }
 }
@@ -546,15 +594,26 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         });
         let mut phases = 0usize;
         let mut failed: Option<String> = None;
-        let reduction_ns = median_ns(iters, || {
-            match reduce_cf_to_maxis(h, oracle.as_ref(), ReductionConfig::new(k)) {
-                Ok(out) => {
-                    phases = out.phases_used;
-                    std::hint::black_box(out);
-                }
-                Err(e) => failed = Some(format!("reduction failed on (n={n}, m={m}, k={k}): {e}")),
-            };
-        });
+        let mut timed_kernel = |kernel: KernelStrategy| {
+            let mut config = ReductionConfig::new(k);
+            config.kernel = kernel;
+            median_ns(iters, || {
+                match reduce_cf_to_maxis(h, oracle.as_ref(), config) {
+                    Ok(out) => {
+                        phases = out.phases_used;
+                        std::hint::black_box(out);
+                    }
+                    Err(e) => {
+                        failed = Some(format!("reduction failed on (n={n}, m={m}, k={k}): {e}"))
+                    }
+                };
+            })
+        };
+        // Baseline first so `phases` ends up reflecting the Auto run
+        // (they are identical by kernel invariance, but keep the
+        // bookkeeping honest).
+        let csr_reduction_ns = timed_kernel(KernelStrategy::Csr);
+        let reduction_ns = timed_kernel(KernelStrategy::Auto);
         if let Some(message) = failed {
             return Err(message);
         }
@@ -563,10 +622,13 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         // timings above cannot separate inside `reduce_cf_to_maxis`.
         // Best-of-`iters` keeps one-shot scheduling outliers (thread
         // spawn on the sharded build) out of the published split.
+        // Memoization is enabled here so the cache columns are live.
+        let mut traced_config = ReductionConfig::new(k);
+        traced_config.oracle_cache = true;
         let mut best: Option<(PhaseTimeline, MemorySink)> = None;
         for _ in 0..iters.max(1) {
             let tel = Telemetry::new(MemorySink::new());
-            reduce_cf_to_maxis_traced(h, oracle.as_ref(), ReductionConfig::new(k), &tel)
+            reduce_cf_to_maxis_traced(h, oracle.as_ref(), traced_config, &tel)
                 .map_err(|e| format!("reduction failed on (n={n}, m={m}, k={k}): {e}"))?;
             let sink = tel.into_sink();
             let timeline = PhaseTimeline::from_spans(&sink.spans())
@@ -587,12 +649,16 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             n,
             m,
             k,
-            conflict_nodes: cg.graph().node_count(),
+            conflict_nodes: cg.node_count(),
             conflict_edges: cg.edge_count(),
+            kernel: if cg.bitset().is_some() { "bitset" } else { "csr" },
             build_ns,
             oracle_ns,
             reduction_ns,
+            csr_reduction_ns,
             phases,
+            oracle_cache_hits: sink.counter_total(Counter::OracleCacheHits),
+            oracle_cache_misses: sink.counter_total(Counter::OracleCacheMisses),
             tel_build_ns: timeline.build_ns,
             tel_oracle_ns: timeline.oracle_ns,
             tel_commit_ns: timeline.commit_ns,
@@ -641,7 +707,7 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
     // future PRs can diff perf trajectories mechanically.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"pslocal-bench-reduction/v3\",\n");
+    json.push_str("  \"schema\": \"pslocal-bench-reduction/v4\",\n");
     json.push_str(&format!("  \"oracle\": \"{}\",\n", oracle.name()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
@@ -649,8 +715,10 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"n\": {}, \"m\": {}, \"k\": {}, \"conflict_nodes\": {}, \
-             \"conflict_edges\": {}, \"phases\": {}, \"build_ns\": {}, \
-             \"oracle_ns\": {}, \"reduction_ns\": {}, \"build_ns_per_edge\": {:.2}, \
+             \"conflict_edges\": {}, \"kernel\": \"{}\", \"phases\": {}, \"build_ns\": {}, \
+             \"oracle_ns\": {}, \"reduction_ns\": {}, \"csr_reduction_ns\": {}, \
+             \"kernel_speedup\": {:.2}, \"build_ns_per_edge\": {:.2}, \
+             \"oracle_cache_hits\": {}, \"oracle_cache_misses\": {}, \
              \"tel_build_ns\": {}, \"tel_oracle_ns\": {}, \"tel_commit_ns\": {}, \
              \"tel_reduction_ns\": {}}}{}\n",
             e.n,
@@ -658,11 +726,16 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             e.k,
             e.conflict_nodes,
             e.conflict_edges,
+            e.kernel,
             e.phases,
             e.build_ns,
             e.oracle_ns,
             e.reduction_ns,
+            e.csr_reduction_ns,
+            e.kernel_speedup(),
             e.build_ns_per_edge(),
+            e.oracle_cache_hits,
+            e.oracle_cache_misses,
             e.tel_build_ns,
             e.tel_oracle_ns,
             e.tel_commit_ns,
@@ -691,17 +764,23 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
     println!("wrote {out_path}");
     for e in &entries {
         println!(
-            "n={} m={} k={}: |V|={} |E|={} build={}us oracle={}us reduce={}us ({} phases, {:.1} ns/edge)",
+            "n={} m={} k={}: |V|={} |E|={} [{}] build={}us oracle={}us reduce={}us \
+             (csr {}us, {:.2}x; {} phases, {:.1} ns/edge, cache {}h/{}m)",
             e.n,
             e.m,
             e.k,
             e.conflict_nodes,
             e.conflict_edges,
+            e.kernel,
             e.build_ns / 1000,
             e.oracle_ns / 1000,
             e.reduction_ns / 1000,
+            e.csr_reduction_ns / 1000,
+            e.kernel_speedup(),
             e.phases,
             e.build_ns_per_edge(),
+            e.oracle_cache_hits,
+            e.oracle_cache_misses,
         );
         println!(
             "    telemetry split: build={}us oracle={}us commit={}us total={}us",

@@ -1,0 +1,176 @@
+//! Bitset-kernel equivalence suite.
+//!
+//! The dense (word-parallel) pipeline must be a pure cost knob: the
+//! direct bit-row conflict-graph build, the dense greedy oracle route,
+//! and a phase loop running through a reused [`PhaseWorkspace`] all
+//! have to reproduce the CSR reference **byte-for-byte** — same
+//! adjacency, same phase records, same coloring. These properties are
+//! what lets `KernelStrategy::Auto` switch routes per graph without
+//! anyone downstream noticing.
+
+use proptest::prelude::*;
+use pslocal::core::{
+    reduce_cf_to_maxis, reduce_cf_to_maxis_with_workspace, BuildStrategy, ConflictGraph,
+    ConflictGraphOptions, PhaseWorkspace, ReductionConfig,
+};
+use pslocal::graph::bitset::{BITSET_MAX_NODES, BITSET_MIN_AVG_DEGREE};
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal::graph::{BitsetGraph, BitsetScratch, Hypergraph, KernelStrategy};
+use pslocal::maxis::{GreedyOracle, MaxIsOracle};
+use pslocal::telemetry::Telemetry;
+use rand::{Rng, SeedableRng};
+
+/// A random hypergraph: `m` edges of 1–4 distinct vertices over `n ≤ 40`
+/// vertices (sizes and members seeded, so failures replay exactly).
+fn random_hypergraph(seed: u64, n: usize, m: usize) -> Hypergraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let size = rng.gen_range(1..=4usize.min(n));
+        let mut members: Vec<usize> = Vec::new();
+        while members.len() < size {
+            let v = rng.gen_range(0..n);
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        edges.push(members);
+    }
+    Hypergraph::from_edges(n, edges).expect("generated edges are valid")
+}
+
+fn instance() -> impl Strategy<Value = (Hypergraph, usize)> {
+    (0u64..10_000, 2usize..=40, 1usize..=12, 1usize..=5)
+        .prop_map(|(seed, n, m, k)| (random_hypergraph(seed, n, m), k))
+}
+
+fn kernel_options(literal_ecolor: bool, kernel: KernelStrategy) -> ConflictGraphOptions {
+    ConflictGraphOptions { literal_ecolor, strategy: BuildStrategy::Auto, kernel }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The direct bit-row build equals the CSR reference converted to
+    /// bit rows, and its lazily materialized CSR equals the reference
+    /// CSR — in both `E_color` readings. This is the structural half of
+    /// kernel equivalence: everything downstream reads one of these two
+    /// representations.
+    #[test]
+    fn dense_build_matches_csr_reference((h, k) in instance(), literal_bit in 0u8..2) {
+        let literal = literal_bit == 1;
+        let reference = ConflictGraph::build_with_options(
+            &h, k, ConflictGraphOptions {
+                literal_ecolor: literal,
+                strategy: BuildStrategy::Reference,
+                kernel: KernelStrategy::Csr,
+            });
+        let dense = ConflictGraph::build_with_options(
+            &h, k, kernel_options(literal, KernelStrategy::Bitset));
+        let bits = dense.bitset().expect("forced bitset kernel builds bit rows");
+        prop_assert_eq!(bits, &reference.graph().to_bitset());
+        prop_assert_eq!(dense.node_count(), reference.node_count());
+        prop_assert_eq!(dense.edge_count(), reference.edge_count());
+        prop_assert_eq!(dense.fingerprint(), reference.fingerprint());
+        // Materializing the CSR on demand reproduces the reference CSR.
+        prop_assert_eq!(dense.graph(), reference.graph());
+    }
+
+    /// The dense greedy route picks the identical vertex sequence as
+    /// the CSR route on arbitrary graphs, and reports the same λ.
+    #[test]
+    fn dense_greedy_matches_csr_greedy(seed in 0u64..10_000, n in 1usize..60, p_pct in 5u32..60) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = pslocal::graph::generators::random::gnp(&mut rng, n, f64::from(p_pct) / 100.0);
+        let bits = BitsetGraph::from_graph(&g);
+        let mut scratch = BitsetScratch::default();
+        let dense = GreedyOracle.independent_set_dense(&bits, &mut scratch);
+        let csr = GreedyOracle.independent_set(&g);
+        prop_assert_eq!(dense.vertices(), csr.vertices());
+        prop_assert_eq!(
+            GreedyOracle.lambda_for_dense(&bits),
+            GreedyOracle.lambda_for(&g)
+        );
+    }
+
+    /// End-to-end: forcing `Csr`, forcing `Bitset`, and letting `Auto`
+    /// decide all produce the identical reduction — records, coloring,
+    /// color count.
+    #[test]
+    fn reduction_is_kernel_invariant((h, k) in instance()) {
+        let run = |kernel| {
+            let mut config = ReductionConfig::new(k);
+            config.kernel = kernel;
+            reduce_cf_to_maxis(&h, &GreedyOracle, config).unwrap()
+        };
+        let csr = run(KernelStrategy::Csr);
+        let bitset = run(KernelStrategy::Bitset);
+        let auto = run(KernelStrategy::Auto);
+        prop_assert_eq!(&csr.records, &bitset.records);
+        prop_assert_eq!(&csr.coloring, &bitset.coloring);
+        prop_assert_eq!(csr.total_colors, bitset.total_colors);
+        prop_assert_eq!(&csr.records, &auto.records);
+        prop_assert_eq!(&csr.coloring, &auto.coloring);
+    }
+
+    /// A `PhaseWorkspace` carries no semantic state: running instance B
+    /// through a workspace warmed by instance A equals running B fresh.
+    #[test]
+    fn workspace_reuse_is_byte_identical(
+        (ha, ka) in instance(),
+        (hb, kb) in instance(),
+    ) {
+        let tel = Telemetry::disabled();
+        let mut ws = PhaseWorkspace::new();
+        let warm_a = reduce_cf_to_maxis_with_workspace(
+            &ha, &GreedyOracle, ReductionConfig::new(ka), &tel, &mut ws).unwrap();
+        let warm_b = reduce_cf_to_maxis_with_workspace(
+            &hb, &GreedyOracle, ReductionConfig::new(kb), &tel, &mut ws).unwrap();
+        let fresh_a = reduce_cf_to_maxis(&ha, &GreedyOracle, ReductionConfig::new(ka)).unwrap();
+        let fresh_b = reduce_cf_to_maxis(&hb, &GreedyOracle, ReductionConfig::new(kb)).unwrap();
+        prop_assert_eq!(&warm_a.records, &fresh_a.records);
+        prop_assert_eq!(&warm_a.coloring, &fresh_a.coloring);
+        prop_assert_eq!(&warm_b.records, &fresh_b.records);
+        prop_assert_eq!(&warm_b.coloring, &fresh_b.coloring);
+    }
+}
+
+/// `Auto`'s crossover: dense only when the graph is both small enough
+/// for quadratic bit rows and dense enough for word scans to win —
+/// where "dense enough" scales with the row length (`⌈n/64⌉` words)
+/// once the flat degree floor is cleared.
+#[test]
+fn auto_crossover_boundaries() {
+    let auto = KernelStrategy::Auto;
+    let threshold = BITSET_MIN_AVG_DEGREE / 2;
+    // Dense and small: bitset (16 row words, so the flat floor rules).
+    assert!(auto.use_bitset(1000, 1000 * threshold));
+    // Too sparse at the same size: CSR.
+    assert!(!auto.use_bitset(1000, 1000 * threshold - 1000));
+    // Dense but past the node cap: CSR.
+    assert!(!auto.use_bitset(BITSET_MAX_NODES + 1, (BITSET_MAX_NODES + 1) * threshold));
+    // At the node cap the scaling condition governs: 512 row words
+    // demand average degree ≥ 256, not just the flat floor.
+    assert!(!auto.use_bitset(BITSET_MAX_NODES, BITSET_MAX_NODES * threshold));
+    assert!(auto.use_bitset(BITSET_MAX_NODES, BITSET_MAX_NODES * 256));
+    // Degenerate empty graph: CSR.
+    assert!(!auto.use_bitset(0, 0));
+    // Forced strategies ignore the heuristic entirely.
+    assert!(!KernelStrategy::Csr.use_bitset(1000, 1000 * threshold));
+    assert!(KernelStrategy::Bitset.use_bitset(3, 0));
+}
+
+/// The dense bench configuration (`n128/m64/k8`, the planted instance
+/// the perf work targets) actually crosses the `Auto` threshold — the
+/// 2× speedup claim rides on this graph taking the bitset route.
+#[test]
+fn bench_instance_takes_the_dense_route() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let inst = planted_cf_instance(&mut rng, PlantedCfParams::new(128, 64, 8));
+    let cg = ConflictGraph::build_with_options(
+        &inst.hypergraph,
+        8,
+        kernel_options(false, KernelStrategy::Auto),
+    );
+    assert!(cg.bitset().is_some(), "dense bench instance must resolve to the bitset kernel");
+}

@@ -38,7 +38,7 @@ fn instance() -> impl Strategy<Value = (Hypergraph, usize)> {
 }
 
 fn options(literal_ecolor: bool, strategy: BuildStrategy) -> ConflictGraphOptions {
-    ConflictGraphOptions { literal_ecolor, strategy }
+    ConflictGraphOptions { literal_ecolor, strategy, ..ConflictGraphOptions::default() }
 }
 
 proptest! {
