@@ -77,6 +77,7 @@ pub mod distributed;
 pub mod recovery;
 pub mod reduction;
 pub mod resilient;
+pub mod service;
 pub mod simulation;
 pub mod workspace;
 
@@ -106,9 +107,13 @@ pub use reduction::{
     ReductionError, ReductionOutcome,
 };
 pub use resilient::{
-    reduce_cf_resilient, reduce_cf_resilient_resumable, reduce_cf_resilient_traced, stall_budget,
-    FaultEvent, FaultEventKind, PartialOutcome, ResilientConfig, ResilientFailure,
-    ResilientOutcome,
+    reduce_cf_resilient, reduce_cf_resilient_resumable, reduce_cf_resilient_traced,
+    reduce_cf_resilient_with_workspace, stall_budget, FaultEvent, FaultEventKind, PartialOutcome,
+    ResilientConfig, ResilientFailure, ResilientOutcome,
+};
+pub use service::{
+    BoxedOracle, QueueFull, RequestOutcome, Service, ServiceConfig, ServiceReport, ServiceRequest,
+    ServiceResponse, DEFAULT_QUEUE_CAPACITY,
 };
 pub use simulation::{host_of, simulate_in_hypergraph, SimulationReport};
 pub use workspace::PhaseWorkspace;

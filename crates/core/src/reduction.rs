@@ -23,7 +23,7 @@ use crate::correspondence;
 use crate::recovery::{
     self, Checkpointing, DriverKind, JournalPhase, PhaseJournal, RecoveryReport,
 };
-use crate::workspace::PhaseWorkspace;
+use crate::workspace::{CacheLookup, PhaseWorkspace};
 use pslocal_cfcolor::{checker, Multicoloring};
 use pslocal_graph::{HyperedgeId, Hypergraph, IndependentSet, KernelStrategy, Palette};
 use pslocal_maxis::{CrashPoint, MaxIsOracle};
@@ -45,21 +45,36 @@ pub fn oracle_locality(n: usize) -> usize {
 /// The Lemma 2.1 delivery quota `⌈edges / λ⌉`, computed exactly.
 ///
 /// For integral λ (every certified oracle: λ = 1, Δ+1, or a color
-/// count) the quotient is pure integer `div_ceil`; only genuinely
-/// fractional λ takes the float path. This replaces an epsilon-fudged
-/// float ceiling that mis-rounded near `f64` precision.
+/// count) the quotient is pure integer `div_ceil`. Fractional λ is
+/// decomposed into its exact IEEE-754 rational `mant · 2^exp`
+/// (`mant < 2^53`, and `λ ≥ 1` forces `exp ≥ -52`), so the quota is
+/// the integer `⌈edges · 2^{-exp} / mant⌉` over `u128` — no round trip
+/// through `edges as f64`, which loses bits past `2^53` and used to
+/// under-count the quota by 1 at the boundary.
 ///
 /// # Panics
 ///
 /// Panics if `lambda < 1.0` (no λ-approximation is better than exact).
 pub fn lemma_2_1_quota(edges: usize, lambda: f64) -> usize {
     assert!(lambda >= 1.0, "approximation factor λ must be ≥ 1, got {lambda}");
-    let integral = lambda.fract() == 0.0 && lambda <= usize::MAX as f64;
-    if integral {
-        edges.div_ceil(lambda as usize)
-    } else {
-        (edges as f64 / lambda).ceil() as usize
+    if edges == 0 {
+        return 0;
     }
+    if lambda.fract() == 0.0 && lambda <= usize::MAX as f64 {
+        return edges.div_ceil(lambda as usize);
+    }
+    // λ is finite and ≥ 1, hence normal: λ = mant · 2^exp exactly.
+    let bits = lambda.to_bits();
+    let mant = (1u128 << 52) | (bits as u128 & ((1 << 52) - 1));
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1075;
+    if exp >= 0 {
+        // Every f64 with a nonnegative unbiased mantissa exponent is an
+        // integer, so reaching here means λ > usize::MAX ≥ edges.
+        return 1;
+    }
+    // `exp ∈ [-52, -1]`: the numerator is < 2^(64+52), comfortably u128.
+    let num = (edges as u128) << (-exp as u32);
+    num.div_ceil(mant) as usize
 }
 
 /// The largest residual edge count a phase may leave behind under the
@@ -266,6 +281,14 @@ pub enum ReductionError {
         /// Total oracle attempts spent in that phase.
         attempts: usize,
     },
+    /// The caller's deadline passed before the reduction finished. Only
+    /// raised at a phase boundary (cooperative cancellation — a running
+    /// oracle call is never interrupted), so the partial outcome is
+    /// always a whole number of committed phases.
+    DeadlineExceeded {
+        /// The first phase that did not run.
+        phase: usize,
+    },
     /// A checkpointing run could not read or durably write its phase
     /// journal, or the journal belongs to a different run
     /// configuration. The reduction state itself is fine — this is the
@@ -296,6 +319,9 @@ impl fmt::Display for ReductionError {
                 f,
                 "phase {phase}: no oracle produced an acceptable set in {attempts} attempts"
             ),
+            ReductionError::DeadlineExceeded { phase } => {
+                write!(f, "deadline exceeded at the boundary of phase {phase}")
+            }
             ReductionError::CheckpointFailed { message } => {
                 write!(f, "checkpointing failed: {message}")
             }
@@ -625,14 +651,20 @@ fn phase_independent_set<O: MaxIsOracle + ?Sized, S: Sink>(
 ) -> (IndependentSet, usize) {
     let fingerprint = use_cache.then(|| cg.fingerprint());
     if let Some(fp) = fingerprint {
-        if let Some(vertices) = ws.cache.get(fp) {
-            let set = IndependentSet::new_unchecked(vertices);
-            if cg.verify_independent(&set) {
+        match ws.cache.get_verified(fp, cg) {
+            CacheLookup::Hit(set) => {
                 phase_span.add(Counter::OracleCacheHits, 1);
                 return (set, 0);
             }
+            CacheLookup::Reject => {
+                // Fingerprint collision: the memoized set is not
+                // independent in this graph. The colliding entry has
+                // been evicted; fall through to the oracle.
+                phase_span.add(Counter::OracleCacheRejects, 1);
+                phase_span.add(Counter::OracleCacheMisses, 1);
+            }
+            CacheLookup::Miss => phase_span.add(Counter::OracleCacheMisses, 1),
         }
-        phase_span.add(Counter::OracleCacheMisses, 1);
     }
     if parallelism.is_parallel() {
         let exec = ComponentExecutor::new(cg.graph(), parallelism);
@@ -830,10 +862,32 @@ mod tests {
     }
 
     #[test]
-    fn quota_fractional_lambda_uses_float_ceiling() {
+    fn quota_fractional_lambda_is_exact_ceiling() {
         assert_eq!(lemma_2_1_quota(10, 2.5), 4);
         assert_eq!(lemma_2_1_quota(7, 2.5), 3); // ⌈2.8⌉
         assert_eq!(lemma_2_1_quota(0, 2.5), 0);
+    }
+
+    #[test]
+    fn quota_fractional_lambda_survives_f64_precision_loss() {
+        // 2^53 + 1 is unrepresentable in f64, so the old fractional
+        // path computed ⌈(2^53) / 2.5⌉ = 3602879701896397 — one short
+        // of the true ⌈(2^53 + 1) / 2.5⌉ = ⌈(2^54 + 2) / 5⌉. The exact
+        // rational path gets the boundary right.
+        let edges = (1usize << 53) + 1;
+        assert_eq!(lemma_2_1_quota(edges, 2.5), 3_602_879_701_896_398);
+        // And the quota stays monotone across the 2^53 boundary.
+        assert!(lemma_2_1_quota(edges, 2.5) >= lemma_2_1_quota(1usize << 53, 2.5));
+    }
+
+    #[test]
+    fn quota_handles_extreme_lambdas() {
+        // λ larger than any edge count: one surviving phase delivers all.
+        assert_eq!(lemma_2_1_quota(10, 1e300), 1);
+        assert_eq!(lemma_2_1_quota(usize::MAX, 2.0f64.powi(64) * 1.5), 1);
+        // λ barely above 1 still demands everything.
+        let just_above_one = f64::from_bits(1.0f64.to_bits() + 1);
+        assert_eq!(lemma_2_1_quota(1usize << 40, just_above_one), 1usize << 40);
     }
 
     #[test]
@@ -1007,6 +1061,36 @@ mod tests {
         assert_eq!(out1.coloring, base.coloring);
         assert_eq!(out2.records, base.records);
         assert_eq!(out2.coloring, base.coloring);
+    }
+
+    #[test]
+    fn oracle_cache_collision_is_rejected_evicted_and_counted() {
+        use pslocal_telemetry::MemorySink;
+        let k = 2;
+        let h = planted(7, 24, 10, k);
+        let config = ReductionConfig { oracle_cache: true, ..ReductionConfig::new(k) };
+        let base = reduce_cf_to_maxis(&h, &GreedyOracle, ReductionConfig::new(k)).unwrap();
+        // Poison the memo under the *live* first-phase fingerprint with
+        // a set that is not independent in G_k — the situation a 64-bit
+        // fingerprint collision would produce. Conflict-graph nodes 0
+        // and 1 are two color slots of hyperedge 0's first vertex,
+        // always adjacent (same-vertex clique).
+        let fp = ConflictGraph::build(&h, k).fingerprint();
+        let mut ws = PhaseWorkspace::new();
+        ws.cache.insert(fp, vec![pslocal_graph::NodeId::new(0), pslocal_graph::NodeId::new(1)]);
+        let tel = Telemetry::new(MemorySink::new());
+        let out =
+            reduce_cf_to_maxis_with_workspace(&h, &GreedyOracle, config, &tel, &mut ws).unwrap();
+        let sink = tel.into_sink();
+        // Pre-fix: the collision was silently counted as a plain miss
+        // and the poisoned entry stayed cached (LRU-refreshed, even).
+        assert_eq!(sink.counter_total(Counter::OracleCacheRejects), 1);
+        assert_eq!(sink.counter_total(Counter::OracleCacheHits), 0);
+        assert_eq!(sink.counter_total(Counter::OracleCacheMisses), out.phases_used as u64);
+        // The run falls through to the oracle and stays byte-identical
+        // to an uncached baseline.
+        assert_eq!(out.records, base.records);
+        assert_eq!(out.coloring, base.coloring);
     }
 
     fn ckpt_dir(tag: &str) -> std::path::PathBuf {

@@ -52,6 +52,7 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// The stall budget of attempt `retry` under exponential backoff:
 /// `base · 2^retry`, **saturating at `usize::MAX`** once the doubling
@@ -292,8 +293,37 @@ pub fn reduce_cf_resilient_traced<S: Sink>(
     config: ResilientConfig,
     tel: &Telemetry<S>,
 ) -> Result<ResilientOutcome, ResilientFailure> {
-    reduce_resilient_inner(h, chain, config, tel, None, &mut PhaseWorkspace::new())
+    reduce_resilient_inner(h, chain, config, tel, None, &mut PhaseWorkspace::new(), None)
         .map(|(outcome, _)| outcome)
+}
+
+/// [`reduce_cf_resilient_traced`] lending a caller-owned
+/// [`PhaseWorkspace`] and honoring an optional wall-clock `deadline` —
+/// the batch service's entry point (`crate::service`), whose workers
+/// hold one long-lived workspace each and cancel overdue requests
+/// cooperatively.
+///
+/// The deadline is checked at every **phase boundary** (before the
+/// phase's oracle work starts), never mid-call: an overdue run fails
+/// with [`ReductionError::DeadlineExceeded`] and the usual salvage — a
+/// whole number of committed, verified phases. A workspace carries no
+/// semantic state, so the next request through the same workspace is
+/// unaffected (pinned by the batch deadline tests).
+///
+/// # Errors
+///
+/// See [`reduce_cf_resilient`], plus
+/// [`ReductionError::DeadlineExceeded`] when `deadline` passes.
+#[allow(clippy::result_large_err)]
+pub fn reduce_cf_resilient_with_workspace<S: Sink>(
+    h: &Hypergraph,
+    chain: &[&dyn MaxIsOracle],
+    config: ResilientConfig,
+    tel: &Telemetry<S>,
+    ws: &mut PhaseWorkspace,
+    deadline: Option<Instant>,
+) -> Result<ResilientOutcome, ResilientFailure> {
+    reduce_resilient_inner(h, chain, config, tel, None, ws, deadline).map(|(outcome, _)| outcome)
 }
 
 /// [`reduce_cf_resilient_traced`] with crash-safe checkpointing: every
@@ -324,10 +354,19 @@ pub fn reduce_cf_resilient_resumable<S: Sink>(
     checkpoint: &Checkpointing,
     tel: &Telemetry<S>,
 ) -> Result<(ResilientOutcome, RecoveryReport), ResilientFailure> {
-    reduce_resilient_inner(h, chain, config, tel, Some(checkpoint), &mut PhaseWorkspace::new())
+    reduce_resilient_inner(
+        h,
+        chain,
+        config,
+        tel,
+        Some(checkpoint),
+        &mut PhaseWorkspace::new(),
+        None,
+    )
 }
 
 #[allow(clippy::result_large_err)]
+#[allow(clippy::too_many_arguments)]
 fn reduce_resilient_inner<S: Sink>(
     h: &Hypergraph,
     chain: &[&dyn MaxIsOracle],
@@ -335,6 +374,7 @@ fn reduce_resilient_inner<S: Sink>(
     tel: &Telemetry<S>,
     checkpoint: Option<&Checkpointing>,
     ws: &mut PhaseWorkspace,
+    deadline: Option<Instant>,
 ) -> Result<(ResilientOutcome, RecoveryReport), ResilientFailure> {
     let root = span!(tel, names::REDUCTION);
     let m = h.edge_count();
@@ -447,6 +487,11 @@ fn reduce_resilient_inner<S: Sink>(
     }
 
     while !residual.is_empty() && phase < budget {
+        // Cooperative cancellation: overdue runs stop at the phase
+        // boundary with salvage (whole committed phases only).
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            fail!(ReductionError::DeadlineExceeded { phase });
+        }
         let phase_span = span!(root, names::PHASE, phase);
         let edges_before = residual.len();
         let phase_log_start = fault_log.len();

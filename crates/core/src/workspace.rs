@@ -24,7 +24,8 @@
 //! [`MaxIsOracle::independent_set_dense`]: pslocal_maxis::MaxIsOracle::independent_set_dense
 //! [`ReductionConfig::oracle_cache`]: crate::ReductionConfig::oracle_cache
 
-use pslocal_graph::{csr, BitsetScratch, NodeId};
+use crate::conflict_graph::ConflictGraph;
+use pslocal_graph::{csr, BitsetScratch, IndependentSet, NodeId};
 
 /// Default number of memoized phase answers `OracleCache` retains.
 /// Phases see a shrinking chain of restrictions, so a repeat — the
@@ -62,18 +63,58 @@ impl PhaseWorkspace {
 /// A small LRU memo of whole-phase oracle answers, keyed by the
 /// conflict graph's structural fingerprint.
 ///
-/// A hit is only trusted after the driver re-verifies independence on
-/// the *current* graph (`ConflictGraph::verify_independent`) — the
-/// 64-bit fingerprint makes a collision astronomically unlikely, and
-/// the verification keeps even that case from corrupting a run.
+/// A hit is only trusted after re-verifying independence on the
+/// *current* graph (`ConflictGraph::verify_independent`) — the 64-bit
+/// fingerprint makes a collision astronomically unlikely, and the
+/// verification keeps even that case from corrupting a run. A stored
+/// set that fails verification is a [`CacheLookup::Reject`]: the
+/// colliding entry is **evicted** (it answers for a graph that no
+/// longer hashes to this slot's meaning) and the caller falls through
+/// to the oracle, counting an `OracleCacheRejects`.
 #[derive(Debug, Default)]
 pub(crate) struct OracleCache {
     /// `(fingerprint, oracle answer)`, least-recently-used first.
     entries: Vec<(u64, Vec<NodeId>)>,
 }
 
+/// Outcome of a verified cache lookup — see
+/// [`OracleCache::get_verified`].
+#[derive(Debug)]
+pub(crate) enum CacheLookup {
+    /// The stored set verified against the current graph.
+    Hit(IndependentSet),
+    /// Fingerprint matched but the stored set is not independent in the
+    /// current graph (a collision); the entry has been evicted.
+    Reject,
+    /// No entry for this fingerprint.
+    Miss,
+}
+
 impl OracleCache {
-    /// Looks up `fingerprint`, refreshing its LRU position on a hit.
+    /// Looks up `fingerprint` and re-verifies the stored set against
+    /// `cg`. A verified hit refreshes the entry's LRU position; a
+    /// failed verification evicts the colliding entry and reports
+    /// [`CacheLookup::Reject`] so the caller can fall through to the
+    /// oracle.
+    pub(crate) fn get_verified(&mut self, fingerprint: u64, cg: &ConflictGraph) -> CacheLookup {
+        let Some(pos) = self.entries.iter().position(|(fp, _)| *fp == fingerprint) else {
+            return CacheLookup::Miss;
+        };
+        let set = IndependentSet::new_unchecked(self.entries[pos].1.clone());
+        if cg.verify_independent(&set) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            CacheLookup::Hit(set)
+        } else {
+            self.entries.remove(pos);
+            CacheLookup::Reject
+        }
+    }
+
+    /// Raw unverified lookup, refreshing the LRU position on a hit
+    /// (tests only — drivers go through
+    /// [`get_verified`](Self::get_verified)).
+    #[cfg(test)]
     pub(crate) fn get(&mut self, fingerprint: u64) -> Option<Vec<NodeId>> {
         let pos = self.entries.iter().position(|(fp, _)| *fp == fingerprint)?;
         let entry = self.entries.remove(pos);
@@ -104,9 +145,45 @@ impl OracleCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pslocal_graph::Hypergraph;
 
     fn set_of(vs: &[usize]) -> Vec<NodeId> {
         vs.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn verified_lookup_evicts_colliding_entry() {
+        // A conflict graph whose block 0 is a clique: nodes 0 and 1 are
+        // adjacent, so a cached "answer" containing both cannot be
+        // independent — exactly what a fingerprint collision would
+        // smuggle in.
+        let h = Hypergraph::from_edges(3, [vec![0, 1, 2]]).unwrap();
+        let cg = ConflictGraph::build(&h, 2);
+        let fp = cg.fingerprint();
+        let mut c = OracleCache::default();
+        c.insert(fp, set_of(&[0, 1]));
+        match c.get_verified(fp, &cg) {
+            CacheLookup::Reject => {}
+            other => panic!("colliding entry must be rejected, got {other:?}"),
+        }
+        // The poisoned entry is gone: the next lookup is a clean miss,
+        // not a repeat rejection.
+        assert!(matches!(c.get_verified(fp, &cg), CacheLookup::Miss));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn verified_lookup_returns_and_retains_good_entry() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1, 2]]).unwrap();
+        let cg = ConflictGraph::build(&h, 2);
+        let fp = cg.fingerprint();
+        let mut c = OracleCache::default();
+        c.insert(fp, set_of(&[0]));
+        match c.get_verified(fp, &cg) {
+            CacheLookup::Hit(set) => assert_eq!(set.vertices(), set_of(&[0]).as_slice()),
+            other => panic!("verified entry must hit, got {other:?}"),
+        }
+        assert_eq!(c.len(), 1, "a verified hit stays cached");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! structs: `Auto` resolves to the bitset route exactly when the
 //! density heuristic says the flat rows pay for themselves.
 
-use crate::{Graph, NodeId};
+use crate::{Graph, GraphError, NodeId};
 
 /// Which adjacency kernel a dense-capable consumer should run.
 ///
@@ -53,6 +53,13 @@ pub const BITSET_MAX_NODES: usize = 1 << 15;
 /// (see [`KernelStrategy::use_bitset`]).
 pub const BITSET_MIN_AVG_DEGREE: usize = 32;
 
+/// The largest half-edge count (`Σ_v deg(v) = 2·|E|`) the bitset
+/// representation can index: its degree prefix array is `u32`, so
+/// `Auto` must route anything beyond this to the CSR path and
+/// [`BitsetGraph::try_from_graph`] rejects it with
+/// [`GraphError::TooLarge`] instead of silently truncating.
+pub const BITSET_MAX_HALF_EDGES: u64 = u32::MAX as u64;
+
 impl KernelStrategy {
     /// Resolves the strategy for a graph with `nodes` vertices and
     /// `edges` undirected edges: `true` means take the bitset route.
@@ -73,6 +80,9 @@ impl KernelStrategy {
             KernelStrategy::Auto => {
                 nodes > 0
                     && nodes <= BITSET_MAX_NODES
+                    // The half-edge count 2·|E| must fit the u32 degree
+                    // prefix array; beyond it only the CSR path is sound.
+                    && (edges as u64).saturating_mul(2) <= BITSET_MAX_HALF_EDGES
                     && edges / nodes >= BITSET_MIN_AVG_DEGREE.div_euclid(2)
                     && edges / nodes >= nodes.div_ceil(64).div_euclid(2)
             }
@@ -132,22 +142,54 @@ pub struct BitsetGraph {
     offsets: Vec<u32>,
 }
 
+/// Builds the `u32` degree prefix array from a degree sequence,
+/// rejecting any running half-edge total beyond
+/// [`BITSET_MAX_HALF_EDGES`] with [`GraphError::TooLarge`] instead of
+/// wrapping. Extracted from [`BitsetGraph::try_from_graph`] so the
+/// overflow path is testable without materializing a multi-gigabyte
+/// graph.
+fn checked_prefix_offsets(degrees: impl Iterator<Item = usize>) -> Result<Vec<u32>, GraphError> {
+    let too_large =
+        || GraphError::TooLarge { what: "bitset half-edge offsets", limit: BITSET_MAX_HALF_EDGES };
+    let mut offsets = Vec::with_capacity(degrees.size_hint().0 + 1);
+    offsets.push(0u32);
+    let mut total = 0u32;
+    for deg in degrees {
+        let deg = u32::try_from(deg).map_err(|_| too_large())?;
+        total = total.checked_add(deg).ok_or_else(too_large)?;
+        offsets.push(total);
+    }
+    Ok(offsets)
+}
+
 impl BitsetGraph {
     /// Converts a CSR graph into bit rows (`O(n·words + m)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the half-edge count exceeds
+    /// [`BITSET_MAX_HALF_EDGES`]; use
+    /// [`try_from_graph`](Self::try_from_graph) to handle that case.
     pub fn from_graph(g: &Graph) -> Self {
+        Self::try_from_graph(g).expect("graph fits the bitset representation")
+    }
+
+    /// Fallible [`from_graph`](Self::from_graph): returns
+    /// [`GraphError::TooLarge`] when the half-edge count overflows the
+    /// `u32` degree prefix array (the offsets are computed *before* the
+    /// quadratic row buffer is allocated, so the error path is cheap).
+    pub fn try_from_graph(g: &Graph) -> Result<Self, GraphError> {
         let n = g.node_count();
+        let offsets = checked_prefix_offsets(g.nodes().map(|v| g.degree(v)))?;
         let words = n.div_ceil(64);
         let mut rows = vec![0u64; n * words];
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0u32);
         for v in g.nodes() {
             let row = &mut rows[v.index() * words..(v.index() + 1) * words];
             for &u in g.neighbors(v) {
                 row[u.index() / 64] |= 1u64 << (u.index() % 64);
             }
-            offsets.push(offsets[v.index()] + g.degree(v) as u32);
         }
-        BitsetGraph { n, words, rows, offsets }
+        Ok(BitsetGraph { n, words, rows, offsets })
     }
 
     /// Assembles a bitset graph from finished parts. The caller
@@ -552,11 +594,47 @@ mod tests {
     }
 
     #[test]
+    fn checked_offsets_match_unchecked_in_range() {
+        let degs = [0usize, 3, 1, 64, 2];
+        let offsets = checked_prefix_offsets(degs.iter().copied()).unwrap();
+        assert_eq!(offsets, vec![0, 0, 3, 4, 68, 70]);
+    }
+
+    #[test]
+    fn offsets_overflow_is_typed_not_truncated() {
+        // Pre-fix, `deg as u32` wrapped and the prefix sums silently
+        // truncated; now any half-edge total past u32::MAX is a typed
+        // error. A single oversized degree...
+        let huge = u32::MAX as usize + 2;
+        let err = checked_prefix_offsets([huge].into_iter()).unwrap_err();
+        assert!(matches!(err, GraphError::TooLarge { limit, .. } if limit == u32::MAX as u64));
+        // ...and an in-range sequence whose *running total* overflows.
+        let step = (u32::MAX / 2) as usize + 1;
+        let err = checked_prefix_offsets([step, step].into_iter()).unwrap_err();
+        assert!(matches!(err, GraphError::TooLarge { .. }));
+        assert!(err.to_string().contains("bitset half-edge offsets"));
+        // The exact boundary still fits.
+        let ok = checked_prefix_offsets([step, step - 1].into_iter()).unwrap();
+        assert_eq!(*ok.last().unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn try_from_graph_accepts_ordinary_graphs() {
+        let g = cycle(10);
+        assert_eq!(BitsetGraph::try_from_graph(&g).unwrap(), g.to_bitset());
+    }
+
+    #[test]
     fn auto_strategy_resolves_by_density_and_size() {
         assert!(!KernelStrategy::Auto.use_bitset(0, 0));
         assert!(!KernelStrategy::Auto.use_bitset(1000, 100)); // too sparse
         assert!(KernelStrategy::Auto.use_bitset(5136, 529_064)); // the dense bench graph
         assert!(!KernelStrategy::Auto.use_bitset(BITSET_MAX_NODES + 1, usize::MAX / 4));
+        // Half-edge counts past the u32 offset limit must route to CSR
+        // even when the node count and density would pick the bitset
+        // (pre-fix this resolved to the bitset and truncated).
+        assert!(!KernelStrategy::Auto.use_bitset(BITSET_MAX_NODES, u32::MAX as usize));
+        assert!(!KernelStrategy::Auto.use_bitset(BITSET_MAX_NODES, usize::MAX));
         // Degree clears the flat floor but not the per-row-word scaling
         // requirement (avg degree 24 against 61 row words).
         assert!(!KernelStrategy::Auto.use_bitset(3856, 92_776));

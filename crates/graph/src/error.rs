@@ -32,6 +32,14 @@ pub enum GraphError {
         /// The repeated vertex.
         node: NodeId,
     },
+    /// A graph exceeded a representation limit of the requested
+    /// encoding (e.g. the bitset kernel's `u32` half-edge offsets).
+    TooLarge {
+        /// What overflowed, e.g. `"bitset half-edge offsets"`.
+        what: &'static str,
+        /// The limit the encoding can represent.
+        limit: u64,
+    },
     /// A hypergraph violated the almost-uniformity requirement
     /// `k ≤ |e| ≤ (1 + ε)·k` of the paper's Theorem 1.2 instances.
     NotAlmostUniform {
@@ -59,6 +67,9 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateVertexInHyperedge { edge, node } => {
                 write!(f, "hyperedge {edge} contains node {node} more than once")
             }
+            GraphError::TooLarge { what, limit } => {
+                write!(f, "graph too large for {what} (limit {limit})")
+            }
             GraphError::NotAlmostUniform { min_size, max_size, epsilon } => {
                 write!(
                     f,
@@ -84,6 +95,11 @@ mod tests {
         assert!(e.to_string().contains("self loop at node 2"));
         let e = GraphError::EmptyHyperedge { edge: HyperedgeId::new(1) };
         assert!(e.to_string().contains("hyperedge 1 is empty"));
+        let e = GraphError::TooLarge { what: "bitset half-edge offsets", limit: u32::MAX as u64 };
+        assert_eq!(
+            e.to_string(),
+            format!("graph too large for bitset half-edge offsets (limit {})", u32::MAX)
+        );
     }
 
     #[test]

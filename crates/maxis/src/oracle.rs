@@ -174,6 +174,59 @@ pub trait MaxIsOracle: Sync {
     fn resume_at(&self, _calls: usize) {}
 }
 
+/// Boxed oracles delegate every method to the inner oracle — including
+/// the ones with non-trivial defaults (`supports_dense`,
+/// `stalled_steps`, `resume_at`), so a `Box<dyn MaxIsOracle>` behaves
+/// byte-identically to the unboxed value. The batch service and CLI
+/// build their per-request oracle chains as boxes; this impl lets
+/// wrappers like `FaultyOracle<Box<dyn MaxIsOracle + Send + Sync>>`
+/// compose over them.
+impl<O: MaxIsOracle + ?Sized> MaxIsOracle for Box<O> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        (**self).independent_set(graph)
+    }
+
+    fn independent_set_with_rounds(&self, graph: &Graph) -> (IndependentSet, usize) {
+        (**self).independent_set_with_rounds(graph)
+    }
+
+    fn supports_dense(&self) -> bool {
+        (**self).supports_dense()
+    }
+
+    fn independent_set_dense(
+        &self,
+        bits: &BitsetGraph,
+        scratch: &mut BitsetScratch,
+    ) -> IndependentSet {
+        (**self).independent_set_dense(bits, scratch)
+    }
+
+    fn lambda_for_dense(&self, bits: &BitsetGraph) -> Option<f64> {
+        (**self).lambda_for_dense(bits)
+    }
+
+    fn stalled_steps(&self) -> usize {
+        (**self).stalled_steps()
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        (**self).guarantee()
+    }
+
+    fn lambda_for(&self, graph: &Graph) -> Option<f64> {
+        (**self).lambda_for(graph)
+    }
+
+    fn resume_at(&self, calls: usize) {
+        (**self).resume_at(calls)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,6 +89,10 @@ pub mod names {
     pub const CHECKPOINT_WRITE: &str = "checkpoint-write";
     /// Journal replay at the start of a resumable run (recovery layer).
     pub const RECOVERY_REPLAY: &str = "recovery-replay";
+    /// One batch-service request, dequeue to completion (index =
+    /// admission sequence number; children are the request's reduction
+    /// spans).
+    pub const SERVICE_REQUEST: &str = "service-request";
 }
 
 /// A telemetry pipeline: a sink plus the monotonic epoch all event

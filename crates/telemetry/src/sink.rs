@@ -94,6 +94,27 @@ pub enum Counter {
     /// Phase oracle lookups that missed the memo cache and fell through
     /// to a real oracle call (drivers with `oracle_cache` enabled).
     OracleCacheMisses,
+    /// Memo-cache hits whose stored set failed re-verification against
+    /// the current conflict graph (a fingerprint collision): the entry
+    /// is evicted and the lookup falls through to the oracle. Also
+    /// counted as a miss, so hits + misses still equals lookups.
+    OracleCacheRejects,
+    /// Requests the batch service admitted into its bounded queue.
+    RequestsAdmitted,
+    /// Requests the batch service refused with `QueueFull` backpressure
+    /// (queue at capacity or service draining).
+    RequestsRejected,
+    /// Requests a batch service worker completed (any outcome except
+    /// queue rejection).
+    RequestsCompleted,
+    /// Requests that hit their deadline at a phase boundary and were
+    /// cooperatively cancelled.
+    DeadlinesExceeded,
+    /// Requests whose reduction failed (driver error or panic).
+    RequestsFailed,
+    /// Cumulative nanoseconds requests spent waiting in the admission
+    /// queue before a worker picked them up.
+    QueueWaitNs,
 }
 
 impl Counter {
@@ -120,6 +141,13 @@ impl Counter {
             Counter::JournalBytes => "journal_bytes",
             Counter::OracleCacheHits => "oracle_cache_hit",
             Counter::OracleCacheMisses => "oracle_cache_miss",
+            Counter::OracleCacheRejects => "oracle_cache_reject",
+            Counter::RequestsAdmitted => "requests_admitted",
+            Counter::RequestsRejected => "requests_rejected",
+            Counter::RequestsCompleted => "requests_completed",
+            Counter::DeadlinesExceeded => "requests_deadline_exceeded",
+            Counter::RequestsFailed => "requests_failed",
+            Counter::QueueWaitNs => "queue_wait_total_ns",
         }
     }
 }
@@ -140,6 +168,15 @@ pub enum Histogram {
     IndependentSetSize,
     /// Realized locality of an SLOCAL run.
     RealizedLocality,
+    /// Admission-queue depth sampled as each batch request is enqueued
+    /// (after the push, so an idle service samples 1).
+    QueueDepth,
+    /// Nanoseconds one batch request waited in the admission queue
+    /// before a worker dequeued it.
+    QueueWaitNs,
+    /// End-to-end nanoseconds for one batch request, submission to
+    /// completion (queue wait + execution).
+    RequestLatencyNs,
 }
 
 impl Histogram {
@@ -149,6 +186,9 @@ impl Histogram {
             Histogram::ShardBuildNs => "shard_build_ns",
             Histogram::IndependentSetSize => "independent_set_size",
             Histogram::RealizedLocality => "realized_locality",
+            Histogram::QueueDepth => "queue_depth",
+            Histogram::QueueWaitNs => "queue_wait_ns",
+            Histogram::RequestLatencyNs => "request_latency_ns",
         }
     }
 }
@@ -666,7 +706,15 @@ mod tests {
         assert_eq!(Counter::StalledSteps.to_string(), "stalled_steps");
         assert_eq!(Counter::OracleCacheHits.name(), "oracle_cache_hit");
         assert_eq!(Counter::OracleCacheMisses.name(), "oracle_cache_miss");
+        assert_eq!(Counter::OracleCacheRejects.name(), "oracle_cache_reject");
+        assert_eq!(Counter::RequestsAdmitted.name(), "requests_admitted");
+        assert_eq!(Counter::RequestsRejected.name(), "requests_rejected");
+        assert_eq!(Counter::DeadlinesExceeded.name(), "requests_deadline_exceeded");
+        assert_eq!(Counter::QueueWaitNs.name(), "queue_wait_total_ns");
         assert_eq!(Histogram::ShardBuildNs.name(), "shard_build_ns");
         assert_eq!(Histogram::RealizedLocality.to_string(), "realized_locality");
+        assert_eq!(Histogram::QueueDepth.name(), "queue_depth");
+        assert_eq!(Histogram::QueueWaitNs.name(), "queue_wait_ns");
+        assert_eq!(Histogram::RequestLatencyNs.name(), "request_latency_ns");
     }
 }

@@ -17,8 +17,9 @@
 use pslocal::cfcolor::checker;
 use pslocal::core::{
     inspect_journal, parallel_independent_set, reduce_cf_to_maxis, reduce_cf_to_maxis_resumable,
-    reduce_cf_to_maxis_traced, Checkpointing, ConflictGraph, CrashPlan, ParallelismOptions,
-    ReductionConfig, ReductionOutcome,
+    reduce_cf_to_maxis_traced, BoxedOracle, Checkpointing, ConflictGraph, CrashPlan,
+    ParallelismOptions, ReductionConfig, ReductionOutcome, RequestOutcome, ResilientConfig,
+    Service, ServiceConfig, ServiceRequest, ServiceResponse, DEFAULT_QUEUE_CAPACITY,
 };
 use pslocal::graph::generators::hyper::{
     multi_component_cf_instance, planted_cf_instance, PlantedCfParams,
@@ -27,8 +28,8 @@ use pslocal::graph::generators::random::gnp;
 use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
 use pslocal::graph::{GraphStats, HypergraphStats, KernelStrategy};
 use pslocal::maxis::{
-    CliqueRemovalOracle, DecompositionOracle, ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle,
-    TracedOracle,
+    CliqueRemovalOracle, DecompositionOracle, ExactOracle, FaultKind, FaultPlan, FaultyOracle,
+    GreedyOracle, LubyOracle, MaxIsOracle, TracedOracle,
 };
 use pslocal::telemetry::{
     event_to_json, render_tree, Counter, MemorySink, PhaseTimeline, Telemetry,
@@ -36,6 +37,7 @@ use pslocal::telemetry::{
 use rand::SeedableRng;
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 pslocal — P-SLOCAL-completeness of MaxIS approximation, executable
@@ -50,6 +52,10 @@ USAGE:
   pslocal trace-report [--n N] [--m M] [--k K] [--oracle O] [--seed S]
                                 (run a planted reduction, render the
                                  span tree + per-phase timeline)
+  pslocal batch [--workers W] [--queue Q] [--deadline-ms D]
+                                (JSONL requests on stdin, one JSONL
+                                 result line per request on stdout,
+                                 completion order)
   pslocal bench-report [--oracle O] [--seed S] [--iters I] [--threads T]
                        [--out FILE]
                                 (perf baseline -> BENCH_reduction.json)
@@ -81,7 +87,27 @@ KERNEL (reduce):
                         graph fingerprint (hits re-verified, counted as
                         oracle_cache_hit instead of oracle_calls)
 
-TELEMETRY (maxis / reduce / trace-report / bench-report):
+BATCH (batched multi-instance serving):
+  stdin: one flat JSON object per line. Fields: \"id\" (string,
+  required), \"n\"/\"m\"/\"k\"/\"seed\"/\"epsilon\" (planted instance;
+  defaults 128 / n/2 / 4 / 0xC0FFEE / 0.5), \"oracle\" (comma-separated
+  fallback chain, default greedy), \"kernel\" (auto|csr|bitset),
+  \"oracle_cache\" (bool), \"deadline_ms\" (per-request override),
+  \"faults\" (comma script injected into the primary oracle: - | panic |
+  invalid-set | empty-set | under-deliver | stall:N).
+  stdout: one JSON line per request in completion order —
+    {\"id\":..,\"outcome\":\"ok\",\"phases\":P,\"set_size\":S,\"colors\":C}
+    {\"id\":..,\"outcome\":\"deadline_exceeded\",\"phase\":P}
+    {\"id\":..,\"outcome\":\"rejected\"}          (admission queue full)
+    {\"id\":..,\"outcome\":\"failed\",\"error\":..}
+  --workers W           worker threads, each owning one long-lived
+                        phase workspace (default 2)
+  --queue Q             admission-queue bound (default 64); submissions
+                        past it are rejected, never buffered unbounded
+  --deadline-ms D       default per-request deadline, measured from
+                        submission, enforced at phase boundaries
+
+TELEMETRY (maxis / reduce / batch / trace-report / bench-report):
   --trace               render the span tree to stdout after the run
   --metrics-out FILE    append every telemetry event as JSONL to FILE
 
@@ -148,9 +174,9 @@ fn threads_opt(args: &Args) -> Result<ParallelismOptions, String> {
     }
 }
 
-/// Parses `--kernel` (default auto) into a [`KernelStrategy`].
-fn kernel_opt(args: &Args) -> Result<KernelStrategy, String> {
-    Ok(match args.get("kernel").unwrap_or("auto") {
+/// Parses a kernel name into a [`KernelStrategy`].
+fn kernel_by_name(name: &str) -> Result<KernelStrategy, String> {
+    Ok(match name {
         "auto" => KernelStrategy::Auto,
         "csr" => KernelStrategy::Csr,
         "bitset" => KernelStrategy::Bitset,
@@ -158,7 +184,26 @@ fn kernel_opt(args: &Args) -> Result<KernelStrategy, String> {
     })
 }
 
+/// Parses `--kernel` (default auto) into a [`KernelStrategy`].
+fn kernel_opt(args: &Args) -> Result<KernelStrategy, String> {
+    kernel_by_name(args.get("kernel").unwrap_or("auto"))
+}
+
 fn oracle_by_name(name: &str, seed: u64) -> Result<Box<dyn MaxIsOracle>, String> {
+    Ok(match name {
+        "exact" => Box::new(ExactOracle),
+        "greedy" => Box::new(GreedyOracle),
+        "luby" => Box::new(LubyOracle::new(seed)),
+        "clique-removal" => Box::new(CliqueRemovalOracle),
+        "decomposition" => Box::new(DecompositionOracle::default()),
+        other => return Err(format!("unknown oracle {other:?} (see --help)")),
+    })
+}
+
+/// [`oracle_by_name`], but boxed for the batch service's thread
+/// boundary (`Send + Sync`). Every CLI oracle is a plain value type,
+/// so the two constructors stay in lockstep.
+fn boxed_oracle_by_name(name: &str, seed: u64) -> Result<BoxedOracle, String> {
     Ok(match name {
         "exact" => Box::new(ExactOracle),
         "greedy" => Box::new(GreedyOracle),
@@ -392,6 +437,339 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One field value of a flat batch-request JSON object: a string, or a
+/// raw unquoted token (number / bool) parsed per field.
+enum JsonValue {
+    Str(String),
+    Raw(String),
+}
+
+/// Skips JSON whitespace.
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses a JSON string literal (the opening `"` still pending).
+fn parse_json_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected a JSON string".to_string());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                other => return Err(format!("unsupported string escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated JSON string".to_string()),
+        }
+    }
+}
+
+/// Parses one *flat* JSON object (the batch request schema: scalar
+/// values only — nested objects and arrays are rejected). The vendored
+/// serde stub has no deserializer, so the CLI carries its own.
+fn parse_flat_json(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected a JSON object ('{' ... '}')".to_string());
+    }
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_json_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some('"') => JsonValue::Str(parse_json_string(&mut chars)?),
+                Some(c) if *c == '-' || *c == '+' || c.is_ascii_alphanumeric() => {
+                    let mut token = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c == ',' || c == '}' || c.is_whitespace() {
+                            break;
+                        }
+                        token.push(c);
+                        chars.next();
+                    }
+                    JsonValue::Raw(token)
+                }
+                other => {
+                    return Err(format!(
+                        "unsupported value {other:?} for key {key:?} (flat schema: scalars only)"
+                    ))
+                }
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(trailing) = chars.next() {
+        return Err(format!("trailing input {trailing:?} after the JSON object"));
+    }
+    Ok(fields)
+}
+
+/// Typed accessors over one parsed batch-request object.
+struct BatchFields(Vec<(String, JsonValue)>);
+
+impl BatchFields {
+    fn find(&self, key: &str) -> Option<&JsonValue> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.find(key) {
+            None => Ok(None),
+            Some(JsonValue::Str(s)) => Ok(Some(s)),
+            Some(JsonValue::Raw(_)) => Err(format!("field {key:?} must be a JSON string")),
+        }
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.find(key) {
+            None => Ok(None),
+            Some(JsonValue::Raw(raw)) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("cannot parse field {key:?} value {raw:?}")),
+            Some(JsonValue::Str(_)) => Err(format!("field {key:?} must be a JSON number")),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.find(key) {
+            None => Ok(false),
+            Some(JsonValue::Raw(raw)) if raw == "true" => Ok(true),
+            Some(JsonValue::Raw(raw)) if raw == "false" => Ok(false),
+            _ => Err(format!("field {key:?} must be true or false")),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON result line.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a `faults` script: comma-separated per-call fault tokens for
+/// the request's primary oracle (`-` = behave).
+fn parse_fault_script(spec: &str) -> Result<Vec<Option<FaultKind>>, String> {
+    spec.split(',')
+        .map(|token| match token.trim() {
+            "" | "-" | "ok" => Ok(None),
+            "panic" => Ok(Some(FaultKind::Panic)),
+            "invalid-set" => Ok(Some(FaultKind::InvalidSet)),
+            "empty-set" => Ok(Some(FaultKind::EmptySet)),
+            "under-deliver" => Ok(Some(FaultKind::UnderDeliver)),
+            t => match t.strip_prefix("stall:") {
+                Some(steps) => steps
+                    .parse::<usize>()
+                    .map(|s| Some(FaultKind::Stall(s)))
+                    .map_err(|_| format!("cannot parse stall step count in {t:?}")),
+                None => Err(format!(
+                    "unknown fault {t:?} (- | panic | invalid-set | empty-set | \
+                     under-deliver | stall:N)"
+                )),
+            },
+        })
+        .collect()
+}
+
+/// Builds one [`ServiceRequest`] from a parsed batch JSONL line.
+fn parse_batch_request(
+    line: &str,
+    default_deadline_ms: Option<u64>,
+) -> Result<ServiceRequest, String> {
+    let fields = BatchFields(parse_flat_json(line)?);
+    let id = fields.str("id")?.ok_or("missing required field \"id\"")?.to_string();
+    let n: usize = fields.num("n")?.unwrap_or(128);
+    let m: usize = fields.num("m")?.unwrap_or(n / 2);
+    let k: usize = fields.num("k")?.unwrap_or(4);
+    let seed: u64 = fields.num("seed")?.unwrap_or(0xC0FFEE);
+    let epsilon: f64 = fields.num("epsilon")?.unwrap_or(0.5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let inst = planted_cf_instance(&mut rng, PlantedCfParams { n, m, k, epsilon });
+
+    let mut chain: Vec<BoxedOracle> = fields
+        .str("oracle")?
+        .unwrap_or("greedy")
+        .split(',')
+        .map(|name| boxed_oracle_by_name(name.trim(), seed))
+        .collect::<Result<_, _>>()?;
+    if let Some(spec) = fields.str("faults")? {
+        let script = parse_fault_script(spec)?;
+        let primary = chain.remove(0);
+        chain.insert(0, Box::new(FaultyOracle::new(primary, FaultPlan::scripted(script))));
+    }
+
+    let mut base = ReductionConfig::new(k);
+    base.kernel = kernel_by_name(fields.str("kernel")?.unwrap_or("auto"))?;
+    base.oracle_cache = fields.bool("oracle_cache")?;
+    let config = ResilientConfig { base, ..ResilientConfig::new(k) };
+
+    let mut request = ServiceRequest::new(id, inst.hypergraph, chain, config);
+    if let Some(ms) = fields.num::<u64>("deadline_ms")?.or(default_deadline_ms) {
+        request = request.with_deadline(Duration::from_millis(ms));
+    }
+    Ok(request)
+}
+
+/// Renders one completed request as its JSONL result line. Only
+/// deterministic fields appear here — timing goes to telemetry and the
+/// stderr summary — so result streams are byte-comparable across
+/// worker counts.
+fn response_line(response: &ServiceResponse) -> String {
+    let id = json_escape(&response.id);
+    match &response.outcome {
+        RequestOutcome::Ok { phases, set_size, colors } => format!(
+            "{{\"id\":\"{id}\",\"outcome\":\"ok\",\"phases\":{phases},\
+             \"set_size\":{set_size},\"colors\":{colors}}}"
+        ),
+        RequestOutcome::DeadlineExceeded { phase } => {
+            format!("{{\"id\":\"{id}\",\"outcome\":\"deadline_exceeded\",\"phase\":{phase}}}")
+        }
+        RequestOutcome::Failed { error } => format!(
+            "{{\"id\":\"{id}\",\"outcome\":\"failed\",\"error\":\"{}\"}}",
+            json_escape(error)
+        ),
+    }
+}
+
+/// Nearest-rank percentile over an ascending sample vector.
+fn percentile_ns(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Drives one batch through the service: submit everything (emitting
+/// `rejected` lines on backpressure), stream result lines in
+/// completion order, drain, and hand the telemetry pipeline back.
+fn run_batch<S: pslocal::telemetry::Sink + Send + Sync + 'static>(
+    requests: Vec<ServiceRequest>,
+    config: ServiceConfig,
+    tel: Telemetry<S>,
+) -> (Vec<ServiceResponse>, usize, Telemetry<S>) {
+    let service = Service::start(config, tel);
+    let mut responses = Vec::new();
+    let mut rejected = 0usize;
+    for request in requests {
+        // Keep streaming completions while submitting, so stdout stays
+        // live on long batches.
+        while let Some(response) = service.try_recv() {
+            println!("{}", response_line(&response));
+            responses.push(response);
+        }
+        if let Err(full) = service.submit(request) {
+            println!("{{\"id\":\"{}\",\"outcome\":\"rejected\"}}", json_escape(&full.request.id));
+            rejected += 1;
+        }
+    }
+    let report = service.shutdown();
+    for response in report.drained {
+        println!("{}", response_line(&response));
+        responses.push(response);
+    }
+    (responses, rejected, report.telemetry)
+}
+
+/// `pslocal batch` — the batched multi-instance serving front end (see
+/// the BATCH section of the usage text for the JSONL schemas).
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let workers = match args.parsed::<usize>("workers")?.unwrap_or(2) {
+        0 => return Err("--workers must be at least 1".to_string()),
+        w => w,
+    };
+    let queue = match args.parsed::<usize>("queue")?.unwrap_or(DEFAULT_QUEUE_CAPACITY) {
+        0 => return Err("--queue must be at least 1".to_string()),
+        q => q,
+    };
+    let default_deadline_ms = args.parsed::<u64>("deadline-ms")?;
+    let opts = TraceOpts::from(args);
+
+    let mut requests = Vec::new();
+    for (index, line) in read_stdin()?.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let request = parse_batch_request(line, default_deadline_ms)
+            .map_err(|e| format!("stdin line {}: {e}", index + 1))?;
+        requests.push(request);
+    }
+    if requests.is_empty() {
+        return Err("no batch requests on stdin (one JSON object per line)".to_string());
+    }
+    let total = requests.len();
+    let config = ServiceConfig::new(workers).with_queue_capacity(queue);
+
+    let started = Instant::now();
+    let (responses, rejected) = if opts.wanted() {
+        let (responses, rejected, tel) =
+            run_batch(requests, config, Telemetry::new(MemorySink::new()));
+        opts.emit(tel.sink())?;
+        (responses, rejected)
+    } else {
+        let (responses, rejected, _) = run_batch(requests, config, Telemetry::disabled());
+        (responses, rejected)
+    };
+    let wall = started.elapsed();
+
+    let count = |label: &str| responses.iter().filter(|r| r.outcome.label() == label).count();
+    let mut latencies: Vec<u128> = responses.iter().map(|r| r.latency.as_nanos()).collect();
+    latencies.sort_unstable();
+    eprintln!(
+        "batch: {total} requests -> {} ok, {} deadline_exceeded, {} failed, {rejected} rejected \
+         in {}ms ({workers} workers, queue {queue}; latency p50 = {}us, p99 = {}us)",
+        count("ok"),
+        count("deadline_exceeded"),
+        count("failed"),
+        wall.as_millis(),
+        percentile_ns(&latencies, 50.0) / 1000,
+        percentile_ns(&latencies, 99.0) / 1000,
+    );
+    Ok(())
+}
+
 /// Decodes a phase journal without re-running anything: header, open
 /// stats (bytes kept vs. discarded) and one line per surviving phase.
 fn cmd_checkpoint_inspect(args: &Args) -> Result<(), String> {
@@ -566,6 +944,100 @@ impl ParallelBench {
     }
 }
 
+/// One worker-count measurement of the batch-service benchmark.
+struct ServiceBenchRun {
+    workers: usize,
+    wall_ns: u128,
+    p50_latency_ns: u128,
+    p99_latency_ns: u128,
+}
+
+impl ServiceBenchRun {
+    /// Completed requests per second at this pool size.
+    fn throughput_rps(&self, instances: usize) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            instances as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// The batch-service benchmark: `instances` mixed dense/sparse planted
+/// instances through [`Service`] at several pool sizes, against a plain
+/// serial loop over the same resilient driver.
+struct ServiceBench {
+    instances: usize,
+    host_threads: usize,
+    sequential_ns: u128,
+    runs: Vec<ServiceBenchRun>,
+}
+
+/// Measures the service block: 64 mixed instances (dense `(128, 64, 8)`
+/// alternating with sparse `(384, 192, 4)`), sequential baseline plus
+/// workers ∈ {1, 2, 4}.
+fn bench_service(seed: u64) -> Result<ServiceBench, String> {
+    const INSTANCES: usize = 64;
+    let shapes = [(128usize, 64usize, 8usize), (384, 192, 4)];
+    let prebuilt: Vec<(pslocal::graph::Hypergraph, usize)> = (0..INSTANCES)
+        .map(|i| {
+            let (n, m, k) = shapes[i % shapes.len()];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ i as u64);
+            (planted_cf_instance(&mut rng, PlantedCfParams::new(n, m, k)).hypergraph, k)
+        })
+        .collect();
+
+    let start = Instant::now();
+    for (h, k) in &prebuilt {
+        let out = pslocal::core::reduce_cf_resilient(h, &[&GreedyOracle], ResilientConfig::new(*k))
+            .map_err(|f| format!("sequential service baseline failed: {}", f.error))?;
+        std::hint::black_box(out);
+    }
+    let sequential_ns = start.elapsed().as_nanos();
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let service = Service::start(
+            ServiceConfig::new(workers).with_queue_capacity(INSTANCES),
+            Telemetry::disabled(),
+        );
+        let start = Instant::now();
+        for (i, (h, k)) in prebuilt.iter().enumerate() {
+            let request = ServiceRequest::new(
+                format!("bench-{i}"),
+                h.clone(),
+                vec![Box::new(GreedyOracle) as BoxedOracle],
+                ResilientConfig::new(*k),
+            );
+            service.submit(request).map_err(|e| format!("bench submission rejected: {e}"))?;
+        }
+        let mut latencies: Vec<u128> = (0..INSTANCES)
+            .map(|_| {
+                let response = service.recv().ok_or("service worker pool died mid-bench")?;
+                if let RequestOutcome::Failed { error } = &response.outcome {
+                    return Err(format!("bench request {} failed: {error}", response.id));
+                }
+                Ok(response.latency.as_nanos())
+            })
+            .collect::<Result<_, String>>()?;
+        let wall_ns = start.elapsed().as_nanos();
+        service.shutdown();
+        latencies.sort_unstable();
+        runs.push(ServiceBenchRun {
+            workers,
+            wall_ns,
+            p50_latency_ns: percentile_ns(&latencies, 50.0),
+            p99_latency_ns: percentile_ns(&latencies, 99.0),
+        });
+    }
+    Ok(ServiceBench {
+        instances: INSTANCES,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        sequential_ns,
+        runs,
+    })
+}
+
 fn cmd_bench_report(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let iters: usize = args.parsed("iters")?.unwrap_or(3);
@@ -702,12 +1174,16 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         parallel_ns,
     };
 
+    // Batched serving: the same oracle over 64 mixed instances, serial
+    // loop vs. the service's worker pool.
+    let service = bench_service(seed)?;
+
     // Hand-rolled JSON: the vendored serde stub has no serializer and
     // the container has no serde_json; the schema below is frozen so
     // future PRs can diff perf trajectories mechanically.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"pslocal-bench-reduction/v4\",\n");
+    json.push_str("  \"schema\": \"pslocal-bench-reduction/v5\",\n");
     json.push_str(&format!("  \"oracle\": \"{}\",\n", oracle.name()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
@@ -758,6 +1234,29 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         parallel.parallel_ns,
         parallel.speedup(),
     ));
+    // Convert the trailing newline of the parallel block into a comma
+    // so the v5 service block can follow it.
+    json.truncate(json.len() - 1);
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "  \"service\": {{\"instances\": {}, \"host_threads\": {}, \"sequential_ns\": {}, \
+         \"runs\": [\n",
+        service.instances, service.host_threads, service.sequential_ns,
+    ));
+    for (i, run) in service.runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ns\": {}, \"throughput_rps\": {:.2}, \
+             \"speedup_vs_sequential\": {:.2}, \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}{}\n",
+            run.workers,
+            run.wall_ns,
+            run.throughput_rps(service.instances),
+            if run.wall_ns == 0 { 0.0 } else { service.sequential_ns as f64 / run.wall_ns as f64 },
+            run.p50_latency_ns,
+            run.p99_latency_ns,
+            if i + 1 < service.runs.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]}\n");
     json.push_str("}\n");
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
@@ -803,6 +1302,24 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         parallel.speedup(),
         parallel.host_threads,
     );
+    println!(
+        "service: {} mixed instances, sequential = {}ms ({}-CPU host)",
+        service.instances,
+        service.sequential_ns / 1_000_000,
+        service.host_threads,
+    );
+    for run in &service.runs {
+        println!(
+            "    workers = {}: wall = {}ms, {:.1} req/s ({:.2}x vs sequential), \
+             latency p50 = {}us, p99 = {}us",
+            run.workers,
+            run.wall_ns / 1_000_000,
+            run.throughput_rps(service.instances),
+            if run.wall_ns == 0 { 0.0 } else { service.sequential_ns as f64 / run.wall_ns as f64 },
+            run.p50_latency_ns / 1000,
+            run.p99_latency_ns / 1000,
+        );
+    }
     if let Some(path) = &metrics_out {
         println!("appended telemetry events to {path}");
     }
@@ -816,6 +1333,7 @@ fn dispatch() -> Result<(), String> {
         Some("stats") => cmd_stats(),
         Some("maxis") => cmd_maxis(&args),
         Some("reduce") => cmd_reduce(&args),
+        Some("batch") => cmd_batch(&args),
         Some("trace-report") => cmd_trace_report(&args),
         Some("bench-report") => cmd_bench_report(&args),
         Some("checkpoint-inspect") => cmd_checkpoint_inspect(&args),

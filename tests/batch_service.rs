@@ -1,0 +1,282 @@
+//! Batch-service equivalence suite: the serving layer is an execution
+//! vehicle, never a semantic one. The same requests run serially, via
+//! [`Service`] at 1/2/4 workers, and with mid-batch fault injection
+//! must produce byte-identical result lines once sorted by request id;
+//! a stalled oracle must yield `deadline_exceeded` without poisoning
+//! its worker's long-lived workspace for the next request.
+
+use pslocal::core::{
+    reduce_cf_resilient, BoxedOracle, RequestOutcome, ResilientConfig, Service, ServiceConfig,
+    ServiceRequest,
+};
+use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfParams};
+use pslocal::graph::{Graph, Hypergraph, IndependentSet};
+use pslocal::maxis::{
+    ApproxGuarantee, FaultKind, FaultPlan, FaultyOracle, GreedyOracle, MaxIsOracle, PrecisionOracle,
+};
+use pslocal::telemetry::Telemetry;
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+/// One request recipe, replayable into fresh (stateful) oracle chains.
+struct Spec {
+    id: &'static str,
+    n: usize,
+    m: usize,
+    k: usize,
+    seed: u64,
+    /// Scripted faults for the primary oracle (`None` = clean run).
+    faults: Option<Vec<Option<FaultKind>>>,
+}
+
+/// A mixed batch: dense and sparse instances, clean and faulty chains.
+/// The faulty scripts stay within the resilient driver's default retry
+/// budget (2 retries), so every request still ends `ok`.
+fn specs() -> Vec<Spec> {
+    use FaultKind::{EmptySet, InvalidSet, Panic, UnderDeliver};
+    vec![
+        Spec { id: "dense-0", n: 96, m: 48, k: 8, seed: 11, faults: None },
+        Spec { id: "sparse-0", n: 192, m: 96, k: 4, seed: 12, faults: None },
+        Spec { id: "faulty-panic", n: 64, m: 32, k: 4, seed: 13, faults: Some(vec![Some(Panic)]) },
+        Spec {
+            id: "faulty-mixed",
+            n: 80,
+            m: 40,
+            k: 4,
+            seed: 14,
+            faults: Some(vec![Some(EmptySet), Some(InvalidSet)]),
+        },
+        Spec {
+            id: "faulty-late",
+            n: 72,
+            m: 36,
+            k: 3,
+            seed: 15,
+            faults: Some(vec![None, Some(UnderDeliver)]),
+        },
+        Spec { id: "dense-1", n: 128, m: 64, k: 8, seed: 16, faults: None },
+        Spec { id: "sparse-1", n: 160, m: 80, k: 4, seed: 17, faults: None },
+        Spec { id: "tiny", n: 24, m: 10, k: 3, seed: 18, faults: None },
+    ]
+}
+
+fn instance(spec: &Spec) -> Hypergraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    planted_cf_instance(&mut rng, PlantedCfParams::new(spec.n, spec.m, spec.k)).hypergraph
+}
+
+/// Builds a fresh oracle chain for `spec` — fresh because `FaultyOracle`
+/// consumes its script per call, so chains cannot be shared across runs.
+fn chain(spec: &Spec) -> Vec<BoxedOracle> {
+    let greedy: BoxedOracle = Box::new(GreedyOracle);
+    match &spec.faults {
+        None => vec![greedy],
+        Some(script) => {
+            vec![Box::new(FaultyOracle::new(greedy, FaultPlan::scripted(script.clone())))]
+        }
+    }
+}
+
+fn request(spec: &Spec) -> ServiceRequest {
+    ServiceRequest::new(spec.id, instance(spec), chain(spec), ResilientConfig::new(spec.k))
+}
+
+/// The serial ground truth: each spec through the resilient driver
+/// directly, no service in sight.
+fn serial_outcome(spec: &Spec) -> RequestOutcome {
+    let h = instance(spec);
+    let boxed = chain(spec);
+    let refs: Vec<&dyn MaxIsOracle> =
+        boxed.iter().map(|o| o.as_ref() as &dyn MaxIsOracle).collect();
+    match reduce_cf_resilient(&h, &refs, ResilientConfig::new(spec.k)) {
+        Ok(out) => RequestOutcome::Ok {
+            phases: out.reduction.phases_used,
+            set_size: out.reduction.records.iter().map(|r| r.independent_set_size).sum(),
+            colors: out.reduction.total_colors,
+        },
+        Err(failure) => RequestOutcome::Failed { error: failure.error.to_string() },
+    }
+}
+
+/// Runs the whole batch through a service at `workers` and returns
+/// `(id, outcome)` pairs sorted by id.
+fn batch_outcomes(workers: usize) -> Vec<(String, RequestOutcome)> {
+    let specs = specs();
+    let service = Service::start(
+        ServiceConfig::new(workers).with_queue_capacity(specs.len()),
+        Telemetry::disabled(),
+    );
+    for spec in &specs {
+        service.submit(request(spec)).expect("queue sized for the whole batch");
+    }
+    let mut out: Vec<(String, RequestOutcome)> = (0..specs.len())
+        .map(|_| service.recv().expect("worker pool alive"))
+        .map(|r| (r.id, r.outcome))
+        .collect();
+    let report = service.shutdown();
+    assert!(report.drained.is_empty(), "all responses were received before shutdown");
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn service_matches_serial_at_every_worker_count() {
+    let mut expected: Vec<(String, RequestOutcome)> =
+        specs().iter().map(|s| (s.id.to_string(), serial_outcome(s))).collect();
+    expected.sort_by(|a, b| a.0.cmp(&b.0));
+    // Every request — including the fault-injected ones — recovers to
+    // the exact serial result, at every pool size.
+    assert!(expected.iter().all(|(_, o)| matches!(o, RequestOutcome::Ok { .. })));
+    for workers in [1, 2, 4] {
+        assert_eq!(batch_outcomes(workers), expected, "workers = {workers}");
+    }
+}
+
+/// A multi-phase oracle that stalls for real wall-clock time on every
+/// call — the shape of a slow or partitioned oracle process.
+struct SleepyOracle {
+    inner: PrecisionOracle,
+    sleep: Duration,
+}
+
+impl MaxIsOracle for SleepyOracle {
+    fn name(&self) -> &'static str {
+        "sleepy"
+    }
+
+    fn independent_set(&self, graph: &Graph) -> IndependentSet {
+        std::thread::sleep(self.sleep);
+        self.inner.independent_set(graph)
+    }
+
+    fn guarantee(&self) -> ApproxGuarantee {
+        self.inner.guarantee()
+    }
+}
+
+#[test]
+fn stalled_oracle_exceeds_deadline_without_poisoning_the_workspace() {
+    // PrecisionOracle(4) needs ≥ 2 phases on this instance (pinned
+    // below), so a deadline shorter than one oracle call expires at the
+    // phase-1 boundary: the run stops cooperatively after a whole
+    // committed phase instead of mid-oracle.
+    let spec = Spec { id: "stalled", n: 40, m: 18, k: 3, seed: 31, faults: None };
+    let h = instance(&spec);
+    let multi_phase =
+        reduce_cf_resilient(&h, &[&PrecisionOracle::new(4.0)], ResilientConfig::new(spec.k))
+            .expect("clean run succeeds");
+    assert!(multi_phase.reduction.phases_used >= 2, "need a multi-phase run to stall");
+
+    let service = Service::start(ServiceConfig::new(1), Telemetry::disabled());
+    let sleepy: BoxedOracle = Box::new(SleepyOracle {
+        inner: PrecisionOracle::new(4.0),
+        sleep: Duration::from_millis(80),
+    });
+    service
+        .submit(
+            ServiceRequest::new("stalled", h, vec![sleepy], ResilientConfig::new(spec.k))
+                .with_deadline(Duration::from_millis(40)),
+        )
+        .unwrap();
+    let stalled = service.recv().expect("one response");
+    match stalled.outcome {
+        RequestOutcome::DeadlineExceeded { phase } => {
+            assert!(phase >= 1, "phase 0 always gets to run (checked at the boundary)")
+        }
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+
+    // The single worker that just timed out must serve the next request
+    // byte-identically to the serial ground truth.
+    let clean = &specs()[0];
+    service.submit(request(clean)).unwrap();
+    let healthy = service.recv().expect("one response");
+    service.shutdown();
+    assert_eq!(healthy.outcome, serial_outcome(clean));
+}
+
+// ---------------------------------------------------------------------
+// CLI-level equivalence: the `pslocal batch` subcommand end to end.
+// ---------------------------------------------------------------------
+
+fn run_cli(args: &[&str], stdin: &str) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pslocal"));
+    cmd.args(args).stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("binary spawns");
+    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).expect("stdin written");
+    child.wait_with_output().expect("binary finishes")
+}
+
+/// A mixed JSONL batch mirroring `specs()`, with mid-batch fault
+/// injection riding on the `faults` field.
+fn jsonl_batch() -> String {
+    [
+        r#"{"id":"dense-0","n":96,"m":48,"k":8,"seed":11}"#,
+        r#"{"id":"faulty-panic","n":64,"m":32,"k":4,"seed":13,"faults":"panic"}"#,
+        r#"{"id":"sparse-0","n":192,"m":96,"k":4,"seed":12}"#,
+        r#"{"id":"faulty-mixed","n":80,"m":40,"k":4,"seed":14,"faults":"empty-set,invalid-set"}"#,
+        r#"{"id":"chained","n":72,"m":36,"k":3,"seed":15,"oracle":"greedy,exact"}"#,
+        r#"{"id":"kernel-pinned","n":64,"m":32,"k":4,"seed":16,"kernel":"bitset","oracle_cache":true}"#,
+    ]
+    .join("\n")
+}
+
+fn sorted_result_lines(out: &Output) -> Vec<String> {
+    let mut lines: Vec<String> =
+        String::from_utf8_lossy(&out.stdout).lines().map(String::from).collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn cli_batch_is_byte_identical_across_worker_counts() {
+    let batch = jsonl_batch();
+    let baseline = run_cli(&["batch", "--workers", "1"], &batch);
+    assert!(baseline.status.success(), "stderr: {}", String::from_utf8_lossy(&baseline.stderr));
+    let expected = sorted_result_lines(&baseline);
+    assert_eq!(expected.len(), 6);
+    assert!(expected.iter().all(|l| l.contains("\"outcome\":\"ok\"")), "lines: {expected:?}");
+    for workers in [2, 4] {
+        let out = run_cli(&["batch", "--workers", &workers.to_string()], &batch);
+        assert!(out.status.success(), "workers = {workers}");
+        assert_eq!(sorted_result_lines(&out), expected, "workers = {workers}");
+    }
+}
+
+#[test]
+fn cli_batch_reports_deadline_and_rejection_outcomes() {
+    // Zero-deadline request: cooperative cancellation before phase 0.
+    let out = run_cli(
+        &["batch", "--workers", "1"],
+        r#"{"id":"doomed","n":64,"m":32,"k":4,"deadline_ms":0}"#,
+    );
+    assert!(out.status.success());
+    assert_eq!(
+        sorted_result_lines(&out),
+        [r#"{"id":"doomed","outcome":"deadline_exceeded","phase":0}"#]
+    );
+
+    // A queue of 1 behind a single worker must reject (not buffer) the
+    // overflow; exactly one line per request either way.
+    let batch = jsonl_batch();
+    let out = run_cli(&["batch", "--workers", "1", "--queue", "1"], &batch);
+    assert!(out.status.success());
+    let lines = sorted_result_lines(&out);
+    assert_eq!(lines.len(), 6, "one result line per request: {lines:?}");
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("6 requests"), "stderr: {summary}");
+}
+
+#[test]
+fn cli_batch_rejects_malformed_lines_with_the_line_number() {
+    let out = run_cli(&["batch"], "{\"id\":\"ok-line\"}\n{\"id\":42}\n");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+
+    let missing_id = run_cli(&["batch"], "{\"n\":32}\n");
+    assert!(!missing_id.status.success());
+    assert!(String::from_utf8_lossy(&missing_id.stderr).contains("\"id\""));
+}

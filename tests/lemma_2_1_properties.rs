@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use pslocal::core::{
-    coloring_to_independent_set, independent_set_to_coloring, lemma_2_1a, lemma_2_1b,
-    total_coloring_as_indices, ConflictGraph,
+    coloring_to_independent_set, independent_set_to_coloring, lemma_2_1_quota, lemma_2_1a,
+    lemma_2_1b, total_coloring_as_indices, ConflictGraph,
 };
 use pslocal::graph::generators::hyper::{planted_cf_instance, PlantedCfInstance, PlantedCfParams};
 use pslocal::graph::{IndependentSet, NodeId};
@@ -106,6 +106,30 @@ proptest! {
                     || cg.in_color_family(a, b),
                 "edge in no family"
             );
+        }
+    }
+
+    /// The Lemma 2.1 quota ⌈edges/λ⌉ matches exact rational arithmetic
+    /// for every dyadic λ = p/8 (exactly representable in f64, so the
+    /// reference ⌈8·edges/p⌉ over u128 is the ground truth) — including
+    /// edge counts past 2^53, where the old `edges as f64` fractional
+    /// path lost bits and could under-count by 1.
+    #[test]
+    fn quota_matches_exact_rational_for_dyadic_lambda(
+        p in 8u64..100_000,
+        edges in prop_oneof![
+            0usize..10_000,
+            ((1usize << 53) - 4)..=((1usize << 53) + 4),
+            (usize::MAX - 8)..=usize::MAX,
+        ],
+    ) {
+        let lambda = p as f64 / 8.0;
+        let expected = (edges as u128 * 8).div_ceil(p as u128) as usize;
+        prop_assert_eq!(lemma_2_1_quota(edges, lambda), expected,
+            "edges = {}, λ = {}/8", edges, p);
+        // The quota is monotone in the edge count at fixed λ.
+        if edges > 0 {
+            prop_assert!(lemma_2_1_quota(edges - 1, lambda) <= expected);
         }
     }
 
