@@ -74,9 +74,11 @@ pub mod conflict_graph;
 pub mod containment;
 pub mod correspondence;
 pub mod distributed;
+pub mod protocol;
 pub mod recovery;
 pub mod reduction;
 pub mod resilient;
+pub mod server;
 pub mod service;
 pub mod simulation;
 pub mod workspace;
@@ -111,6 +113,7 @@ pub use resilient::{
     reduce_cf_resilient_with_workspace, stall_budget, FaultEvent, FaultEventKind, PartialOutcome,
     ResilientConfig, ResilientFailure, ResilientOutcome,
 };
+pub use server::{Server, ServerConfig, ServerReport, ShutdownHandle, DEFAULT_MAX_CONNECTIONS};
 pub use service::{
     BoxedOracle, QueueFull, RequestOutcome, Service, ServiceConfig, ServiceReport, ServiceRequest,
     ServiceResponse, DEFAULT_QUEUE_CAPACITY,

@@ -222,11 +222,21 @@ pub struct ServiceReport<S: Sink> {
     pub telemetry: Telemetry<S>,
 }
 
+/// Where one request's response is delivered.
+enum Reply {
+    /// The service-wide completion channel ([`Service::recv`]).
+    Pool,
+    /// A caller-supplied channel ([`Service::submit_routed`]) — the
+    /// TCP server hands each connection its own.
+    Direct(mpsc::Sender<ServiceResponse>),
+}
+
 /// One queued request plus its admission bookkeeping.
 struct Queued {
     request: ServiceRequest,
     submitted: Instant,
     seq: u64,
+    reply: Reply,
 }
 
 /// Queue state guarded by one mutex: the deque, the admission flag
@@ -274,7 +284,11 @@ struct Shared<S: Sink> {
 pub struct Service<S: Sink + Send + Sync + 'static> {
     shared: Arc<Shared<S>>,
     workers: Vec<JoinHandle<()>>,
-    results: mpsc::Receiver<ServiceResponse>,
+    // Mutex-wrapped so `Service` is `Sync` and a front end can share
+    // it behind an `Arc` (the TCP server's connection threads submit
+    // through one pool). Completion consumption stays single-reader
+    // in practice.
+    results: Mutex<mpsc::Receiver<ServiceResponse>>,
 }
 
 impl<S: Sink + Send + Sync + 'static> Service<S> {
@@ -297,7 +311,7 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
                     .expect("spawn service worker")
             })
             .collect();
-        Service { shared, workers, results }
+        Service { shared, workers, results: Mutex::new(results) }
     }
 
     /// Admits `request` into the bounded queue, or rejects it with
@@ -313,6 +327,41 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
     // resilient entry points).
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: ServiceRequest) -> Result<(), QueueFull> {
+        self.submit_inner(request, Reply::Pool)
+    }
+
+    /// [`submit`](Self::submit), but the response is delivered to
+    /// `reply` instead of the service-wide [`recv`](Self::recv)
+    /// channel. This is how a multiplexing front end (the TCP server)
+    /// routes each completion back to the connection that submitted
+    /// it: one channel per connection, shared worker pool.
+    ///
+    /// A routed response is **never** part of
+    /// [`shutdown`](Self::shutdown)'s `drained` list — it went to
+    /// `reply` (a disconnected `reply` discards it, which is the
+    /// hung-up-client case).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`], carrying the request back to the caller.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_routed(
+        &self,
+        request: ServiceRequest,
+        reply: mpsc::Sender<ServiceResponse>,
+    ) -> Result<(), QueueFull> {
+        self.submit_inner(request, Reply::Direct(reply))
+    }
+
+    /// The telemetry pipeline the service records through — front ends
+    /// layered on top (the TCP server) instrument themselves through
+    /// the same pipeline so one sink sees the whole request path.
+    pub fn telemetry(&self) -> &Telemetry<S> {
+        &self.shared.tel
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn submit_inner(&self, request: ServiceRequest, reply: Reply) -> Result<(), QueueFull> {
         let depth = {
             let mut st = self.shared.state.lock().expect("service queue poisoned");
             if !st.accepting || st.queue.len() >= self.shared.capacity {
@@ -322,7 +371,7 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
             }
             let seq = st.next_seq;
             st.next_seq += 1;
-            st.queue.push_back(Queued { request, submitted: Instant::now(), seq });
+            st.queue.push_back(Queued { request, submitted: Instant::now(), seq, reply });
             st.queue.len()
         };
         self.shared.tel.add(Counter::RequestsAdmitted, 1);
@@ -334,12 +383,12 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
     /// Blocks for the next completed response, in completion order.
     /// Returns `None` only after every worker has exited (post-drain).
     pub fn recv(&self) -> Option<ServiceResponse> {
-        self.results.recv().ok()
+        self.results.lock().expect("service results poisoned").recv().ok()
     }
 
     /// Non-blocking [`recv`](Self::recv).
     pub fn try_recv(&self) -> Option<ServiceResponse> {
-        self.results.try_recv().ok()
+        self.results.lock().expect("service results poisoned").try_recv().ok()
     }
 
     /// Graceful drain: stops admission (subsequent [`submit`]s are
@@ -360,7 +409,7 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
         for worker in self.workers {
             worker.join().expect("service worker panicked");
         }
-        let drained = self.results.try_iter().collect();
+        let drained = self.results.lock().expect("service results poisoned").try_iter().collect();
         let shared = Arc::try_unwrap(self.shared)
             .unwrap_or_else(|_| unreachable!("all workers joined, no clones remain"));
         ServiceReport { drained, telemetry: shared.tel }
@@ -385,22 +434,51 @@ fn worker_loop<S: Sink + Send + Sync>(shared: Arc<Shared<S>>, tx: mpsc::Sender<S
             }
         };
         let Some(job) = job else { return };
+        let reply = match &job.reply {
+            Reply::Pool => None,
+            Reply::Direct(sender) => Some(sender.clone()),
+        };
         let response = execute(&shared, job, &mut ws);
         shared.tel.add(Counter::RequestsCompleted, 1);
-        // A dropped receiver (service handle gone) is not an error for
-        // the drain: keep consuming so shutdown still joins cleanly.
-        let _ = tx.send(response);
+        // A dropped receiver (service handle gone, or a routed
+        // connection that hung up) is not an error for the drain: keep
+        // consuming so shutdown still joins cleanly.
+        match reply {
+            Some(sender) => {
+                let _ = sender.send(response);
+            }
+            None => {
+                let _ = tx.send(response);
+            }
+        }
     }
 }
 
 /// Runs one request through the resilient driver and maps the result
 /// to a response.
 fn execute<S: Sink>(shared: &Shared<S>, job: Queued, ws: &mut PhaseWorkspace) -> ServiceResponse {
-    let Queued { request, submitted, seq } = job;
+    let Queued { request, submitted, seq, reply: _ } = job;
     let queue_wait = submitted.elapsed();
     shared.tel.sample(Histogram::QueueWaitNs, queue_wait.as_nanos() as u64);
     shared.tel.add(Counter::QueueWaitNs, queue_wait.as_nanos() as u64);
     let deadline = request.deadline.map(|d| submitted + d);
+    // A request whose deadline expired while it was still queued is
+    // dead on arrival: skip the driver entirely (no conflict-graph
+    // build for work nobody can use) and report the same outcome the
+    // phase-boundary check would — phase 0 never ran. Without this
+    // fast path a zero-edge instance would slip through the driver's
+    // phase loop and report `ok` after its deadline.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        shared.tel.add(Counter::DeadlinesExceeded, 1);
+        let latency = submitted.elapsed();
+        shared.tel.sample(Histogram::RequestLatencyNs, latency.as_nanos() as u64);
+        return ServiceResponse {
+            id: request.id,
+            outcome: RequestOutcome::DeadlineExceeded { phase: 0 },
+            queue_wait,
+            latency,
+        };
+    }
     let req_span = span!(shared.tel, names::SERVICE_REQUEST, seq);
     let chain: Vec<&dyn MaxIsOracle> =
         request.chain.iter().map(|o| o.as_ref() as &dyn MaxIsOracle).collect();

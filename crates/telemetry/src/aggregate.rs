@@ -1,0 +1,377 @@
+//! Bounded live aggregation — the sink a long-running server keeps.
+//!
+//! [`MemorySink`](crate::MemorySink) buffers **every** event, which is
+//! exactly right for a test or a one-shot `trace-report` and exactly
+//! wrong for a process that serves traffic for days: its memory grows
+//! with uptime. [`AggregateSink`] is the complement — it folds each
+//! event into fixed-size aggregates the moment it arrives and keeps
+//! nothing else:
+//!
+//! * **counters** — one running total per [`Counter`] name;
+//! * **histograms** — count / min / max / sum plus a bounded ring of
+//!   the most recent [`RING_CAPACITY`] samples, from which the
+//!   rendered p50/p99 are computed (recent-window percentiles, the
+//!   operational quantity — an all-time p99 over millions of requests
+//!   says little about the server *now*);
+//! * **spans** — per-name count and total duration (matching each
+//!   span-end to its start through a capped open-span table, so even a
+//!   pathological instrumentation bug cannot grow it past
+//!   [`OPEN_SPAN_CAPACITY`]).
+//!
+//! The sink is cheaply cloneable (clones share state), so a server can
+//! hand the telemetry pipeline to its worker pool and keep a handle
+//! for rendering the `STATS` command — which is wired up through
+//! [`Sink::stats_snapshot`].
+
+use crate::sink::{Counter, Event, Sink};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Samples kept per histogram for the rendered percentiles (a sliding
+/// window of the most recent arrivals).
+pub const RING_CAPACITY: usize = 1024;
+
+/// Upper bound on concurrently tracked open spans. Starts beyond the
+/// cap are not tracked (their ends are ignored), so a leak elsewhere
+/// cannot become a leak here.
+pub const OPEN_SPAN_CAPACITY: usize = 4096;
+
+/// Per-histogram aggregate: exact count/min/max/sum over everything
+/// ever observed, plus the recent-sample ring for percentiles.
+#[derive(Debug, Clone)]
+pub struct HistogramSummary {
+    /// Samples observed over the sink's lifetime.
+    pub count: u64,
+    /// Smallest sample ever observed.
+    pub min: u64,
+    /// Largest sample ever observed.
+    pub max: u64,
+    /// Sum of every sample (for the mean).
+    pub sum: u64,
+    /// Nearest-rank 50th percentile of the recent window.
+    pub p50: u64,
+    /// Nearest-rank 99th percentile of the recent window.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean over the sink's lifetime (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistAgg {
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u64,
+    ring: VecDeque<u64>,
+}
+
+impl HistAgg {
+    fn observe(&mut self, value: u64) {
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if self.ring.len() == RING_CAPACITY {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(value);
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let mut window: Vec<u64> = self.ring.iter().copied().collect();
+        window.sort_unstable();
+        HistogramSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            sum: self.sum,
+            p50: percentile(&window, 50.0),
+            p99: percentile(&window, 99.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending sample slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+}
+
+#[derive(Debug)]
+struct AggregateState {
+    started: Instant,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, HistAgg>>,
+    spans: Mutex<BTreeMap<&'static str, SpanAgg>>,
+    /// span id → (name, start_ns) for spans currently open.
+    open: Mutex<HashMap<u64, (&'static str, u64)>>,
+}
+
+/// The bounded live-stats sink — see the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use pslocal_telemetry::{span, AggregateSink, Counter, Sink, Telemetry};
+///
+/// let stats = AggregateSink::new();
+/// let tel = Telemetry::new(stats.clone()); // clones share state
+/// {
+///     let s = span!(tel, "reduction");
+///     s.add(Counter::OracleCalls, 3);
+/// }
+/// assert_eq!(stats.counter("oracle_calls"), 3);
+/// let text = stats.render();
+/// assert!(text.contains("counter oracle_calls 3"));
+/// assert!(text.contains("span reduction"));
+/// assert_eq!(Sink::stats_snapshot(&stats), Some(text));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregateSink {
+    state: Arc<AggregateState>,
+}
+
+impl Default for AggregateSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AggregateSink {
+    /// A fresh aggregate with its uptime epoch at "now".
+    pub fn new() -> Self {
+        AggregateSink {
+            state: Arc::new(AggregateState {
+                started: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(BTreeMap::new()),
+                open: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Current total of the counter with the given stable name
+    /// ([`Counter::name`]); 0 if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state.counters.lock().expect("stats poisoned").get(name).copied().unwrap_or(0)
+    }
+
+    /// Summary of the histogram with the given stable name, if any
+    /// sample arrived.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.state.histograms.lock().expect("stats poisoned").get(name).map(HistAgg::summary)
+    }
+
+    /// `(count, total_ns)` of closed spans with the given name.
+    pub fn span_totals(&self, name: &str) -> (u64, u64) {
+        let spans = self.state.spans.lock().expect("stats poisoned");
+        spans.get(name).map_or((0, 0), |s| (s.count, s.total_ns))
+    }
+
+    /// Renders the whole aggregate as stable plain text — the payload
+    /// of the server's `STATS` command. One item per line:
+    ///
+    /// ```text
+    /// uptime_s 12.345
+    /// counter <name> <total>
+    /// histogram <name> count=N min=… p50=… p99=… max=… mean=…
+    /// span <name> count=N total_us=… mean_us=…
+    /// ```
+    ///
+    /// Sections are sorted by name, so the output is diffable between
+    /// polls.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "uptime_s {:.3}", self.state.started.elapsed().as_secs_f64());
+        for (name, total) in self.state.counters.lock().expect("stats poisoned").iter() {
+            let _ = writeln!(out, "counter {name} {total}");
+        }
+        for (name, agg) in self.state.histograms.lock().expect("stats poisoned").iter() {
+            let s = agg.summary();
+            let _ = writeln!(
+                out,
+                "histogram {name} count={} min={} p50={} p99={} max={} mean={}",
+                s.count,
+                s.min,
+                s.p50,
+                s.p99,
+                s.max,
+                s.mean(),
+            );
+        }
+        for (name, agg) in self.state.spans.lock().expect("stats poisoned").iter() {
+            let mean_us = agg.total_ns.checked_div(agg.count).unwrap_or(0) / 1000;
+            let _ = writeln!(
+                out,
+                "span {name} count={} total_us={} mean_us={mean_us}",
+                agg.count,
+                agg.total_ns / 1000,
+            );
+        }
+        out
+    }
+}
+
+impl Sink for AggregateSink {
+    fn record(&self, event: Event) {
+        match event {
+            Event::SpanStart { id, name, start_ns, .. } => {
+                let mut open = self.state.open.lock().expect("stats poisoned");
+                if open.len() < OPEN_SPAN_CAPACITY {
+                    open.insert(id.0, (name, start_ns));
+                }
+            }
+            Event::SpanEnd { id, end_ns } => {
+                let entry = self.state.open.lock().expect("stats poisoned").remove(&id.0);
+                if let Some((name, start_ns)) = entry {
+                    let mut spans = self.state.spans.lock().expect("stats poisoned");
+                    let agg = spans.entry(name).or_default();
+                    agg.count += 1;
+                    agg.total_ns = agg.total_ns.saturating_add(end_ns.saturating_sub(start_ns));
+                }
+            }
+            Event::CounterAdd { counter, delta, .. } => {
+                *self
+                    .state
+                    .counters
+                    .lock()
+                    .expect("stats poisoned")
+                    .entry(counter.name())
+                    .or_insert(0) += delta;
+            }
+            Event::Sample { histogram, value, .. } => {
+                self.state
+                    .histograms
+                    .lock()
+                    .expect("stats poisoned")
+                    .entry(histogram.name())
+                    .or_default()
+                    .observe(value);
+            }
+        }
+    }
+
+    fn stats_snapshot(&self) -> Option<String> {
+        Some(self.render())
+    }
+}
+
+/// Counters recorded through one sink, readable regardless of the
+/// pipeline's sink composition — convenience for asserting over a
+/// `(AggregateSink, …)` fan-out.
+pub fn counter_of(sink: &AggregateSink, counter: Counter) -> u64 {
+    sink.counter(counter.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{Histogram, SpanId};
+
+    fn sample(h: Histogram, value: u64) -> Event {
+        Event::Sample { histogram: h, value, span: None }
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let sink = AggregateSink::new();
+        sink.record(Event::CounterAdd { counter: Counter::OracleCalls, delta: 2, span: None });
+        sink.record(Event::CounterAdd { counter: Counter::OracleCalls, delta: 3, span: None });
+        for v in [10, 20, 30, 40] {
+            sink.record(sample(Histogram::RequestLatencyNs, v));
+        }
+        assert_eq!(sink.counter("oracle_calls"), 5);
+        assert_eq!(counter_of(&sink, Counter::OracleCalls), 5);
+        let h = sink.histogram("request_latency_ns").expect("samples arrived");
+        assert_eq!((h.count, h.min, h.max, h.sum), (4, 10, 40, 100));
+        assert_eq!(h.mean(), 25);
+        assert_eq!(h.p50, 20);
+        assert_eq!(h.p99, 40);
+        assert!(sink.histogram("queue_depth").is_none());
+    }
+
+    #[test]
+    fn span_durations_fold_by_name() {
+        let sink = AggregateSink::new();
+        for (id, start, end) in [(1u64, 0u64, 50u64), (2, 10, 40), (3, 5, 25)] {
+            sink.record(Event::SpanStart {
+                id: SpanId(id),
+                parent: None,
+                name: "phase",
+                index: None,
+                start_ns: start,
+            });
+            sink.record(Event::SpanEnd { id: SpanId(id), end_ns: end });
+        }
+        assert_eq!(sink.span_totals("phase"), (3, 50 + 30 + 20));
+        // An end without a tracked start is ignored, not a panic.
+        sink.record(Event::SpanEnd { id: SpanId(99), end_ns: 1 });
+        assert_eq!(sink.span_totals("phase"), (3, 100));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_percentiles_use_the_recent_window() {
+        let sink = AggregateSink::new();
+        // Fill the ring with large values, then overwrite with small
+        // ones: the percentiles must follow the recent window while
+        // min/max stay lifetime-exact.
+        for _ in 0..RING_CAPACITY {
+            sink.record(sample(Histogram::QueueDepth, 1_000_000));
+        }
+        for _ in 0..RING_CAPACITY {
+            sink.record(sample(Histogram::QueueDepth, 7));
+        }
+        let h = sink.histogram("queue_depth").unwrap();
+        assert_eq!(h.count, 2 * RING_CAPACITY as u64);
+        assert_eq!(h.max, 1_000_000);
+        assert_eq!((h.p50, h.p99), (7, 7), "window percentiles track recent samples");
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let sink = AggregateSink::new();
+        sink.record(Event::CounterAdd { counter: Counter::RequestsAdmitted, delta: 4, span: None });
+        sink.record(Event::CounterAdd { counter: Counter::BytesIn, delta: 100, span: None });
+        sink.record(sample(Histogram::QueueDepth, 2));
+        let text = sink.render();
+        let bytes_line = text.lines().position(|l| l.starts_with("counter bytes_in 100"));
+        let admitted_line = text.lines().position(|l| l.starts_with("counter requests_admitted 4"));
+        assert!(bytes_line.unwrap() < admitted_line.unwrap(), "sorted by name:\n{text}");
+        assert!(text.contains("histogram queue_depth count=1"));
+        assert!(text.starts_with("uptime_s "));
+    }
+
+    #[test]
+    fn clones_share_state_and_snapshot_through_compositions() {
+        let sink = AggregateSink::new();
+        let clone = sink.clone();
+        clone.record(Event::CounterAdd { counter: Counter::Phases, delta: 1, span: None });
+        assert_eq!(sink.counter("phases"), 1);
+        // The tuple composition surfaces the aggregate's snapshot.
+        let composed = (crate::NullSink, sink.clone());
+        assert!(Sink::stats_snapshot(&composed).is_some());
+        let memory_only = crate::MemorySink::new();
+        assert!(Sink::stats_snapshot(&memory_only).is_none());
+    }
+}

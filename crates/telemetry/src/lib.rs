@@ -47,9 +47,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod sink;
 pub mod timeline;
 
+pub use aggregate::{AggregateSink, HistogramSummary};
 pub use sink::{
     event_to_json, Counter, Event, Histogram, JsonlSink, MemorySink, NullSink, Sink, SpanId,
     SpanRecord,
@@ -93,6 +95,10 @@ pub mod names {
     /// admission sequence number; children are the request's reduction
     /// spans).
     pub const SERVICE_REQUEST: &str = "service-request";
+    /// One request as the TCP server sees it, parse to response write
+    /// (index = per-connection request ordinal; wraps the service's
+    /// `service-request` span plus socket time).
+    pub const SERVER_REQUEST: &str = "server-request";
 }
 
 /// A telemetry pipeline: a sink plus the monotonic epoch all event

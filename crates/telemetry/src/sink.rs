@@ -115,6 +115,20 @@ pub enum Counter {
     /// Cumulative nanoseconds requests spent waiting in the admission
     /// queue before a worker picked them up.
     QueueWaitNs,
+    /// TCP connections the server accepted and handed to a connection
+    /// handler.
+    ConnectionsAccepted,
+    /// TCP connections the server refused with a typed overload
+    /// response because the connection cap was reached (or the server
+    /// was draining).
+    ConnectionsRefused,
+    /// Bytes of request stream the server read off its sockets.
+    BytesIn,
+    /// Bytes of response stream the server wrote to its sockets.
+    BytesOut,
+    /// Input lines that did not parse as protocol requests and were
+    /// answered with a typed `bad_request` line.
+    BadRequests,
 }
 
 impl Counter {
@@ -148,6 +162,11 @@ impl Counter {
             Counter::DeadlinesExceeded => "requests_deadline_exceeded",
             Counter::RequestsFailed => "requests_failed",
             Counter::QueueWaitNs => "queue_wait_total_ns",
+            Counter::ConnectionsAccepted => "connections_accepted",
+            Counter::ConnectionsRefused => "connections_refused",
+            Counter::BytesIn => "bytes_in",
+            Counter::BytesOut => "bytes_out",
+            Counter::BadRequests => "bad_requests",
         }
     }
 }
@@ -258,6 +277,15 @@ pub trait Sink: Sync {
 
     /// Receives one event. Must not panic.
     fn record(&self, event: Event);
+
+    /// A live, human-readable snapshot of what this sink has
+    /// aggregated so far, or `None` when the sink keeps no queryable
+    /// aggregates (the default). The server's `STATS` command renders
+    /// whatever the first snapshot-capable sink in the pipeline
+    /// returns — see [`AggregateSink`](crate::AggregateSink).
+    fn stats_snapshot(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The disabled sink: receives nothing, costs nothing.
@@ -279,6 +307,10 @@ impl<S: Sink> Sink for &S {
     fn record(&self, event: Event) {
         (**self).record(event);
     }
+
+    fn stats_snapshot(&self) -> Option<String> {
+        (**self).stats_snapshot()
+    }
 }
 
 /// `None` drops events at runtime; the compile-time flag follows the
@@ -293,6 +325,10 @@ impl<S: Sink> Sink for Option<S> {
             sink.record(event);
         }
     }
+
+    fn stats_snapshot(&self) -> Option<String> {
+        self.as_ref().and_then(Sink::stats_snapshot)
+    }
 }
 
 /// Fan-out to two sinks (build bigger fans by nesting tuples).
@@ -303,6 +339,11 @@ impl<A: Sink, B: Sink> Sink for (A, B) {
     fn record(&self, event: Event) {
         self.0.record(event);
         self.1.record(event);
+    }
+
+    /// The first member with a snapshot wins.
+    fn stats_snapshot(&self) -> Option<String> {
+        self.0.stats_snapshot().or_else(|| self.1.stats_snapshot())
     }
 }
 
@@ -711,6 +752,11 @@ mod tests {
         assert_eq!(Counter::RequestsRejected.name(), "requests_rejected");
         assert_eq!(Counter::DeadlinesExceeded.name(), "requests_deadline_exceeded");
         assert_eq!(Counter::QueueWaitNs.name(), "queue_wait_total_ns");
+        assert_eq!(Counter::ConnectionsAccepted.name(), "connections_accepted");
+        assert_eq!(Counter::ConnectionsRefused.name(), "connections_refused");
+        assert_eq!(Counter::BytesIn.name(), "bytes_in");
+        assert_eq!(Counter::BytesOut.name(), "bytes_out");
+        assert_eq!(Counter::BadRequests.name(), "bad_requests");
         assert_eq!(Histogram::ShardBuildNs.name(), "shard_build_ns");
         assert_eq!(Histogram::RealizedLocality.to_string(), "realized_locality");
         assert_eq!(Histogram::QueueDepth.name(), "queue_depth");

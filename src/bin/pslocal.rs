@@ -15,11 +15,13 @@
 //! deterministically (see `pslocal_core::components`).
 
 use pslocal::cfcolor::checker;
+use pslocal::core::protocol::{kernel_by_name, parse_request, rejected_line, response_line};
 use pslocal::core::{
     inspect_journal, parallel_independent_set, reduce_cf_to_maxis, reduce_cf_to_maxis_resumable,
     reduce_cf_to_maxis_traced, BoxedOracle, Checkpointing, ConflictGraph, CrashPlan,
-    ParallelismOptions, ReductionConfig, ReductionOutcome, RequestOutcome, ResilientConfig,
-    Service, ServiceConfig, ServiceRequest, ServiceResponse, DEFAULT_QUEUE_CAPACITY,
+    ParallelismOptions, ReductionConfig, ReductionOutcome, RequestOutcome, ResilientConfig, Server,
+    ServerConfig, Service, ServiceConfig, ServiceRequest, ServiceResponse, DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_QUEUE_CAPACITY,
 };
 use pslocal::graph::generators::hyper::{
     multi_component_cf_instance, planted_cf_instance, PlantedCfParams,
@@ -28,14 +30,15 @@ use pslocal::graph::generators::random::gnp;
 use pslocal::graph::io::{read_graph, read_hypergraph, write_graph, write_hypergraph};
 use pslocal::graph::{GraphStats, HypergraphStats, KernelStrategy};
 use pslocal::maxis::{
-    CliqueRemovalOracle, DecompositionOracle, ExactOracle, FaultKind, FaultPlan, FaultyOracle,
-    GreedyOracle, LubyOracle, MaxIsOracle, TracedOracle,
+    CliqueRemovalOracle, DecompositionOracle, ExactOracle, GreedyOracle, LubyOracle, MaxIsOracle,
+    TracedOracle,
 };
 use pslocal::telemetry::{
-    event_to_json, render_tree, Counter, MemorySink, PhaseTimeline, Telemetry,
+    event_to_json, render_tree, AggregateSink, Counter, JsonlSink, MemorySink, PhaseTimeline,
+    Telemetry,
 };
 use rand::SeedableRng;
-use std::io::Read as _;
+use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -56,6 +59,15 @@ USAGE:
                                 (JSONL requests on stdin, one JSONL
                                  result line per request on stdout,
                                  completion order)
+  pslocal serve --addr HOST:PORT [--workers W] [--queue-depth Q]
+                [--max-conns C] [--deadline-ms D] [--metrics-out FILE]
+                                (the batch protocol over TCP; prints
+                                 'listening on ADDR', serves until
+                                 SIGINT/SIGTERM or a client SHUTDOWN,
+                                 then drains gracefully)
+  pslocal client --addr HOST:PORT [--stats | --shutdown | --ping]
+                                (send stdin JSONL requests — or one
+                                 command — and stream the responses)
   pslocal bench-report [--oracle O] [--seed S] [--iters I] [--threads T]
                        [--out FILE]
                                 (perf baseline -> BENCH_reduction.json)
@@ -107,6 +119,24 @@ BATCH (batched multi-instance serving):
   --deadline-ms D       default per-request deadline, measured from
                         submission, enforced at phase boundaries
 
+SERVE (the batch protocol over persistent TCP connections):
+  Lines in, lines out — exactly the BATCH schemas, so sorted responses
+  byte-match `pslocal batch` on the same requests. Extra typed lines:
+    {\"id\":..,\"outcome\":\"rejected\"}    admission queue full (shed, not run)
+    {\"outcome\":\"overloaded\",..}       connection cap reached, socket closed
+    {\"outcome\":\"bad_request\",..}      unparseable request line
+  Plain-text commands on the same stream: PING -> PONG, STATS -> live
+  metrics + OK, SHUTDOWN -> DRAINING + graceful server-wide drain,
+  QUIT -> close this connection.
+  --addr HOST:PORT      bind address (port 0 = ephemeral; the real
+                        address is printed as 'listening on ADDR')
+  --workers W           worker threads (default 2)
+  --queue-depth Q       admission-queue bound (default 64)
+  --max-conns C         concurrent-connection cap (default 64)
+  --deadline-ms D       default per-request deadline
+  --metrics-out FILE    stream every telemetry event as JSONL to FILE
+  A final stats snapshot and the drain summary go to stderr on exit.
+
 TELEMETRY (maxis / reduce / batch / trace-report / bench-report):
   --trace               render the span tree to stdout after the run
   --metrics-out FILE    append every telemetry event as JSONL to FILE
@@ -115,7 +145,7 @@ ORACLES: exact | greedy | luby | clique-removal | decomposition
 FORMATS: see pslocal_graph::io (p graph / p hypergraph headers)";
 
 /// Options that are flags (no value argument follows them).
-const BOOLEAN_FLAGS: &[&str] = &["trace", "resume", "oracle-cache"];
+const BOOLEAN_FLAGS: &[&str] = &["trace", "resume", "oracle-cache", "stats", "shutdown", "ping"];
 
 /// Minimal `--key value` argument map (with a few `--flag` booleans).
 struct Args {
@@ -174,36 +204,12 @@ fn threads_opt(args: &Args) -> Result<ParallelismOptions, String> {
     }
 }
 
-/// Parses a kernel name into a [`KernelStrategy`].
-fn kernel_by_name(name: &str) -> Result<KernelStrategy, String> {
-    Ok(match name {
-        "auto" => KernelStrategy::Auto,
-        "csr" => KernelStrategy::Csr,
-        "bitset" => KernelStrategy::Bitset,
-        other => return Err(format!("unknown kernel {other:?} (auto | csr | bitset)")),
-    })
-}
-
 /// Parses `--kernel` (default auto) into a [`KernelStrategy`].
 fn kernel_opt(args: &Args) -> Result<KernelStrategy, String> {
     kernel_by_name(args.get("kernel").unwrap_or("auto"))
 }
 
 fn oracle_by_name(name: &str, seed: u64) -> Result<Box<dyn MaxIsOracle>, String> {
-    Ok(match name {
-        "exact" => Box::new(ExactOracle),
-        "greedy" => Box::new(GreedyOracle),
-        "luby" => Box::new(LubyOracle::new(seed)),
-        "clique-removal" => Box::new(CliqueRemovalOracle),
-        "decomposition" => Box::new(DecompositionOracle::default()),
-        other => return Err(format!("unknown oracle {other:?} (see --help)")),
-    })
-}
-
-/// [`oracle_by_name`], but boxed for the batch service's thread
-/// boundary (`Send + Sync`). Every CLI oracle is a plain value type,
-/// so the two constructors stay in lockstep.
-fn boxed_oracle_by_name(name: &str, seed: u64) -> Result<BoxedOracle, String> {
     Ok(match name {
         "exact" => Box::new(ExactOracle),
         "greedy" => Box::new(GreedyOracle),
@@ -437,241 +443,6 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// One field value of a flat batch-request JSON object: a string, or a
-/// raw unquoted token (number / bool) parsed per field.
-enum JsonValue {
-    Str(String),
-    Raw(String),
-}
-
-/// Skips JSON whitespace.
-fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-    while chars.peek().is_some_and(|c| c.is_whitespace()) {
-        chars.next();
-    }
-}
-
-/// Parses a JSON string literal (the opening `"` still pending).
-fn parse_json_string(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Result<String, String> {
-    if chars.next() != Some('"') {
-        return Err("expected a JSON string".to_string());
-    }
-    let mut out = String::new();
-    loop {
-        match chars.next() {
-            Some('"') => return Ok(out),
-            Some('\\') => match chars.next() {
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some('/') => out.push('/'),
-                Some('n') => out.push('\n'),
-                Some('t') => out.push('\t'),
-                Some('r') => out.push('\r'),
-                other => return Err(format!("unsupported string escape {other:?}")),
-            },
-            Some(c) => out.push(c),
-            None => return Err("unterminated JSON string".to_string()),
-        }
-    }
-}
-
-/// Parses one *flat* JSON object (the batch request schema: scalar
-/// values only — nested objects and arrays are rejected). The vendored
-/// serde stub has no deserializer, so the CLI carries its own.
-fn parse_flat_json(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
-    let mut chars = line.chars().peekable();
-    skip_ws(&mut chars);
-    if chars.next() != Some('{') {
-        return Err("expected a JSON object ('{' ... '}')".to_string());
-    }
-    let mut fields = Vec::new();
-    skip_ws(&mut chars);
-    if chars.peek() == Some(&'}') {
-        chars.next();
-    } else {
-        loop {
-            skip_ws(&mut chars);
-            let key = parse_json_string(&mut chars)?;
-            skip_ws(&mut chars);
-            if chars.next() != Some(':') {
-                return Err(format!("expected ':' after key {key:?}"));
-            }
-            skip_ws(&mut chars);
-            let value = match chars.peek() {
-                Some('"') => JsonValue::Str(parse_json_string(&mut chars)?),
-                Some(c) if *c == '-' || *c == '+' || c.is_ascii_alphanumeric() => {
-                    let mut token = String::new();
-                    while let Some(&c) = chars.peek() {
-                        if c == ',' || c == '}' || c.is_whitespace() {
-                            break;
-                        }
-                        token.push(c);
-                        chars.next();
-                    }
-                    JsonValue::Raw(token)
-                }
-                other => {
-                    return Err(format!(
-                        "unsupported value {other:?} for key {key:?} (flat schema: scalars only)"
-                    ))
-                }
-            };
-            fields.push((key, value));
-            skip_ws(&mut chars);
-            match chars.next() {
-                Some(',') => continue,
-                Some('}') => break,
-                other => return Err(format!("expected ',' or '}}', got {other:?}")),
-            }
-        }
-    }
-    skip_ws(&mut chars);
-    if let Some(trailing) = chars.next() {
-        return Err(format!("trailing input {trailing:?} after the JSON object"));
-    }
-    Ok(fields)
-}
-
-/// Typed accessors over one parsed batch-request object.
-struct BatchFields(Vec<(String, JsonValue)>);
-
-impl BatchFields {
-    fn find(&self, key: &str) -> Option<&JsonValue> {
-        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-    }
-
-    fn str(&self, key: &str) -> Result<Option<&str>, String> {
-        match self.find(key) {
-            None => Ok(None),
-            Some(JsonValue::Str(s)) => Ok(Some(s)),
-            Some(JsonValue::Raw(_)) => Err(format!("field {key:?} must be a JSON string")),
-        }
-    }
-
-    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
-        match self.find(key) {
-            None => Ok(None),
-            Some(JsonValue::Raw(raw)) => raw
-                .parse::<T>()
-                .map(Some)
-                .map_err(|_| format!("cannot parse field {key:?} value {raw:?}")),
-            Some(JsonValue::Str(_)) => Err(format!("field {key:?} must be a JSON number")),
-        }
-    }
-
-    fn bool(&self, key: &str) -> Result<bool, String> {
-        match self.find(key) {
-            None => Ok(false),
-            Some(JsonValue::Raw(raw)) if raw == "true" => Ok(true),
-            Some(JsonValue::Raw(raw)) if raw == "false" => Ok(false),
-            _ => Err(format!("field {key:?} must be true or false")),
-        }
-    }
-}
-
-/// Escapes a string for embedding in a JSON result line.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Parses a `faults` script: comma-separated per-call fault tokens for
-/// the request's primary oracle (`-` = behave).
-fn parse_fault_script(spec: &str) -> Result<Vec<Option<FaultKind>>, String> {
-    spec.split(',')
-        .map(|token| match token.trim() {
-            "" | "-" | "ok" => Ok(None),
-            "panic" => Ok(Some(FaultKind::Panic)),
-            "invalid-set" => Ok(Some(FaultKind::InvalidSet)),
-            "empty-set" => Ok(Some(FaultKind::EmptySet)),
-            "under-deliver" => Ok(Some(FaultKind::UnderDeliver)),
-            t => match t.strip_prefix("stall:") {
-                Some(steps) => steps
-                    .parse::<usize>()
-                    .map(|s| Some(FaultKind::Stall(s)))
-                    .map_err(|_| format!("cannot parse stall step count in {t:?}")),
-                None => Err(format!(
-                    "unknown fault {t:?} (- | panic | invalid-set | empty-set | \
-                     under-deliver | stall:N)"
-                )),
-            },
-        })
-        .collect()
-}
-
-/// Builds one [`ServiceRequest`] from a parsed batch JSONL line.
-fn parse_batch_request(
-    line: &str,
-    default_deadline_ms: Option<u64>,
-) -> Result<ServiceRequest, String> {
-    let fields = BatchFields(parse_flat_json(line)?);
-    let id = fields.str("id")?.ok_or("missing required field \"id\"")?.to_string();
-    let n: usize = fields.num("n")?.unwrap_or(128);
-    let m: usize = fields.num("m")?.unwrap_or(n / 2);
-    let k: usize = fields.num("k")?.unwrap_or(4);
-    let seed: u64 = fields.num("seed")?.unwrap_or(0xC0FFEE);
-    let epsilon: f64 = fields.num("epsilon")?.unwrap_or(0.5);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let inst = planted_cf_instance(&mut rng, PlantedCfParams { n, m, k, epsilon });
-
-    let mut chain: Vec<BoxedOracle> = fields
-        .str("oracle")?
-        .unwrap_or("greedy")
-        .split(',')
-        .map(|name| boxed_oracle_by_name(name.trim(), seed))
-        .collect::<Result<_, _>>()?;
-    if let Some(spec) = fields.str("faults")? {
-        let script = parse_fault_script(spec)?;
-        let primary = chain.remove(0);
-        chain.insert(0, Box::new(FaultyOracle::new(primary, FaultPlan::scripted(script))));
-    }
-
-    let mut base = ReductionConfig::new(k);
-    base.kernel = kernel_by_name(fields.str("kernel")?.unwrap_or("auto"))?;
-    base.oracle_cache = fields.bool("oracle_cache")?;
-    let config = ResilientConfig { base, ..ResilientConfig::new(k) };
-
-    let mut request = ServiceRequest::new(id, inst.hypergraph, chain, config);
-    if let Some(ms) = fields.num::<u64>("deadline_ms")?.or(default_deadline_ms) {
-        request = request.with_deadline(Duration::from_millis(ms));
-    }
-    Ok(request)
-}
-
-/// Renders one completed request as its JSONL result line. Only
-/// deterministic fields appear here — timing goes to telemetry and the
-/// stderr summary — so result streams are byte-comparable across
-/// worker counts.
-fn response_line(response: &ServiceResponse) -> String {
-    let id = json_escape(&response.id);
-    match &response.outcome {
-        RequestOutcome::Ok { phases, set_size, colors } => format!(
-            "{{\"id\":\"{id}\",\"outcome\":\"ok\",\"phases\":{phases},\
-             \"set_size\":{set_size},\"colors\":{colors}}}"
-        ),
-        RequestOutcome::DeadlineExceeded { phase } => {
-            format!("{{\"id\":\"{id}\",\"outcome\":\"deadline_exceeded\",\"phase\":{phase}}}")
-        }
-        RequestOutcome::Failed { error } => format!(
-            "{{\"id\":\"{id}\",\"outcome\":\"failed\",\"error\":\"{}\"}}",
-            json_escape(error)
-        ),
-    }
-}
-
 /// Nearest-rank percentile over an ascending sample vector.
 fn percentile_ns(sorted: &[u128], p: f64) -> u128 {
     if sorted.is_empty() {
@@ -700,7 +471,7 @@ fn run_batch<S: pslocal::telemetry::Sink + Send + Sync + 'static>(
             responses.push(response);
         }
         if let Err(full) = service.submit(request) {
-            println!("{{\"id\":\"{}\",\"outcome\":\"rejected\"}}", json_escape(&full.request.id));
+            println!("{}", rejected_line(&full.request.id));
             rejected += 1;
         }
     }
@@ -732,7 +503,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let request = parse_batch_request(line, default_deadline_ms)
+        let request = parse_request(line, default_deadline_ms.map(Duration::from_millis))
             .map_err(|e| format!("stdin line {}: {e}", index + 1))?;
         requests.push(request);
     }
@@ -1038,6 +809,124 @@ fn bench_service(seed: u64) -> Result<ServiceBench, String> {
     })
 }
 
+/// One client-concurrency measurement of the TCP-server benchmark.
+struct ServerBenchRun {
+    clients: usize,
+    wall_ns: u128,
+    p50_latency_ns: u128,
+    p99_latency_ns: u128,
+}
+
+impl ServerBenchRun {
+    /// Completed requests per second over the socket.
+    fn throughput_rps(&self, requests: usize) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            requests as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// The TCP-server benchmark: the same mixed request mix as the service
+/// block, but over real loopback sockets through [`Server`] — wire
+/// parse, admission, and socket writes included in every latency.
+struct ServerBench {
+    requests: usize,
+    workers: usize,
+    host_threads: usize,
+    runs: Vec<ServerBenchRun>,
+}
+
+/// Measures the server block: 32 mixed JSONL requests against an
+/// in-process [`Server`] (2 workers), driven by 1 sequential client
+/// and by 4 concurrent client connections. Latency is synchronous and
+/// client-side: one request on the wire, wait for its response line.
+fn bench_server(seed: u64) -> Result<ServerBench, String> {
+    use std::io::BufRead as _;
+    const REQUESTS: usize = 32;
+    const WORKERS: usize = 2;
+    let shapes = [(128usize, 64usize, 8usize), (384, 192, 4)];
+    let lines: Vec<String> = (0..REQUESTS)
+        .map(|i| {
+            let (n, m, k) = shapes[i % shapes.len()];
+            format!(
+                "{{\"id\":\"s-{i}\",\"n\":{n},\"m\":{m},\"k\":{k},\"seed\":{}}}",
+                seed ^ i as u64
+            )
+        })
+        .collect();
+
+    let config = ServerConfig::default()
+        .with_service(ServiceConfig::new(WORKERS).with_queue_capacity(REQUESTS));
+    let server = Server::start("127.0.0.1:0", config, Telemetry::disabled())
+        .map_err(|e| format!("bench server cannot bind: {e}"))?;
+    let addr = server.local_addr();
+
+    let drive = |batch: &[String]| -> Result<Vec<u128>, String> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("bench client cannot connect: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| format!("bench client clone: {e}"))?;
+        let mut reader = std::io::BufReader::new(stream);
+        let mut latencies = Vec::with_capacity(batch.len());
+        for line in batch {
+            let started = Instant::now();
+            writer
+                .write_all(format!("{line}\n").as_bytes())
+                .map_err(|e| format!("bench client write: {e}"))?;
+            let mut response = String::new();
+            reader.read_line(&mut response).map_err(|e| format!("bench client read: {e}"))?;
+            if !response.contains("\"outcome\":\"ok\"") {
+                return Err(format!("bench request answered {}", response.trim()));
+            }
+            latencies.push(started.elapsed().as_nanos());
+        }
+        Ok(latencies)
+    };
+
+    let mut runs = Vec::new();
+    for clients in [1usize, 4] {
+        let started = Instant::now();
+        let mut latencies: Vec<u128> = if clients == 1 {
+            drive(&lines)?
+        } else {
+            // Round-robin split: every connection still sees the mixed
+            // dense/sparse alternation.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let batch: Vec<String> =
+                            lines.iter().skip(c).step_by(clients).cloned().collect();
+                        scope.spawn(move || drive(&batch))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("bench client thread")).try_fold(
+                    Vec::new(),
+                    |mut all, result| {
+                        all.extend(result?);
+                        Ok::<_, String>(all)
+                    },
+                )
+            })?
+        };
+        let wall_ns = started.elapsed().as_nanos();
+        latencies.sort_unstable();
+        runs.push(ServerBenchRun {
+            clients,
+            wall_ns,
+            p50_latency_ns: percentile_ns(&latencies, 50.0),
+            p99_latency_ns: percentile_ns(&latencies, 99.0),
+        });
+    }
+    server.shutdown();
+    Ok(ServerBench {
+        requests: REQUESTS,
+        workers: WORKERS,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        runs,
+    })
+}
+
 fn cmd_bench_report(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("seed")?.unwrap_or(0xC0FFEE);
     let iters: usize = args.parsed("iters")?.unwrap_or(3);
@@ -1178,12 +1067,16 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
     // loop vs. the service's worker pool.
     let service = bench_service(seed)?;
 
+    // The TCP front end: the same request mix over real loopback
+    // sockets, sequential vs. concurrent clients.
+    let server = bench_server(seed)?;
+
     // Hand-rolled JSON: the vendored serde stub has no serializer and
     // the container has no serde_json; the schema below is frozen so
     // future PRs can diff perf trajectories mechanically.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"pslocal-bench-reduction/v5\",\n");
+    json.push_str("  \"schema\": \"pslocal-bench-reduction/v6\",\n");
     json.push_str(&format!("  \"oracle\": \"{}\",\n", oracle.name()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
@@ -1235,7 +1128,7 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
         parallel.speedup(),
     ));
     // Convert the trailing newline of the parallel block into a comma
-    // so the v5 service block can follow it.
+    // so the service block can follow it.
     json.truncate(json.len() - 1);
     json.push_str(",\n");
     json.push_str(&format!(
@@ -1254,6 +1147,23 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             run.p50_latency_ns,
             run.p99_latency_ns,
             if i + 1 < service.runs.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"server\": {{\"requests\": {}, \"workers\": {}, \"host_threads\": {}, \"runs\": [\n",
+        server.requests, server.workers, server.host_threads,
+    ));
+    for (i, run) in server.runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"wall_ns\": {}, \"throughput_rps\": {:.2}, \
+             \"p50_latency_ns\": {}, \"p99_latency_ns\": {}}}{}\n",
+            run.clients,
+            run.wall_ns,
+            run.throughput_rps(server.requests),
+            run.p50_latency_ns,
+            run.p99_latency_ns,
+            if i + 1 < server.runs.len() { "," } else { "" },
         ));
     }
     json.push_str("  ]}\n");
@@ -1320,9 +1230,182 @@ fn cmd_bench_report(args: &Args) -> Result<(), String> {
             run.p99_latency_ns / 1000,
         );
     }
+    println!(
+        "server: {} requests over loopback TCP ({} workers, {}-CPU host)",
+        server.requests, server.workers, server.host_threads,
+    );
+    for run in &server.runs {
+        println!(
+            "    clients = {}: wall = {}ms, {:.1} req/s, latency p50 = {}us, p99 = {}us",
+            run.clients,
+            run.wall_ns / 1_000_000,
+            run.throughput_rps(server.requests),
+            run.p50_latency_ns / 1000,
+            run.p99_latency_ns / 1000,
+        );
+    }
     if let Some(path) = &metrics_out {
         println!("appended telemetry events to {path}");
     }
+    Ok(())
+}
+
+/// Process-level shutdown signals for `pslocal serve`.
+///
+/// The workspace is hermetic (no `libc`, no `signal-hook`), so on Unix
+/// this registers handlers through the one C function the platform
+/// already links into every process: `signal(2)`. The handler only
+/// stores into a static atomic — the async-signal-safe subset — and the
+/// serve loop polls [`requested`]. On non-Unix targets the module
+/// degrades to "never requested": the server still drains via the
+/// client `SHUTDOWN` command.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn handle(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Routes SIGINT and SIGTERM into [`requested`].
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, handle);
+            signal(SIGTERM, handle);
+        }
+    }
+
+    /// True once a shutdown signal has been delivered.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// `pslocal serve` — the batch protocol over TCP (see the SERVE section
+/// of the usage text). Runs until SIGINT/SIGTERM or a client `SHUTDOWN`
+/// command, then drains every admitted request and prints a final
+/// stats snapshot to stderr.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7171").to_string();
+    let workers = match args.parsed::<usize>("workers")?.unwrap_or(2) {
+        0 => return Err("--workers must be at least 1".to_string()),
+        w => w,
+    };
+    let queue = match args.parsed::<usize>("queue-depth")?.unwrap_or(DEFAULT_QUEUE_CAPACITY) {
+        0 => return Err("--queue-depth must be at least 1".to_string()),
+        q => q,
+    };
+    let max_conns = match args.parsed::<usize>("max-conns")?.unwrap_or(DEFAULT_MAX_CONNECTIONS) {
+        0 => return Err("--max-conns must be at least 1".to_string()),
+        c => c,
+    };
+
+    let mut config = ServerConfig::default()
+        .with_service(ServiceConfig::new(workers).with_queue_capacity(queue))
+        .with_max_connections(max_conns);
+    if let Some(ms) = args.parsed::<u64>("deadline-ms")? {
+        config = config.with_default_deadline(Duration::from_millis(ms));
+    }
+
+    // Live, bounded aggregates answer the STATS command; the optional
+    // JSONL sink streams every raw event to a metrics artifact.
+    let stats = AggregateSink::default();
+    let jsonl = match args.get("metrics-out") {
+        None => None,
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open {path}: {e}"))?;
+            Some(JsonlSink::new(std::io::BufWriter::new(file)))
+        }
+    };
+    let tel = Telemetry::new((stats.clone(), jsonl));
+
+    signals::install();
+    let server = Server::start(addr.as_str(), config, tel)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // Port 0 binds an ephemeral port — print the *resolved* address so
+    // scripts (and the CI smoke test) can discover it.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| format!("cannot flush stdout: {e}"))?;
+    eprintln!(
+        "serve: {workers} workers, queue {queue}, max {max_conns} connections \
+         (SIGINT/SIGTERM or a client SHUTDOWN drains gracefully)"
+    );
+
+    let handle = server.handle();
+    while !handle.is_draining() && !signals::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("serve: draining...");
+    let report = server.shutdown();
+    let count = |label: &str| report.drained.iter().filter(|r| r.outcome.label() == label).count();
+    eprintln!(
+        "serve: drained {} in-flight requests ({} ok, {} deadline_exceeded, {} failed)",
+        report.drained.len(),
+        count("ok"),
+        count("deadline_exceeded"),
+        count("failed"),
+    );
+    eprint!("{}", stats.render());
+    // Dropping the report drops the telemetry pipeline, flushing the
+    // JSONL metrics artifact's buffered tail.
+    drop(report);
+    Ok(())
+}
+
+/// `pslocal client` — a line-oriented helper for talking to a running
+/// `pslocal serve`: sends stdin (or one `--stats` / `--shutdown` /
+/// `--ping` command), half-closes the write side, and streams every
+/// response line to stdout until the server is done.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7171");
+    let payload = if args.flag("stats") {
+        "STATS\n".to_string()
+    } else if args.flag("shutdown") {
+        "SHUTDOWN\n".to_string()
+    } else if args.flag("ping") {
+        "PING\n".to_string()
+    } else {
+        let mut text = read_stdin()?;
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text
+    };
+
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.write_all(payload.as_bytes()).map_err(|e| format!("cannot send to {addr}: {e}"))?;
+    // Half-close: the server sees EOF after our last request but the
+    // read side stays open for every pending response.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| format!("cannot half-close {addr}: {e}"))?;
+    let mut stdout = std::io::stdout();
+    std::io::copy(&mut stream, &mut stdout).map_err(|e| format!("cannot read from {addr}: {e}"))?;
+    stdout.flush().map_err(|e| format!("cannot flush stdout: {e}"))?;
     Ok(())
 }
 
@@ -1334,6 +1417,8 @@ fn dispatch() -> Result<(), String> {
         Some("maxis") => cmd_maxis(&args),
         Some("reduce") => cmd_reduce(&args),
         Some("batch") => cmd_batch(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("client") => cmd_client(&args),
         Some("trace-report") => cmd_trace_report(&args),
         Some("bench-report") => cmd_bench_report(&args),
         Some("checkpoint-inspect") => cmd_checkpoint_inspect(&args),

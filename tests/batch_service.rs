@@ -197,6 +197,45 @@ fn stalled_oracle_exceeds_deadline_without_poisoning_the_workspace() {
     assert_eq!(healthy.outcome, serial_outcome(clean));
 }
 
+#[test]
+fn request_expiring_in_the_queue_drains_as_deadline_exceeded() {
+    // A single busy worker: the first request holds it long enough for
+    // the second request's deadline to expire while it is still
+    // *queued*. The drain must still answer the expired request — with
+    // `deadline_exceeded` at phase 0, since nothing of it ever ran —
+    // rather than hanging or silently dropping it.
+    let service = Service::start(ServiceConfig::new(1), Telemetry::disabled());
+    let spec = Spec { id: "blocker", n: 40, m: 18, k: 3, seed: 31, faults: None };
+    let blocker: BoxedOracle = Box::new(SleepyOracle {
+        inner: PrecisionOracle::new(4.0),
+        sleep: Duration::from_millis(120),
+    });
+    service
+        .submit(ServiceRequest::new(
+            "blocker",
+            instance(&spec),
+            vec![blocker],
+            ResilientConfig::new(spec.k),
+        ))
+        .unwrap();
+    let doomed = &specs()[0];
+    service.submit(request(doomed).with_deadline(Duration::from_millis(10))).unwrap();
+
+    // Shut down without receiving anything: the drain owns both
+    // responses and must deliver both.
+    let report = service.shutdown();
+    assert_eq!(report.drained.len(), 2, "the drain answers every admitted request");
+    let expired =
+        report.drained.iter().find(|r| r.id == doomed.id).expect("queued request is drained");
+    assert_eq!(
+        expired.outcome,
+        RequestOutcome::DeadlineExceeded { phase: 0 },
+        "a request dead on arrival at its worker is answered without running"
+    );
+    let served = report.drained.iter().find(|r| r.id == "blocker").expect("blocker drained");
+    assert!(matches!(served.outcome, RequestOutcome::Ok { .. }), "blocker ran to completion");
+}
+
 // ---------------------------------------------------------------------
 // CLI-level equivalence: the `pslocal batch` subcommand end to end.
 // ---------------------------------------------------------------------
