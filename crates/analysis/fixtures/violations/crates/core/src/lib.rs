@@ -1,0 +1,10 @@
+// Fixture crate root with two seeded violations: the missing
+// `#![forbid(unsafe_code)]` attribute (hygiene) and an undocumented
+// public item (doc-coverage). Never compiled — only lexed by the
+// self-test in `tests/lint.rs`.
+
+pub mod service;
+
+pub fn undocumented_item() -> u32 {
+    41
+}

@@ -1,0 +1,45 @@
+//! Fixture service with one seeded violation per remaining pass:
+//! a lock-order cycle (`forward` takes a then b, `backward` takes b
+//! then a), panic paths (`.lock().unwrap()`), a wire literal outside
+//! `protocol.rs` (codec-drift), a library `println!` (stdout-purity),
+//! and an unjustified `unsafe` block (unsafe-ffi). Never compiled —
+//! only lexed by the self-test in `tests/lint.rs`.
+
+use std::sync::Mutex;
+
+/// Shared state whose two locks get acquired in both orders.
+pub struct Shared {
+    /// First lock.
+    pub a: Mutex<u32>,
+    /// Second lock.
+    pub b: Mutex<u32>,
+}
+
+/// Acquires `a`, then `b` while still holding `a`.
+pub fn forward(s: &Shared) -> u32 {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    *ga + *gb
+}
+
+/// Acquires `b`, then `a` while still holding `b` — the cycle.
+pub fn backward(s: &Shared) -> u32 {
+    let gb = s.b.lock().unwrap();
+    let ga = s.a.lock().unwrap();
+    *ga + *gb
+}
+
+/// Spells a wire literal outside the codec home.
+pub fn label() -> &'static str {
+    "deadline_exceeded"
+}
+
+/// Prints from library code.
+pub fn print_stats() {
+    println!("stats");
+}
+
+/// Dereferences a raw pointer without a justification comment.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,463 @@
+//! A lightweight Rust lexer: just enough token structure for lint
+//! passes to reason about code without a full parser.
+//!
+//! The lexer is **comment- and string-aware** — the two things naive
+//! `grep`-style linting gets wrong. `unwrap` inside a doc example or a
+//! format string is not a call; a `"deadline_exceeded"` inside a
+//! comment is not codec drift. Everything else (expressions, items,
+//! generics) stays a flat token stream: passes match small token
+//! patterns (`. unwrap ( )`, `# ! [ forbid ( unsafe_code ) ]`) instead
+//! of walking an AST, which keeps the engine dependency-free and the
+//! failure modes enumerable.
+//!
+//! Handled faithfully:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * cooked strings with escapes, raw strings with any `#` arity
+//!   (`r"…"`, `r#"…"#`, `br##"…"##`), byte strings, char literals;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity;
+//! * raw identifiers (`r#type`);
+//! * line numbers on every token (1-based, for findings).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (including `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal, suffix included (`0xC0FFEE`, `1_000u64`, `0.5`).
+    Number,
+    /// String literal of any flavor; [`Token::text`] keeps the quotes,
+    /// [`str_content`] recovers the unescaped payload.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `//`-style comment, terminator excluded.
+    LineComment,
+    /// `/* … */` comment, nesting folded into one token.
+    BlockComment,
+    /// Any other single character (`.`, `!`, `[`, `::` is two tokens).
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line of its
+/// first character.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source slice.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's single punctuation character, if it is one.
+    pub fn punct(&self) -> Option<char> {
+        match self.kind {
+            TokenKind::Punct => self.text.chars().next(),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// The unescaped payload of a [`TokenKind::Str`] token: quotes and raw
+/// markers stripped, cooked escapes decoded. Returns `None` for
+/// non-string tokens.
+pub fn str_content(token: &Token) -> Option<String> {
+    if token.kind != TokenKind::Str {
+        return None;
+    }
+    let t = token.text.as_str();
+    let t = t.strip_prefix('b').unwrap_or(t);
+    if let Some(raw) = t.strip_prefix('r') {
+        let hashes = raw.chars().take_while(|&c| c == '#').count();
+        let body = &raw[hashes..];
+        let body = body.strip_prefix('"')?;
+        let body = body.strip_suffix(&("\"".to_string() + &"#".repeat(hashes)))?;
+        return Some(body.to_string());
+    }
+    let body = t.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            // `\u{..}`, `\x..` and friends: the passes only compare
+            // against plain-ASCII wire literals, so a lossy passthrough
+            // of the escape body is sufficient and keeps this tiny.
+            Some(other) => out.push(other),
+            None => break,
+        }
+    }
+    Some(out)
+}
+
+/// Lexes `source` into tokens. Never fails: malformed input (an
+/// unterminated string, a stray byte) degrades into `Punct`/truncated
+/// tokens instead of an error, so the linter can still report on a
+/// file that `rustc` would reject.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.cooked_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.quote(start, line),
+                b'r' | b'b' if self.raw_or_byte_literal(start, line) => {}
+                c if c == b'_' || c.is_ascii_alphabetic() => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    // Multi-byte UTF-8 (in identifiers we don't emit, or
+                    // stray symbols) advances past the whole character.
+                    let mut end = self.pos + 1;
+                    while end < self.src.len() && (self.src[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    self.pos = end;
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn bump_line_feeds(&mut self, from: usize, to: usize) {
+        self.line += self.src[from..to].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.bump_line_feeds(start, self.pos);
+    }
+
+    fn cooked_string(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.src.len());
+        self.bump_line_feeds(start, self.pos);
+    }
+
+    fn raw_string(&mut self) {
+        // At `r`; consume r, hashes, quote, body up to `"###…` match.
+        let start = self.pos;
+        self.pos += 1;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let closer: Vec<u8> =
+            std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' && self.src[self.pos..].starts_with(&closer) {
+                self.pos += closer.len();
+                break;
+            }
+            self.pos += 1;
+        }
+        self.bump_line_feeds(start, self.pos);
+    }
+
+    /// Handles the `r` / `b` prefixes: raw strings, byte strings, raw
+    /// identifiers, byte chars — or plain identifiers starting with
+    /// r/b. Returns whether it consumed anything.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let c = self.src[self.pos];
+        let next = self.peek(1);
+        match (c, next) {
+            // r"…" or r#"…"# (any # arity) — a raw string.
+            (b'r', Some(b'"')) => {
+                self.raw_string();
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            (b'r', Some(b'#')) => {
+                // r#"…"# raw string vs r#ident raw identifier.
+                let mut i = self.pos + 1;
+                while self.src.get(i) == Some(&b'#') {
+                    i += 1;
+                }
+                if self.src.get(i) == Some(&b'"') {
+                    self.raw_string();
+                    self.push(TokenKind::Str, start, line);
+                } else {
+                    self.pos += 2; // r#
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                true
+            }
+            // b"…", br"…", br#"…"#, b'…'
+            (b'b', Some(b'"')) => {
+                self.pos += 1;
+                self.cooked_string();
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            (b'b', Some(b'r')) if matches!(self.peek(2), Some(b'"') | Some(b'#')) => {
+                self.pos += 1;
+                self.raw_string();
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            (b'b', Some(b'\'')) => {
+                self.pos += 1;
+                self.char_literal();
+                self.push(TokenKind::Char, start, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn ident(&mut self) {
+        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80) {
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self) {
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn char_literal(&mut self) {
+        // At the opening `'` of a definite char literal.
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2;
+        } else {
+            // One UTF-8 character.
+            self.pos += 1;
+            while self.pos < self.src.len() && (self.src[self.pos] & 0xC0) == 0x80 {
+                self.pos += 1;
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
+    fn quote(&mut self, start: usize, line: u32) {
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_lifetime = match (one, two) {
+            // '\n' and friends are chars; '' is malformed.
+            (Some(b'\\'), _) | (Some(b'\''), _) | (None, _) => false,
+            // 'x' — a char; 'xy / 'x( — a lifetime.
+            (Some(c), Some(b'\'')) if c != b'\'' => false,
+            (Some(c), _) => c == b'_' || c.is_ascii_alphabetic(),
+        };
+        if is_lifetime {
+            self.pos += 1;
+            self.ident();
+            self.push(TokenKind::Lifetime, start, line);
+        } else {
+            self.char_literal();
+            self.push(TokenKind::Char, start, line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_and_puncts() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Number, "42".into()),
+                (TokenKind::Punct, "+".into()),
+                (TokenKind::Ident, "y_2".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn cooked_strings_swallow_escapes_and_embedded_code() {
+        let toks = kinds(r#"let s = "x.unwrap() \" // not a comment";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        let tok = lex(r#""a\"b\n""#).remove(0);
+        assert_eq!(str_content(&tok).unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn raw_strings_with_hash_arity_and_byte_strings() {
+        let toks = lex(r###"let a = r#"panic!("inside")"#; let b = br##"x"##;"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(str_content(strs[0]).unwrap(), r#"panic!("inside")"#);
+        assert_eq!(str_content(strs[1]).unwrap(), "x");
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn nested_block_comments_fold_into_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments() {
+        let toks = lex("x // trailing ///\n/// doc\n//! inner\ny");
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::LineComment).collect();
+        assert_eq!(comments.len(), 3);
+        assert_eq!(comments[1].text, "/// doc");
+        assert_eq!(comments[2].text, "//! inner");
+        assert_eq!(toks.last().unwrap().line, 4);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'x'");
+    }
+
+    #[test]
+    fn attributes_stay_matchable_token_sequences() {
+        let toks = lex("#![forbid(unsafe_code)]\n#[cfg(test)]\nmod t {}");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(&texts[..8], &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]);
+        assert!(texts.windows(4).any(|w| w == ["cfg", "(", "test", ")"]));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#type = r#try;");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Str));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let toks = lex("a\n/* 1\n2\n3 */\nb\n\"x\ny\"\nc");
+        let find = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 5);
+        assert_eq!(find("c"), 8);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Str);
+    }
+}

@@ -1,0 +1,228 @@
+//! Workspace-specific static analysis for the pslocal reproduction.
+//!
+//! The serving layers carry invariants `cargo test` cannot see: lock
+//! acquisition order across threads, stdout byte-purity, no panic
+//! paths in library code, one home for wire-protocol literals. This
+//! crate lexes the workspace's own sources (a hand-rolled,
+//! comment/string-aware lexer — no `syn`, no dependencies) and runs a
+//! pluggable set of lint passes over the token streams, surfaced as
+//! `pslocal lint` and gated in CI.
+//!
+//! # Passes
+//!
+//! | lint            | rule                                                   |
+//! |-----------------|--------------------------------------------------------|
+//! | `lock-order`    | static lock graph of the concurrency files is acyclic  |
+//! | `panic-path`    | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | `stdout-purity` | library crates never `print!`/`println!`               |
+//! | `codec-drift`   | wire literals only in `crates/core/src/protocol.rs`    |
+//! | `hygiene`       | crate roots carry `#![forbid(unsafe_code)]`            |
+//! | `unsafe-ffi`    | every `unsafe` is individually justified               |
+//! | `doc-coverage`  | `pub` items of `pslocal-core` are documented           |
+//!
+//! # Suppressions
+//!
+//! A finding can be waived inline — on its own line or the line above:
+//!
+//! ```text
+//! // pslocal: allow(panic-path, "lock poisoning is fatal by design here")
+//! ```
+//!
+//! The justification string is mandatory (`bad-allow` otherwise), and
+//! an allow that suppresses nothing is itself a finding
+//! (`unused-allow`), so waivers cannot rot in place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod source;
+
+use std::collections::HashMap;
+use std::path::Path;
+
+pub use passes::lock_order::{LockOrderReport, SINK_NODE};
+pub use report::{render_json, render_text, sort_findings, Finding};
+pub use source::{FileClass, SourceFile, Workspace};
+
+/// Lint names an `allow(...)` may reference.
+pub const LINTS: &[&str] = &[
+    "codec-drift",
+    "doc-coverage",
+    "hygiene",
+    "lock-order",
+    "panic-path",
+    "stdout-purity",
+    "unsafe-ffi",
+];
+
+/// Result of [`analyze`]: the surviving findings plus the lock-order
+/// report and scan statistics.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings after suppression, in (file, line, lint) order.
+    pub findings: Vec<Finding>,
+    /// The lock-order audit's full output.
+    pub lock_report: LockOrderReport,
+    /// Files lexed and linted.
+    pub files_scanned: usize,
+    /// Findings waived by justified `allow(...)` comments.
+    pub suppressed: usize,
+}
+
+/// Loads the workspace at `root`, runs every pass, and applies
+/// suppressions.
+///
+/// # Errors
+///
+/// Any I/O error from walking or reading the tree.
+pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
+    let ws = Workspace::load(root)?;
+    let mut findings = ws.load_findings.clone();
+    findings.extend(passes::panic_path::run(&ws));
+    findings.extend(passes::stdout_purity::run(&ws));
+    findings.extend(passes::codec_drift::run(&ws));
+    findings.extend(passes::hygiene::run(&ws));
+    let (lock_findings, lock_report) = passes::lock_order::run(&ws);
+    findings.extend(lock_findings);
+    let (mut findings, suppressed) = apply_allows(&ws, findings);
+    sort_findings(&mut findings);
+    Ok(Analysis { findings, lock_report, files_scanned: ws.files.len(), suppressed })
+}
+
+/// Drops findings covered by a justified allow on the same line or
+/// the line above; reports unknown-lint allows as `bad-allow` and
+/// never-matching allows as `unused-allow`.
+fn apply_allows(ws: &Workspace, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+    // (file, allow index) → used?
+    let mut used: HashMap<(usize, usize), bool> = HashMap::new();
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    let file_idx: HashMap<&str, usize> =
+        ws.files.iter().enumerate().map(|(i, f)| (f.rel.as_str(), i)).collect();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (ai, allow) in f.allows.iter().enumerate() {
+            used.insert((fi, ai), false);
+            if !LINTS.contains(&allow.lint.as_str()) {
+                out.push(Finding {
+                    lint: "bad-allow",
+                    file: f.rel.clone(),
+                    line: allow.line,
+                    message: format!("allow() names unknown lint `{}`", allow.lint),
+                    hint: format!("known lints: {}", LINTS.join(", ")),
+                });
+                used.insert((fi, ai), true); // already reported; not also "unused"
+            }
+        }
+    }
+    for finding in findings {
+        let waivable = LINTS.contains(&finding.lint);
+        let covering = file_idx.get(finding.file.as_str()).and_then(|&fi| {
+            ws.files[fi]
+                .allows
+                .iter()
+                .enumerate()
+                .find(|(_, a)| {
+                    a.lint == finding.lint
+                        && LINTS.contains(&a.lint.as_str())
+                        && a.covers(finding.line)
+                })
+                .map(|(ai, _)| (fi, ai))
+        });
+        match covering {
+            Some(key) if waivable => {
+                used.insert(key, true);
+                suppressed += 1;
+            }
+            _ => out.push(finding),
+        }
+    }
+    for ((fi, ai), was_used) in used {
+        if !was_used {
+            let f = &ws.files[fi];
+            let a = &f.allows[ai];
+            out.push(Finding {
+                lint: "unused-allow",
+                file: f.rel.clone(),
+                line: a.line,
+                message: format!("allow({}) suppresses nothing", a.lint),
+                hint: "delete the stale waiver (or move it next to the finding it \
+                       was written for)"
+                    .to_string(),
+            });
+        }
+    }
+    (out, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileClass;
+    use std::path::PathBuf;
+
+    fn ws_of(files: Vec<SourceFile>) -> Workspace {
+        Workspace { root: PathBuf::from("."), files, load_findings: Vec::new() }
+    }
+
+    fn lib(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, FileClass::Library { krate: "pslocal-core".to_string() }, src).0
+    }
+
+    fn run_all(ws: &Workspace) -> (Vec<Finding>, usize) {
+        let mut findings = ws.load_findings.clone();
+        findings.extend(passes::panic_path::run(ws));
+        findings.extend(passes::stdout_purity::run(ws));
+        let (f, s) = apply_allows(ws, findings);
+        (f, s)
+    }
+
+    #[test]
+    fn justified_allow_suppresses_same_line_and_next_line() {
+        let src = "\
+fn f() {
+    // pslocal: allow(panic-path, \"worker panic is a bug; propagate\")
+    x.unwrap();
+    y.unwrap(); // pslocal: allow(panic-path, \"same-line waiver\")
+    z.unwrap();
+}
+";
+        let ws = ws_of(vec![lib("crates/core/src/x.rs", src)]);
+        let (findings, suppressed) = run_all(&ws);
+        assert_eq!(suppressed, 2);
+        let panics: Vec<_> = findings.iter().filter(|f| f.lint == "panic-path").collect();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].line, 5);
+    }
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let src = "// pslocal: allow(stdout-purity, \"nothing here prints\")\nfn f() {}\n";
+        let ws = ws_of(vec![lib("crates/core/src/x.rs", src)]);
+        let (findings, suppressed) = run_all(&ws);
+        assert_eq!(suppressed, 0);
+        assert!(findings.iter().any(|f| f.lint == "unused-allow"));
+    }
+
+    #[test]
+    fn unknown_lint_allow_is_bad_allow_not_unused() {
+        let src = "// pslocal: allow(no-such-lint, \"why\")\nfn f() {}\n";
+        let ws = ws_of(vec![lib("crates/core/src/x.rs", src)]);
+        let (findings, _) = run_all(&ws);
+        assert_eq!(findings.iter().filter(|f| f.lint == "bad-allow").count(), 1);
+        assert!(findings.iter().all(|f| f.lint != "unused-allow"));
+    }
+
+    #[test]
+    fn allow_of_wrong_lint_does_not_suppress() {
+        let src =
+            "fn f() {\n    // pslocal: allow(stdout-purity, \"mismatched\")\n    x.unwrap();\n}\n";
+        let ws = ws_of(vec![lib("crates/core/src/x.rs", src)]);
+        let (findings, suppressed) = run_all(&ws);
+        assert_eq!(suppressed, 0);
+        assert!(findings.iter().any(|f| f.lint == "panic-path"));
+        assert!(findings.iter().any(|f| f.lint == "unused-allow"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Pass: wire-protocol literals live in `protocol.rs` and nowhere
+//! else.
+//!
+//! The JSONL schema's outcome labels (`"ok"`, `"rejected"`,
+//! `"deadline_exceeded"`, …) are a wire contract shared by `pslocal
+//! batch`, the TCP server, and every client that diffs their output.
+//! Re-typing one of these strings at a call site is how codecs drift:
+//! the copy compiles, ships, and disagrees the first time the
+//! canonical spelling changes. Outside
+//! `crates/core/src/protocol.rs`, code must use the `OUTCOME_*`
+//! constants `protocol.rs` exports.
+
+use super::code_indices;
+use crate::lexer::{str_content, TokenKind};
+use crate::report::Finding;
+use crate::source::{FileClass, Workspace};
+
+/// The single file allowed to spell wire literals out.
+const CODEC_HOME: &str = "crates/core/src/protocol.rs";
+
+/// The outcome labels of the JSONL response schema.
+pub const WIRE_LITERALS: &[&str] =
+    &["ok", "rejected", "deadline_exceeded", "failed", "overloaded", "bad_request"];
+
+/// Runs the pass over library and binary files (tests may spell
+/// literals out — they *should* pin the wire format independently).
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if matches!(f.class, FileClass::TestDir) || f.rel == CODEC_HOME {
+            continue;
+        }
+        let code = code_indices(f);
+        for &i in &code {
+            if f.test_mask[i] || f.tokens[i].kind != TokenKind::Str {
+                continue;
+            }
+            let Some(content) = str_content(&f.tokens[i]) else { continue };
+            if WIRE_LITERALS.contains(&content.as_str()) {
+                out.push(Finding {
+                    lint: "codec-drift",
+                    file: f.rel.clone(),
+                    line: f.tokens[i].line,
+                    message: format!("wire literal \"{content}\" outside {CODEC_HOME}"),
+                    hint: format!(
+                        "use `protocol::OUTCOME_{}` so the spelling has one home",
+                        content.to_uppercase()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+    use std::path::PathBuf;
+
+    fn ws(rel: &str, class: FileClass, src: &str) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::parse(rel, class, src).0],
+            load_findings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn flags_wire_literals_outside_protocol() {
+        let src = "fn f() -> &'static str { \"deadline_exceeded\" }\n";
+        let lib = FileClass::Library { krate: "pslocal-core".to_string() };
+        let found = run(&ws("crates/core/src/service.rs", lib, src));
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("deadline_exceeded"));
+        assert!(found[0].hint.contains("OUTCOME_DEADLINE_EXCEEDED"));
+    }
+
+    #[test]
+    fn protocol_rs_binaries_and_tests_have_their_own_rules() {
+        let src = "fn f() { let a = \"ok\"; let b = \"rejected\"; }\n";
+        let lib = FileClass::Library { krate: "pslocal-core".to_string() };
+        assert!(run(&ws("crates/core/src/protocol.rs", lib, src)).is_empty());
+        assert!(run(&ws("tests/server.rs", FileClass::TestDir, src)).is_empty());
+        // Binaries are NOT exempt: the CLI must use the constants too.
+        assert_eq!(run(&ws("src/bin/pslocal.rs", FileClass::Binary, src)).len(), 2);
+    }
+
+    #[test]
+    fn non_wire_strings_pass() {
+        let src = "fn f() { let a = \"okay\"; let b = \"requests_failed\"; }\n";
+        let lib = FileClass::Library { krate: "pslocal-core".to_string() };
+        assert!(run(&ws("crates/core/src/service.rs", lib, src)).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Pass: crate-level hygiene — `#![forbid(unsafe_code)]` everywhere,
+//! justified `unsafe` only, and doc coverage on `pslocal-core`'s
+//! public surface.
+//!
+//! Three checks:
+//!
+//! * **forbid-unsafe**: every crate root (`src/lib.rs`) must carry
+//!   `#![forbid(unsafe_code)]` — the workspace's standing rule.
+//! * **unsafe-ffi**: any `unsafe` token (library *or* binary) is a
+//!   finding unless justified with
+//!   `// pslocal: allow(unsafe-ffi, "...")`. Today the one sanctioned
+//!   site is the CLI's signal-handler FFI.
+//! * **doc-coverage**: `pub` items of `pslocal-core` (the API other
+//!   layers build on) need a `///` doc comment. `pub use` re-exports
+//!   and `pub mod` declarations are exempt — their targets carry the
+//!   docs.
+
+use super::code_indices;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::{FileClass, SourceFile, Workspace};
+
+/// Item keywords a documented `pub` can introduce.
+const ITEM_KEYWORDS: &[&str] =
+    &["fn", "struct", "enum", "trait", "const", "static", "type", "union"];
+
+/// Runs the pass over every non-test file.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if matches!(f.class, FileClass::TestDir) {
+            continue;
+        }
+        let code = code_indices(f);
+        if f.is_crate_root() && !has_forbid_unsafe(f, &code) {
+            out.push(Finding {
+                lint: "hygiene",
+                file: f.rel.clone(),
+                line: 1,
+                message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+                hint: "add `#![forbid(unsafe_code)]` next to the other crate attributes"
+                    .to_string(),
+            });
+        }
+        for &i in &code {
+            if !f.test_mask[i] && f.tokens[i].is_ident("unsafe") {
+                out.push(Finding {
+                    lint: "unsafe-ffi",
+                    file: f.rel.clone(),
+                    line: f.tokens[i].line,
+                    message: "`unsafe` block or function".to_string(),
+                    hint: "remove it, or justify with \
+                           `// pslocal: allow(unsafe-ffi, \"...\")`"
+                        .to_string(),
+                });
+            }
+        }
+        if matches!(&f.class, FileClass::Library { krate } if krate == "pslocal-core") {
+            doc_coverage(f, &code, &mut out);
+        }
+    }
+    out
+}
+
+/// Whether the file carries the inner attribute
+/// `#![forbid(unsafe_code)]` (token-sequence match, so a commented-out
+/// copy does not count).
+fn has_forbid_unsafe(f: &SourceFile, code: &[usize]) -> bool {
+    code.windows(8).any(|w| {
+        let t = |k: usize| &f.tokens[w[k]];
+        t(0).is_punct('#')
+            && t(1).is_punct('!')
+            && t(2).is_punct('[')
+            && t(3).is_ident("forbid")
+            && t(4).is_punct('(')
+            && t(5).is_ident("unsafe_code")
+            && t(6).is_punct(')')
+            && t(7).is_punct(']')
+    })
+}
+
+/// Flags undocumented `pub` items.
+fn doc_coverage(f: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
+    for (ci, &i) in code.iter().enumerate() {
+        if f.test_mask[i] || !f.tokens[i].is_ident("pub") {
+            continue;
+        }
+        // Skip a restriction: `pub(crate)` / `pub(in path)` items are
+        // not public API.
+        let mut k = ci + 1;
+        if code.get(k).is_some_and(|&j| f.tokens[j].is_punct('(')) {
+            continue;
+        }
+        let Some(&kw_idx) = code.get(k) else { continue };
+        let kw = &f.tokens[kw_idx];
+        if !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            continue; // fields, `pub use`, `pub mod`, macros
+        }
+        k += 1;
+        let name =
+            code.get(k).map(|&j| f.tokens[j].text.clone()).unwrap_or_else(|| "?".to_string());
+        if !documented(f, i) {
+            out.push(Finding {
+                lint: "doc-coverage",
+                file: f.rel.clone(),
+                line: f.tokens[i].line,
+                message: format!("undocumented `pub {} {name}`", kw.text),
+                hint: "add a `///` doc comment — pslocal-core is the API surface the \
+                       other layers build on"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether the item whose first token (e.g. `pub`) sits at raw index
+/// `start` has a doc comment above it, scanning back over attributes
+/// and ordinary comments.
+fn documented(f: &SourceFile, start: usize) -> bool {
+    let mut j = start;
+    while j > 0 {
+        j -= 1;
+        let t = &f.tokens[j];
+        match t.kind {
+            TokenKind::LineComment => {
+                if t.text.starts_with("///") {
+                    return true;
+                }
+                // A plain `//` comment between docs and item is fine.
+            }
+            TokenKind::BlockComment => {
+                if t.text.starts_with("/**") {
+                    return true;
+                }
+            }
+            TokenKind::Punct if t.text == "]" => {
+                // Skip one attribute backwards: `]` … matching `[`,
+                // then its `#`.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match f.tokens[j].punct() {
+                        Some('[') => depth -= 1,
+                        Some(']') => depth += 1,
+                        _ => {}
+                    }
+                }
+                if j > 0 && f.tokens[j - 1].is_punct('#') {
+                    j -= 1;
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+    use std::path::PathBuf;
+
+    fn ws(rel: &str, krate: &str, src: &str) -> Workspace {
+        let class = FileClass::Library { krate: krate.to_string() };
+        Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::parse(rel, class, src).0],
+            load_findings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_flagged_at_crate_roots_only() {
+        let src = "//! docs\npub fn f() {}\n";
+        let root = run(&ws("crates/core/src/lib.rs", "pslocal-core", src));
+        assert!(root.iter().any(|f| f.lint == "hygiene"));
+        let module = run(&ws("crates/core/src/graph.rs", "pslocal-core", src));
+        assert!(module.iter().all(|f| f.lint != "hygiene"));
+    }
+
+    #[test]
+    fn forbid_unsafe_attribute_satisfies_the_check() {
+        let src = "#![forbid(unsafe_code)]\n/// doc\npub fn f() {}\n";
+        let found = run(&ws("crates/core/src/lib.rs", "pslocal-core", src));
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn unsafe_tokens_are_flagged() {
+        let src = "fn f() { unsafe { ffi(); } }\n";
+        let found = run(&ws("crates/x/src/m.rs", "pslocal-x", src));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lint, "unsafe-ffi");
+    }
+
+    #[test]
+    fn doc_coverage_applies_to_core_pub_items() {
+        let src = "/// documented\npub fn a() {}\n#[derive(Debug)]\n/// above attrs\npub struct B;\npub fn c() {}\npub(crate) fn d() {}\npub use other::Thing;\n";
+        let core = run(&ws("crates/core/src/m.rs", "pslocal-core", src));
+        let undocumented: Vec<_> = core.iter().filter(|f| f.lint == "doc-coverage").collect();
+        assert_eq!(undocumented.len(), 1, "{core:?}");
+        assert!(undocumented[0].message.contains("pub fn c"));
+        // Other crates are not held to core's doc bar.
+        let other = run(&ws("crates/x/src/m.rs", "pslocal-x", src));
+        assert!(other.iter().all(|f| f.lint != "doc-coverage"));
+    }
+
+    #[test]
+    fn doc_comment_before_attributes_counts() {
+        let src = "/// doc\n#[derive(Debug, Clone)]\n#[repr(C)]\npub struct S;\n";
+        let found = run(&ws("crates/core/src/m.rs", "pslocal-core", src));
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

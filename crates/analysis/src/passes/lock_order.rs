@@ -1,0 +1,834 @@
+//! Pass: static lock-order audit over the concurrency files.
+//!
+//! The worker pool (`service.rs`), the TCP front end (`server.rs`) and
+//! the live-stats sink (`aggregate.rs`) together hold every
+//! `Mutex`/`Condvar` in the workspace. A deadlock needs two threads
+//! acquiring two of those locks in opposite orders — a property no
+//! test reliably exercises, but one a static over-approximation can
+//! audit: if the *acquired-while-holding* graph is acyclic, no
+//! lock-order deadlock exists.
+//!
+//! The audit:
+//!
+//! 1. **inventories** every `Mutex`/`Condvar` declaration (struct
+//!    fields and `&Mutex<_>` parameters) in the audited files;
+//! 2. **simulates guard lifetimes** per function over the token
+//!    stream: a `let`-bound guard lives to the end of its block (or an
+//!    explicit `drop(guard)`), a guard temporary (`x.lock()?.field`,
+//!    chained calls) lives to the end of its statement — the same
+//!    rules `rustc` uses, conservatively approximated;
+//! 3. records an edge `held → acquired` for every acquisition under a
+//!    live guard, treats telemetry calls (`tel.add(…)`,
+//!    `telemetry().sample(…)`, `span!(tel, …)`) as acquisitions of the
+//!    pseudo-lock [`SINK_NODE`] (they take the sink's internal mutexes
+//!    on the caller's thread), and records `Condvar::wait` as a
+//!    *wait-association* rather than an order edge;
+//! 4. reports cycles as `lock-order` findings, flags waits that hold a
+//!    second guard, and emits the canonical acquisition order
+//!    (topological, alphabetical tie-break) that ARCHITECTURE.md
+//!    publishes.
+//!
+//! Acquisitions are recognized in both spellings: `x.lock()` chains
+//! and the workspace's poisoned-lock-recovery helpers
+//! (`lock_unpoisoned(&x)`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use super::code_indices;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::{SourceFile, Workspace};
+
+/// The files whose locks the audit covers — the workspace's entire
+/// concurrency surface.
+pub const AUDITED: &[&str] = &[
+    "crates/core/src/server.rs",
+    "crates/core/src/service.rs",
+    "crates/telemetry/src/aggregate.rs",
+];
+
+/// Pseudo-lock standing for the telemetry sink's internal mutexes: a
+/// `tel.add(…)` on the caller's thread runs `Sink::record`, which
+/// takes the `AggregateSink` locks.
+pub const SINK_NODE: &str = "telemetry-sink";
+
+/// What a declared synchronization primitive is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex<_>` (possibly behind `Arc`/`&`).
+    Mutex,
+    /// `Condvar`.
+    Condvar,
+}
+
+/// One inventoried declaration.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Field/parameter name — the audit's node identity.
+    pub name: String,
+    /// Mutex or condvar.
+    pub kind: LockKind,
+    /// Declaring file.
+    pub file: String,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// One `held → acquired` edge, with the acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock acquired under it.
+    pub to: String,
+    /// Acquisition file.
+    pub file: String,
+    /// Acquisition line.
+    pub line: u32,
+}
+
+/// A `Condvar::wait(guard)` pairing.
+#[derive(Debug, Clone)]
+pub struct WaitAssoc {
+    /// The condvar waited on.
+    pub condvar: String,
+    /// The mutex whose guard is released for the wait.
+    pub mutex: String,
+    /// Wait site file.
+    pub file: String,
+    /// Wait site line.
+    pub line: u32,
+}
+
+/// Everything the audit learned — rendered into ARCHITECTURE.md and
+/// `pslocal lint --lock-order`.
+#[derive(Debug)]
+pub struct LockOrderReport {
+    /// Inventoried declarations, name-sorted.
+    pub locks: Vec<LockDecl>,
+    /// Deduplicated acquisition edges.
+    pub edges: Vec<LockEdge>,
+    /// Condvar wait associations.
+    pub waits: Vec<WaitAssoc>,
+    /// Lock-order cycles (each a node sequence; empty = acyclic).
+    pub cycles: Vec<Vec<String>>,
+    /// Canonical acquisition order over the mutex nodes (topological,
+    /// alphabetical tie-break). Meaningful only when `cycles` is
+    /// empty.
+    pub canonical: Vec<String>,
+}
+
+impl LockOrderReport {
+    /// Plain-text rendering — the payload ARCHITECTURE.md quotes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Lock inventory ({} declarations):", self.locks.len());
+        for l in &self.locks {
+            let kind = match l.kind {
+                LockKind::Mutex => "mutex  ",
+                LockKind::Condvar => "condvar",
+            };
+            let _ = writeln!(out, "  {kind} {:<16} {}:{}", l.name, l.file, l.line);
+        }
+        let _ = writeln!(out, "Acquisition edges (held -> acquired):");
+        if self.edges.is_empty() {
+            let _ = writeln!(out, "  (none — no lock is ever taken while holding another)");
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  {} -> {}  {}:{}", e.from, e.to, e.file, e.line);
+        }
+        let _ = writeln!(out, "Condvar wait associations:");
+        if self.waits.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for w in &self.waits {
+            let _ = writeln!(out, "  {} waits with {}  {}:{}", w.condvar, w.mutex, w.file, w.line);
+        }
+        if self.cycles.is_empty() {
+            let _ = writeln!(out, "Cycles: none (graph is acyclic)");
+            let _ = writeln!(out, "Canonical acquisition order:");
+            for (i, name) in self.canonical.iter().enumerate() {
+                let _ = writeln!(out, "  {}. {name}", i + 1);
+            }
+        } else {
+            for c in &self.cycles {
+                let _ = writeln!(out, "CYCLE: {}", c.join(" -> "));
+            }
+        }
+        out
+    }
+}
+
+/// Runs the audit; returns findings (cycles, waits holding extra
+/// guards) plus the full report.
+pub fn run(ws: &Workspace) -> (Vec<Finding>, LockOrderReport) {
+    let files: Vec<&SourceFile> =
+        ws.files.iter().filter(|f| AUDITED.contains(&f.rel.as_str())).collect();
+    let decls = inventory(&files);
+    let mut findings = Vec::new();
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    let mut waits: Vec<WaitAssoc> = Vec::new();
+
+    // The sink pseudo-lock expands to every mutex declared in the
+    // aggregation file: callers acquire them through the telemetry
+    // API, never directly.
+    for (name, d) in &decls {
+        if d.kind == LockKind::Mutex && d.file.ends_with("aggregate.rs") {
+            edges.insert((SINK_NODE.to_string(), name.clone()), (d.file.clone(), d.line));
+        }
+    }
+
+    for f in &files {
+        simulate_file(f, &decls, &mut edges, &mut waits, &mut findings);
+    }
+
+    let edges: Vec<LockEdge> = edges
+        .into_iter()
+        .map(|((from, to), (file, line))| LockEdge { from, to, file, line })
+        .collect();
+    let cycles = find_cycles(&edges);
+    for cycle in &cycles {
+        let joined = cycle.join(" -> ");
+        let site = edges
+            .iter()
+            .find(|e| cycle.contains(&e.from) && cycle.contains(&e.to))
+            .map(|e| (e.file.clone(), e.line))
+            .unwrap_or_else(|| ("<synthetic>".to_string(), 0));
+        findings.push(Finding {
+            lint: "lock-order",
+            file: site.0,
+            line: site.1,
+            message: format!("potential deadlock: lock-order cycle {joined}"),
+            hint: "pick one acquisition order for these locks and restructure the \
+                   offending function to follow it (see ARCHITECTURE.md \
+                   \"Canonical lock order\")"
+                .to_string(),
+        });
+    }
+    let canonical = canonical_order(&decls, &edges);
+    let locks = decls.into_values().collect();
+    let report = LockOrderReport { locks, edges, waits, cycles, canonical };
+    (findings, report)
+}
+
+/// Finds `name: Mutex<…>` / `name: Arc<Mutex<…>>` / `name: &Mutex<…>`
+/// and `name: Condvar` declarations.
+fn inventory(files: &[&SourceFile]) -> BTreeMap<String, LockDecl> {
+    let mut decls = BTreeMap::new();
+    for f in files {
+        let code = code_indices(f);
+        for (ci, &i) in code.iter().enumerate() {
+            if f.test_mask[i] || f.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            // `name :` not followed by another `:` (that would be a
+            // `path::segment`).
+            if !code.get(ci + 1).is_some_and(|&j| f.tokens[j].is_punct(':'))
+                || code.get(ci + 2).is_some_and(|&j| f.tokens[j].is_punct(':'))
+            {
+                continue;
+            }
+            // Skip wrappers between the `:` and the primitive type.
+            let mut k = ci + 2;
+            while code.get(k).is_some_and(|&j| {
+                let t = &f.tokens[j];
+                t.is_punct('&')
+                    || t.is_punct('<')
+                    || t.is_ident("mut")
+                    || t.is_ident("Arc")
+                    || t.kind == TokenKind::Lifetime
+            }) {
+                k += 1;
+            }
+            let Some(&j) = code.get(k) else { continue };
+            let kind = if f.tokens[j].is_ident("Mutex")
+                && code.get(k + 1).is_some_and(|&n| f.tokens[n].is_punct('<'))
+            {
+                LockKind::Mutex
+            } else if f.tokens[j].is_ident("Condvar") {
+                LockKind::Condvar
+            } else {
+                continue;
+            };
+            let name = f.tokens[i].text.clone();
+            decls.entry(name.clone()).or_insert(LockDecl {
+                name,
+                kind,
+                file: f.rel.clone(),
+                line: f.tokens[i].line,
+            });
+        }
+    }
+    decls
+}
+
+/// A live guard during simulation.
+struct Guard {
+    lock: String,
+    bound: Option<String>,
+    depth: usize,
+    temp: bool,
+}
+
+/// Walks every non-test `fn` body in the file.
+fn simulate_file(
+    f: &SourceFile,
+    decls: &BTreeMap<String, LockDecl>,
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+    waits: &mut Vec<WaitAssoc>,
+    findings: &mut Vec<Finding>,
+) {
+    let code = code_indices(f);
+    let mut ci = 0;
+    while ci < code.len() {
+        let i = code[ci];
+        let is_fn = !f.test_mask[i]
+            && f.tokens[i].is_ident("fn")
+            && code.get(ci + 1).is_some_and(|&j| f.tokens[j].kind == TokenKind::Ident);
+        if !is_fn {
+            ci += 1;
+            continue;
+        }
+        // Find the body's `{` (or `;` for a trait method signature).
+        let mut k = ci + 2;
+        let mut open = None;
+        while let Some(&j) = code.get(k) {
+            match f.tokens[j].punct() {
+                Some('{') => {
+                    open = Some(k);
+                    break;
+                }
+                Some(';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            ci = k + 1;
+            continue;
+        };
+        let close = matching_brace(f, &code, open);
+        simulate_body(f, &code[open..=close], decls, edges, waits, findings);
+        ci = close + 1;
+    }
+}
+
+/// Code index of the `}` matching the `{` at code index `open`.
+fn matching_brace(f: &SourceFile, code: &[usize], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while let Some(&j) = code.get(k) {
+        match f.tokens[j].punct() {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    code.len() - 1
+}
+
+/// Simulates one function body (`body` is the code-index slice from
+/// its `{` to its `}` inclusive).
+fn simulate_body(
+    f: &SourceFile,
+    body: &[usize],
+    decls: &BTreeMap<String, LockDecl>,
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+    waits: &mut Vec<WaitAssoc>,
+    findings: &mut Vec<Finding>,
+) {
+    let tok = |ci: usize| &f.tokens[body[ci]];
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt_is_let = false;
+    let mut let_binding: Option<String> = None;
+    let mut ci = 0;
+    while ci < body.len() {
+        let t = tok(ci);
+        match t.punct() {
+            Some('{') => {
+                depth += 1;
+                stmt_is_let = false;
+                ci += 1;
+                continue;
+            }
+            Some('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| !g.temp && g.depth <= depth);
+                stmt_is_let = false;
+                ci += 1;
+                continue;
+            }
+            Some(';') => {
+                guards.retain(|g| !g.temp);
+                stmt_is_let = false;
+                ci += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if t.is_ident("let") {
+            stmt_is_let = true;
+            // Binding name: first ident after `let` that isn't `mut`.
+            let_binding = (ci + 1..body.len().min(ci + 4))
+                .map(tok)
+                .find(|n| n.kind == TokenKind::Ident && !n.is_ident("mut"))
+                .map(|n| n.text.clone());
+            ci += 1;
+            continue;
+        }
+        // `drop(guard)` releases a bound guard early.
+        if t.is_ident("drop")
+            && ci + 3 < body.len()
+            && tok(ci + 1).is_punct('(')
+            && tok(ci + 2).kind == TokenKind::Ident
+            && tok(ci + 3).is_punct(')')
+        {
+            let victim = tok(ci + 2).text.clone();
+            guards.retain(|g| g.bound.as_deref() != Some(victim.as_str()));
+            ci += 4;
+            continue;
+        }
+        // Method-form acquisition: `recv.lock()` chains.
+        if t.is_ident("lock")
+            && ci >= 2
+            && tok(ci - 1).is_punct('.')
+            && tok(ci - 2).kind == TokenKind::Ident
+            && ci + 1 < body.len()
+            && tok(ci + 1).is_punct('(')
+        {
+            let recv = tok(ci - 2).text.clone();
+            if decls.get(&recv).is_some_and(|d| d.kind == LockKind::Mutex) {
+                let after = chain_end(f, body, ci + 1);
+                acquire(
+                    f,
+                    body,
+                    t.line,
+                    &recv,
+                    after,
+                    stmt_is_let,
+                    &let_binding,
+                    depth,
+                    &mut guards,
+                    edges,
+                );
+                ci = after;
+                continue;
+            }
+        }
+        // Helper-form acquisition: `lock_unpoisoned(&x.y.name)` —
+        // skip the helper's own definition (`fn lock_unpoisoned`).
+        if t.is_ident("lock_unpoisoned")
+            && ci + 1 < body.len()
+            && tok(ci + 1).is_punct('(')
+            && !(ci >= 1 && tok(ci - 1).is_ident("fn"))
+        {
+            let close = matching_paren(f, body, ci + 1);
+            let recv = (ci + 2..close)
+                .rev()
+                .map(tok)
+                .find(|n| n.kind == TokenKind::Ident)
+                .map(|n| n.text.clone());
+            if let Some(recv) = recv {
+                if decls.get(&recv).is_some_and(|d| d.kind == LockKind::Mutex) {
+                    let after = chain_end(f, body, ci + 1);
+                    acquire(
+                        f,
+                        body,
+                        t.line,
+                        &recv,
+                        after,
+                        stmt_is_let,
+                        &let_binding,
+                        depth,
+                        &mut guards,
+                        edges,
+                    );
+                    ci = after;
+                    continue;
+                }
+            }
+            let _ = close;
+        }
+        // Condvar wait: an association, not an order edge — but
+        // holding a *second* guard across the wait is a deadlock
+        // recipe (the sleeper keeps it locked).
+        if (t.is_ident("wait") || t.is_ident("wait_timeout") || t.is_ident("wait_while"))
+            && ci >= 2
+            && tok(ci - 1).is_punct('.')
+            && tok(ci - 2).kind == TokenKind::Ident
+            && ci + 1 < body.len()
+            && tok(ci + 1).is_punct('(')
+        {
+            let recv = tok(ci - 2).text.clone();
+            if decls.get(&recv).is_some_and(|d| d.kind == LockKind::Condvar) {
+                let close = matching_paren(f, body, ci + 1);
+                let arg = (ci + 2..close)
+                    .map(tok)
+                    .find(|n| n.kind == TokenKind::Ident)
+                    .map(|n| n.text.clone());
+                let mutex = arg
+                    .as_deref()
+                    .and_then(|a| guards.iter().find(|g| g.bound.as_deref() == Some(a)))
+                    .map(|g| g.lock.clone())
+                    .unwrap_or_else(|| "?".to_string());
+                waits.push(WaitAssoc {
+                    condvar: recv.clone(),
+                    mutex: mutex.clone(),
+                    file: f.rel.clone(),
+                    line: t.line,
+                });
+                for g in guards.iter().filter(|g| g.lock != mutex) {
+                    findings.push(Finding {
+                        lint: "lock-order",
+                        file: f.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "condvar `{recv}` waits while `{}` is still held — the \
+                             sleeping thread keeps it locked",
+                            g.lock
+                        ),
+                        hint: "release the second guard before waiting".to_string(),
+                    });
+                }
+                ci = close + 1;
+                continue;
+            }
+        }
+        // Telemetry recording runs Sink::record on this thread, which
+        // takes the aggregate sink's internal locks.
+        if (t.is_ident("add") || t.is_ident("sample") || t.is_ident("stats_snapshot"))
+            && ci >= 2
+            && tok(ci - 1).is_punct('.')
+            && ci + 1 < body.len()
+            && tok(ci + 1).is_punct('(')
+        {
+            let near_tel = (ci.saturating_sub(8)..ci)
+                .map(tok)
+                .any(|n| n.is_ident("tel") || n.is_ident("telemetry"));
+            if near_tel {
+                record_edges(f, t.line, SINK_NODE, &guards, edges);
+                ci += 2;
+                continue;
+            }
+        }
+        // `span!(tel, …)` records a span-start event the same way.
+        if t.is_ident("span")
+            && ci + 2 < body.len()
+            && tok(ci + 1).is_punct('!')
+            && tok(ci + 2).is_punct('(')
+        {
+            let close = matching_paren(f, body, ci + 2);
+            let near_tel =
+                (ci + 3..close).map(tok).any(|n| n.is_ident("tel") || n.is_ident("telemetry"));
+            if near_tel {
+                record_edges(f, t.line, SINK_NODE, &guards, edges);
+            }
+            ci = close + 1;
+            continue;
+        }
+        ci += 1;
+    }
+}
+
+/// Registers an acquisition of `lock`: edges from every live guard,
+/// then the new guard itself. `after` is the code position just past
+/// the acquisition chain (used to decide bound vs temporary: a chain
+/// that ends the `let` statement binds a guard).
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    f: &SourceFile,
+    body: &[usize],
+    line: u32,
+    lock: &str,
+    after: usize,
+    stmt_is_let: bool,
+    let_binding: &Option<String>,
+    depth: usize,
+    guards: &mut Vec<Guard>,
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+) {
+    record_edges(f, line, lock, guards, edges);
+    let clean_end = body.get(after).is_some_and(|&j| f.tokens[j].is_punct(';'));
+    let bound = stmt_is_let && clean_end;
+    guards.push(Guard {
+        lock: lock.to_string(),
+        bound: if bound { let_binding.clone() } else { None },
+        depth,
+        temp: !bound,
+    });
+}
+
+/// Adds `held → lock` edges for every live guard.
+fn record_edges(
+    f: &SourceFile,
+    line: u32,
+    lock: &str,
+    guards: &[Guard],
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+) {
+    for g in guards.iter().filter(|g| g.lock != lock) {
+        edges.entry((g.lock.clone(), lock.to_string())).or_insert((f.rel.clone(), line));
+    }
+}
+
+/// Code position just past an acquisition chain starting at the `(`
+/// of `.lock(`: skips the call's parens and any
+/// `.expect(…)`/`.unwrap(…)`/`.unwrap_or_else(…)` continuations.
+fn chain_end(f: &SourceFile, body: &[usize], open_paren: usize) -> usize {
+    let tok = |ci: usize| &f.tokens[body[ci]];
+    let mut k = matching_paren(f, body, open_paren) + 1;
+    loop {
+        if k + 2 < body.len()
+            && tok(k).is_punct('.')
+            && (tok(k + 1).is_ident("expect")
+                || tok(k + 1).is_ident("unwrap")
+                || tok(k + 1).is_ident("unwrap_or_else"))
+            && tok(k + 2).is_punct('(')
+        {
+            k = matching_paren(f, body, k + 2) + 1;
+        } else {
+            return k;
+        }
+    }
+}
+
+/// Code position of the `)` matching the `(` at `open`.
+fn matching_paren(f: &SourceFile, body: &[usize], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < body.len() {
+        match f.tokens[body[k]].punct() {
+            Some('(') => depth += 1,
+            Some(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    body.len() - 1
+}
+
+/// DFS cycle detection over the edge list.
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        nodes.insert(&e.from);
+        nodes.insert(&e.to);
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_cycles: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in &nodes {
+        let mut on_path: Vec<&str> = Vec::new();
+        dfs(start, &adj, &mut on_path, &mut done, &mut cycles, &mut seen_cycles);
+    }
+    cycles
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    on_path: &mut Vec<&'a str>,
+    done: &mut BTreeSet<&'a str>,
+    cycles: &mut Vec<Vec<String>>,
+    seen: &mut BTreeSet<BTreeSet<String>>,
+) {
+    if let Some(pos) = on_path.iter().position(|&n| n == node) {
+        let cycle: Vec<String> = on_path[pos..]
+            .iter()
+            .map(|s| s.to_string())
+            .chain(std::iter::once(node.to_string()))
+            .collect();
+        let key: BTreeSet<String> = cycle.iter().cloned().collect();
+        if seen.insert(key) {
+            cycles.push(cycle);
+        }
+        return;
+    }
+    if done.contains(node) {
+        return;
+    }
+    on_path.push(node);
+    if let Some(next) = adj.get(node) {
+        for &n in next {
+            dfs(n, adj, on_path, done, cycles, seen);
+        }
+    }
+    on_path.pop();
+    done.insert(node);
+}
+
+/// Kahn's algorithm with alphabetical tie-break over every mutex node
+/// (declared or synthetic). Condvars associate with a mutex instead
+/// of being acquired, so they are listed in `waits`, not ordered.
+fn canonical_order(decls: &BTreeMap<String, LockDecl>, edges: &[LockEdge]) -> Vec<String> {
+    let mut nodes: BTreeSet<String> =
+        decls.values().filter(|d| d.kind == LockKind::Mutex).map(|d| d.name.clone()).collect();
+    for e in edges {
+        nodes.insert(e.from.clone());
+        nodes.insert(e.to.clone());
+    }
+    let mut indegree: BTreeMap<&str, usize> = nodes.iter().map(|n| (n.as_str(), 0)).collect();
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(&e.to);
+        *indegree.entry(&e.to).or_default() += 1;
+    }
+    let mut ready: BTreeSet<&str> =
+        indegree.iter().filter(|&(_, &d)| d == 0).map(|(&n, _)| n).collect();
+    let mut order = Vec::new();
+    while let Some(&n) = ready.iter().next() {
+        ready.remove(n);
+        order.push(n.to_string());
+        for &m in adj.get(n).into_iter().flatten() {
+            let d = indegree.get_mut(m).map(|d| {
+                *d -= 1;
+                *d
+            });
+            if d == Some(0) {
+                ready.insert(m);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+    use std::path::PathBuf;
+
+    fn ws(src: &str) -> Workspace {
+        let class = FileClass::Library { krate: "pslocal-core".to_string() };
+        Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::parse("crates/core/src/service.rs", class, src).0],
+            load_findings: Vec::new(),
+        }
+    }
+
+    const DECLS: &str = "struct S { a: Mutex<u32>, b: Mutex<u32>, cv: Condvar }\n";
+
+    #[test]
+    fn inventories_fields_and_params() {
+        let src = "struct S { a: Arc<Mutex<u32>>, cv: Condvar }\nfn f(b: &Mutex<u8>) {}\n";
+        let (_, report) = run(&ws(src));
+        let names: Vec<&str> = report.locks.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "cv"]);
+        assert_eq!(report.locks[2].kind, LockKind::Condvar);
+    }
+
+    #[test]
+    fn opposite_acquisition_orders_are_a_cycle() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S) {{ let g = s.a.lock().unwrap(); let h = s.b.lock().unwrap(); }}\n\
+             fn two(s: &S) {{ let g = s.b.lock().unwrap(); let h = s.a.lock().unwrap(); }}\n"
+        );
+        let (findings, report) = run(&ws(&src));
+        assert_eq!(report.cycles.len(), 1, "{report:?}");
+        assert!(findings.iter().any(|f| f.lint == "lock-order" && f.message.contains("cycle")));
+    }
+
+    #[test]
+    fn consistent_order_is_acyclic_with_canonical_listing() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S) {{ let g = s.a.lock().unwrap(); let h = s.b.lock().unwrap(); }}\n\
+             fn two(s: &S) {{ let g = s.a.lock().unwrap(); s.b.lock().unwrap().clone(); }}\n"
+        );
+        let (findings, report) = run(&ws(&src));
+        assert!(report.cycles.is_empty(), "{report:?}");
+        assert!(findings.is_empty());
+        assert_eq!(report.canonical, ["a", "b"]);
+        assert_eq!(report.edges.len(), 1);
+    }
+
+    #[test]
+    fn drop_releases_the_guard_before_the_next_acquisition() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S) {{ let g = s.a.lock().unwrap(); drop(g); let h = s.b.lock().unwrap(); }}\n\
+             fn two(s: &S) {{ let g = s.b.lock().unwrap(); s.cheap(); }}\n"
+        );
+        let (_, report) = run(&ws(&src));
+        assert!(report.edges.is_empty(), "{:?}", report.edges);
+    }
+
+    #[test]
+    fn temporaries_die_at_statement_end() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S) {{ s.a.lock().unwrap().field = 1; let h = s.b.lock().unwrap(); }}\n"
+        );
+        let (_, report) = run(&ws(&src));
+        assert!(report.edges.is_empty(), "{:?}", report.edges);
+    }
+
+    #[test]
+    fn condvar_wait_is_an_association_not_an_edge() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S) {{ let mut g = s.a.lock().unwrap(); g = s.cv.wait(g).unwrap(); }}\n"
+        );
+        let (findings, report) = run(&ws(&src));
+        assert!(findings.is_empty());
+        assert_eq!(report.waits.len(), 1);
+        assert_eq!((report.waits[0].condvar.as_str(), report.waits[0].mutex.as_str()), ("cv", "a"));
+        assert!(report.edges.is_empty());
+    }
+
+    #[test]
+    fn waiting_while_holding_a_second_guard_is_flagged() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S) {{ let b = s.b.lock().unwrap(); let mut g = s.a.lock().unwrap(); g = s.cv.wait(g).unwrap(); }}\n"
+        );
+        let (findings, _) = run(&ws(&src));
+        assert!(
+            findings.iter().any(|f| f.message.contains("waits while `b` is still held")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_calls_are_sink_acquisitions() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S, tel: &T) {{ let g = s.a.lock().unwrap(); tel.add(C, 1); }}\n"
+        );
+        let (_, report) = run(&ws(&src));
+        assert!(
+            report.edges.iter().any(|e| e.from == "a" && e.to == SINK_NODE),
+            "{:?}",
+            report.edges
+        );
+    }
+
+    #[test]
+    fn helper_form_acquisitions_are_recognized() {
+        let src = format!(
+            "{DECLS}\
+             fn one(s: &S) {{ let g = lock_unpoisoned(&s.a); let h = lock_unpoisoned(&s.b); }}\n\
+             fn two(s: &S) {{ let g = lock_unpoisoned(&s.b); let h = lock_unpoisoned(&s.a); }}\n"
+        );
+        let (findings, report) = run(&ws(&src));
+        assert_eq!(report.cycles.len(), 1, "{report:?}");
+        assert!(!findings.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! The lint passes. Each pass is a function from a [`Workspace`] to
+//! findings; [`crate::analyze`] runs them all and applies
+//! suppressions afterwards.
+//!
+//! [`Workspace`]: crate::source::Workspace
+
+pub mod codec_drift;
+pub mod hygiene;
+pub mod lock_order;
+pub mod panic_path;
+pub mod stdout_purity;
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Indices of `file.tokens` that are code (not comments), in order.
+/// Passes match token patterns over this view and map back to raw
+/// indices for test-mask and line lookups.
+pub(crate) fn code_indices(file: &SourceFile) -> Vec<usize> {
+    (0..file.tokens.len())
+        .filter(|&i| {
+            !matches!(file.tokens[i].kind, TokenKind::LineComment | TokenKind::BlockComment)
+        })
+        .collect()
+}

@@ -1,0 +1,161 @@
+//! Pass: no panic paths in non-test library code.
+//!
+//! The serving layers promise graceful degradation — typed
+//! backpressure, poisoned-lock recovery, per-request fault isolation.
+//! A stray `unwrap()` on a library path converts a recoverable
+//! condition into a worker-killing panic, so every panic site must be
+//! either removed or individually justified with
+//! `// pslocal: allow(panic-path, "...")`.
+//!
+//! Flagged in library code outside test regions:
+//!
+//! * `.unwrap()` / `.expect(...)` method calls;
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`;
+//! * in the audited concurrency files only, indexing (`x[i]`,
+//!   `&buf[..n]`) with no bound-establishing comment on the same line
+//!   or within the two lines above — out-of-bounds indexing panics
+//!   exactly like `unwrap`, and these files run on server threads.
+
+use super::code_indices;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::Workspace;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Files where bare indexing also needs a written bound argument (the
+/// concurrency/server hot paths).
+const INDEX_AUDITED: &[&str] = &[
+    "crates/core/src/protocol.rs",
+    "crates/core/src/server.rs",
+    "crates/core/src/service.rs",
+    "crates/telemetry/src/aggregate.rs",
+];
+
+/// Runs the pass over every library file.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in ws.files.iter().filter(|f| f.is_library()) {
+        let code = code_indices(f);
+        let index_audited = INDEX_AUDITED.contains(&f.rel.as_str());
+        for (ci, &i) in code.iter().enumerate() {
+            if f.test_mask[i] {
+                continue;
+            }
+            let t = &f.tokens[i];
+            let next = code.get(ci + 1).map(|&j| &f.tokens[j]);
+            let prev = ci.checked_sub(1).map(|p| &f.tokens[code[p]]);
+            if t.kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && next.is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(Finding {
+                    lint: "panic-path",
+                    file: f.rel.clone(),
+                    line: t.line,
+                    message: format!("`{}!` in library code", t.text),
+                    hint: "return a typed error instead, or justify with \
+                           `// pslocal: allow(panic-path, \"...\")`"
+                        .to_string(),
+                });
+                continue;
+            }
+            if (t.is_ident("unwrap") || t.is_ident("expect"))
+                && prev.is_some_and(|p| p.is_punct('.'))
+                && next.is_some_and(|n| n.is_punct('('))
+            {
+                out.push(Finding {
+                    lint: "panic-path",
+                    file: f.rel.clone(),
+                    line: t.line,
+                    message: format!("`.{}()` on a library path", t.text),
+                    hint: "propagate a typed error, recover (e.g. \
+                           `unwrap_or_else(PoisonError::into_inner)` for locks), or \
+                           justify with `// pslocal: allow(panic-path, \"...\")`"
+                        .to_string(),
+                });
+                continue;
+            }
+            if index_audited
+                && t.is_punct('[')
+                && prev.is_some_and(|p| {
+                    p.kind == TokenKind::Ident || p.is_punct(')') || p.is_punct(']')
+                })
+            {
+                let near_comment =
+                    (t.line.saturating_sub(2)..=t.line).any(|l| f.comment_lines.contains(&l));
+                if !near_comment {
+                    out.push(Finding {
+                        lint: "panic-path",
+                        file: f.rel.clone(),
+                        line: t.line,
+                        message: "indexing without a nearby bound comment in an audited \
+                                  concurrency file"
+                            .to_string(),
+                        hint: "state why the index is in bounds in a comment on the line \
+                               or just above, use `.get()`, or justify with \
+                               `// pslocal: allow(panic-path, \"...\")`"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+    use std::path::PathBuf;
+
+    fn ws(rel: &str, src: &str) -> Workspace {
+        let class = FileClass::Library { krate: "pslocal-core".to_string() };
+        Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::parse(rel, class, src).0],
+            load_findings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }\n";
+        let found = run(&ws("crates/core/src/x.rs", src));
+        assert_eq!(found.len(), 4);
+        assert!(found.iter().all(|f| f.lint == "panic-path"));
+    }
+
+    #[test]
+    fn ignores_test_regions_recoveries_and_strings() {
+        let src = r#"
+fn f() {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let s = "x.unwrap() in a string";
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() { a.unwrap(); panic!("fine here"); }
+}
+"#;
+        assert!(run(&ws("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn indexing_needs_a_bound_comment_only_in_audited_files() {
+        let bare = "fn f(xs: &[u32]) -> u32 { xs[0] }\n";
+        assert_eq!(run(&ws("crates/core/src/service.rs", bare)).len(), 1);
+        assert!(run(&ws("crates/core/src/other.rs", bare)).is_empty());
+        let commented =
+            "fn f(xs: &[u32]) -> u32 {\n    // xs is non-empty: checked by caller\n    xs[0]\n}\n";
+        assert!(run(&ws("crates/core/src/service.rs", commented)).is_empty());
+    }
+
+    #[test]
+    fn array_types_and_attributes_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { buf: [u8; 4] }\nfn f() -> Vec<[u8; 2]> { vec![[0, 0]] }\n";
+        assert!(run(&ws("crates/core/src/service.rs", src)).is_empty());
+    }
+}

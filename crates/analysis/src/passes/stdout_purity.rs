@@ -1,0 +1,71 @@
+//! Pass: stdout is a result channel, not a log.
+//!
+//! The reproduction's core contract is byte-diffable stdout: the CLI's
+//! result writer is the **only** code allowed to print. A `println!`
+//! anywhere in a library crate interleaves with result lines and
+//! silently breaks `diff`-based verification, so library code may
+//! never call `print!`/`println!` (stderr via `eprint!`/`eprintln!`
+//! stays fine). Binaries — the CLI — own their stdout and are exempt.
+
+use super::code_indices;
+use crate::report::Finding;
+use crate::source::Workspace;
+
+/// Runs the pass over every library file.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in ws.files.iter().filter(|f| f.is_library()) {
+        let code = code_indices(f);
+        for (ci, &i) in code.iter().enumerate() {
+            if f.test_mask[i] {
+                continue;
+            }
+            let t = &f.tokens[i];
+            if (t.is_ident("print") || t.is_ident("println"))
+                && code.get(ci + 1).is_some_and(|&j| f.tokens[j].is_punct('!'))
+            {
+                out.push(Finding {
+                    lint: "stdout-purity",
+                    file: f.rel.clone(),
+                    line: t.line,
+                    message: format!("`{}!` in a library crate", t.text),
+                    hint: "return the string to the caller or log to stderr \
+                           (`eprintln!`); stdout is reserved for byte-diffable results"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+    use std::path::PathBuf;
+
+    fn ws_with(class: FileClass, src: &str) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::parse("crates/x/src/lib.rs", class, src).0],
+            load_findings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn flags_print_and_println_in_libraries_only() {
+        let src = "fn f() { println!(\"x\"); print!(\"y\"); eprintln!(\"fine\"); }\n";
+        let lib = ws_with(FileClass::Library { krate: "pslocal-x".to_string() }, src);
+        assert_eq!(run(&lib).len(), 2);
+        let bin = ws_with(FileClass::Binary, src);
+        assert!(run(&bin).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_and_tests_are_exempt() {
+        let src = "//! ```\n//! println!(\"doc\");\n//! ```\n#[cfg(test)]\nmod t { fn f() { println!(\"t\"); } }\n";
+        let lib = ws_with(FileClass::Library { krate: "pslocal-x".to_string() }, src);
+        assert!(run(&lib).is_empty());
+    }
+}

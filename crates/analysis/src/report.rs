@@ -1,0 +1,151 @@
+//! Findings and the text/JSON renderers behind `pslocal lint`.
+
+use std::fmt;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable lint name (`panic-path`, `lock-order`, …).
+    pub lint: &'static str,
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (shown under `--fix-hints`, always in `--json`).
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// Sorts findings into the stable report order: file, then line, then
+/// lint name.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+}
+
+/// Escapes a string for embedding in the JSON report.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as the human-readable report: one line each, plus
+/// an optional indented fix hint.
+pub fn render_text(findings: &[Finding], fix_hints: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+        if fix_hints && !f.hint.is_empty() {
+            out.push_str("    hint: ");
+            out.push_str(&f.hint);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report: a single JSON object with a
+/// frozen schema (`pslocal-lint/v1`) so CI can diff finding sets
+/// mechanically.
+pub fn render_json(findings: &[Finding], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pslocal-lint/v1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"suppressed\": {suppressed},\n"));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"hint\": \"{}\"}}{}\n",
+            f.lint,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.hint),
+            if i + 1 < findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, lint: &'static str) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+            hint: "h".to_string(),
+        }
+    }
+
+    #[test]
+    fn sorted_by_file_line_lint() {
+        let mut fs = vec![
+            finding("b.rs", 1, "panic-path"),
+            finding("a.rs", 9, "panic-path"),
+            finding("a.rs", 2, "stdout-purity"),
+            finding("a.rs", 2, "codec-drift"),
+        ];
+        sort_findings(&mut fs);
+        let order: Vec<(String, u32, &str)> =
+            fs.iter().map(|f| (f.file.clone(), f.line, f.lint)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 2, "codec-drift"),
+                ("a.rs".to_string(), 2, "stdout-purity"),
+                ("a.rs".to_string(), 9, "panic-path"),
+                ("b.rs".to_string(), 1, "panic-path"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let fs = vec![Finding {
+            lint: "codec-drift",
+            file: "crates/x.rs".to_string(),
+            line: 3,
+            message: "literal \"ok\" outside protocol.rs".to_string(),
+            hint: String::new(),
+        }];
+        let json = render_json(&fs, 10, 2);
+        assert!(json.contains("\"schema\": \"pslocal-lint/v1\""));
+        assert!(json.contains("literal \\\"ok\\\" outside protocol.rs"));
+        assert!(json.contains("\"files_scanned\": 10"));
+        assert!(json.contains("\"suppressed\": 2"));
+    }
+
+    #[test]
+    fn text_report_includes_hints_only_on_request() {
+        let fs = vec![finding("a.rs", 1, "panic-path")];
+        assert!(!render_text(&fs, false).contains("hint:"));
+        assert!(render_text(&fs, true).contains("    hint: h"));
+    }
+}

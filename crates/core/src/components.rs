@@ -227,6 +227,7 @@ impl<'g> ComponentExecutor<'g> {
         let run_one = |c: usize| {
             let sub = self.partition.subgraph(self.graph, c);
             let out = job(c, &sub);
+            // pslocal: allow(panic-path, "each slot is written exactly once by one worker, so the lock can only poison if job() already panicked on this thread")
             *slots[c].lock().expect("component result slot") = Some(out);
         };
         let workers = self.threads.min(jobs);
@@ -249,6 +250,7 @@ impl<'g> ComponentExecutor<'g> {
         slots
             .into_iter()
             .map(|slot| {
+                // pslocal: allow(panic-path, "all workers joined before collection: a None slot or poisoned lock means a scheduling bug that must not be silently dropped")
                 slot.into_inner().expect("slot lock").expect("every scheduled component ran")
             })
             .collect()
@@ -274,6 +276,7 @@ impl<'g> ComponentExecutor<'g> {
             for v in local.iter() {
                 let g = *members
                     .get(v.index())
+                    // pslocal: allow(panic-path, "a subgraph vertex outside its component's member list is a partition-construction bug; merging it would corrupt the global set")
                     .unwrap_or_else(|| panic!("component {c}: local vertex {v} out of range"));
                 assert!(
                     !claimed[g.index()],
@@ -284,6 +287,7 @@ impl<'g> ComponentExecutor<'g> {
             }
         }
         IndependentSet::new(self.graph, global)
+            // pslocal: allow(panic-path, "invariant: components are vertex-disjoint with no cross edges, so the union stays independent; a violation is a partition bug")
             .expect("union of per-component independent sets is independent")
     }
 

@@ -477,6 +477,7 @@ impl ConflictGraph {
     /// Panics if `node` is out of range.
     pub fn triple_of(&self, node: NodeId) -> Triple {
         let idx = node.index() as u32;
+        // pslocal: allow(panic-path, "base is seeded with 0 at construction and never emptied, so last() always exists")
         assert!(idx < *self.base.last().unwrap(), "node {node} out of range");
         // Find the hyperedge block via binary search on `base`.
         let e = match self.base.binary_search(&idx) {
@@ -905,6 +906,7 @@ mod kernel {
                         s.spawn(move || timed_shard(h, k, options, base, idx, range, parent, i))
                     })
                     .collect();
+                // pslocal: allow(panic-path, "shard workers run pure array code with no panic paths of their own; a panicking worker is a kernel bug that must surface, not yield a truncated kernel")
                 handles.into_iter().map(|j| j.join().expect("kernel worker panicked")).collect()
             })
         };
@@ -1019,7 +1021,7 @@ mod kernel {
                             set_bit_range(row, slot + c + 1, slot + kw);
                         }
                     }
-                    let prev = *offsets.last().expect("seeded with 0");
+                    let prev = *offsets.last().expect("seeded with 0"); // pslocal: allow(panic-path, "offsets is pushed 0 before the loop, so last() always exists")
                     offsets.push(prev + len);
                 }
             }

@@ -60,13 +60,16 @@ pub fn coloring_to_independent_set(
                 // Invariants: the witness predicate only matches colored
                 // vertices, and (e, v, c) with v ∈ e, c < k is a node of
                 // G_k by construction.
+                // pslocal: allow(panic-path, "invariant stated above: the witness predicate only matches colored vertices")
                 let c = coloring[v.index()].expect("witness is colored");
+                // pslocal: allow(panic-path, "invariant stated above: (e, v, c) with v in e and c < k is a node of G_k by construction")
                 members.push(cg.node_for(e, v, c).expect("triple exists"));
             }
             None => unhappy.push(e),
         }
     }
     let independent_set = IndependentSet::new(cg.graph(), members)
+        // pslocal: allow(panic-path, "Lemma 2.1 a) of the paper proves the induced set independent; a violation falsifies the reduction and must abort loudly")
         .expect("Lemma 2.1 a): the induced set is independent");
     ColoringToSet { independent_set, unhappy_edges: unhappy }
 }

@@ -81,6 +81,7 @@ pub mod resilient;
 pub mod server;
 pub mod service;
 pub mod simulation;
+pub mod sync;
 pub mod workspace;
 
 pub use completeness::{completeness_on_instance, CompletenessReport};

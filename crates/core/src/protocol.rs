@@ -308,6 +308,19 @@ pub fn parse_request(
     Ok(request)
 }
 
+/// Wire value of `outcome` for a completed request.
+pub const OUTCOME_OK: &str = "ok";
+/// Wire value of `outcome` for a request the admission queue refused.
+pub const OUTCOME_REJECTED: &str = "rejected";
+/// Wire value of `outcome` for a request that ran out of deadline.
+pub const OUTCOME_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+/// Wire value of `outcome` for a request whose reduction errored.
+pub const OUTCOME_FAILED: &str = "failed";
+/// Wire value of `outcome` when the connection cap sheds a socket.
+pub const OUTCOME_OVERLOADED: &str = "overloaded";
+/// Wire value of `outcome` for an unparseable request line.
+pub const OUTCOME_BAD_REQUEST: &str = "bad_request";
+
 /// Renders one completed request as its JSONL result line. Only
 /// deterministic fields appear here — timing goes to telemetry — so
 /// result streams are byte-comparable across worker counts and front

@@ -653,7 +653,9 @@ impl PhaseJournal {
                 break; // clean end
             }
             let Some(frame) = bytes.get(pos..pos + 8) else { break };
+            // pslocal: allow(panic-path, "frame is an 8-byte slice by the get() above, so both 4-byte halves convert infallibly")
             let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
+            // pslocal: allow(panic-path, "frame is an 8-byte slice by the get() above, so both 4-byte halves convert infallibly")
             let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
             // Bounds first: a flipped bit in `len` must not send the
             // CRC check (or an allocation) off the end of the file.
@@ -700,6 +702,7 @@ impl PhaseJournal {
                 records_discarded += 1; // partial trailing frame
                 break;
             };
+            // pslocal: allow(panic-path, "frame is an 8-byte slice by the get() above, so the 4-byte prefix converts infallibly")
             let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
             records_discarded += 1;
             if len == 0 || len > MAX_RECORD_LEN || scan + 8 + len > bytes.len() {

@@ -873,8 +873,10 @@ fn reduce_resilient_inner<S: Sink>(
             let write_span = span!(phase_span, names::CHECKPOINT_WRITE);
             let entry = JournalPhase {
                 phase,
+                // pslocal: allow(panic-path, "the fingerprint is computed earlier in this same journaling branch; None here is a control-flow bug")
                 cg_fingerprint: cg_fingerprint.expect("computed while journaling"),
                 set: set.vertices().iter().map(|v| v.index() as u64).collect(),
+                // pslocal: allow(panic-path, "records.push happened unconditionally a few lines up, so last() always exists")
                 record: records.last().expect("just pushed").clone(),
                 quota_required,
                 primary: accepted_primary,

@@ -58,7 +58,11 @@
 //! `STATS` renders whatever the telemetry pipeline's sink aggregates —
 //! wire an [`AggregateSink`](pslocal_telemetry::AggregateSink) (the
 //! CLI's `serve` does) to get live counters, p50/p99 latencies, and
-//! span totals without unbounded buffering.
+//! span totals without unbounded buffering. All outbound lines of a
+//! connection — result lines and command replies alike — are written
+//! by its single writer thread from one queue, so a multi-line `STATS`
+//! block is always contiguous on the wire, never interleaved with
+//! concurrently completing result lines.
 //!
 //! # Observability
 //!
@@ -74,6 +78,7 @@ use crate::protocol::{
     bad_request_line, overloaded_line, parse_request, rejected_line, response_line,
 };
 use crate::service::{Service, ServiceConfig, ServiceReport, ServiceResponse};
+use crate::sync::lock_unpoisoned;
 use pslocal_telemetry::{names, span, Counter, Sink, Telemetry};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -283,16 +288,19 @@ impl<S: Sink + Send + Sync + 'static> Server<S> {
     /// bug.
     pub fn shutdown(self) -> ServerReport<S> {
         self.draining.store(true, Ordering::SeqCst);
+        // pslocal: allow(panic-path, "documented contract: handlers isolate per-connection I/O errors, so a dead server thread is a bug that must surface at shutdown")
         self.acceptor.join().expect("acceptor panicked");
         // The acceptor has exited, so no new handles can appear; the
         // workers are still alive, so every connection's in-flight
         // responses complete and its writer drains before the join.
         loop {
-            let handle = self.connections.lock().expect("connection registry poisoned").pop();
+            let handle = lock_unpoisoned(&self.connections).pop();
             let Some(handle) = handle else { break };
+            // pslocal: allow(panic-path, "documented contract: handlers isolate per-connection I/O errors, so a dead server thread is a bug that must surface at shutdown")
             handle.join().expect("connection handler panicked");
         }
         let service = Arc::try_unwrap(self.service)
+            // pslocal: allow(panic-path, "acceptor and every connection thread joined above, so no Arc clone can remain; a failure here is unreachable by construction")
             .unwrap_or_else(|_| unreachable!("all connection threads joined, no clones remain"));
         let ServiceReport { drained, telemetry } = service.shutdown();
         ServerReport { drained, telemetry }
@@ -335,9 +343,10 @@ fn acceptor_loop<S: Sink + Send + Sync + 'static>(
                     std::thread::Builder::new()
                         .name(format!("pslocal-conn-{conn_id}"))
                         .spawn(move || connection_loop(stream, service, draining, live, config))
+                        // pslocal: allow(panic-path, "thread spawn fails only on OS resource exhaustion; there is no degraded mode for an accepted socket")
                         .expect("spawn connection handler")
                 };
-                connections.lock().expect("connection registry poisoned").push(handle);
+                lock_unpoisoned(&connections).push(handle);
             }
             // Nothing pending (or a transient accept error): sleep one
             // poll slice and re-check the drain flag.
@@ -370,11 +379,13 @@ impl Drop for ConnectionGuard {
 }
 
 /// One connection: this thread reads and parses lines; a paired writer
-/// thread delivers responses. The reader holds one response-channel
-/// sender and every in-flight request holds a clone, so the writer's
-/// channel disconnects — and the connection closes — only after every
-/// admitted request's response has been written: the zero-lost-
-/// responses drain property, by construction.
+/// thread exclusively owns the write half and delivers every outbound
+/// line — responses and command replies alike — from one queue. The
+/// reader holds one queue sender and every in-flight request's
+/// delivery closure holds a clone, so the writer's channel disconnects
+/// — and the connection closes — only after every admitted request's
+/// response has been written: the zero-lost-responses drain property,
+/// by construction.
 fn connection_loop<S: Sink + Send + Sync + 'static>(
     stream: TcpStream,
     service: Arc<Service<S>>,
@@ -386,25 +397,31 @@ fn connection_loop<S: Sink + Send + Sync + 'static>(
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else { return };
     let _ = write_half.set_write_timeout(Some(config.write_timeout));
-    // Responses and command replies share one mutex-guarded write half
-    // so lines never interleave mid-byte.
-    let writer_stream = Arc::new(Mutex::new(write_half));
-    let (reply_tx, reply_rx) = mpsc::channel::<ServiceResponse>();
+    // Every outbound line — responses AND command replies — flows
+    // through one queue into a writer thread that exclusively owns the
+    // write half. Each message is written whole before the next is
+    // dequeued, so a multi-line STATS block can never interleave with
+    // in-flight result lines; there is no lock to order against.
+    let (writer_tx, writer_rx) = mpsc::channel::<WriterMsg>();
     let writer = {
         let service = Arc::clone(&service);
-        let writer_stream = Arc::clone(&writer_stream);
         std::thread::Builder::new()
             .name("pslocal-conn-writer".to_string())
             .spawn(move || {
-                while let Ok(response) = reply_rx.recv() {
-                    let line = response_line(&response);
-                    if write_line(&service, &writer_stream, &line).is_err() {
+                let mut stream = write_half;
+                while let Ok(msg) = writer_rx.recv() {
+                    let line = match msg {
+                        WriterMsg::Response(response) => response_line(&response),
+                        WriterMsg::Block(text) => text,
+                    };
+                    if write_line(&service, &mut stream, &line).is_err() {
                         // Client gone: stop writing. Remaining sends
-                        // into the channel are ignored by the workers.
+                        // into the channel fail and the reader breaks.
                         break;
                     }
                 }
             })
+            // pslocal: allow(panic-path, "thread spawn fails only on OS resource exhaustion; the acceptor cannot serve this socket without its writer")
             .expect("spawn connection writer")
     };
 
@@ -423,7 +440,7 @@ fn connection_loop<S: Sink + Send + Sync + 'static>(
         match line {
             "" => {}
             "PING" => {
-                if write_line(&service, &writer_stream, "PONG").is_err() {
+                if writer_tx.send(WriterMsg::Block("PONG".to_string())).is_err() {
                     break;
                 }
             }
@@ -433,12 +450,14 @@ fn connection_loop<S: Sink + Send + Sync + 'static>(
                     .sink()
                     .stats_snapshot()
                     .unwrap_or_else(|| "no aggregating sink configured\n".to_string());
-                if write_line(&service, &writer_stream, &format!("{snapshot}OK")).is_err() {
+                // One Block = one contiguous write: the whole snapshot
+                // plus its OK terminator, atomic w.r.t. result lines.
+                if writer_tx.send(WriterMsg::Block(format!("{snapshot}OK"))).is_err() {
                     break;
                 }
             }
             "SHUTDOWN" => {
-                let _ = write_line(&service, &writer_stream, "DRAINING");
+                let _ = writer_tx.send(WriterMsg::Block("DRAINING".to_string()));
                 draining.store(true, Ordering::SeqCst);
                 // The next read_line observes the flag and exits.
             }
@@ -451,41 +470,55 @@ fn connection_loop<S: Sink + Send + Sync + 'static>(
                     Err(error) => {
                         service.telemetry().add(Counter::BadRequests, 1);
                         req_span.close();
-                        if write_line(&service, &writer_stream, &bad_request_line(&error)).is_err()
-                        {
+                        if writer_tx.send(WriterMsg::Block(bad_request_line(&error))).is_err() {
                             break;
                         }
                     }
-                    Ok(request) => match service.submit_routed(request, reply_tx.clone()) {
-                        Ok(()) => req_span.close(),
-                        Err(full) => {
-                            // Typed load shedding: the request is
-                            // answered and dropped, never buffered.
-                            req_span.close();
-                            let line = rejected_line(&full.request.id);
-                            if write_line(&service, &writer_stream, &line).is_err() {
-                                break;
+                    Ok(request) => {
+                        let deliver_tx = writer_tx.clone();
+                        let submitted = service.submit_with(request, move |response| {
+                            let _ = deliver_tx.send(WriterMsg::Response(response));
+                        });
+                        match submitted {
+                            Ok(()) => req_span.close(),
+                            Err(full) => {
+                                // Typed load shedding: the request is
+                                // answered and dropped, never buffered.
+                                req_span.close();
+                                let line = rejected_line(&full.request.id);
+                                if writer_tx.send(WriterMsg::Block(line)).is_err() {
+                                    break;
+                                }
                             }
                         }
-                    },
+                    }
                 }
             }
         }
     }
     // Drop our sender: once the in-flight requests' clones are gone
-    // too (their responses sent), the writer disconnects and exits.
-    drop(reply_tx);
+    // too (their responses delivered), the writer disconnects and
+    // exits.
+    drop(writer_tx);
     let _ = writer.join();
 }
 
-/// Writes one line (appending `\n`) under the connection's write lock
-/// and counts the bytes.
+/// One unit of outbound work for a connection's writer thread.
+enum WriterMsg {
+    /// A completed request, rendered to its result line by the writer.
+    Response(ServiceResponse),
+    /// A pre-rendered command reply — possibly multi-line (`STATS`),
+    /// written contiguously as one block.
+    Block(String),
+}
+
+/// Writes one line or block (appending `\n`) on the writer thread's
+/// exclusively-owned write half and counts the bytes.
 fn write_line<S: Sink + Send + Sync + 'static>(
     service: &Arc<Service<S>>,
-    stream: &Mutex<TcpStream>,
+    stream: &mut TcpStream,
     line: &str,
 ) -> io::Result<()> {
-    let mut stream = stream.lock().expect("connection writer poisoned");
     stream.write_all(line.as_bytes())?;
     stream.write_all(b"\n")?;
     service.telemetry().add(Counter::BytesOut, line.len() as u64 + 1);
@@ -561,6 +594,7 @@ impl LineReader {
                 }
                 Ok(n) => {
                     self.bytes += n as u64;
+                    // read() returned n, so n <= chunk.len(): in bounds.
                     self.buf.extend_from_slice(&chunk[..n]);
                     idle_since = Instant::now();
                 }

@@ -38,8 +38,10 @@
 //! by admission sequence number), and per-request latency histograms,
 //! all through the existing [`Sink`] machinery.
 
+use crate::protocol::{OUTCOME_DEADLINE_EXCEEDED, OUTCOME_FAILED, OUTCOME_OK};
 use crate::reduction::ReductionError;
 use crate::resilient::{reduce_cf_resilient_with_workspace, ResilientConfig};
+use crate::sync::lock_unpoisoned;
 use crate::workspace::PhaseWorkspace;
 use pslocal_graph::Hypergraph;
 use pslocal_maxis::{CrashSignal, MaxIsOracle};
@@ -48,7 +50,7 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -192,9 +194,9 @@ impl RequestOutcome {
     /// The stable outcome label the JSONL result schema uses.
     pub fn label(&self) -> &'static str {
         match self {
-            RequestOutcome::Ok { .. } => "ok",
-            RequestOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
-            RequestOutcome::Failed { .. } => "failed",
+            RequestOutcome::Ok { .. } => OUTCOME_OK,
+            RequestOutcome::DeadlineExceeded { .. } => OUTCOME_DEADLINE_EXCEEDED,
+            RequestOutcome::Failed { .. } => OUTCOME_FAILED,
         }
     }
 }
@@ -226,9 +228,10 @@ pub struct ServiceReport<S: Sink> {
 enum Reply {
     /// The service-wide completion channel ([`Service::recv`]).
     Pool,
-    /// A caller-supplied channel ([`Service::submit_routed`]) — the
-    /// TCP server hands each connection its own.
-    Direct(mpsc::Sender<ServiceResponse>),
+    /// A caller-supplied delivery callback ([`Service::submit_with`])
+    /// — the TCP server hands each connection a closure that enqueues
+    /// the response onto that connection's writer queue.
+    Direct(Box<dyn FnOnce(ServiceResponse) + Send>),
 }
 
 /// One queued request plus its admission bookkeeping.
@@ -308,6 +311,7 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
                 std::thread::Builder::new()
                     .name(format!("pslocal-service-{i}"))
                     .spawn(move || worker_loop(shared, tx))
+                    // pslocal: allow(panic-path, "thread spawn fails only on OS resource exhaustion at startup; there is no degraded mode to fall back to")
                     .expect("spawn service worker")
             })
             .collect();
@@ -330,16 +334,34 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
         self.submit_inner(request, Reply::Pool)
     }
 
-    /// [`submit`](Self::submit), but the response is delivered to
-    /// `reply` instead of the service-wide [`recv`](Self::recv)
+    /// [`submit`](Self::submit), but the response is handed to
+    /// `deliver` instead of the service-wide [`recv`](Self::recv)
     /// channel. This is how a multiplexing front end (the TCP server)
     /// routes each completion back to the connection that submitted
-    /// it: one channel per connection, shared worker pool.
+    /// it: one delivery target per connection, shared worker pool.
     ///
-    /// A routed response is **never** part of
+    /// `deliver` runs on the worker thread that finished the request,
+    /// so it must be cheap and non-blocking — enqueue onto a channel,
+    /// don't do I/O.
+    ///
+    /// A delivered response is **never** part of
     /// [`shutdown`](Self::shutdown)'s `drained` list — it went to
-    /// `reply` (a disconnected `reply` discards it, which is the
-    /// hung-up-client case).
+    /// `deliver` (which may discard it, the hung-up-client case).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`], carrying the request back to the caller.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_with(
+        &self,
+        request: ServiceRequest,
+        deliver: impl FnOnce(ServiceResponse) + Send + 'static,
+    ) -> Result<(), QueueFull> {
+        self.submit_inner(request, Reply::Direct(Box::new(deliver)))
+    }
+
+    /// [`submit_with`](Self::submit_with) delivering into a plain
+    /// channel, for callers that want to block on a receiver.
     ///
     /// # Errors
     ///
@@ -350,7 +372,9 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
         request: ServiceRequest,
         reply: mpsc::Sender<ServiceResponse>,
     ) -> Result<(), QueueFull> {
-        self.submit_inner(request, Reply::Direct(reply))
+        self.submit_with(request, move |response| {
+            let _ = reply.send(response);
+        })
     }
 
     /// The telemetry pipeline the service records through — front ends
@@ -363,7 +387,7 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
     #[allow(clippy::result_large_err)]
     fn submit_inner(&self, request: ServiceRequest, reply: Reply) -> Result<(), QueueFull> {
         let depth = {
-            let mut st = self.shared.state.lock().expect("service queue poisoned");
+            let mut st = lock_unpoisoned(&self.shared.state);
             if !st.accepting || st.queue.len() >= self.shared.capacity {
                 drop(st);
                 self.shared.tel.add(Counter::RequestsRejected, 1);
@@ -383,12 +407,12 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
     /// Blocks for the next completed response, in completion order.
     /// Returns `None` only after every worker has exited (post-drain).
     pub fn recv(&self) -> Option<ServiceResponse> {
-        self.results.lock().expect("service results poisoned").recv().ok()
+        lock_unpoisoned(&self.results).recv().ok()
     }
 
     /// Non-blocking [`recv`](Self::recv).
     pub fn try_recv(&self) -> Option<ServiceResponse> {
-        self.results.lock().expect("service results poisoned").try_recv().ok()
+        lock_unpoisoned(&self.results).try_recv().ok()
     }
 
     /// Graceful drain: stops admission (subsequent [`submit`]s are
@@ -404,13 +428,15 @@ impl<S: Sink + Send + Sync + 'static> Service<S> {
     /// workers themselves isolate oracle panics, so this indicates a
     /// bug — or a deliberately injected process crash).
     pub fn shutdown(self) -> ServiceReport<S> {
-        self.shared.state.lock().expect("service queue poisoned").accepting = false;
+        lock_unpoisoned(&self.shared.state).accepting = false;
         self.shared.available.notify_all();
         for worker in self.workers {
+            // pslocal: allow(panic-path, "documented contract: a worker panic is a bug (workers isolate oracle panics) and must surface at shutdown")
             worker.join().expect("service worker panicked");
         }
-        let drained = self.results.lock().expect("service results poisoned").try_iter().collect();
+        let drained = lock_unpoisoned(&self.results).try_iter().collect();
         let shared = Arc::try_unwrap(self.shared)
+            // pslocal: allow(panic-path, "all workers joined on the lines above, so no Arc clone can remain; a failure here is unreachable by construction")
             .unwrap_or_else(|_| unreachable!("all workers joined, no clones remain"));
         ServiceReport { drained, telemetry: shared.tel }
     }
@@ -422,7 +448,7 @@ fn worker_loop<S: Sink + Send + Sync>(shared: Arc<Shared<S>>, tx: mpsc::Sender<S
     let mut ws = PhaseWorkspace::new();
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("service queue poisoned");
+            let mut st = lock_unpoisoned(&shared.state);
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     break Some(job);
@@ -430,24 +456,19 @@ fn worker_loop<S: Sink + Send + Sync>(shared: Arc<Shared<S>>, tx: mpsc::Sender<S
                 if !st.accepting {
                     break None;
                 }
-                st = shared.available.wait(st).expect("service queue poisoned");
+                st = shared.available.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(job) = job else { return };
-        let reply = match &job.reply {
-            Reply::Pool => None,
-            Reply::Direct(sender) => Some(sender.clone()),
-        };
-        let response = execute(&shared, job, &mut ws);
+        let Queued { request, submitted, seq, reply } = job;
+        let response = execute(&shared, request, submitted, seq, &mut ws);
         shared.tel.add(Counter::RequestsCompleted, 1);
         // A dropped receiver (service handle gone, or a routed
         // connection that hung up) is not an error for the drain: keep
         // consuming so shutdown still joins cleanly.
         match reply {
-            Some(sender) => {
-                let _ = sender.send(response);
-            }
-            None => {
+            Reply::Direct(deliver) => deliver(response),
+            Reply::Pool => {
                 let _ = tx.send(response);
             }
         }
@@ -456,8 +477,13 @@ fn worker_loop<S: Sink + Send + Sync>(shared: Arc<Shared<S>>, tx: mpsc::Sender<S
 
 /// Runs one request through the resilient driver and maps the result
 /// to a response.
-fn execute<S: Sink>(shared: &Shared<S>, job: Queued, ws: &mut PhaseWorkspace) -> ServiceResponse {
-    let Queued { request, submitted, seq, reply: _ } = job;
+fn execute<S: Sink>(
+    shared: &Shared<S>,
+    request: ServiceRequest,
+    submitted: Instant,
+    seq: u64,
+    ws: &mut PhaseWorkspace,
+) -> ServiceResponse {
     let queue_wait = submitted.elapsed();
     shared.tel.sample(Histogram::QueueWaitNs, queue_wait.as_nanos() as u64);
     shared.tel.add(Counter::QueueWaitNs, queue_wait.as_nanos() as u64);

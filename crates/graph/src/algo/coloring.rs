@@ -42,6 +42,7 @@ pub fn greedy_coloring(graph: &Graph, order: &[NodeId]) -> Vec<Color> {
             }
         }
         let c = (0..).find(|&c| c >= forbidden.len() as u32 || forbidden[c as usize] != stamp);
+        // pslocal: allow(panic-path, "pigeonhole: deg(v) neighbors cannot forbid all deg(v)+1 candidate colors, so find() always yields")
         colors[v.index()] = c.expect("some color below deg+1 is free");
     }
     colors.into_iter().map(Color::from).collect()

@@ -171,6 +171,7 @@ impl BitsetGraph {
     /// [`BITSET_MAX_HALF_EDGES`]; use
     /// [`try_from_graph`](Self::try_from_graph) to handle that case.
     pub fn from_graph(g: &Graph) -> Self {
+        // pslocal: allow(panic-path, "documented panicking convenience over try_from_graph; callers with untrusted sizes use the fallible form")
         Self::try_from_graph(g).expect("graph fits the bitset representation")
     }
 

@@ -103,6 +103,7 @@ pub fn planted_cf_instance<R: Rng + ?Sized>(
     // Index vertices by color class for fast off-color sampling.
     let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
     for v in 0..n {
+        // pslocal: allow(panic-path, "the loop above drew every color from this same palette, so index_of cannot miss")
         classes[palette.index_of(coloring[v]).expect("color from palette")].push(NodeId::new(v));
     }
 
@@ -111,6 +112,7 @@ pub fn planted_cf_instance<R: Rng + ?Sized>(
     for _ in 0..m {
         let size = rng.gen_range(k..=max_size);
         let witness = NodeId::new(rng.gen_range(0..n));
+        // pslocal: allow(panic-path, "witness colors were drawn from this same palette during planting, so index_of cannot miss")
         let witness_class = palette.index_of(coloring[witness.index()]).expect("in palette");
         scratch.clear();
         for (c, class) in classes.iter().enumerate() {

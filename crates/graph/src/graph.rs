@@ -171,6 +171,7 @@ impl Graph {
     /// Panics if `e` is out of range.
     #[inline]
     pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        // pslocal: allow(panic-path, "documented panic: EdgeIds are only minted by this graph, so an out-of-range id is caller misuse")
         self.edges().nth(e.index()).expect("edge id out of range")
     }
 
@@ -289,6 +290,7 @@ impl Graph {
     /// orientations), which debug builds re-check.
     pub(crate) fn from_csr_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Self {
         debug_assert!(!offsets.is_empty());
+        // pslocal: allow(panic-path, "debug_assert-only path: the preceding line has already asserted offsets is non-empty")
         debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
         debug_assert_eq!(targets.len() % 2, 0);
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
@@ -401,6 +403,7 @@ impl GraphBuilder {
     ///
     /// Panics if an endpoint is out of range or `u == v`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        // pslocal: allow(panic-path, "documented panicking convenience over try_add_edge for builder-style literals; fallible form is public")
         self.try_add_edge(u, v).expect("invalid edge");
         self
     }

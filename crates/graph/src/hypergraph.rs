@@ -269,6 +269,7 @@ impl HypergraphBuilder {
     /// Panics on empty edges, duplicate members, or out-of-range
     /// vertices.
     pub fn add_edge<I: IntoIterator<Item = NodeId>>(&mut self, members: I) -> HyperedgeId {
+        // pslocal: allow(panic-path, "documented panicking convenience over try_add_edge for builder-style literals; fallible form is public")
         self.try_add_edge(members).expect("invalid hyperedge")
     }
 

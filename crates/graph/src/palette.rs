@@ -40,7 +40,9 @@ impl Palette {
     ///
     /// Panics if `offset + size` overflows `u32`.
     pub fn with_offset(size: usize, offset: usize) -> Self {
+        // pslocal: allow(panic-path, "documented panic: a palette beyond u32 colors cannot be represented, and no caller constructs one")
         let size = u32::try_from(size).expect("palette size exceeds u32");
+        // pslocal: allow(panic-path, "documented panic: a palette beyond u32 colors cannot be represented, and no caller constructs one")
         let offset = u32::try_from(offset).expect("palette offset exceeds u32");
         assert!(offset.checked_add(size).is_some(), "palette range overflows u32");
         Palette { offset, size }
@@ -50,6 +52,7 @@ impl Palette {
     /// `{phase·k, …, phase·k + k - 1}`. This is how the reduction gets
     /// its fresh palette per phase.
     pub fn phase(k: usize, phase: usize) -> Self {
+        // pslocal: allow(panic-path, "checked_mul makes the overflow loud instead of wrapping into a colliding palette; phases are bounded by log n in practice")
         Palette::with_offset(k, k.checked_mul(phase).expect("palette offset overflows"))
     }
 

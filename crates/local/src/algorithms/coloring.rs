@@ -80,6 +80,7 @@ impl RandomColorTrial {
             .enumerate()
             .map(|(i, s)| match s {
                 TrialState::Done(c) => *c,
+                // pslocal: allow(panic-path, "callers invoke this only after the runtime reports completion; an uncolored node then is an algorithm bug")
                 TrialState::Uncolored { .. } => panic!("node {i} still uncolored"),
             })
             .collect()
@@ -118,6 +119,7 @@ impl LocalAlgorithm for RandomColorTrial {
         };
         match phase {
             Phase::Resolve => {
+                // pslocal: allow(panic-path, "the state machine only enters Resolve after storing a proposal in the preceding Propose round")
                 let mine = proposal.expect("resolve phase implies an outstanding proposal");
                 // Record colors neighbors fixed in earlier rounds and
                 // clashes with this round's proposals.

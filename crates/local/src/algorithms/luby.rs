@@ -86,6 +86,7 @@ impl LubyMis {
             .filter_map(|(i, s)| match s {
                 LubyState::InMis => Some(NodeId::new(i)),
                 LubyState::Out => None,
+                // pslocal: allow(panic-path, "callers invoke this only after the runtime reports completion; an undecided node then is an algorithm bug")
                 LubyState::Active { .. } => panic!("node {i} never decided"),
             })
             .collect()

@@ -89,6 +89,7 @@ impl MisFromColoring {
             .filter_map(|(i, s)| match s.decided {
                 Some(true) => Some(NodeId::new(i)),
                 Some(false) => None,
+                // pslocal: allow(panic-path, "callers invoke this only after the runtime reports completion; an undecided node then is an algorithm bug")
                 None => panic!("node {i} never decided"),
             })
             .collect()
@@ -224,6 +225,7 @@ impl LocalAlgorithm for ColorReduction {
         if state.color == scheduled && state.color as usize >= self.target_colors {
             let free = (0..self.target_colors as u32)
                 .find(|c| !state.neighbor_colors[..info.degree].contains(c))
+                // pslocal: allow(panic-path, "pigeonhole: deg(v) neighbors cannot block all deg(v)+1 target colors")
                 .expect("Δ+1 colors always leave one free");
             state.color = free;
         }

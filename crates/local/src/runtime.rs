@@ -238,6 +238,7 @@ impl<'a> Engine<'a> {
                     Outbox::Silent => {}
                     Outbox::Broadcast(msg) => {
                         for (p, &u) in graph.neighbors(v).iter().enumerate() {
+                            // pslocal: allow(panic-path, "the port network is built from an undirected graph, so every edge has a back port by construction")
                             let back_port = net.port_to(u, v).expect("symmetric adjacency");
                             let _ = p;
                             inboxes[u.index()]
@@ -249,6 +250,7 @@ impl<'a> Engine<'a> {
                         for (p, slot) in slots.iter().enumerate() {
                             if let Some(msg) = slot {
                                 let u = net.neighbor_at_port(v, p);
+                                // pslocal: allow(panic-path, "the port network is built from an undirected graph, so every edge has a back port by construction")
                                 let back_port = net.port_to(u, v).expect("symmetric adjacency");
                                 inboxes[u.index()]
                                     .push(Incoming { port: back_port, message: msg.clone() });

@@ -65,6 +65,7 @@ impl MaxIsOracle for PrecisionOracle {
         }
         let keep = ((full.len() as f64) / self.lambda).ceil().max(1.0) as usize;
         let kept: Vec<_> = full.vertices().iter().copied().take(keep.min(full.len())).collect();
+        // pslocal: allow(panic-path, "a prefix of an independent set is independent; a failure means the inner oracle lied")
         IndependentSet::new(graph, kept).expect("subset of an independent set")
     }
 
@@ -86,6 +87,7 @@ impl MaxIsOracle for WorstWitnessOracle {
 
     fn independent_set(&self, graph: &Graph) -> IndependentSet {
         let first: Vec<_> = graph.nodes().take(1).collect();
+        // pslocal: allow(panic-path, "a single vertex (or the empty set) is trivially independent")
         IndependentSet::new(graph, first).expect("singletons are independent")
     }
 

@@ -98,6 +98,7 @@ impl DecompositionOracle {
         // Invariant, not a fallible path: the decomposition's verifier
         // has already certified the cluster coloring.
         let independent_set = IndependentSet::new(graph, best)
+            // pslocal: allow(panic-path, "the network decomposition certified the cluster coloring above; a violation falsifies that certificate")
             .expect("same-color clusters are non-adjacent, so the union is independent");
         DecompositionSolve {
             independent_set,

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Where, within a reduction phase, a simulated process crash strikes.
 ///
@@ -315,7 +315,8 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
 
     /// Snapshot of all faults injected so far, in call order.
     pub fn fault_log(&self) -> Vec<InjectedFault> {
-        self.log.lock().expect("fault log lock").clone()
+        // Injected panics poison this lock by design; the log stays valid.
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Resets call counter, stall state, and fault log (the plan is
@@ -323,11 +324,11 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
     pub fn reset(&self) {
         self.calls.store(0, Ordering::SeqCst);
         self.stalled.store(0, Ordering::SeqCst);
-        self.log.lock().expect("fault log lock").clear();
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).clear();
     }
 
     fn record(&self, call: usize, kind: FaultKind) {
-        self.log.lock().expect("fault log lock").push(InjectedFault { call, kind });
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).push(InjectedFault { call, kind });
     }
 
     /// A claimed-but-not independent set: an adjacent pair where the
@@ -353,6 +354,7 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
                 self.record(call, kind);
                 match kind {
                     FaultKind::Panic => {
+                        // pslocal: allow(panic-path, "this panic IS the injected fault: the crate exists to exercise the resilient driver's panic isolation")
                         panic!("injected fault: oracle panicked on call {call}")
                     }
                     FaultKind::CrashAt { phase, point } => {
@@ -370,6 +372,7 @@ impl<O: MaxIsOracle> FaultyOracle<O> {
                         let set = IndependentSet::new(graph, keep)
                             // Invariant: a subset of an independent set
                             // is independent.
+                            // pslocal: allow(panic-path, "subset of the inner oracle's independent set is independent; a failure means the inner oracle lied")
                             .expect("subset of inner oracle's independent set");
                         (set, rounds)
                     }

@@ -87,6 +87,7 @@ impl MaxIsOracle for GreedyOracle {
         }
         // Invariant, not a fallible path: a vertex is chosen only while
         // alive, and choosing it kills its whole neighborhood.
+        // pslocal: allow(panic-path, "invariant stated above: a chosen vertex kills its whole neighborhood, so the output is independent")
         IndependentSet::new(graph, chosen).expect("greedy output is independent")
     }
 
@@ -105,6 +106,7 @@ impl MaxIsOracle for GreedyOracle {
         // the word-parallel checker plays that role before the unchecked
         // constructor takes ownership.
         if let Some((u, v)) = bits.is_independent_set(&chosen) {
+            // pslocal: allow(panic-path, "self-check of the dense kernel against the bitset verifier; a conflict is a kernel bug that must abort loudly")
             panic!("greedy output is not independent: {u:?} conflicts with {v:?}");
         }
         IndependentSet::new_unchecked(chosen)

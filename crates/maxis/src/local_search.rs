@@ -83,6 +83,7 @@ pub fn improve_by_swaps(graph: &Graph, set: &IndependentSet) -> IndependentSet {
     let vertices: Vec<NodeId> = graph.nodes().filter(|v| member[v.index()]).collect();
     // Invariant, not a fallible path: a (1,2)-swap admits {a, b} only
     // after checking a–b non-adjacency and both against the membership.
+    // pslocal: allow(panic-path, "invariant stated above: (1,2)-swaps check non-adjacency before admitting, so independence is preserved")
     IndependentSet::new(graph, vertices).expect("swaps preserve independence")
 }
 

@@ -134,6 +134,7 @@ impl MaxIsOracle for LubyOracle {
         };
         // Invariant, not a fallible path: joiners are strict local
         // maxima and exclude their entire neighborhoods.
+        // pslocal: allow(panic-path, "invariant stated above: joiners are strict local maxima excluding their neighborhoods")
         IndependentSet::new(graph, members).expect("Luby returns an independent set")
     }
 
@@ -149,10 +150,12 @@ impl MaxIsOracle for LubyOracle {
             // O(log n) rounds w.h.p.; 4096 rounds would require an
             // astronomically unlucky seed on any graph the simulator
             // can hold in memory.
+            // pslocal: allow(panic-path, "rationale above: O(log n) rounds w.h.p. makes 4096 rounds unreachable for any in-memory instance")
             .expect("Luby terminates within the generous budget");
         let members = LubyMis::members(&exec.states);
         // Invariant: LubyMis's own verifier guarantees membership forms
         // an independent set of the network graph.
+        // pslocal: allow(panic-path, "invariant stated above: LubyMis's own verifier guarantees an independent membership set")
         let set = IndependentSet::new(graph, members).expect("Luby returns an independent set");
         (set, exec.trace.rounds)
     }

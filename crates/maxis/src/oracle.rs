@@ -125,6 +125,7 @@ pub trait MaxIsOracle: Sync {
         scratch: &mut BitsetScratch,
     ) -> IndependentSet {
         let _ = (bits, scratch);
+        // pslocal: allow(panic-path, "documented default-method contract: callers must check supports_dense() first; reaching this is caller misuse")
         panic!("{}: oracle does not support dense input", self.name())
     }
 

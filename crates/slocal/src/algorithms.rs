@@ -44,6 +44,7 @@ impl GreedyMis {
             .filter_map(|(i, s)| match s {
                 Some(true) => Some(NodeId::new(i)),
                 Some(false) => None,
+                // pslocal: allow(panic-path, "the sequential SLOCAL schedule visits every node exactly once; an unprocessed node is a scheduler bug")
                 None => panic!("node {i} never processed"),
             })
             .collect()
@@ -102,6 +103,7 @@ impl GreedyColoring {
         states
             .iter()
             .enumerate()
+            // pslocal: allow(panic-path, "the sequential SLOCAL schedule visits every node exactly once; an unprocessed node is a scheduler bug")
             .map(|(i, s)| s.unwrap_or_else(|| panic!("node {i} never processed")))
             .collect()
     }

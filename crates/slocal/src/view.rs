@@ -183,6 +183,7 @@ impl<'a, S> View<'a, S> {
     #[inline]
     fn require(&self, v: NodeId) -> usize {
         let p = self.position.get(v.index()).copied().filter(|&p| p != 0).unwrap_or_else(|| {
+            // pslocal: allow(panic-path, "deliberate loud failure: an out-of-ball access is an SLOCAL locality violation the runtime must surface, not mask")
             panic!(
                 "SLOCAL violation: node {v} is outside the radius-{} view of {}",
                 self.ball.radius, self.ball.center

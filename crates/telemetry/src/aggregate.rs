@@ -26,8 +26,16 @@
 use crate::sink::{Counter, Event, Sink};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Local copy of `pslocal-core`'s poison-tolerant lock helper (the
+/// crate dependency points the other way). Aggregates are plain
+/// integers and maps mutated one entry at a time, so the stats stay
+/// serviceable even if a recording thread panicked mid-section.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Samples kept per histogram for the rendered percentiles (a sliding
 /// window of the most recent arrivals).
@@ -108,6 +116,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
         return 0;
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    // rank clamps into [1, len], so rank - 1 lies in [0, len): in bounds.
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -174,18 +183,18 @@ impl AggregateSink {
     /// Current total of the counter with the given stable name
     /// ([`Counter::name`]); 0 if never incremented.
     pub fn counter(&self, name: &str) -> u64 {
-        self.state.counters.lock().expect("stats poisoned").get(name).copied().unwrap_or(0)
+        lock_unpoisoned(&self.state.counters).get(name).copied().unwrap_or(0)
     }
 
     /// Summary of the histogram with the given stable name, if any
     /// sample arrived.
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
-        self.state.histograms.lock().expect("stats poisoned").get(name).map(HistAgg::summary)
+        lock_unpoisoned(&self.state.histograms).get(name).map(HistAgg::summary)
     }
 
     /// `(count, total_ns)` of closed spans with the given name.
     pub fn span_totals(&self, name: &str) -> (u64, u64) {
-        let spans = self.state.spans.lock().expect("stats poisoned");
+        let spans = lock_unpoisoned(&self.state.spans);
         spans.get(name).map_or((0, 0), |s| (s.count, s.total_ns))
     }
 
@@ -204,10 +213,10 @@ impl AggregateSink {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "uptime_s {:.3}", self.state.started.elapsed().as_secs_f64());
-        for (name, total) in self.state.counters.lock().expect("stats poisoned").iter() {
+        for (name, total) in lock_unpoisoned(&self.state.counters).iter() {
             let _ = writeln!(out, "counter {name} {total}");
         }
-        for (name, agg) in self.state.histograms.lock().expect("stats poisoned").iter() {
+        for (name, agg) in lock_unpoisoned(&self.state.histograms).iter() {
             let s = agg.summary();
             let _ = writeln!(
                 out,
@@ -220,7 +229,7 @@ impl AggregateSink {
                 s.mean(),
             );
         }
-        for (name, agg) in self.state.spans.lock().expect("stats poisoned").iter() {
+        for (name, agg) in lock_unpoisoned(&self.state.spans).iter() {
             let mean_us = agg.total_ns.checked_div(agg.count).unwrap_or(0) / 1000;
             let _ = writeln!(
                 out,
@@ -237,34 +246,25 @@ impl Sink for AggregateSink {
     fn record(&self, event: Event) {
         match event {
             Event::SpanStart { id, name, start_ns, .. } => {
-                let mut open = self.state.open.lock().expect("stats poisoned");
+                let mut open = lock_unpoisoned(&self.state.open);
                 if open.len() < OPEN_SPAN_CAPACITY {
                     open.insert(id.0, (name, start_ns));
                 }
             }
             Event::SpanEnd { id, end_ns } => {
-                let entry = self.state.open.lock().expect("stats poisoned").remove(&id.0);
+                let entry = lock_unpoisoned(&self.state.open).remove(&id.0);
                 if let Some((name, start_ns)) = entry {
-                    let mut spans = self.state.spans.lock().expect("stats poisoned");
+                    let mut spans = lock_unpoisoned(&self.state.spans);
                     let agg = spans.entry(name).or_default();
                     agg.count += 1;
                     agg.total_ns = agg.total_ns.saturating_add(end_ns.saturating_sub(start_ns));
                 }
             }
             Event::CounterAdd { counter, delta, .. } => {
-                *self
-                    .state
-                    .counters
-                    .lock()
-                    .expect("stats poisoned")
-                    .entry(counter.name())
-                    .or_insert(0) += delta;
+                *lock_unpoisoned(&self.state.counters).entry(counter.name()).or_insert(0) += delta;
             }
             Event::Sample { histogram, value, .. } => {
-                self.state
-                    .histograms
-                    .lock()
-                    .expect("stats poisoned")
+                lock_unpoisoned(&self.state.histograms)
                     .entry(histogram.name())
                     .or_default()
                     .observe(value);

@@ -18,6 +18,7 @@
 //! Sinks compose structurally: `&S`, `Option<S>`, and `(A, B)` are all
 //! sinks, so "memory plus optional JSONL file" is just a tuple.
 
+use crate::aggregate::lock_unpoisoned;
 use std::fmt;
 use std::io::Write;
 use std::sync::Mutex;
@@ -397,18 +398,18 @@ impl MemorySink {
 
     /// Snapshot of every event received so far, in order.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("telemetry buffer poisoned").clone()
+        lock_unpoisoned(&self.events).clone()
     }
 
     /// Discards all buffered events.
     pub fn clear(&self) {
-        self.events.lock().expect("telemetry buffer poisoned").clear();
+        lock_unpoisoned(&self.events).clear();
     }
 
     /// Reconstructs every span (closed or not) in start order, with its
     /// attributed counters and samples.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        let events = self.events.lock().expect("telemetry buffer poisoned");
+        let events = lock_unpoisoned(&self.events);
         let mut spans: Vec<SpanRecord> = Vec::new();
         for event in events.iter() {
             match *event {
@@ -454,9 +455,7 @@ impl MemorySink {
 
     /// Total of every increment of `counter`, span-attributed or not.
     pub fn counter_total(&self, counter: Counter) -> u64 {
-        self.events
-            .lock()
-            .expect("telemetry buffer poisoned")
+        lock_unpoisoned(&self.events)
             .iter()
             .filter_map(|e| match e {
                 Event::CounterAdd { counter: c, delta, .. } if *c == counter => Some(*delta),
@@ -467,9 +466,7 @@ impl MemorySink {
 
     /// All samples of `histogram`, in arrival order.
     pub fn samples(&self, histogram: Histogram) -> Vec<u64> {
-        self.events
-            .lock()
-            .expect("telemetry buffer poisoned")
+        lock_unpoisoned(&self.events)
             .iter()
             .filter_map(|e| match e {
                 Event::Sample { histogram: h, value, .. } if *h == histogram => Some(*value),
@@ -481,7 +478,7 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&self, event: Event) {
-        self.events.lock().expect("telemetry buffer poisoned").push(event);
+        lock_unpoisoned(&self.events).push(event);
     }
 }
 
@@ -546,11 +543,9 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Flushes and returns the inner writer.
     pub fn into_inner(self) -> W {
-        let mut w = self
-            .writer
-            .lock()
-            .expect("telemetry writer poisoned")
+        let mut w = lock_unpoisoned(&self.writer)
             .take()
+            // pslocal: allow(panic-path, "the Option is None only after into_inner, which consumes self — a second take is unreachable")
             .expect("writer present until into_inner");
         let _ = w.flush();
         w
@@ -558,7 +553,7 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Flushes the inner writer.
     pub fn flush(&self) {
-        if let Some(w) = self.writer.lock().expect("telemetry writer poisoned").as_mut() {
+        if let Some(w) = lock_unpoisoned(&self.writer).as_mut() {
             let _ = w.flush();
         }
     }
@@ -566,7 +561,7 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, event: Event) {
-        let mut guard = self.writer.lock().expect("telemetry writer poisoned");
+        let mut guard = lock_unpoisoned(&self.writer);
         if let Some(w) = guard.as_mut() {
             let _ = writeln!(w, "{}", event_to_json(&event));
             // Span closes bound the stream's loss window: flush so a

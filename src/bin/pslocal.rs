@@ -15,7 +15,7 @@
 //! deterministically (see `pslocal_core::components`).
 
 use pslocal::cfcolor::checker;
-use pslocal::core::protocol::{kernel_by_name, parse_request, rejected_line, response_line};
+use pslocal::core::protocol::{self, kernel_by_name, parse_request, rejected_line, response_line};
 use pslocal::core::{
     inspect_journal, parallel_independent_set, reduce_cf_to_maxis, reduce_cf_to_maxis_resumable,
     reduce_cf_to_maxis_traced, BoxedOracle, Checkpointing, ConflictGraph, CrashPlan,
@@ -74,6 +74,10 @@ USAGE:
   pslocal checkpoint-inspect --checkpoint-dir DIR
                                 (decode a phase journal: header, stats,
                                  per-phase records)
+  pslocal lint [--root DIR] [--deny] [--json] [--fix-hints] [--lock-order]
+                                (static analysis of the workspace's own
+                                 sources: lock-order audit, panic-path,
+                                 stdout-purity, codec-drift, hygiene)
 
 CHECKPOINTING (reduce):
   --checkpoint-dir DIR  durably journal every committed phase into DIR
@@ -141,11 +145,34 @@ TELEMETRY (maxis / reduce / batch / trace-report / bench-report):
   --trace               render the span tree to stdout after the run
   --metrics-out FILE    append every telemetry event as JSONL to FILE
 
+LINT (static analysis, wired into CI as a hard gate):
+  --root DIR            workspace root to analyze (default .)
+  --deny                exit nonzero when any finding survives
+  --json                machine-readable report (pslocal-lint/v1)
+  --fix-hints           append a fix hint under each finding
+  --lock-order          print the lock-order audit (inventory, edges,
+                        condvar associations, canonical order) instead
+                        of the finding list
+  Findings are waived inline with
+  `// pslocal: allow(<lint>, \"justification\")` — the justification is
+  mandatory, and unused waivers are themselves findings.
+
 ORACLES: exact | greedy | luby | clique-removal | decomposition
 FORMATS: see pslocal_graph::io (p graph / p hypergraph headers)";
 
 /// Options that are flags (no value argument follows them).
-const BOOLEAN_FLAGS: &[&str] = &["trace", "resume", "oracle-cache", "stats", "shutdown", "ping"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "trace",
+    "resume",
+    "oracle-cache",
+    "stats",
+    "shutdown",
+    "ping",
+    "deny",
+    "json",
+    "fix-hints",
+    "lock-order",
+];
 
 /// Minimal `--key value` argument map (with a few `--flag` booleans).
 struct Args {
@@ -531,9 +558,9 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     eprintln!(
         "batch: {total} requests -> {} ok, {} deadline_exceeded, {} failed, {rejected} rejected \
          in {}ms ({workers} workers, queue {queue}; latency p50 = {}us, p99 = {}us)",
-        count("ok"),
-        count("deadline_exceeded"),
-        count("failed"),
+        count(protocol::OUTCOME_OK),
+        count(protocol::OUTCOME_DEADLINE_EXCEEDED),
+        count(protocol::OUTCOME_FAILED),
         wall.as_millis(),
         percentile_ns(&latencies, 50.0) / 1000,
         percentile_ns(&latencies, 99.0) / 1000,
@@ -1278,6 +1305,7 @@ mod signals {
 
     /// Routes SIGINT and SIGTERM into [`requested`].
     pub fn install() {
+        // pslocal: allow(unsafe-ffi, "signal handler registration: libc signal() has no safe wrapper in a dependency-free workspace; the handler only stores a relaxed atomic flag")
         unsafe {
             signal(SIGINT, handle);
             signal(SIGTERM, handle);
@@ -1364,9 +1392,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     eprintln!(
         "serve: drained {} in-flight requests ({} ok, {} deadline_exceeded, {} failed)",
         report.drained.len(),
-        count("ok"),
-        count("deadline_exceeded"),
-        count("failed"),
+        count(protocol::OUTCOME_OK),
+        count(protocol::OUTCOME_DEADLINE_EXCEEDED),
+        count(protocol::OUTCOME_FAILED),
     );
     eprint!("{}", stats.render());
     // Dropping the report drops the telemetry pipeline, flushing the
@@ -1409,6 +1437,39 @@ fn cmd_client(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `pslocal lint`: run the static-analysis passes over the workspace
+/// tree and report findings (text or JSON). With `--deny`, any
+/// surviving finding fails the command — the CI gate.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let root = args.get("root").unwrap_or(".");
+    let analysis = pslocal_analysis::analyze(std::path::Path::new(root))
+        .map_err(|e| format!("cannot analyze {root}: {e}"))?;
+    if args.flag("lock-order") {
+        print!("{}", analysis.lock_report.render());
+    } else if args.flag("json") {
+        print!(
+            "{}",
+            pslocal_analysis::render_json(
+                &analysis.findings,
+                analysis.files_scanned,
+                analysis.suppressed,
+            )
+        );
+    } else {
+        print!("{}", pslocal_analysis::render_text(&analysis.findings, args.flag("fix-hints")));
+        println!(
+            "{} finding(s), {} suppressed, {} files scanned",
+            analysis.findings.len(),
+            analysis.suppressed,
+            analysis.files_scanned
+        );
+    }
+    if args.flag("deny") && !analysis.findings.is_empty() {
+        return Err(format!("lint: {} finding(s) with --deny", analysis.findings.len()));
+    }
+    Ok(())
+}
+
 fn dispatch() -> Result<(), String> {
     let args = Args::parse(std::env::args().skip(1))?;
     match args.positional.first().map(String::as_str) {
@@ -1422,6 +1483,7 @@ fn dispatch() -> Result<(), String> {
         Some("trace-report") => cmd_trace_report(&args),
         Some("bench-report") => cmd_bench_report(&args),
         Some("checkpoint-inspect") => cmd_checkpoint_inspect(&args),
+        Some("lint") => cmd_lint(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -158,6 +158,59 @@ fn connection_cap_sheds_with_a_typed_overloaded_line() {
 }
 
 #[test]
+fn stats_blocks_never_interleave_with_in_flight_results() {
+    // Regression: STATS used to write its multi-line snapshot from the
+    // reader thread while worker callbacks pushed result lines through
+    // the same socket, so a result line could land in the middle of a
+    // block. All outbound lines now funnel through the connection's
+    // single writer queue, with a whole snapshot as one message.
+    let config = ServerConfig::default().with_service(ServiceConfig::new(4));
+    let stats = AggregateSink::default();
+    let server = Server::start("127.0.0.1:0", config, Telemetry::new(stats)).expect("starts");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Pipeline a STATS poll after every request without reading a byte
+    // back, so snapshots render while results are genuinely in flight.
+    const REQUESTS: usize = 24;
+    for i in 0..REQUESTS {
+        let line = format!("{{\"id\":\"mix-{i}\",\"n\":96,\"m\":48,\"k\":8,\"seed\":{i}}}\n");
+        conn.write_all(line.as_bytes()).expect("send request");
+        conn.write_all(b"STATS\n").expect("send stats");
+    }
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let mut out = String::new();
+    conn.read_to_string(&mut out).expect("read responses");
+
+    // Every snapshot must arrive contiguous: from its `uptime_s` header
+    // to its `OK` terminator with only stats item lines in between —
+    // never a JSON result line.
+    let mut in_block = false;
+    let mut blocks = 0usize;
+    let mut results = 0usize;
+    for line in out.lines() {
+        if in_block {
+            assert!(!line.starts_with('{'), "result line inside a STATS block: {line}");
+            if line == "OK" {
+                in_block = false;
+            }
+        } else if line.starts_with("uptime_s ") {
+            in_block = true;
+            blocks += 1;
+        } else {
+            assert!(line.starts_with('{'), "unexpected line outside a STATS block: {line:?}");
+            results += 1;
+        }
+    }
+    assert!(!in_block, "unterminated STATS block:\n{out}");
+    assert_eq!(blocks, REQUESTS, "one snapshot per poll");
+    assert_eq!(results, REQUESTS, "one result line per request");
+    for i in 0..REQUESTS {
+        assert!(out.contains(&format!("\"id\":\"mix-{i}\"")), "missing result mix-{i}");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn mid_load_shutdown_drains_every_admitted_request() {
     let config = ServerConfig::default().with_service(ServiceConfig::new(1));
     let server = Server::start("127.0.0.1:0", config, Telemetry::disabled()).expect("starts");
